@@ -1,0 +1,32 @@
+"""Experiment §5.3: unbounded stay transitions (linear-space simulation).
+
+Workload: depth-1 trees with leaf word aⁿbⁿ.  Measured: the G2DTA^u run —
+``n`` stay transitions, each a full GSQA pass over ``2n`` children, so
+quadratic overall; the point is that *no constant stay budget suffices*,
+which is why Definition 5.12 restricts SQA^u to one stay per node.
+"""
+
+import pytest
+
+from repro.trees.tree import Tree
+from repro.unranked.turing import anbn_acceptor, anbn_reference
+
+
+def leaf_word_tree(n: int) -> Tree:
+    return Tree("r", [Tree(symbol) for symbol in "a" * n + "b" * n])
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_crossing_off_run(benchmark, n):
+    acceptor = anbn_acceptor()
+    tree = leaf_word_tree(n)
+    accepted = benchmark(acceptor.accepts, tree)
+    assert accepted
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_rejection_is_detected(benchmark, n):
+    acceptor = anbn_acceptor()
+    tree = Tree("r", [Tree(s) for s in "a" * n + "b" * (n - 1)])
+    accepted = benchmark(acceptor.accepts, tree)
+    assert not accepted

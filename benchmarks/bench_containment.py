@@ -1,0 +1,42 @@
+"""Experiment T6.4: containment and equivalence of query automata.
+
+Workload: the circuit QA^u against its gates-only restriction (a strict
+containment each way) and the Example 5.14 SQA^u against itself.
+Measured: the joint-closure product scan — the two-automaton analogue of
+the T6.3 cost.
+"""
+
+import pytest
+
+from repro.decision.closure import (
+    are_equivalent,
+    containment_counterexample,
+    is_contained,
+)
+from repro.unranked.examples import circuit_query_automaton, first_one_sqa
+from repro.unranked.twoway import UnrankedQueryAutomaton
+
+
+def _gates_only():
+    full = circuit_query_automaton()
+    return UnrankedQueryAutomaton(
+        full.automaton, frozenset(p for p in full.selecting if p[0] != "u")
+    )
+
+
+def test_containment_holds(benchmark):
+    result = benchmark(is_contained, _gates_only(), circuit_query_automaton())
+    assert result
+
+
+def test_containment_counterexample(benchmark):
+    result = benchmark(
+        containment_counterexample, circuit_query_automaton(), _gates_only()
+    )
+    assert result is not None
+
+
+def test_equivalence_of_sqa_with_itself(benchmark):
+    sqa = first_one_sqa()
+    result = benchmark(are_equivalent, sqa, sqa)
+    assert result

@@ -1,0 +1,52 @@
+"""Experiment L3.10: the Hopcroft–Ullman combination.
+
+Workload: random total DFA pairs (forward/backward) and random words.
+Measured: (a) construction cost vs DFA size — the γ-set machinery is the
+exponential part (Prop 6.2's bound); (b) transduction cost vs word length
+against the trivial two-pass oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.strings.hopcroft_ullman import (
+    hopcroft_ullman_gsqa,
+    reference_pairs,
+    reversed_hopcroft_ullman_gsqa,
+)
+
+from tests.conftest import random_total_dfa
+
+
+def _pair(states: int, seed: int):
+    rng = random.Random(seed)
+    return (
+        random_total_dfa(rng, max_states=states),
+        random_total_dfa(rng, max_states=states),
+    )
+
+
+@pytest.mark.parametrize("states", [2, 3, 4])
+def test_construction_cost(benchmark, states):
+    forward, backward = _pair(states, states)
+    combined = benchmark(hopcroft_ullman_gsqa, forward, backward)
+    # Report the state blowup alongside the timing.
+    assert len(combined.automaton.states) >= len(forward.states)
+
+
+@pytest.mark.parametrize("states", [2, 3, 4])
+def test_mirrored_construction_cost(benchmark, states):
+    forward, backward = _pair(states, states)
+    combined = benchmark(reversed_hopcroft_ullman_gsqa, forward, backward)
+    assert len(combined.automaton.states) >= len(backward.states)
+
+
+@pytest.mark.parametrize("length", [50, 200, 800])
+def test_transduction_vs_two_pass(benchmark, length):
+    forward, backward = _pair(3, 7)
+    combined = hopcroft_ullman_gsqa(forward, backward)
+    rng = random.Random(length)
+    word = [rng.choice("ab") for _ in range(length)]
+    outputs = benchmark(combined.transduce, word)
+    assert outputs == reference_pairs(forward, backward, word)

@@ -1,0 +1,84 @@
+"""Experiments T2.5 / T5.4: the Büchi and Doner–Thatcher–Wright compilers.
+
+Workload: MSO formulas of growing quantifier structure.  Measured: compile
+time (the nonelementary-in-depth blowup shows as sharply super-linear
+growth per added negation/quantifier alternation) and evaluation time of
+the compiled automata (linear per input).
+"""
+
+import pytest
+
+from repro.logic.compile_strings import compile_query, compile_sentence
+from repro.logic.compile_trees import compile_tree_query, compile_tree_sentence
+from repro.logic.syntax import (
+    And,
+    Edge,
+    Exists,
+    Forall,
+    Implies,
+    Label,
+    Less,
+    Not,
+    Var,
+)
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+def string_formula(depth: int):
+    """Nested alternation: ∃x a(x), ∃x∀y (a(x) ∧ (y<x → b(y))), ..."""
+    if depth == 1:
+        return Exists(x, Label(x, "a"))
+    if depth == 2:
+        return Exists(x, Forall(y, And(Label(x, "a"), Implies(Less(y, x), Label(y, "b")))))
+    return Exists(
+        x,
+        Forall(
+            y,
+            Exists(
+                z,
+                And(
+                    Label(x, "a"),
+                    Implies(Less(y, x), Or_(Label(y, "b"), And(Less(y, z), Label(z, "a")))),
+                ),
+            ),
+        ),
+    )
+
+
+def Or_(a, b):
+    from repro.logic.syntax import Or
+
+    return Or(a, b)
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_string_sentence_compilation(benchmark, depth):
+    phi = string_formula(depth)
+    dfa = benchmark(compile_sentence, phi, ["a", "b"])
+    assert dfa.states
+
+
+def test_string_query_compilation(benchmark):
+    phi = And(Label(x, "a"), Not(Exists(y, And(Less(x, y), Label(y, "a")))))
+    dfa = benchmark(compile_query, phi, x, ["a", "b"])
+    assert dfa.states
+
+
+def tree_formula(depth: int):
+    if depth == 1:
+        return Exists(x, Label(x, "a"))
+    return Exists(x, Forall(y, Implies(Edge(x, y), Label(y, "b"))))
+
+
+@pytest.mark.parametrize("depth", [1, 2])
+def test_tree_sentence_compilation(benchmark, depth):
+    phi = tree_formula(depth)
+    nbta = benchmark(compile_tree_sentence, phi, ["a", "b"])
+    assert nbta.states
+
+
+def test_tree_query_compilation(benchmark):
+    phi = Exists(y, And(Edge(x, y), Label(y, "a")))
+    automaton = benchmark(compile_tree_query, phi, x, ["a", "b"])
+    assert automaton.states

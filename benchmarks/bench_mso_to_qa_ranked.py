@@ -1,0 +1,61 @@
+"""Experiment Fig. 5 / T4.8: MSO → QA^r and its evaluation cost.
+
+Workload: full binary trees of growing height; query "nodes with an
+a-labeled child".  Measured: (a) one-time construction cost of the
+Theorem 4.8 automaton; (b) per-tree evaluation — naive MSO semantics
+(exponential-ish in the quantifiers, the baseline), the two-phase
+Figure 5 algorithm, and the constructed QA^r's own run.  Expected shape:
+naive loses by orders of magnitude as trees grow; the two automaton
+routes stay linear.
+"""
+
+import pytest
+
+from repro.logic.compile_trees import compile_tree_query
+from repro.logic.semantics import tree_query
+from repro.logic.syntax import And, Edge, Exists, Label, Var
+from repro.ranked.mso_to_qa import QueryAutomatonBuilder, build_query_qar, two_phase_evaluate
+from repro.trees.generators import complete_binary_tree
+from repro.trees.tree import Tree
+
+x, y = Var("x"), Var("y")
+PHI = Exists(y, And(Edge(x, y), Label(y, "a")))
+
+
+def _tree(height: int) -> Tree:
+    import random
+
+    rng = random.Random(height)
+
+    def build(h: int) -> Tree:
+        label = rng.choice("ab")
+        if h == 0:
+            return Tree(label)
+        return Tree(label, [build(h - 1), build(h - 1)])
+
+    return build(height)
+
+
+def test_construction_cost(benchmark):
+    benchmark(build_query_qar, PHI, x, ["a", "b"])
+
+
+def test_naive_mso_baseline(benchmark):
+    tree = _tree(2)  # naive semantics cannot go higher in reasonable time
+    benchmark(tree_query, tree, PHI, x)
+
+
+@pytest.mark.parametrize("height", [3, 5, 7])
+def test_two_phase_figure5(benchmark, height):
+    d = compile_tree_query(PHI, x, ["a", "b"])
+    tree = _tree(height)
+    benchmark(two_phase_evaluate, d, tree)
+
+
+@pytest.mark.parametrize("height", [3, 5, 7])
+def test_constructed_qar_run(benchmark, height):
+    qa = build_query_qar(PHI, x, ["a", "b"])
+    d = compile_tree_query(PHI, x, ["a", "b"])
+    tree = _tree(height)
+    selected = benchmark(qa.evaluate, tree)
+    assert selected == two_phase_evaluate(d, tree)

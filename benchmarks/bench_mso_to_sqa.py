@@ -1,0 +1,52 @@
+"""Experiment Fig. 6 / T5.17: MSO → SQA^u and its evaluation cost.
+
+Workload: wide unranked trees (inner arity ≥ 2); query "a-nodes with no
+earlier a-sibling" (the Proposition 5.10 query, now over any tree).
+Measured: construction cost of the Theorem 5.17 automaton (the stay GSQA
+is a Lemma 3.10 instance — the expensive part), and per-tree evaluation
+by the Figure 6 algorithm vs the constructed SQA^u's genuine run.
+"""
+
+import random
+
+import pytest
+
+from repro.logic.compile_trees import compile_tree_query
+from repro.logic.syntax import And, Exists, Label, Less, Not, Var
+from repro.trees.tree import Tree
+from repro.unranked.mso_to_sqa import build_query_sqa, figure6_evaluate
+
+x, y = Var("x"), Var("y")
+PHI = And(Label(x, "a"), Not(Exists(y, And(Less(y, x), Label(y, "a")))))
+
+
+def wide_tree(depth: int, arity: int, seed: int) -> Tree:
+    rng = random.Random(seed)
+
+    def build(d: int) -> Tree:
+        label = rng.choice("ab")
+        if d == 0:
+            return Tree(label)
+        return Tree(label, [build(d - 1) for _ in range(arity)])
+
+    return build(depth)
+
+
+def test_construction_cost(benchmark):
+    benchmark(build_query_sqa, PHI, x, ["a", "b"])
+
+
+@pytest.mark.parametrize("depth,arity", [(2, 3), (3, 3), (3, 4)])
+def test_figure6_algorithm(benchmark, depth, arity):
+    d = compile_tree_query(PHI, x, ["a", "b"])
+    tree = wide_tree(depth, arity, depth + arity)
+    benchmark(figure6_evaluate, d, tree)
+
+
+@pytest.mark.parametrize("depth,arity", [(2, 3), (3, 3)])
+def test_constructed_sqa_run(benchmark, depth, arity):
+    sqa = build_query_sqa(PHI, x, ["a", "b"])
+    d = compile_tree_query(PHI, x, ["a", "b"])
+    tree = wide_tree(depth, arity, depth + arity)
+    selected = benchmark(sqa.evaluate, tree)
+    assert selected == figure6_evaluate(d, tree)

@@ -1,0 +1,39 @@
+"""Experiment T6.3: query non-emptiness (the EXPTIME procedure).
+
+Workload: the worked query automata of the paper (Example 5.9's QA^u,
+Example 5.14's SQA^u with its stay transition, Example 4.4's QA^r via the
+ranked embedding).  Measured: witness search time — contrast with the
+PTIME growth of bench_nbta_emptiness.py; the SQA^u case pays extra for
+the annotation-NFA (Proposition 6.2) machinery.
+"""
+
+import pytest
+
+from repro.decision.closure import language_witness, query_witness
+from repro.decision.convert import ranked_query_to_unranked
+from repro.ranked.examples import circuit_value_query
+from repro.unranked.examples import circuit_query_automaton, first_one_sqa
+
+
+def test_language_nonemptiness_circuit(benchmark):
+    qa = circuit_query_automaton()
+    witness = benchmark(language_witness, qa.automaton)
+    assert witness is not None
+
+
+def test_query_nonemptiness_circuit_qa_u(benchmark):
+    qa = circuit_query_automaton()
+    result = benchmark(query_witness, qa)
+    assert result is not None
+
+
+def test_query_nonemptiness_sqa_u_with_stay(benchmark):
+    sqa = first_one_sqa()
+    result = benchmark(query_witness, sqa)
+    assert result is not None
+
+
+def test_query_nonemptiness_ranked_embedding(benchmark):
+    qa = ranked_query_to_unranked(circuit_value_query())
+    result = benchmark(query_witness, qa)
+    assert result is not None

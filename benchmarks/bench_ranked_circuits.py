@@ -1,0 +1,39 @@
+"""Experiments E4.2 / E4.4: ranked Boolean-circuit automata.
+
+Workload: full binary AND/OR circuits of growing height.  Measured:
+acceptance (Example 4.2) and query evaluation (Example 4.4) under direct
+cut simulation vs the Lemma 4.7 behavior evaluation — the ablation the
+DESIGN.md calls out (both linear; behavior evaluation avoids replaying
+the cut dynamics).
+"""
+
+import pytest
+
+from repro.ranked.behavior import evaluate_query_via_behavior
+from repro.ranked.examples import circuit_acceptor, circuit_value_query
+from repro.trees.generators import evaluate_circuit, random_binary_circuit
+
+HEIGHTS = [4, 6, 8]
+
+
+@pytest.mark.parametrize("height", HEIGHTS)
+def test_acceptance_example_4_2(benchmark, height):
+    acceptor = circuit_acceptor()
+    tree = random_binary_circuit(height, height)
+    accepted = benchmark(acceptor.accepts, tree)
+    assert accepted == (evaluate_circuit(tree) == 1)
+
+
+@pytest.mark.parametrize("height", HEIGHTS)
+def test_query_simulation_example_4_4(benchmark, height):
+    qa = circuit_value_query()
+    tree = random_binary_circuit(height, height)
+    benchmark(qa.evaluate, tree)
+
+
+@pytest.mark.parametrize("height", HEIGHTS)
+def test_query_behavior_evaluation(benchmark, height):
+    qa = circuit_value_query()
+    tree = random_binary_circuit(height, height)
+    selected = benchmark(evaluate_query_via_behavior, qa, tree)
+    assert selected == qa.evaluate(tree)

@@ -1,0 +1,43 @@
+"""Experiment P5.10 / E5.14: the QA^u vs SQA^u separation, measured.
+
+Workload: the flat witness family ``t_i`` of Proposition 5.10 at growing
+widths.  Measured: (a) the SQA^u of Example 5.14 answering the family
+correctly (its one stay transition costs a single GSQA pass per node);
+(b) how quickly the pigeonhole refutation finds a failing family member
+for a plain QA^u attempt.
+"""
+
+import pytest
+
+from repro.unranked.examples import first_one_sqa
+from repro.unranked.separation import (
+    first_one_reference,
+    flat_family_tree,
+    impossibility_witness,
+)
+
+from tests.unranked.test_separation import (
+    naive_attempt_select_all_ones,
+    positional_attempt,
+)
+
+WIDTHS = [8, 32, 128]
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_sqa_answers_the_family(benchmark, width):
+    sqa = first_one_sqa()
+    tree = flat_family_tree(width // 2, width)
+
+    selected = benchmark(sqa.evaluate, tree)
+    assert selected == first_one_reference(tree)
+
+
+@pytest.mark.parametrize(
+    "attempt", [naive_attempt_select_all_ones, positional_attempt],
+    ids=["select-all-ones", "positional-window"],
+)
+def test_refuting_a_qa_attempt(benchmark, attempt):
+    qa = attempt()
+    witness = benchmark(impossibility_witness, qa, 10)
+    assert witness is not None

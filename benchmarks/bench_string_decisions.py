@@ -1,0 +1,52 @@
+"""Experiment §6 (strings): decision problems for QA^string.
+
+Workload: the paper's worked string automata.  Measured: building the
+query-graph NFA (the Theorem 3.9 guess-and-check, exponential in |S|) and
+the DFA-algebra decisions on top of it.
+"""
+
+import pytest
+
+from repro.decision.strings import (
+    selection_language,
+    string_containment_counterexample,
+    string_queries_equivalent,
+    string_query_witness,
+)
+from repro.strings.examples import (
+    endpoints_if_contains,
+    odd_ones_query_automaton,
+    sweep_right_dfa_as_qa,
+)
+
+
+def test_selection_language_construction(benchmark):
+    qa = odd_ones_query_automaton()
+    dfa = benchmark(selection_language, qa, ["0", "1"])
+    assert dfa.states
+
+
+def test_selection_language_two_way_query(benchmark):
+    qa = endpoints_if_contains("01", "1")
+    dfa = benchmark(selection_language, qa, ["0", "1"])
+    assert dfa.states
+
+
+def test_nonemptiness(benchmark):
+    qa = odd_ones_query_automaton()
+    result = benchmark(string_query_witness, qa, ["0", "1"])
+    assert result is not None
+
+
+def test_containment(benchmark):
+    endpoints = endpoints_if_contains("01", "1")
+    all_ones = sweep_right_dfa_as_qa("01", ["1"])
+    result = benchmark(
+        string_containment_counterexample, endpoints, all_ones, ["0", "1"]
+    )
+    assert result is not None
+
+
+def test_equivalence(benchmark):
+    qa = odd_ones_query_automaton()
+    assert benchmark(string_queries_equivalent, qa, qa, ["0", "1"])

@@ -1,0 +1,45 @@
+"""Experiment E3.4/E3.6: string query automata and GSQAs.
+
+Workload: random bit-strings of growing length.  Measured: the Example
+3.4 QA^string under (a) direct two-way simulation and (b) the linear-time
+Theorem 3.9 behavior evaluation — both linear, with (b)'s advantage
+growing with the number of head reversals.
+"""
+
+import random
+
+import pytest
+
+from repro.strings.behavior import evaluate_query_via_behavior
+from repro.strings.examples import odd_ones_gsqa, odd_ones_query_automaton
+
+LENGTHS = [100, 400, 1600]
+
+
+def _word(length: int) -> list[str]:
+    rng = random.Random(length)
+    return [rng.choice("01") for _ in range(length)]
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_direct_simulation(benchmark, length):
+    qa = odd_ones_query_automaton()
+    word = _word(length)
+    selected = benchmark(qa.evaluate, word)
+    assert all(word[i - 1] == "1" for i in selected)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_behavior_evaluation(benchmark, length):
+    qa = odd_ones_query_automaton()
+    word = _word(length)
+    selected = benchmark(evaluate_query_via_behavior, qa, word)
+    assert selected == qa.evaluate(word)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_gsqa_transduction(benchmark, length):
+    gsqa = odd_ones_gsqa()
+    word = _word(length)
+    outputs = benchmark(gsqa.transduce, word)
+    assert len(outputs) == length

@@ -1,0 +1,57 @@
+"""Experiment P6.1: the corridor-tiling reduction (EXPTIME-hardness).
+
+Workload: tiling instances of growing corridor width.  Measured: game
+solving (the attractor fixpoint — exponential in width), strategy-tree
+extraction, acceptor construction, and the full chain
+(instance → 2DTA^r → emptiness ⟺ winner).
+"""
+
+import pytest
+
+from repro.decision.closure import language_witness
+from repro.decision.convert import ranked_to_unranked
+from repro.decision.tiling import TilingInstance, strategy_tree, tiling_acceptor
+
+FULL2 = frozenset([(a, b) for a in ("a", "b") for b in ("a", "b")])
+
+
+def instance(width: int) -> TilingInstance:
+    return TilingInstance(
+        tiles=("a", "b"),
+        horizontal=FULL2,
+        vertical=frozenset([("a", "b"), ("b", "a")]),
+        bottom=tuple("a" for _ in range(width)),
+        top=tuple("a" for _ in range(width)),
+    )
+
+
+@pytest.mark.parametrize("width", [1, 2, 3])
+def test_game_solver(benchmark, width):
+    inst = instance(width)
+    result = benchmark(inst.player_one_wins)
+    assert result  # alternate a/b rows reach the top
+
+
+@pytest.mark.parametrize("width", [1, 2])
+def test_strategy_tree_extraction(benchmark, width):
+    inst = instance(width)
+    tree = benchmark(strategy_tree, inst)
+    assert tree is not None
+
+
+@pytest.mark.parametrize("width", [1, 2])
+def test_acceptor_construction(benchmark, width):
+    inst = instance(width)
+    acceptor = benchmark(tiling_acceptor, inst)
+    assert acceptor.states
+
+
+def test_reduction_end_to_end(benchmark):
+    inst = instance(1)
+
+    def chain():
+        acceptor = tiling_acceptor(inst)
+        return language_witness(ranked_to_unranked(acceptor))
+
+    witness = benchmark(chain)
+    assert (witness is not None) == inst.player_one_wins()

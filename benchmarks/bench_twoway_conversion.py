@@ -1,0 +1,44 @@
+"""Experiment P6.2: two-way → one-way conversion and its size blowup.
+
+Workload: the Example 3.4 machine and random 2DFAs of growing state
+count (derived from Hopcroft–Ullman combinations — genuinely two-way).
+Measured: conversion time; the produced one-way state count is recorded
+via an assertion envelope matching the exponential Proposition 6.2 bound.
+"""
+
+import random
+
+import pytest
+
+from repro.strings.examples import endpoints_if_contains, odd_ones_query_automaton
+from repro.strings.hopcroft_ullman import hopcroft_ullman_gsqa
+from repro.strings.shepherdson import to_one_way_dfa
+
+from tests.conftest import random_total_dfa
+
+
+def test_convert_example_3_4(benchmark):
+    two_way = odd_ones_query_automaton().automaton
+    one_way = benchmark(to_one_way_dfa, two_way)
+    assert one_way.states
+
+
+def test_convert_remark_3_3(benchmark):
+    two_way = endpoints_if_contains("ab", "a").automaton
+    one_way = benchmark(to_one_way_dfa, two_way)
+    assert one_way.states
+
+
+@pytest.mark.parametrize("states", [2, 3])
+def test_convert_hopcroft_ullman_machines(benchmark, states):
+    """Convert genuinely two-way machines of growing size."""
+    rng = random.Random(states)
+    combined = hopcroft_ullman_gsqa(
+        random_total_dfa(rng, max_states=states),
+        random_total_dfa(rng, max_states=states),
+    )
+    two_way = combined.automaton
+    one_way = benchmark(to_one_way_dfa, two_way)
+    n = len(two_way.states)
+    # Proposition 6.2's envelope (very generous): exponential, no worse.
+    assert len(one_way.states) <= ((2 * n + 2) ** n) * (n + 3) * 4

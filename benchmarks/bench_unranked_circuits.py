@@ -1,0 +1,30 @@
+"""Experiment E5.9: the unranked circuit QA^u.
+
+Workload: AND/OR circuits with unbounded fan-in, growing depth and width.
+Measured: query evaluation by cut simulation and by the Lemma 5.16
+behavior evaluation.
+"""
+
+import pytest
+
+from repro.trees.generators import random_unranked_circuit
+from repro.unranked.behavior import evaluate_query_via_behavior
+from repro.unranked.examples import circuit_query_automaton, circuit_reference_query
+
+SHAPES = [(3, 3), (4, 3), (4, 5)]  # (depth, max fan-in)
+
+
+@pytest.mark.parametrize("depth,arity", SHAPES)
+def test_simulation(benchmark, depth, arity):
+    qa = circuit_query_automaton()
+    tree = random_unranked_circuit(depth, arity, depth * 10 + arity)
+    selected = benchmark(qa.evaluate, tree)
+    assert selected == circuit_reference_query(tree)
+
+
+@pytest.mark.parametrize("depth,arity", SHAPES)
+def test_behavior_evaluation(benchmark, depth, arity):
+    qa = circuit_query_automaton()
+    tree = random_unranked_circuit(depth, arity, depth * 10 + arity)
+    selected = benchmark(evaluate_query_via_behavior, qa, tree)
+    assert selected == circuit_reference_query(tree)

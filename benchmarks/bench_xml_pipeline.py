@@ -1,0 +1,48 @@
+"""Experiment F1–F4: the Figures 1–4 pipeline (XML → tree → DTD check).
+
+Workload: bibliography documents of growing size (the Figure 1 shape).
+Measured: parse+abstract time and tree-automaton validation time; both
+should scale linearly in document size.
+"""
+
+import pytest
+
+from repro.trees.dtd import BIBLIOGRAPHY_DTD, parse_dtd
+from repro.trees.xml import make_bibliography, parse_to_tree
+
+SIZES = [10, 40, 160]
+
+
+@pytest.fixture(scope="module")
+def dtd():
+    return parse_dtd(BIBLIOGRAPHY_DTD)
+
+
+@pytest.mark.parametrize("entries", SIZES)
+def test_parse_and_abstract(benchmark, entries):
+    text = make_bibliography(entries, entries)
+    tree = benchmark(parse_to_tree, text)
+    assert tree.label == "bibliography"
+    assert tree.arity == 2 * entries
+
+
+@pytest.mark.parametrize("entries", SIZES)
+def test_validate_against_figure2_dtd(benchmark, dtd, entries):
+    tree = parse_to_tree(make_bibliography(entries, entries))
+    automaton = dtd.to_tree_automaton()
+    result = benchmark(automaton.accepts, tree)
+    assert result
+
+
+def test_full_pipeline_with_query(benchmark, dtd):
+    """Parse, validate, and select all authors (the intro's use case)."""
+    from repro.core.pipeline import Document
+
+    text = make_bibliography(20, 20)
+
+    def pipeline():
+        document = Document.from_text(text, dtd)
+        return document.select("//author")
+
+    authors = benchmark(pipeline)
+    assert len(authors) == 20 * 2 + 20

@@ -1,0 +1,16 @@
+"""Shared workload builders for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one experiment of the per-experiment
+index in ``DESIGN.md`` (figures, worked examples, and complexity claims of
+the paper).  ``pytest benchmarks/ --benchmark-only`` runs them all;
+absolute numbers are machine-dependent, but the *shapes* (who wins, how
+costs grow) are the reproduction targets recorded in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "scaling: growth-curve measurements")

@@ -1,0 +1,78 @@
+"""Proposition 5.10 / Example 5.14: why stay transitions are necessary.
+
+The query *select every 1-labeled leaf with no 1-labeled left sibling*
+is first-order definable, yet **no** plain QA^u computes it — when a
+two-way unranked automaton assigns states downward, a child cannot know
+its siblings' states.  One *stay transition* (a two-way string automaton
+over the children) repairs this: Example 5.14's SQA^u computes the query.
+
+This demo runs the paper's pigeonhole refutation against two natural
+QA^u attempts, shows the collision of root-state sequences it exploits,
+and then lets the SQA^u answer the whole family.
+
+Run:  python examples/separation_demo.py
+"""
+
+from repro.unranked.examples import first_one_sqa
+from repro.unranked.separation import (
+    first_one_reference,
+    flat_family_tree,
+    impossibility_witness,
+    pigeonhole_pair,
+    root_state_sequence,
+)
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+from tests.unranked.test_separation import (  # noqa: E402
+    naive_attempt_select_all_ones,
+    positional_attempt,
+)
+
+
+def main() -> None:
+    width = 8
+
+    print("The witness family t_i (root with", width, "leaves):")
+    for zeros in (0, 2, 5):
+        print(f"  t_{zeros} =", flat_family_tree(zeros, width))
+
+    # ------------------------------------------------------------------
+    # 1. Every stay-free attempt fails somewhere on the family.
+    # ------------------------------------------------------------------
+    for name, attempt in [
+        ("select-all-ones", naive_attempt_select_all_ones),
+        ("positional-window", positional_attempt),
+    ]:
+        qa = attempt()
+        tree, produced, expected = impossibility_witness(qa, width)
+        print(f"\nQA^u attempt {name!r} fails on {tree}:")
+        print("   produced:", sorted(produced))
+        print("   expected:", sorted(expected))
+
+        pair = pigeonhole_pair(qa, width)
+        if pair:
+            j, j2 = pair
+            print(
+                f"   pigeonhole: t_{j} and t_{j2} share the root sequence",
+                root_state_sequence(qa.automaton, flat_family_tree(j, width)),
+            )
+
+    # ------------------------------------------------------------------
+    # 2. The Example 5.14 SQA^u answers every family member.
+    # ------------------------------------------------------------------
+    sqa = first_one_sqa()
+    print("\nExample 5.14 SQA^u (one stay transition per node):")
+    for zeros in range(width + 1):
+        tree = flat_family_tree(zeros, width)
+        assert sqa.evaluate(tree) == first_one_reference(tree)
+    print(f"   correct on all {width + 1} family members ✓")
+
+    tree = flat_family_tree(3, width)
+    print(f"   e.g. on {tree}: selects {sorted(sqa.evaluate(tree))}")
+
+
+if __name__ == "__main__":
+    main()

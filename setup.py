@@ -1,0 +1,4 @@
+"""Legacy shim so `python setup.py develop` works on minimal toolchains."""
+from setuptools import setup
+
+setup()

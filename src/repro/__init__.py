@@ -1,0 +1,45 @@
+"""Query Automata — a reproduction of Neven & Schwentick (PODS 1999).
+
+Two-way deterministic automata over ranked and unranked trees, extended
+with selection functions so that they compute *unary queries* — sets of
+nodes — rather than merely accepting trees.  The library implements every
+system the paper describes:
+
+* the string substrate (:mod:`repro.strings`): 2DFAs, query automata on
+  strings, behavior functions, the Hopcroft–Ullman lemma, Shepherdson's
+  conversion;
+* trees, XML, and DTD validation (:mod:`repro.trees`);
+* MSO with compilers to string and tree automata (:mod:`repro.logic`) and
+  Ehrenfeucht games (:mod:`repro.games`);
+* ranked query automata and the Theorem 4.8 construction
+  (:mod:`repro.ranked`);
+* unranked query automata with stay transitions and the Theorem 5.17
+  construction (:mod:`repro.unranked`);
+* the EXPTIME decision procedures of Section 6 (:mod:`repro.decision`);
+* a user-facing query/pattern API (:mod:`repro.core`).
+"""
+
+__version__ = "1.0.0"
+
+from .trees.tree import Tree
+from .core.query import (
+    CompiledQuery,
+    MSOQuery,
+    Query,
+    RankedAutomatonQuery,
+    UnrankedAutomatonQuery,
+)
+from .core.patterns import compile_pattern
+from .core.pipeline import Document
+
+__all__ = [
+    "Tree",
+    "Query",
+    "MSOQuery",
+    "CompiledQuery",
+    "RankedAutomatonQuery",
+    "UnrankedAutomatonQuery",
+    "compile_pattern",
+    "Document",
+    "__version__",
+]

@@ -1,0 +1,117 @@
+"""Command-line interface: query XML documents with patterns.
+
+Usage::
+
+    python -m repro.cli query DOCUMENT.xml "//author" [--dtd SCHEMA.dtd]
+    python -m repro.cli validate DOCUMENT.xml SCHEMA.dtd
+    python -m repro.cli tree DOCUMENT.xml            # show the abstraction
+
+The query subcommand parses the document (optionally validating it),
+compiles the pattern through MSO to a deterministic tree automaton, and
+prints each matched node's path and serialized subtree — the paper's
+"locating subtrees satisfying some pattern" as a shell tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.pipeline import Document, ValidationError
+from .trees.dtd import parse_dtd
+from .trees.xml import serialize
+
+
+def _load_document(path: str, dtd_path: str | None) -> Document:
+    text = Path(path).read_text()
+    dtd = parse_dtd(Path(dtd_path).read_text()) if dtd_path else None
+    return Document.from_text(text, dtd)
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Run a pattern query and print the matched subdocuments."""
+    try:
+        document = _load_document(args.document, args.dtd)
+    except ValidationError as error:
+        print(f"validation failed: {error}", file=sys.stderr)
+        return 2
+    paths = document.select(args.pattern)
+    for path in paths:
+        element = document.element_at(path)
+        rendered = (
+            serialize(element) if not isinstance(element, str) else repr(element)
+        )
+        location = "/" + "/".join(map(str, path)) if path else "/"
+        print(f"{location}:")
+        for line in rendered.splitlines():
+            print(f"  {line}")
+    print(f"-- {len(paths)} match(es)", file=sys.stderr)
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Validate a document against a DTD; print per-node violations."""
+    text = Path(args.document).read_text()
+    dtd = parse_dtd(Path(args.dtd).read_text())
+    from .trees.xml import parse_to_tree
+
+    tree = parse_to_tree(text)
+    problems = dtd.violations(tree)
+    if not problems:
+        print("valid")
+        return 0
+    for path, message in problems:
+        location = "/" + "/".join(map(str, path)) if path else "/"
+        print(f"{location}: {message}")
+    return 1
+
+
+def cmd_tree(args: argparse.Namespace) -> int:
+    """Print the document's tree abstraction with node paths."""
+    document = _load_document(args.document, None)
+
+    def render(path=(), indent=0):
+        node = document.tree.subtree(path)
+        print("  " * indent + node.label + "  " + "/" + "/".join(map(str, path)))
+        for index in range(len(node.children)):
+            render(path + (index,), indent + 1)
+
+    render()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro`` command-line tool."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Query automata over XML documents"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    query = subparsers.add_parser("query", help="run a pattern query")
+    query.add_argument("document", help="path to the XML document")
+    query.add_argument("pattern", help='pattern, e.g. "//author" or "/book/title"')
+    query.add_argument("--dtd", help="optional DTD to validate against")
+    query.set_defaults(func=cmd_query)
+
+    validate = subparsers.add_parser("validate", help="validate against a DTD")
+    validate.add_argument("document")
+    validate.add_argument("dtd")
+    validate.set_defaults(func=cmd_validate)
+
+    tree = subparsers.add_parser("tree", help="print the tree abstraction")
+    tree.add_argument("document")
+    tree.set_defaults(func=cmd_tree)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Public query API: Query objects, XPath-like patterns, XML pipeline."""
+
+from .query import (
+    CompiledQuery,
+    MSOQuery,
+    Query,
+    RankedAutomatonQuery,
+    UnrankedAutomatonQuery,
+    select,
+    subtrees,
+)
+from .patterns import PatternError, compile_pattern
+from .pipeline import Document, ValidationError, run_pattern
+
+__all__ = [
+    "CompiledQuery",
+    "MSOQuery",
+    "Query",
+    "RankedAutomatonQuery",
+    "UnrankedAutomatonQuery",
+    "select",
+    "subtrees",
+    "PatternError",
+    "compile_pattern",
+    "Document",
+    "ValidationError",
+    "run_pattern",
+]

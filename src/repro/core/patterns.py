@@ -1,0 +1,149 @@
+"""A small XPath-like pattern language compiled to MSO queries.
+
+The paper's motivation — *locating subtrees satisfying some pattern* in
+structured documents — deserves a front-end.  Patterns select nodes by a
+path of steps from the root, with optional filters:
+
+=====================  ==================================================
+pattern                meaning
+=====================  ==================================================
+``/book``              children of the root labeled ``book``
+``/book/author``       their ``author`` children
+``//author``           all descendants labeled ``author``
+``/book//year``        ``year`` descendants of root's ``book`` children
+``/*``                 all children of the root
+``//*[first]``         every node that is a first sibling
+``//book[has(year)]``  ``book`` nodes with a ``year`` child
+``//author[leaf]``     ``author`` nodes that are leaves
+=====================  ==================================================
+
+Filters: ``first``, ``last`` (sibling position), ``leaf``, ``root``,
+``has(name)`` (a child labeled ``name``).  Compilation targets the MSO
+fragment of :mod:`repro.logic.syntax`; evaluation goes through the
+:class:`~repro.core.query.MSOQuery` machinery, i.e., ultimately through
+the paper's automata.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Sequence
+
+from ..logic.syntax import (
+    And,
+    Edge,
+    Exists,
+    Formula,
+    Label,
+    Var,
+    first_sibling,
+    fresh_var,
+    last_sibling,
+    leaf,
+    root,
+)
+from .query import MSOQuery
+
+
+class PatternError(ValueError):
+    """Raised for malformed patterns."""
+
+
+_STEP = re.compile(r"(//|/)([\w#*-]+)((?:\[[^\]]*\])*)")
+_FILTER = re.compile(r"\[([^\]]*)\]")
+
+
+def _descendant(ancestor: Var, descendant_var: Var) -> Formula:
+    """``ancestor`` is a proper ancestor of ``descendant_var``.
+
+    Uses the :class:`~repro.logic.syntax.Descendant` atom (compiled to a
+    constant-size automaton) rather than the MSO set-quantifier definition
+    :func:`repro.logic.syntax.ancestor` — semantically identical, far
+    cheaper to compile.
+    """
+    from ..logic.syntax import Descendant
+
+    return Descendant(ancestor, descendant_var)
+
+
+def _label_test(var: Var, name: str, alphabet: Sequence[str]) -> Formula:
+    if name == "*":
+        # Any label: a disjunction over the alphabet (always true, but the
+        # compiler needs a concrete formula).
+        formulas = [Label(var, sigma) for sigma in alphabet]
+        out = formulas[0]
+        for formula in formulas[1:]:
+            out = out | formula
+        return out
+    return Label(var, name)
+
+
+def _filter_formula(var: Var, text: str, alphabet: Sequence[str]) -> Formula:
+    text = text.strip()
+    if text == "first":
+        return first_sibling(var)
+    if text == "last":
+        return last_sibling(var)
+    if text == "leaf":
+        return leaf(var)
+    if text == "root":
+        return root(var)
+    match = re.fullmatch(r"has\(([\w#*-]+)\)", text)
+    if match:
+        child = fresh_var("h")
+        return Exists(child, And(Edge(var, child), _label_test(child, match.group(1), alphabet)))
+    raise PatternError(f"unknown filter {text!r}")
+
+
+def compile_pattern(
+    pattern: str, alphabet: Sequence[str], engine: str = "automaton"
+) -> MSOQuery:
+    """Compile a pattern into an :class:`~repro.core.query.MSOQuery`.
+
+    >>> from repro.trees.tree import Tree
+    >>> q = compile_pattern("//b[leaf]", ["a", "b"])
+    >>> sorted(q.evaluate(Tree.parse("a(b, a(b), b(a))")))
+    [(0,), (1, 0)]
+    """
+    pattern = pattern.strip()
+    if not pattern.startswith("/"):
+        raise PatternError("patterns must start with '/' or '//'")
+    steps = []
+    position = 0
+    while position < len(pattern):
+        match = _STEP.match(pattern, position)
+        if match is None:
+            raise PatternError(f"cannot parse step at {pattern[position:]!r}")
+        axis, name, filters_text = match.groups()
+        filters = _FILTER.findall(filters_text)
+        steps.append((axis, name, filters))
+        position = match.end()
+
+    # Build the formula inside-out: x is the selected node; chain upward.
+    x = Var("x")
+    current = x
+    formula: Formula | None = None
+    for axis, name, filters in reversed(steps):
+        step_formula = _label_test(current, name, alphabet)
+        for filter_text in filters:
+            step_formula = And(step_formula, _filter_formula(current, filter_text, alphabet))
+        if formula is not None:
+            formula = And(step_formula, formula)
+        else:
+            formula = step_formula
+        parent = fresh_var("s")
+        if axis == "/":
+            link: Formula = Edge(parent, current)
+        else:
+            link = _descendant(parent, current)
+        formula = And(link, formula)
+        # Quantify the child position away (except the selected x itself).
+        if current is not x:
+            formula = Exists(current, formula)
+        current = parent
+    # ``current`` must be the root.
+    assert formula is not None
+    formula = And(root(current), formula)
+    if current is not x:
+        formula = Exists(current, formula)
+    return MSOQuery(formula, x, tuple(alphabet), engine=engine)

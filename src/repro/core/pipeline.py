@@ -1,0 +1,75 @@
+"""End-to-end document pipeline: XML text → validation → query → results.
+
+The workflow the paper's introduction motivates (Figures 1–4): parse a
+document, abstract it as an unranked tree, optionally validate against a
+DTD, run unary queries over it, and extract the matched subdocuments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trees.dtd import DTD
+from ..trees.tree import Path, Tree
+from ..trees.xml import XMLElement, parse_document, to_tree
+from .patterns import compile_pattern
+from .query import Query
+
+
+class ValidationError(ValueError):
+    """The document does not conform to the DTD."""
+
+
+@dataclass
+class Document:
+    """A parsed document with its tree abstraction."""
+
+    element: XMLElement
+    tree: Tree
+
+    @staticmethod
+    def from_text(text: str, dtd: DTD | None = None) -> "Document":
+        """Parse (and optionally validate) an XML document."""
+        element = parse_document(text)
+        tree = to_tree(element)
+        if dtd is not None:
+            problems = dtd.violations(tree)
+            if problems:
+                rendered = "; ".join(
+                    f"{'/'.join(map(str, path)) or 'root'}: {message}"
+                    for path, message in problems[:5]
+                )
+                raise ValidationError(rendered)
+        return Document(element, tree)
+
+    @property
+    def alphabet(self) -> tuple:
+        """The labels occurring in the tree (query compilation alphabet)."""
+        return tuple(sorted(self.tree.labels()))
+
+    def select(self, query: Query | str) -> list[Path]:
+        """Run a query (object or pattern string); document-ordered paths."""
+        if isinstance(query, str):
+            query = compile_pattern(query, self.alphabet)
+        return sorted(query.evaluate(self.tree))
+
+    def matches(self, query: Query | str) -> list[Tree]:
+        """The matched subtrees, in document order."""
+        return [self.tree.subtree(path) for path in self.select(query)]
+
+    def element_at(self, path: Path) -> XMLElement | str:
+        """The XML element (or text chunk) at a tree path."""
+        node: XMLElement | str = self.element
+        for index in path:
+            if isinstance(node, str):
+                raise KeyError(f"no element at {path!r}")
+            node = node.content[index]
+        return node
+
+
+def run_pattern(
+    text: str, pattern: str, dtd: DTD | None = None
+) -> list[Tree]:
+    """One-shot convenience: parse, validate, query, return subtrees."""
+    document = Document.from_text(text, dtd)
+    return document.matches(pattern)

@@ -1,0 +1,124 @@
+"""The public query API: one interface over every engine in the library.
+
+A *query* (Section 3's definition) maps a tree to a set of its nodes.
+The paper provides four ways to get one — an MSO formula with one free
+variable, a QA^r, a QA^u/SQA^u, or a compiled marked-alphabet bottom-up
+automaton — and three evaluation strategies (naive logic semantics,
+two-way simulation, behavior functions / two-pass).  This module wraps
+them behind a single :class:`Query` interface so applications (and the
+benchmarks) can switch engines freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logic.compile_trees import compile_tree_query
+from ..logic.semantics import tree_query
+from ..logic.syntax import Formula, Var
+from ..ranked.behavior import evaluate_query_via_behavior as ranked_behavior_eval
+from ..ranked.twoway import RankedQueryAutomaton
+from ..trees.tree import Path, Tree
+from ..unranked.behavior import evaluate_query_via_behavior as unranked_behavior_eval
+from ..unranked.dbta import DeterministicUnrankedAutomaton, evaluate_marked_query
+from ..unranked.twoway import UnrankedQueryAutomaton
+
+
+class Query:
+    """A unary query over Σ-trees."""
+
+    def evaluate(self, tree: Tree) -> frozenset[Path]:
+        """The selected nodes of the tree."""
+        raise NotImplementedError
+
+    def __call__(self, tree: Tree) -> frozenset[Path]:
+        return self.evaluate(tree)
+
+
+@dataclass
+class MSOQuery(Query):
+    """A query given by an MSO formula φ(x).
+
+    ``engine`` selects the evaluation strategy:
+
+    * ``"naive"`` — direct model checking (exponential; the oracle);
+    * ``"automaton"`` — compile once to a marked-alphabet deterministic
+      bottom-up automaton, evaluate with the two-pass algorithm (linear
+      per tree; the Figure 5/6 content).
+    """
+
+    formula: Formula
+    var: Var
+    alphabet: tuple
+    engine: str = "automaton"
+    _compiled: DeterministicUnrankedAutomaton | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def compiled(self) -> DeterministicUnrankedAutomaton:
+        """The marked-alphabet automaton (compiled on first use)."""
+        if self._compiled is None:
+            self._compiled = compile_tree_query(
+                self.formula, self.var, list(self.alphabet)
+            )
+        return self._compiled
+
+    def evaluate(self, tree: Tree) -> frozenset[Path]:
+        """Selected node paths of the tree."""
+        if self.engine == "naive":
+            return tree_query(tree, self.formula, self.var)
+        return evaluate_marked_query(
+            self.compiled(), tree, lambda label, bit: (label, bit)
+        )
+
+
+@dataclass
+class RankedAutomatonQuery(Query):
+    """A query computed by a QA^r (Definition 4.3).
+
+    ``engine``: ``"simulate"`` runs the cut semantics; ``"behavior"`` uses
+    the linear-time Lemma 4.7 evaluation.
+    """
+
+    automaton: RankedQueryAutomaton
+    engine: str = "behavior"
+
+    def evaluate(self, tree: Tree) -> frozenset[Path]:
+        if self.engine == "simulate":
+            return self.automaton.evaluate(tree)
+        return ranked_behavior_eval(self.automaton, tree)
+
+
+@dataclass
+class UnrankedAutomatonQuery(Query):
+    """A query computed by a QA^u or SQA^u (Definitions 5.8, 5.13)."""
+
+    automaton: UnrankedQueryAutomaton
+    engine: str = "behavior"
+
+    def evaluate(self, tree: Tree) -> frozenset[Path]:
+        if self.engine == "simulate":
+            return self.automaton.evaluate(tree)
+        return unranked_behavior_eval(self.automaton, tree)
+
+
+@dataclass
+class CompiledQuery(Query):
+    """A query given directly by a marked-alphabet DBTA^u."""
+
+    automaton: DeterministicUnrankedAutomaton
+
+    def evaluate(self, tree: Tree) -> frozenset[Path]:
+        return evaluate_marked_query(
+            self.automaton, tree, lambda label, bit: (label, bit)
+        )
+
+
+def select(query: Query, tree: Tree) -> list[Path]:
+    """Selected nodes in document order (convenience)."""
+    return sorted(query.evaluate(tree))
+
+
+def subtrees(query: Query, tree: Tree) -> list[Tree]:
+    """The subtrees rooted at the selected nodes, in document order."""
+    return [tree.subtree(path) for path in select(query, tree)]

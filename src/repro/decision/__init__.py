@@ -1,0 +1,50 @@
+"""Decision procedures of Section 6: non-emptiness, containment, equivalence."""
+
+from .annotation import AnnotationNFA
+from .closure import (
+    ClosureBudgetExceeded,
+    JointClosure,
+    are_equivalent,
+    containment_counterexample,
+    is_contained,
+    language_is_empty,
+    language_witness,
+    query_is_empty,
+    query_witness,
+)
+from .convert import ranked_query_to_unranked, ranked_to_unranked
+from .strings import (
+    selection_language,
+    string_containment_counterexample,
+    string_queries_equivalent,
+    string_query_witness,
+)
+from .tiling import (
+    TilingInstance,
+    is_strategy_tree,
+    strategy_tree,
+    tiling_acceptor,
+)
+
+__all__ = [
+    "AnnotationNFA",
+    "ClosureBudgetExceeded",
+    "JointClosure",
+    "are_equivalent",
+    "containment_counterexample",
+    "is_contained",
+    "language_is_empty",
+    "language_witness",
+    "query_is_empty",
+    "query_witness",
+    "ranked_query_to_unranked",
+    "ranked_to_unranked",
+    "selection_language",
+    "string_containment_counterexample",
+    "string_queries_equivalent",
+    "string_query_witness",
+    "TilingInstance",
+    "is_strategy_tree",
+    "strategy_tree",
+    "tiling_acceptor",
+]

@@ -1,0 +1,251 @@
+"""One-way annotation automata for two-way transducers (GSQAs).
+
+The decision procedures of Section 6 need to reason about the stay
+transitions of an S2DTA^u, which are computed by a *two-way* machine (a
+GSQA) — but the bottom-up automaton ``B`` of Theorem 6.3 reads children
+words *one way*.  The paper bridges the gap with Proposition 6.2
+(two-way/pebble automata convert to exponential one-way NFAs); the
+concrete construction behind that bound is the behavior-function
+guess-and-check of Theorem 3.9, which we implement here.
+
+:class:`AnnotationNFA` accepts exactly the streams
+``(w_1, γ_1) ... (w_n, γ_n)`` such that the GSQA outputs ``γ_i`` at
+position ``i`` of input ``w`` — i.e., the graph of the transduction,
+recognized one-way.  States are tuples ``(f⁻, first, Assumed, cell)``:
+
+* ``f⁻`` and ``first`` are *determined* left-to-right (items 1–2 of the
+  Theorem 3.9 proof);
+* the ``Assumed`` component is *guessed* (it depends on the future) and
+  verified against item 4's recurrence at the next step;
+* the output letter must match the unique non-⊥ value of λ on
+  ``Assumed × {w_i}``.
+
+The state space is exponential in the GSQA's, matching Proposition 6.2;
+states are produced lazily via :meth:`step`, never materialized en masse.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from itertools import chain, combinations
+
+from ..strings.behavior import BehaviorFunction, states_closure
+from ..strings.twoway import (
+    GeneralizedStringQA,
+    LEFT_MARKER,
+    RIGHT_MARKER,
+    TwoWayDFA,
+)
+
+State = Hashable
+Symbol = Hashable
+
+#: A frozen behavior function (sorted item tuple) for hashability.
+FrozenBehavior = tuple
+
+
+def _freeze(behavior: BehaviorFunction) -> FrozenBehavior:
+    return tuple(sorted(behavior.items(), key=repr))
+
+
+def _thaw(frozen: FrozenBehavior) -> BehaviorFunction:
+    return dict(frozen)
+
+
+class AnnotationNFA:
+    """Lazy one-way NFA for the graph of a GSQA's transduction.
+
+    Drive it with :meth:`initial_states`, :meth:`step` (per position,
+    with the input symbol and the *claimed* output symbol), and
+    :meth:`accepting` at the end of the word.
+    """
+
+    def __init__(self, gsqa: GeneralizedStringQA) -> None:
+        self.gsqa = gsqa
+        self.automaton: TwoWayDFA = gsqa.automaton
+        self._orbit_cache: dict[tuple[FrozenBehavior, State], tuple] = {}
+        self._candidates_cache: dict[tuple, list] = {}
+        self._extend_cache: dict[tuple, FrozenBehavior] = {}
+        self._step_cache: dict[tuple, frozenset] = {}
+        self._accept_cache: dict[tuple, bool] = {}
+
+    # -- behavior-function recurrences (items 1-2 of Theorem 3.9) -------
+
+    def _orbit(self, frozen: FrozenBehavior, state: State) -> tuple:
+        key = (frozen, state)
+        if key not in self._orbit_cache:
+            self._orbit_cache[key] = tuple(states_closure(_thaw(frozen), state))
+        return self._orbit_cache[key]
+
+    def _right_state(
+        self, frozen: FrozenBehavior, state: State, cell
+    ) -> State | None:
+        for candidate in self._orbit(frozen, state):
+            if self.automaton.in_right(candidate, cell):
+                return candidate
+        return None
+
+    def _base_behavior(self) -> FrozenBehavior:
+        return _freeze(
+            {
+                state: state
+                for state in self.automaton.states
+                if self.automaton.in_right(state, LEFT_MARKER)
+            }
+        )
+
+    def _extend_behavior(
+        self, frozen: FrozenBehavior, previous_cell, cell
+    ) -> FrozenBehavior:
+        key = (frozen, previous_cell, cell)
+        cached = self._extend_cache.get(key)
+        if cached is not None:
+            return cached
+        previous = _thaw(frozen)
+        current: BehaviorFunction = {}
+        for state in self.automaton.states:
+            if self.automaton.in_right(state, cell):
+                current[state] = state
+                continue
+            if not self.automaton.in_left(state, cell):
+                continue
+            entered = self.automaton.left_moves[(state, cell)]
+            returner = self._right_state(frozen, entered, previous_cell)
+            if returner is None:
+                continue
+            current[state] = self.automaton.right_moves[(returner, previous_cell)]
+        result = _freeze(current)
+        self._extend_cache[key] = result
+        return result
+
+    # -- Assumed guessing (items 3-4) ------------------------------------
+
+    def _assumed_candidates(
+        self, frozen: FrozenBehavior, first: State
+    ) -> list[frozenset]:
+        """All sets of the form ``States(f, first) ∪ ⋃ States(f, e)``.
+
+        The entries ``e`` are the states future left moves may hand this
+        position; enumerating subsets of S is the (exponential) guess.
+        """
+        cache_key = (frozen, first)
+        cached = self._candidates_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        base = frozenset(self._orbit(frozen, first))
+        states = sorted(self.automaton.states, key=repr)
+        candidates: set[frozenset] = set()
+        for entries in chain.from_iterable(
+            combinations(states, size) for size in range(len(states) + 1)
+        ):
+            bucket = set(base)
+            for entry in entries:
+                bucket.update(self._orbit(frozen, entry))
+            candidates.add(frozenset(bucket))
+        result = sorted(candidates, key=repr)
+        self._candidates_cache[cache_key] = result
+        return result
+
+    def _consistent(
+        self,
+        frozen_prev: FrozenBehavior,
+        first_prev: State,
+        assumed_prev: frozenset,
+        assumed_next: frozenset,
+        cell_next,
+    ) -> bool:
+        """Item 4: ``Assumed_i`` determined by ``Assumed_{i+1}`` and the
+        position-``i`` data."""
+        bucket = set(self._orbit(frozen_prev, first_prev))
+        for later in assumed_next:
+            if self.automaton.in_left(later, cell_next):
+                entered = self.automaton.left_moves[(later, cell_next)]
+                bucket.update(self._orbit(frozen_prev, entered))
+        return frozenset(bucket) == assumed_prev
+
+    def _output_of(self, assumed: frozenset, symbol) -> Symbol | None:
+        """The unique non-⊥ output over the assumed states, if exactly one."""
+        values = {
+            self.gsqa.output[(state, symbol)]
+            for state in assumed
+            if (state, symbol) in self.gsqa.output
+        }
+        if len(values) == 1:
+            return next(iter(values))
+        return None
+
+    # -- the NFA interface ------------------------------------------------
+
+    def initial_states(self) -> frozenset[tuple]:
+        """States before reading position 1 (at the ``⊳`` boundary)."""
+        base = self._base_behavior()
+        first = self.automaton.initial
+        return frozenset(
+            (base, first, assumed, LEFT_MARKER)
+            for assumed in self._assumed_candidates(base, first)
+        )
+
+    def step(
+        self, state: tuple, input_symbol: Symbol, output_symbol: Symbol
+    ) -> frozenset[tuple]:
+        """All successor states after one (input, claimed output) letter."""
+        cache_key = (state, input_symbol, output_symbol)
+        cached = self._step_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        frozen, first, assumed, cell = state
+        extended = self._extend_behavior(frozen, cell, input_symbol)
+        if first is None:
+            self._step_cache[cache_key] = frozenset()
+            return frozenset()
+        mover = self._right_state(frozen, first, cell)
+        if mover is None:
+            # The head never reaches this position.
+            self._step_cache[cache_key] = frozenset()
+            return frozenset()
+        first_next = self.automaton.right_moves[(mover, cell)]
+        successors = []
+        for assumed_next in self._assumed_candidates(extended, first_next):
+            if not self._consistent(
+                frozen, first, assumed, assumed_next, input_symbol
+            ):
+                continue
+            if self._output_of(assumed_next, input_symbol) != output_symbol:
+                continue
+            successors.append((extended, first_next, assumed_next, input_symbol))
+        result = frozenset(successors)
+        self._step_cache[cache_key] = result
+        return result
+
+    def accepting(self, state: tuple) -> bool:
+        """End-of-word check at the ``⊲`` boundary."""
+        cached = self._accept_cache.get(state)
+        if cached is not None:
+            return cached
+        frozen, first, assumed, cell = state
+        extended = self._extend_behavior(frozen, cell, RIGHT_MARKER)
+        mover = self._right_state(frozen, first, cell)
+        if mover is None:
+            # The run never reaches ⊲; the final Assumed receives no
+            # entries from the right.
+            assumed_end: frozenset = frozenset()
+        else:
+            first_end = self.automaton.right_moves[(mover, cell)]
+            assumed_end = frozenset(self._orbit(extended, first_end))
+        result = self._consistent(frozen, first, assumed, assumed_end, RIGHT_MARKER)
+        self._accept_cache[state] = result
+        return result
+
+    # -- convenience -------------------------------------------------------
+
+    def accepts_stream(self, pairs) -> bool:
+        """Does the annotated stream belong to the transduction graph?"""
+        current = self.initial_states()
+        for input_symbol, output_symbol in pairs:
+            nxt: set[tuple] = set()
+            for state in current:
+                nxt |= self.step(state, input_symbol, output_symbol)
+            current = frozenset(nxt)
+            if not current:
+                return False
+        return any(self.accepting(state) for state in current)

@@ -1,0 +1,655 @@
+"""The Theorem 6.3 engine: achievable behavior functions of two-way
+unranked tree automata, and the EXPTIME decision procedures built on them.
+
+The paper translates an S2DTA^u into a bottom-up NBTA^u whose states are
+tuples ``(f, d, s, σ)`` — a behavior function plus the children-state
+bookkeeping — and decides emptiness by the Lemma 5.2 fixpoint.  We
+implement the same computation without materializing the exponential
+automaton: the *closure of achievable elements*.
+
+An element describes an entire subtree by
+
+* its root label ``σ``,
+* its **exit-behavior function** ``f̂ : Q → outcome`` where an outcome is
+  ``("ret", q')`` (the head comes back up to the subtree root in ``q'``),
+  ``("halt",)`` (no transition fires at the root — the run halts *at*
+  this node), or ``("dies",)`` (a transition fires but the run halts
+  strictly inside — the cut never returns), and
+* (for query problems) a **selection capability**: the set of entry
+  states that cause a visit of the *marked node* in a selecting state.
+
+Leaves give the base elements; an inner element is induced by a *word* of
+children elements.  Scanning such words one-way requires resolving, per
+entry state ``q``: the slender down language (a DFA over possible child
+states), the settle states via the children's ``f̂``s, the up/stay
+classifier, and — for a stay — the GSQA's output, checked by the
+:class:`~repro.decision.annotation.AnnotationNFA` (the paper's
+Proposition 6.2 step).  The scan state is exponential in ``|Q|``, as
+Theorem 6.3's lower bound says it must be; it is explored lazily with a
+configurable budget.
+
+Several automata can be closed *jointly* (their scans share the children
+words); this gives containment and equivalence by the paper's Theorem 6.4
+reduction: a containment counterexample is a marked element on which the
+first automaton accepts-and-selects and the second does not.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+
+from ..strings.dfa import DFA
+from ..strings.regex import Star, concat_all, literal, to_nfa, union_all
+from ..strings.twoway import NonTerminatingRunError
+from ..trees.tree import Path, Tree
+from ..unranked.twoway import (
+    STAY,
+    StayLimitError,
+    TwoWayUnrankedAutomaton,
+    UnrankedQueryAutomaton,
+    UP,
+)
+from .annotation import AnnotationNFA
+
+State = Hashable
+Label = Hashable
+
+RET = "ret"
+HALT = "halt"
+DIES = "dies"
+
+#: An exit-behavior function, frozen: tuple of (state, outcome) sorted.
+FHat = tuple
+
+
+class ClosureBudgetExceeded(RuntimeError):
+    """The lazily-explored (exponential) scan space exceeded the budget."""
+
+
+def _freeze_fhat(mapping: dict[State, tuple]) -> FHat:
+    return tuple(sorted(mapping.items(), key=repr))
+
+
+def _fhat_get(fhat: FHat, state: State) -> tuple:
+    for key, value in fhat:
+        if key == state:
+            return value
+    return (HALT,)
+
+
+def orbit(fhat: FHat, state: State) -> list[State]:
+    """States assumed at a node entered in ``state`` (the ``ret`` chain)."""
+    table = dict(fhat)
+    seen = [state]
+    current = state
+    while True:
+        outcome = table.get(current, (HALT,))
+        if outcome[0] != RET or outcome[1] == current:
+            return seen
+        current = outcome[1]
+        if current in seen:
+            raise NonTerminatingRunError(f"behavior cycles from {state!r}")
+        seen.append(current)
+
+
+def settle(fhat: FHat, state: State) -> State | None:
+    """``up(f̂, q)``: the ret-fixed-point reached from ``q``, else ``None``."""
+    table = dict(fhat)
+    current = state
+    seen = {current}
+    while True:
+        outcome = table.get(current, (HALT,))
+        if outcome[0] != RET:
+            return None
+        if outcome[1] == current:
+            return current
+        current = outcome[1]
+        if current in seen:
+            raise NonTerminatingRunError("behavior cycles while settling")
+        seen.add(current)
+
+
+@dataclass
+class _AutomatonContext:
+    """Precomputed per-automaton data for the scans."""
+
+    automaton: TwoWayUnrankedAutomaton
+    selecting: frozenset
+    regex_dfas: dict[tuple[State, Label], DFA]
+    annotation: AnnotationNFA | None
+
+    @staticmethod
+    def build(
+        automaton: TwoWayUnrankedAutomaton, selecting: frozenset
+    ) -> "_AutomatonContext":
+        """Precompute the down-language DFAs and the annotation NFA."""
+        regex_dfas: dict[tuple[State, Label], DFA] = {}
+        for (state, label), simple in automaton.down.items():
+            expr = union_all(
+                *(
+                    concat_all(
+                        literal(branch.prefix),
+                        Star(literal(branch.pump)),
+                        literal(branch.suffix),
+                    )
+                    for branch in simple.branches
+                )
+            )
+            nfa = to_nfa(expr, frozenset(automaton.states))
+            regex_dfas[(state, label)] = nfa.determinized().minimized()
+        annotation = (
+            AnnotationNFA(automaton.stay_gsqa)
+            if automaton.stay_gsqa is not None
+            else None
+        )
+        return _AutomatonContext(automaton, selecting, regex_dfas, annotation)
+
+    # -- leaf elements ---------------------------------------------------
+
+    def leaf_fhat(self, label: Label) -> FHat:
+        """The exit-behavior function of a single leaf with this label."""
+        table: dict[State, tuple] = {}
+        for state in self.automaton.states:
+            pair = (state, label)
+            if pair in self.automaton.up_pairs:
+                table[state] = (RET, state)
+            elif pair in self.automaton.delta_leaf:
+                table[state] = (RET, self.automaton.delta_leaf[pair])
+            else:
+                table[state] = (HALT,)
+        return _freeze_fhat(table)
+
+    def self_selcap(self, fhat: FHat, label: Label) -> frozenset[State]:
+        """Entries causing a selecting visit *at this node* (self-marked)."""
+        capable = set()
+        for state in self.automaton.states:
+            try:
+                states_here = orbit(fhat, state)
+            except NonTerminatingRunError:
+                continue
+            if any((s, label) in self.selecting for s in states_here):
+                capable.add(state)
+        return frozenset(capable)
+
+    # -- root trajectory ---------------------------------------------------
+
+    def trajectory(self, fhat: FHat, label: Label) -> tuple[set[State], State | None]:
+        """Assumed root states and halting state (None = run dies inside)."""
+        automaton = self.automaton
+        table = dict(fhat)
+        assumed: set[State] = set()
+        state = automaton.initial
+        while True:
+            if state in assumed:
+                raise NonTerminatingRunError("root trajectory cycles")
+            assumed.add(state)
+            pair = (state, label)
+            if pair in automaton.up_pairs:
+                target = automaton.delta_root.get(pair)
+                if target is None:
+                    return assumed, state
+                state = target
+                continue
+            outcome = table.get(state, (HALT,))
+            if outcome[0] == RET:
+                if outcome[1] == state:
+                    return assumed, state  # up-ready but U handled above
+                state = outcome[1]
+                continue
+            if outcome[0] == HALT:
+                return assumed, state
+            return assumed, None  # dies inside
+
+    def accepts_element(self, fhat: FHat, label: Label) -> bool:
+        """Is the run on a tree with this root element accepting?"""
+        try:
+            _assumed, halting = self.trajectory(fhat, label)
+        except NonTerminatingRunError:
+            return False
+        return halting is not None and halting in self.automaton.accepting
+
+    def selects_marked(
+        self, fhat: FHat, label: Label, selcap: frozenset
+    ) -> bool:
+        """Accepting run that visits the marked node selectingly?"""
+        try:
+            assumed, halting = self.trajectory(fhat, label)
+        except NonTerminatingRunError:
+            return False
+        if halting is None or halting not in self.automaton.accepting:
+            return False
+        return bool(assumed & selcap)
+
+
+#: A letter of the children word: per-automaton f̂s, the child label, and
+#: per-automaton selection capabilities (None for unmarked letters).
+Letter = tuple
+
+
+class JointClosure:
+    """Achievable elements for several automata over one tree alphabet.
+
+    ``unmarked`` maps ``(fhats, σ)`` to a witness tree; ``marked`` maps
+    ``(fhats, σ, selcaps)`` to ``(witness tree, marked path)``.
+    """
+
+    def __init__(
+        self,
+        query_automata: Sequence[UnrankedQueryAutomaton],
+        budget: int = 5_000_000,
+    ) -> None:
+        self.contexts = [
+            _AutomatonContext.build(qa.automaton, qa.selecting)
+            for qa in query_automata
+        ]
+        alphabets = {ctx.automaton.alphabet for ctx in self.contexts}
+        if len(alphabets) != 1:
+            raise ValueError("joint closure requires a common alphabet")
+        self.alphabet = sorted(next(iter(alphabets)), key=repr)
+        self.budget = budget
+        self._work = 0
+        self._component_cache: dict[tuple, tuple] = {}
+        self.unmarked: dict[tuple, Tree] = {}
+        self.marked: dict[tuple, tuple[Tree, Path]] = {}
+        self._run()
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def _spend(self, amount: int = 1) -> None:
+        self._work += amount
+        if self._work > self.budget:
+            raise ClosureBudgetExceeded(
+                f"decision-procedure scan exceeded budget {self.budget}"
+            )
+
+    # -- the fixpoint ------------------------------------------------------
+
+    def _run(self) -> None:
+        for sigma in self.alphabet:
+            fhats = tuple(ctx.leaf_fhat(sigma) for ctx in self.contexts)
+            self.unmarked.setdefault((fhats, sigma), Tree(sigma))
+            selcaps = tuple(
+                ctx.self_selcap(fhat, sigma)
+                for ctx, fhat in zip(self.contexts, fhats)
+            )
+            self.marked.setdefault((fhats, sigma, selcaps), (Tree(sigma), ()))
+
+        changed = True
+        while changed:
+            changed = False
+            for sigma in self.alphabet:
+                changed |= self._explore_label(sigma)
+
+    def _letters(self) -> list[Letter]:
+        letters: list[Letter] = []
+        for (fhats, sigma), witness in self.unmarked.items():
+            letters.append((fhats, sigma, None, witness, None))
+        for (fhats, sigma, selcaps), (witness, path) in self.marked.items():
+            letters.append((fhats, sigma, selcaps, witness, path))
+        return letters
+
+    def _explore_label(self, sigma: Label) -> bool:
+        """BFS over children words for parent label ``sigma``."""
+        letters = self._letters()
+        initial = self._initial_scan_state(sigma)
+        # Scan states: (core, marked_index_or_None); witness word tracked.
+        seen: dict[tuple, tuple] = {}
+        frontier: list[tuple] = []
+        changed = False
+
+        def visit(core, marked, word) -> None:
+            key = (core, marked is not None)
+            if key in seen:
+                return
+            seen[key] = (core, marked, word)
+            frontier.append((core, marked, word))
+
+        visit(initial, None, ())
+
+        while frontier:
+            core, marked, word = frontier.pop()
+            if word:
+                changed |= self._emit(sigma, core, marked, word)
+            for letter in letters:
+                fhats, child_sigma, selcaps, _witness, _path = letter
+                if selcaps is not None and marked is not None:
+                    continue  # at most one marked child
+                next_core = self._step_core(
+                    sigma, core, fhats, child_sigma, selcaps
+                )
+                if next_core is None:
+                    continue
+                next_marked = marked if selcaps is None else len(word)
+                visit(next_core, next_marked, word + (letter,))
+        return changed
+
+    # -- scan states --------------------------------------------------------
+
+    def _initial_scan_state(self, sigma: Label) -> tuple:
+        parts = []
+        for ctx in self.contexts:
+            automaton = ctx.automaton
+            per_q = []
+            for q in sorted(automaton.states, key=repr):
+                if (q, sigma) not in automaton.down_pairs:
+                    per_q.append(None)
+                    continue
+                regex = ctx.regex_dfas.get((q, sigma))
+                if regex is None:
+                    per_q.append(None)
+                    continue
+                classifier_init = ctx.automaton.up_classifier.dfa.initial
+                r0 = regex.initial
+                p1 = frozenset({(r0, classifier_init, False)})
+                if ctx.annotation is not None:
+                    p2 = frozenset(
+                        (r0, classifier_init, ann, classifier_init, False)
+                        for ann in ctx.annotation.initial_states()
+                    )
+                else:
+                    p2 = frozenset()
+                per_q.append((frozenset({r0}), p1, p2))
+            parts.append(tuple(per_q))
+        return tuple(parts)
+
+    def _step_core(
+        self,
+        sigma: Label,
+        core: tuple,
+        fhats: tuple,
+        child_sigma: Label,
+        selcaps: tuple | None,
+    ) -> tuple | None:
+        next_parts = []
+        for k, ctx in enumerate(self.contexts):
+            automaton = ctx.automaton
+            fhat = fhats[k]
+            selcap = selcaps[k] if selcaps is not None else None
+            per_q = []
+            for index, q in enumerate(sorted(automaton.states, key=repr)):
+                component = core[k][index]
+                if component is None:
+                    per_q.append(None)
+                    continue
+                regex = ctx.regex_dfas[(q, sigma)]
+                per_q.append(
+                    self._step_component(
+                        ctx, regex, component, fhat, child_sigma, selcap
+                    )
+                )
+            next_parts.append(tuple(per_q))
+        return tuple(next_parts)
+
+    def _step_component(
+        self,
+        ctx: _AutomatonContext,
+        regex: DFA,
+        component: tuple,
+        fhat: FHat,
+        child_sigma: Label,
+        selcap: frozenset | None,
+    ) -> tuple:
+        cache_key = (id(ctx), id(regex), component, fhat, child_sigma, selcap)
+        cached = self._component_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        r_set, p1, p2 = component
+        classifier = ctx.automaton.up_classifier.dfa
+        self._spend(1 + len(p1) + len(p2))
+
+        new_r = set()
+        for r in r_set:
+            for d in ctx.automaton.states:
+                target = regex.step(r, d)
+                if target is not None:
+                    new_r.add(target)
+
+        new_p1 = set()
+        for (r, c, bit) in p1:
+            for d in ctx.automaton.states:
+                r_next = regex.step(r, d)
+                if r_next is None:
+                    continue
+                u = settle(fhat, d)
+                if u is None:
+                    continue
+                c_next = classifier.step(c, (u, child_sigma))
+                if c_next is None:
+                    continue
+                new_bit = bit or (selcap is not None and d in selcap)
+                new_p1.add((r_next, c_next, new_bit))
+
+        new_p2 = set()
+        if ctx.annotation is not None:
+            for (r, c, ann, c2, bit) in p2:
+                for d in ctx.automaton.states:
+                    r_next = regex.step(r, d)
+                    if r_next is None:
+                        continue
+                    u = settle(fhat, d)
+                    if u is None:
+                        continue
+                    c_next = classifier.step(c, (u, child_sigma))
+                    if c_next is None:
+                        continue
+                    base_bit = bit or (selcap is not None and d in selcap)
+                    for s in ctx.automaton.states:
+                        ann_targets = ctx.annotation.step(
+                            ann, (u, child_sigma), s
+                        )
+                        if not ann_targets:
+                            continue
+                        u2 = settle(fhat, s)
+                        if u2 is None:
+                            continue
+                        c2_next = classifier.step(c2, (u2, child_sigma))
+                        if c2_next is None:
+                            continue
+                        stay_bit = base_bit or (
+                            selcap is not None and s in selcap
+                        )
+                        for ann_next in ann_targets:
+                            new_p2.add(
+                                (r_next, c_next, ann_next, c2_next, stay_bit)
+                            )
+
+        result = (frozenset(new_r), frozenset(new_p1), frozenset(new_p2))
+        self._component_cache[cache_key] = result
+        return result
+
+    # -- end-of-word resolution ---------------------------------------------
+
+    def _resolve_component(
+        self, ctx: _AutomatonContext, regex: DFA, component: tuple
+    ) -> tuple[tuple, bool]:
+        """(outcome, child-selection-bit) for one entry state."""
+        r_set, p1, p2 = component
+        if not any(r in regex.accepting for r in r_set):
+            return (HALT,), False
+        survivors = [(r, c, b) for (r, c, b) in p1 if r in regex.accepting]
+        if not survivors:
+            return (DIES,), False
+        outcomes = {
+            ctx.automaton.up_classifier.outcome.get(c) for (_r, c, _b) in survivors
+        }
+        outcomes.discard(None)
+        if not outcomes:
+            return (DIES,), False
+        if len(outcomes) > 1:  # pragma: no cover - determinism guarantee
+            raise AssertionError(f"ambiguous classifier outcomes {outcomes!r}")
+        outcome = next(iter(outcomes))
+        bit = any(b for (_r, _c, b) in survivors)
+        if outcome[0] == UP:
+            return (RET, outcome[1]), bit
+        # Stay: resolve through the annotation-checked stay paths.
+        assert outcome[0] == STAY
+        stay_survivors = [
+            (r, c, ann, c2, b2)
+            for (r, c, ann, c2, b2) in p2
+            if r in regex.accepting and ctx.annotation.accepting(ann)
+        ]
+        if not stay_survivors:
+            return (DIES,), bit
+        outcomes2 = {
+            ctx.automaton.up_classifier.outcome.get(c2)
+            for (_r, _c, _a, c2, _b) in stay_survivors
+        }
+        outcomes2.discard(None)
+        if not outcomes2:
+            return (DIES,), bit
+        if len(outcomes2) > 1:  # pragma: no cover - transduction is a function
+            raise AssertionError(f"ambiguous stay outcomes {outcomes2!r}")
+        outcome2 = next(iter(outcomes2))
+        bit2 = bit or any(b for (*_rest, b) in stay_survivors)
+        if outcome2[0] == STAY:
+            limit = ctx.automaton.stay_limit
+            if limit is not None and limit <= 1:
+                raise StayLimitError("a second stay transition would fire")
+            raise NotImplementedError("closure supports at most one stay per node")
+        return (RET, outcome2[1]), bit2
+
+    def _emit(self, sigma: Label, core: tuple, marked, word: tuple) -> bool:
+        """Resolve the scanned word into a parent element; record it."""
+        fhats = []
+        childsels = []
+        for k, ctx in enumerate(self.contexts):
+            automaton = ctx.automaton
+            table: dict[State, tuple] = {}
+            childsel: dict[State, bool] = {}
+            for index, q in enumerate(sorted(automaton.states, key=repr)):
+                pair = (q, sigma)
+                if pair in automaton.up_pairs:
+                    table[q] = (RET, q)
+                    childsel[q] = False
+                    continue
+                component = core[k][index]
+                if component is None:
+                    table[q] = (HALT,)
+                    childsel[q] = False
+                    continue
+                regex = ctx.regex_dfas[(q, sigma)]
+                outcome, bit = self._resolve_component(ctx, regex, component)
+                table[q] = outcome
+                childsel[q] = bit
+            fhats.append(_freeze_fhat(table))
+            childsels.append(childsel)
+        fhats = tuple(fhats)
+
+        changed = False
+        children = [letter[3] for letter in word]
+        witness = Tree(sigma, children)
+
+        if marked is None:
+            if (fhats, sigma) not in self.unmarked:
+                self.unmarked[(fhats, sigma)] = witness
+                changed = True
+            # Self-marked element derived from the new unmarked one.
+            selcaps = tuple(
+                ctx.self_selcap(fhat, sigma)
+                for ctx, fhat in zip(self.contexts, fhats)
+            )
+            if (fhats, sigma, selcaps) not in self.marked:
+                self.marked[(fhats, sigma, selcaps)] = (witness, ())
+                changed = True
+        else:
+            # Marked strictly below: capability flows through the orbits.
+            selcaps = []
+            for k, ctx in enumerate(self.contexts):
+                capable = set()
+                for q in ctx.automaton.states:
+                    try:
+                        states_here = orbit(fhats[k], q)
+                    except NonTerminatingRunError:
+                        continue
+                    if any(childsels[k].get(s, False) for s in states_here):
+                        capable.add(q)
+                selcaps.append(frozenset(capable))
+            selcaps = tuple(selcaps)
+            marked_letter = word[marked]
+            child_path = (marked,) + marked_letter[4]
+            if (fhats, sigma, selcaps) not in self.marked:
+                self.marked[(fhats, sigma, selcaps)] = (witness, child_path)
+                changed = True
+        return changed
+
+
+# ----------------------------------------------------------------------
+# Public decision procedures
+# ----------------------------------------------------------------------
+
+
+def language_witness(
+    automaton: TwoWayUnrankedAutomaton, budget: int = 5_000_000
+) -> Tree | None:
+    """Some accepted tree, or ``None`` — 2DTA^u emptiness (Theorem 6.3)."""
+    qa = UnrankedQueryAutomaton(automaton, frozenset())
+    closure = JointClosure([qa], budget=budget)
+    ctx = closure.contexts[0]
+    for (fhats, sigma), witness in closure.unmarked.items():
+        if ctx.accepts_element(fhats[0], sigma):
+            return witness
+    return None
+
+
+def language_is_empty(
+    automaton: TwoWayUnrankedAutomaton, budget: int = 5_000_000
+) -> bool:
+    """Is the accepted tree language empty?"""
+    return language_witness(automaton, budget=budget) is None
+
+
+def query_witness(
+    qa: UnrankedQueryAutomaton, budget: int = 5_000_000
+) -> tuple[Tree, Path] | None:
+    """A tree and node the query selects — non-emptiness (Theorem 6.3)."""
+    closure = JointClosure([qa], budget=budget)
+    ctx = closure.contexts[0]
+    for (fhats, sigma, selcaps), (witness, path) in closure.marked.items():
+        if ctx.selects_marked(fhats[0], sigma, selcaps[0]):
+            return witness, path
+    return None
+
+
+def query_is_empty(qa: UnrankedQueryAutomaton, budget: int = 5_000_000) -> bool:
+    """Is ``A(t) = ∅`` for every tree ``t``?"""
+    return query_witness(qa, budget=budget) is None
+
+
+def containment_counterexample(
+    first: UnrankedQueryAutomaton,
+    second: UnrankedQueryAutomaton,
+    budget: int = 5_000_000,
+) -> tuple[Tree, Path] | None:
+    """A (tree, node) selected by ``first`` but not ``second`` (Thm 6.4).
+
+    ``None`` means the query of ``first`` is contained in ``second``'s.
+    """
+    closure = JointClosure([first, second], budget=budget)
+    ctx1, ctx2 = closure.contexts
+    for (fhats, sigma, selcaps), (witness, path) in closure.marked.items():
+        if ctx1.selects_marked(fhats[0], sigma, selcaps[0]) and not (
+            ctx2.selects_marked(fhats[1], sigma, selcaps[1])
+        ):
+            return witness, path
+    return None
+
+
+def is_contained(
+    first: UnrankedQueryAutomaton,
+    second: UnrankedQueryAutomaton,
+    budget: int = 5_000_000,
+) -> bool:
+    """``first(t) ⊆ second(t)`` for all trees?"""
+    return containment_counterexample(first, second, budget=budget) is None
+
+
+def are_equivalent(
+    first: UnrankedQueryAutomaton,
+    second: UnrankedQueryAutomaton,
+    budget: int = 5_000_000,
+) -> bool:
+    """Do the two query automata compute the same query? (Theorem 6.4)"""
+    return is_contained(first, second, budget=budget) and is_contained(
+        second, first, budget=budget
+    )

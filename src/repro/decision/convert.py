@@ -1,0 +1,100 @@
+"""Embedding ranked two-way automata into the unranked model.
+
+Ranked trees are unranked trees with bounded arity, and a 2DTA^r's finite
+transition tables are trivially regular, so every QA^r is a QA^u (the
+paper uses this in Section 6: EXPTIME-membership is proved once, for
+SQA^u, and inherited by the ranked automata).  This module performs the
+embedding concretely:
+
+* ``δ_↑`` (a finite map on (state, label)-tuples) becomes a trie-shaped
+  classifier DFA;
+* ``δ_↓(q, σ, n)`` (one string per arity) becomes the slender language
+  ``⋃_n {δ_↓(q, σ, n)}`` — at most one string per length by determinism;
+* ``δ_leaf``/``δ_root`` carry over unchanged.
+
+The embedding lets one decision engine (:mod:`repro.decision.closure`)
+serve QA^r, QA^u, and SQA^u alike.
+"""
+
+from __future__ import annotations
+
+from ..ranked.twoway import RankedQueryAutomaton, TwoWayRankedAutomaton
+from ..strings.dfa import DFA
+from ..strings.simple_regex import Branch, SimpleRegex, SlendernessError
+from ..unranked.twoway import (
+    TwoWayUnrankedAutomaton,
+    UnrankedQueryAutomaton,
+    UpClassifier,
+    UP,
+)
+
+
+def _trie_classifier(automaton: TwoWayRankedAutomaton) -> UpClassifier:
+    """A trie DFA over (state, label) pairs realizing the finite ``δ_↑``."""
+    pair_alphabet = frozenset(automaton.up_pairs)
+    root: tuple = ()
+    states = {root}
+    transitions: dict[tuple, tuple] = {}
+    outcome: dict[tuple, tuple] = {}
+    for word, target in automaton.delta_up.items():
+        prefix: tuple = ()
+        for pair in word:
+            nxt = prefix + (pair,)
+            states.add(nxt)
+            transitions[(prefix, pair)] = nxt
+            prefix = nxt
+        outcome[prefix] = (UP, target)
+    dfa = DFA.build(states, pair_alphabet, transitions, root, set())
+    return UpClassifier(dfa, outcome)
+
+
+def _down_languages(
+    automaton: TwoWayRankedAutomaton,
+) -> dict[tuple, SimpleRegex]:
+    """Group the per-arity down strings into slender languages."""
+    grouped: dict[tuple, list[tuple]] = {}
+    for (state, label, _arity), targets in automaton.delta_down.items():
+        grouped.setdefault((state, label), []).append(tuple(targets))
+    languages: dict[tuple, SimpleRegex] = {}
+    for key, words in grouped.items():
+        try:
+            languages[key] = SimpleRegex(
+                [Branch(word, (), ()) for word in words]
+            )
+        except SlendernessError as error:  # pragma: no cover - defensive
+            raise AssertionError(
+                "deterministic δ_↓ cannot have two strings of one length"
+            ) from error
+    return languages
+
+
+def ranked_to_unranked(
+    automaton: TwoWayRankedAutomaton,
+) -> TwoWayUnrankedAutomaton:
+    """View a 2DTA^r as a 2DTA^u accepting the same trees.
+
+    The result behaves identically on every tree of rank ≤ ``max_rank``
+    (and sticks on wider trees, which the ranked automaton rejects by
+    definition).
+    """
+    return TwoWayUnrankedAutomaton(
+        states=automaton.states,
+        alphabet=automaton.alphabet,
+        initial=automaton.initial,
+        accepting=automaton.accepting,
+        up_pairs=automaton.up_pairs,
+        down_pairs=automaton.down_pairs,
+        delta_leaf=dict(automaton.delta_leaf),
+        delta_root=dict(automaton.delta_root),
+        up_classifier=_trie_classifier(automaton),
+        down=_down_languages(automaton),
+        stay_gsqa=None,
+        stay_limit=0,
+    )
+
+
+def ranked_query_to_unranked(qa: RankedQueryAutomaton) -> UnrankedQueryAutomaton:
+    """View a QA^r as a QA^u computing the same query."""
+    return UnrankedQueryAutomaton(
+        ranked_to_unranked(qa.automaton), qa.selecting
+    )

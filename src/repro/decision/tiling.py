@@ -1,0 +1,515 @@
+"""TWO PERSON CORRIDOR TILING and the Proposition 6.1 reduction.
+
+Non-emptiness of 2DTA^r is EXPTIME-hard, by reduction from the corridor
+tiling game: given tiles ``T``, horizontal/vertical constraints ``H``/``V``
+and bottom/top rows ``b̄``/``t̄``, player 1 wins iff some tree over
+``{0,1,2} × {1..n} × T`` *represents a winning strategy* — and a tree
+automaton can check the strategy conditions, so player 1 wins iff the
+automaton's language is non-empty.
+
+This module makes the whole chain executable:
+
+* :class:`TilingInstance` with a direct game solver
+  (:meth:`~TilingInstance.player_one_wins`, an attractor fixpoint on the
+  finite game graph) and winning-strategy extraction;
+* :func:`is_strategy_tree` — the paper's conditions (1)–(6), checked
+  directly (the specification of the reduction);
+* :func:`strategy_tree` — builds the strategy tree of a winning player 1
+  (a witness for non-emptiness);
+* :func:`tiling_acceptor` — a genuine
+  :class:`~repro.ranked.twoway.TwoWayRankedAutomaton` accepting exactly
+  the strategy trees.
+
+**Deviation note.**  The paper's acceptor keeps only O(N) states by
+*re-reading* the ancestor ``n`` levels up (level-by-level sweeps with
+``n`` up transitions each); our executable acceptor instead carries the
+last ``n`` tiles of the branch in its state (a sliding window), which is
+exponential in ``n`` but makes the automaton a straightforward single
+down-up traversal.  The reduction itself — instance ↦ automaton with
+*(non-empty ⟺ player 1 wins)* — is reproduced exactly and tested against
+the direct game solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..ranked.twoway import TwoWayRankedAutomaton
+from ..trees.tree import Tree
+
+Tile = str
+
+#: Tree labels are rendered "player:column:tile" (components 1-based).
+def _label(player: int, column: int, tile: Tile) -> str:
+    return f"{player}:{column}:{tile}"
+
+
+def _parse_label(label: str) -> tuple[int, int, Tile]:
+    player, column, tile = label.split(":")
+    return int(player), int(column), tile
+
+
+@dataclass(frozen=True)
+class TilingInstance:
+    """A TWO PERSON CORRIDOR TILING instance."""
+
+    tiles: tuple[Tile, ...]
+    horizontal: frozenset[tuple[Tile, Tile]]
+    vertical: frozenset[tuple[Tile, Tile]]
+    bottom: tuple[Tile, ...]
+    top: tuple[Tile, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.bottom) != len(self.top):
+            raise ValueError("bottom and top rows must have equal width")
+        if not self.bottom:
+            raise ValueError("the corridor must have positive width")
+
+    @property
+    def width(self) -> int:
+        """The corridor width ``n``."""
+        return len(self.bottom)
+
+    # -- the game ----------------------------------------------------------
+
+    def _ok_horizontal(self, row: tuple[Tile, ...], tile: Tile) -> bool:
+        return not row or (row[-1], tile) in self.horizontal
+
+    def _ok_vertical(self, below: tuple[Tile, ...], position: int, tile: Tile) -> bool:
+        return (below[position], tile) in self.vertical
+
+    def _legal_moves(self, below: tuple[Tile, ...], partial: tuple[Tile, ...]):
+        for tile in self.tiles:
+            if self._ok_horizontal(partial, tile) and self._ok_vertical(
+                below, len(partial), tile
+            ):
+                yield tile
+
+    def _row_complete_wins(self, row: tuple[Tile, ...]) -> bool:
+        """Placing ``top`` above ``row`` finishes the corridor?"""
+        return all((row[i], self.top[i]) in self.vertical for i in range(self.width))
+
+    def player_one_wins(self) -> bool:
+        """Attractor fixpoint on the (finite) game graph.
+
+        Positions are ``(previous full row, partial current row)``; the
+        player to move is determined by the total number of placed tiles
+        (player 1 places the odd-numbered tiles).  Player 1 wins a
+        position iff he can *force* completion: a row from which ``top``
+        fits, or a false move by player 2.  A least fixpoint (win within
+        ``k`` steps) captures exactly forced wins, so cycles count for
+        player 2.
+        """
+        if self._row_complete_wins(self.bottom):
+            return True
+
+        # Enumerate positions lazily through the fixpoint.
+        @lru_cache(maxsize=None)
+        def moves(below: tuple, partial: tuple) -> tuple:
+            return tuple(self._legal_moves(below, partial))
+
+        winning: set[tuple] = set()
+        changed = True
+        # Bound iterations by the number of positions (|T|^(2n) · n).
+        while changed:
+            changed = False
+            for below, partial in list(_positions(self)):
+                position = (below, partial)
+                if position in winning:
+                    continue
+                placed = len(partial)
+                player_one_to_move = placed % 2 == 0
+                options = moves(below, partial)
+                results = []
+                for tile in options:
+                    nxt_partial = partial + (tile,)
+                    if len(nxt_partial) == self.width:
+                        if self._row_complete_wins(nxt_partial):
+                            results.append(True)
+                        else:
+                            results.append((nxt_partial, ()) in winning)
+                    else:
+                        results.append((below, nxt_partial) in winning)
+                if player_one_to_move:
+                    win = any(results)
+                else:
+                    # Player 2 loses immediately on a false move, so "no
+                    # legal move" is a player-1 win; otherwise player 1
+                    # must win all continuations.
+                    win = all(results) if options else True
+                if win:
+                    winning.add(position)
+                    changed = True
+        return (self.bottom, ()) in winning
+
+    def winning_strategy(self):
+        """The strategy map for player 1, or ``None`` when he loses.
+
+        Maps positions-with-player-1-to-move to the tile he places.
+        """
+        if not self.player_one_wins():
+            return None
+        # Rank positions by "wins within k plies" to pick progress moves.
+        rank: dict[tuple, int] = {}
+        changed = True
+        while changed:
+            changed = False
+            for below, partial in _positions(self):
+                position = (below, partial)
+                placed = len(partial)
+                player_one_to_move = placed % 2 == 0
+                options = list(self._legal_moves(below, partial))
+
+                def value(tile: Tile) -> int | None:
+                    nxt = partial + (tile,)
+                    if len(nxt) == self.width:
+                        if self._row_complete_wins(nxt):
+                            return 0
+                        nxt_position = (nxt, ())
+                    else:
+                        nxt_position = (below, nxt)
+                    return rank.get(nxt_position)
+
+                if player_one_to_move:
+                    values = [v for v in (value(t) for t in options) if v is not None]
+                    new = min(values) + 1 if values else None
+                else:
+                    if not options:
+                        new = 0
+                    else:
+                        values = [value(t) for t in options]
+                        new = (
+                            max(values) + 1
+                            if all(v is not None for v in values)
+                            else None
+                        )
+                if new is not None and rank.get(position, new + 1) > new:
+                    rank[position] = new
+                    changed = True
+
+        def choose(below: tuple, partial: tuple) -> Tile | None:
+            best_tile, best_rank = None, None
+            for tile in self._legal_moves(below, partial):
+                nxt = partial + (tile,)
+                if len(nxt) == self.width:
+                    r = 0 if self._row_complete_wins(nxt) else rank.get((nxt, ()))
+                else:
+                    r = rank.get((below, nxt))
+                if r is not None and (best_rank is None or r < best_rank):
+                    best_tile, best_rank = tile, r
+            return best_tile
+
+        return choose
+
+
+def _positions(instance: TilingInstance):
+    """All game positions (previous row × partial row prefixes)."""
+    from itertools import product
+
+    rows = list(product(instance.tiles, repeat=instance.width))
+    rows.append(instance.bottom)
+    for below in rows:
+        for length in range(instance.width):
+            for partial in product(instance.tiles, repeat=length):
+                yield (tuple(below), tuple(partial))
+
+
+# ----------------------------------------------------------------------
+# Strategy trees (the reduction's witness objects)
+# ----------------------------------------------------------------------
+
+
+def strategy_tree(instance: TilingInstance, max_nodes: int = 200_000) -> Tree | None:
+    """The winning-strategy tree of Proposition 6.1, or ``None``.
+
+    The first ``n`` nodes form a chain labeled with the bottom row; below
+    it, player-1 nodes are only children (his strategy choice) and
+    player-2 nodes enumerate all tiles.  A branch ends when the last
+    placed row supports ``top`` or player 2 has just made a false move.
+    """
+    choose = instance.winning_strategy()
+    if choose is None:
+        return None
+    n = instance.width
+    count = [0]
+
+    def build(below: tuple, partial: tuple, false_move: bool) -> list[Tree]:
+        """Children below a node at position (below, partial)."""
+        count[0] += 1
+        if count[0] > max_nodes:
+            raise MemoryError("strategy tree exceeds the node budget")
+        if false_move:
+            return []
+        if not partial and instance._row_complete_wins(below):
+            return []
+        placed = len(partial)
+        column = placed + 1
+        player = 1 if placed % 2 == 0 else 2
+
+        def advance(tile: Tile) -> tuple[tuple, tuple]:
+            nxt = partial + (tile,)
+            if len(nxt) == n:
+                return nxt, ()
+            return below, nxt
+
+        if player == 1:
+            tile = choose(below, partial)
+            assert tile is not None, "winning strategy must offer a move"
+            nxt_below, nxt_partial = advance(tile)
+            return [
+                Tree(
+                    _label(1, column, tile),
+                    build(nxt_below, nxt_partial, False),
+                )
+            ]
+        children = []
+        for tile in instance.tiles:
+            legal = instance._ok_horizontal(partial, tile) and instance._ok_vertical(
+                below, placed, tile
+            )
+            nxt_below, nxt_partial = advance(tile)
+            children.append(
+                Tree(
+                    _label(2, column, tile),
+                    build(nxt_below, nxt_partial, not legal),
+                )
+            )
+        return children
+
+    # The bottom chain.
+    chain_children = build(instance.bottom, (), False)
+    tree: Tree | None = None
+    for j in range(n, 0, -1):
+        node = Tree(
+            _label(0, j, instance.bottom[j - 1]),
+            [tree] if tree is not None else chain_children,
+        )
+        tree = node
+    assert tree is not None
+    return tree
+
+
+def is_strategy_tree(instance: TilingInstance, tree: Tree) -> bool:
+    """The paper's conditions (1)–(6), checked directly."""
+    n = instance.width
+
+    # (1) bottom chain.
+    node = tree
+    for j in range(1, n + 1):
+        if node.label != _label(0, j, instance.bottom[j - 1]):
+            return False
+        if j < n:
+            if len(node.children) != 1:
+                return False
+            node = node.children[0]
+
+    def check(node: Tree, window: tuple, placed: int, false_seen: bool) -> bool:
+        """Validate the subtree of a game node.
+
+        ``window``: the last ``n`` tiles on the branch; ``placed``: tiles
+        placed in the current row so far (the node itself included).
+        """
+        player, column, tile = _parse_label(node.label)
+        expected_player = 1 if (placed - 1) % 2 == 0 else 2
+        expected_column = (placed - 1) % n + 1
+        if player != expected_player or column != expected_column:
+            return False
+        legal = True
+        if placed % n != 1 and (window[-1], tile) not in instance.horizontal:
+            legal = False
+        if (window[-n], tile) not in instance.vertical:
+            legal = False
+        if not legal and player == 1:
+            return False  # player 1 may not cheat in his own strategy
+        now_false = false_seen or not legal
+        new_window = (window + (tile,))[-n - 1 :]
+
+        if not node.children:
+            if now_false:
+                return True
+            # The branch must complete: full row supporting the top.
+            if placed % n != 0:
+                return False
+            row = new_window[-n:]
+            return all(
+                (row[i], instance.top[i]) in instance.vertical for i in range(n)
+            )
+
+        children = node.children
+        child_players = {_parse_label(c.label)[0] for c in children}
+        if len(child_players) != 1:
+            return False
+        child_player = next(iter(child_players))
+        if child_player == 1 and len(children) != 1:
+            return False  # (4) player-1 nodes have no siblings
+        if child_player == 2:
+            tiles = [_parse_label(c.label)[2] for c in children]
+            if len(set(tiles)) != len(tiles):
+                return False  # (4) distinct siblings
+            if set(tiles) != set(instance.tiles):
+                return False  # (5) every alternative present
+        return all(
+            check(child, new_window, placed + 1, now_false) for child in children
+        )
+
+    if not node.children:
+        # No second row: bottom must already support the top.
+        return all(
+            (instance.bottom[i], instance.top[i]) in instance.vertical
+            for i in range(n)
+        )
+    if len(node.children) != 1:
+        return False  # (2) exactly one depth-n node, played by player 1
+    return check(node.children[0], instance.bottom, 1, False)
+
+
+# ----------------------------------------------------------------------
+# The 2DTA^r acceptor
+# ----------------------------------------------------------------------
+
+
+def tiling_acceptor(instance: TilingInstance) -> TwoWayRankedAutomaton:
+    """A 2DTA^r whose language is the strategy trees of the instance.
+
+    Non-empty ⟺ player 1 wins the corridor game (Proposition 6.1).  The
+    automaton makes one down sweep (expectation states carrying the
+    sliding tile window; see the module deviation note) and one up sweep
+    (checking sibling completeness and returning to the root).
+    """
+    n = instance.width
+    tiles = instance.tiles
+    alphabet = {
+        _label(player, column, tile)
+        for player in (0, 1, 2)
+        for column in range(1, n + 1)
+        for tile in tiles
+    }
+    max_rank = max(len(tiles), 1)
+
+    # Down states: ("chain", j) expects bottom-chain node j;
+    # ("expect", player, column, window, false_seen) expects a game node.
+    # Up states: "ok"; final: "accept".
+    states: set = {"ok", "accept", "start"}
+    down_pairs: set = set()
+    up_pairs: set = set()
+    delta_leaf: dict = {}
+    delta_root: dict = {}
+    delta_up: dict = {}
+    delta_down: dict = {}
+
+    def windows():
+        from itertools import product as iproduct
+
+        for size in range(n, n + 1):
+            yield from iproduct(tiles, repeat=size)
+
+    def expect(player: int, column: int, window: tuple, false_seen: bool):
+        return ("expect", player, column, window, false_seen)
+
+    def chain(j: int):
+        return ("chain", j)
+
+    for j in range(1, n + 1):
+        states.add(chain(j))
+
+    def row_done(window: tuple) -> bool:
+        return all(
+            (window[i], instance.top[i]) in instance.vertical for i in range(n)
+        )
+
+    # Chain handling.  chain(j) sits at the chain node j; its label must be
+    # the bottom tile.
+    for j in range(1, n + 1):
+        label = _label(0, j, instance.bottom[j - 1])
+        down_pairs.add((chain(j), label))
+        if j < n:
+            delta_down[(chain(j), label, 1)] = (chain(j + 1),)
+        else:
+            # After the chain: player 1 opens row 2, column 1.
+            delta_down[(chain(n), label, 1)] = (
+                expect(1, 1, tuple(instance.bottom), False),
+            )
+            # Or the tree ends here: b̄ and t̄ already tile the corridor.
+            if row_done(tuple(instance.bottom)):
+                delta_leaf[(chain(n), label)] = "ok"
+
+    def legal(window: tuple, placed_in_row: int, tile: Tile) -> bool:
+        ok = (window[-n], tile) in instance.vertical
+        if placed_in_row > 1 and (window[-1], tile) not in instance.horizontal:
+            ok = False
+        return ok
+
+    # Game-node expectations.  ``window`` is the last n tiles above.
+    from itertools import product as iproduct
+
+    for player in (1, 2):
+        for column in range(1, n + 1):
+            for window in windows():
+                for false_seen in (False, True):
+                    state = expect(player, column, window, false_seen)
+                    states.add(state)
+                    for tile in tiles:
+                        label = _label(player, column, tile)
+                        tile_legal = legal(window, column, tile)
+                        if not tile_legal and player == 1:
+                            continue  # player 1 may not cheat: stuck
+                        now_false = false_seen or not tile_legal
+                        new_window = (window + (tile,))[-n:]
+                        down_pairs.add((state, label))
+                        # Leaf endings.
+                        if now_false or (column == n and row_done(new_window)):
+                            delta_leaf[(state, label)] = "ok"
+                        # Internal continuation.
+                        next_player = 2 if player == 1 else 1
+                        next_column = column % n + 1
+                        child = expect(next_player, next_column, new_window, now_false)
+                        if next_player == 1:
+                            delta_down[(state, label, 1)] = (child,)
+                        else:
+                            for arity in (len(tiles),):
+                                delta_down[(state, label, arity)] = tuple(
+                                    child for _ in range(arity)
+                                )
+
+    # Up sweep: "ok" children collapse to "ok", checking (4)/(5).
+    for label in alphabet:
+        up_pairs.add(("ok", label))
+    for arity in range(1, max_rank + 1):
+        for labels in iproduct(sorted(alphabet), repeat=arity):
+            players = {_parse_label(l)[0] for l in labels}
+            if len(players) != 1:
+                continue
+            player = next(iter(players))
+            word = tuple(("ok", l) for l in labels)
+            if player in (0, 1):
+                if arity == 1:
+                    delta_up[word] = "ok"
+                continue
+            tile_list = [_parse_label(l)[2] for l in labels]
+            columns = {_parse_label(l)[1] for l in labels}
+            if (
+                len(columns) == 1
+                and len(set(tile_list)) == arity
+                and set(tile_list) == set(tiles)
+            ):
+                delta_up[word] = "ok"
+
+    # Root: accept once the sweep returns.
+    root_label = _label(0, 1, instance.bottom[0])
+    delta_root[("ok", root_label)] = "accept"
+    up_pairs.add(("accept", root_label))
+
+    return TwoWayRankedAutomaton.build(
+        states,
+        alphabet,
+        max_rank,
+        chain(1),
+        {"accept"},
+        up_pairs,
+        down_pairs,
+        delta_leaf,
+        delta_root,
+        delta_up,
+        delta_down,
+    )

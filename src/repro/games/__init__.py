@@ -1,0 +1,17 @@
+"""Ehrenfeucht–Fraïssé MSO games (Section 2.1)."""
+
+from .ef import (
+    distinguishing_depth,
+    duplicator_wins,
+    mso_equivalent_strings,
+    mso_equivalent_trees,
+    mso_equivalent_trees_pointed,
+)
+
+__all__ = [
+    "distinguishing_depth",
+    "duplicator_wins",
+    "mso_equivalent_strings",
+    "mso_equivalent_trees",
+    "mso_equivalent_trees_pointed",
+]

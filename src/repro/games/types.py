@@ -1,0 +1,84 @@
+"""MSO equivalence types (``≡^MSO_k``) over small structures.
+
+The paper's proofs run on *types*: the finitely many classes of
+``≡^MSO_k``, composed via Propositions 2.4/2.7 and computed by automata
+(Lemma 3.8, Lemma 2.10).  Enumerating the classes exactly is infeasible
+in general, but over a bounded universe the Ehrenfeucht game of
+:mod:`repro.games.ef` decides the equivalence — enough to *exhibit* the
+type structure and to test the composition lemmas on concrete
+representatives, which is what this module provides.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..trees.tree import Tree
+from .ef import mso_equivalent_strings, mso_equivalent_trees
+
+
+def partition_strings(
+    words: Iterable[str | Sequence[str]], rounds: int
+) -> list[list]:
+    """Group the given words into ``≡^MSO_k`` classes (k = rounds).
+
+    Quadratic in the number of words; each comparison is a full game
+    search — bounded-universe type computation, the ``Φ_k`` of §2.1 made
+    concrete.
+    """
+    classes: list[list] = []
+    for word in words:
+        for bucket in classes:
+            if mso_equivalent_strings(word, bucket[0], rounds):
+                bucket.append(word)
+                break
+        else:
+            classes.append([word])
+    return classes
+
+
+def partition_trees(trees: Iterable[Tree], rounds: int) -> list[list[Tree]]:
+    """Group trees into ``≡^MSO_k`` classes."""
+    classes: list[list[Tree]] = []
+    for tree in trees:
+        for bucket in classes:
+            if mso_equivalent_trees(tree, bucket[0], rounds):
+                bucket.append(tree)
+                break
+        else:
+            classes.append([tree])
+    return classes
+
+
+def type_of(word, words: Iterable, rounds: int) -> int:
+    """The index of ``word``'s class within the partition of ``words``."""
+    for index, bucket in enumerate(partition_strings(list(words), rounds)):
+        if any(
+            mso_equivalent_strings(word, member, rounds) for member in bucket
+        ):
+            return index
+    raise ValueError("word not equivalent to any class representative")
+
+
+def composition_respects_types(
+    left_words: Sequence, right_words: Sequence, rounds: int
+) -> bool:
+    """Check Proposition 2.4 on a universe: ``w ≡ₖ w'`` and ``v ≡ₖ v'``
+    imply ``wv ≡ₖ w'v'``.
+
+    Returns True iff no counterexample exists among the given words —
+    the composition lemma as a decidable property of the finite sample.
+    """
+    for w in left_words:
+        for w2 in left_words:
+            if not mso_equivalent_strings(w, w2, rounds):
+                continue
+            for v in right_words:
+                for v2 in right_words:
+                    if not mso_equivalent_strings(v, v2, rounds):
+                        continue
+                    if not mso_equivalent_strings(
+                        list(w) + list(v), list(w2) + list(v2), rounds
+                    ):
+                        return False
+    return True

@@ -1,0 +1,52 @@
+"""MSO over strings and trees: syntax, semantics, and automaton compilers."""
+
+from .syntax import (
+    And,
+    Edge,
+    Equal,
+    Exists,
+    ExistsSet,
+    Forall,
+    ForallSet,
+    Formula,
+    Implies,
+    Label,
+    Less,
+    Member,
+    Not,
+    Or,
+    SetVar,
+    Var,
+    ancestor,
+    first_sibling,
+    fresh_set_var,
+    fresh_var,
+    last_sibling,
+    leaf,
+    next_sibling,
+    root,
+)
+from .semantics import (
+    Structure,
+    string_query,
+    string_satisfies,
+    tree_query,
+    tree_satisfies,
+)
+from .compile_strings import (
+    compile_query,
+    compile_sentence,
+    evaluate_marked_query,
+    mark_word,
+)
+from .compile_trees import compile_tree_query, compile_tree_sentence, mark
+
+__all__ = [
+    "And", "Edge", "Equal", "Exists", "ExistsSet", "Forall", "ForallSet",
+    "Formula", "Implies", "Label", "Less", "Member", "Not", "Or", "SetVar",
+    "Var", "ancestor", "first_sibling", "fresh_set_var", "fresh_var",
+    "last_sibling", "leaf", "next_sibling", "root", "Structure",
+    "string_query", "string_satisfies", "tree_query", "tree_satisfies",
+    "compile_query", "compile_sentence", "evaluate_marked_query",
+    "mark_word", "compile_tree_query", "compile_tree_sentence", "mark",
+]

@@ -1,0 +1,203 @@
+"""Naive model-checking semantics for MSO — the reference oracle.
+
+Evaluates formulas directly over :class:`~repro.trees.tree.Tree` structures
+or strings by recursion on syntax, enumerating all elements for first-order
+quantifiers and **all subsets** for set quantifiers.  Exponential in the
+structure size per set quantifier — intended for small instances only,
+where it serves as the ground truth against which every automaton
+construction in the library is tested (this is how the expressiveness
+theorems 3.9, 4.8 and 5.17 become executable claims).
+
+Strings are modeled per §2.2: domain ``{1..n}``, ``<`` the position order.
+Trees are modeled per §2.3: domain the node paths, ``E`` the child
+relation, ``<`` the sibling order (children of a common parent only).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from itertools import chain, combinations
+from typing import Hashable
+
+from ..trees.tree import Path, Tree
+from .syntax import (
+    And,
+    Descendant,
+    Edge,
+    Equal,
+    Exists,
+    ExistsSet,
+    Forall,
+    ForallSet,
+    Formula,
+    Implies,
+    Label,
+    Less,
+    Member,
+    Not,
+    Or,
+    Var,
+)
+
+Element = Hashable
+Assignment = dict
+
+
+class Structure:
+    """A finite logical structure with the string/tree tree vocabulary."""
+
+    def __init__(
+        self,
+        domain: Sequence[Element],
+        labels: dict[Element, str],
+        edges: frozenset[tuple[Element, Element]],
+        less: frozenset[tuple[Element, Element]],
+    ) -> None:
+        self.domain = list(domain)
+        self.labels = labels
+        self.edges = edges
+        self.less = less
+
+    @staticmethod
+    def from_string(word: Sequence[str]) -> "Structure":
+        """The §2.2 structure of a string: positions 1..n, ``<`` the order."""
+        domain = list(range(1, len(word) + 1))
+        labels = {i: word[i - 1] for i in domain}
+        less = frozenset(
+            (i, j) for i in domain for j in domain if i < j
+        )
+        return Structure(domain, labels, frozenset(), less)
+
+    @staticmethod
+    def from_tree(tree: Tree) -> "Structure":
+        """The §2.3 structure of a tree: ``E`` = child, ``<`` = sibling order."""
+        domain: list[Path] = list(tree.nodes())
+        labels = {path: tree.label_at(path) for path in domain}
+        edges: set[tuple[Path, Path]] = set()
+        less: set[tuple[Path, Path]] = set()
+        for path in domain:
+            arity = tree.arity_at(path)
+            children = [path + (i,) for i in range(arity)]
+            for child in children:
+                edges.add((path, child))
+            for i in range(arity):
+                for j in range(i + 1, arity):
+                    less.add((children[i], children[j]))
+        return Structure(domain, labels, frozenset(edges), frozenset(less))
+
+
+def _subsets(domain: Sequence[Element]):
+    return chain.from_iterable(
+        combinations(domain, size) for size in range(len(domain) + 1)
+    )
+
+
+def evaluate(
+    structure: Structure,
+    formula: Formula,
+    assignment: Assignment | None = None,
+) -> bool:
+    """Does the structure satisfy the formula under the assignment?
+
+    ``assignment`` maps :class:`Var` to domain elements and :class:`SetVar`
+    to collections of domain elements; it must cover all free variables.
+    """
+    env: Assignment = dict(assignment or {})
+    return _eval(structure, formula, env)
+
+
+def _eval(structure: Structure, formula: Formula, env: Assignment) -> bool:
+    if isinstance(formula, Label):
+        return structure.labels[_lookup(env, formula.var)] == formula.label
+    if isinstance(formula, Edge):
+        return (
+            _lookup(env, formula.parent),
+            _lookup(env, formula.child),
+        ) in structure.edges
+    if isinstance(formula, Descendant):
+        ancestor = _lookup(env, formula.ancestor)
+        descendant = _lookup(env, formula.descendant)
+        return (
+            isinstance(ancestor, tuple)
+            and isinstance(descendant, tuple)
+            and len(ancestor) < len(descendant)
+            and descendant[: len(ancestor)] == ancestor
+        )
+    if isinstance(formula, Less):
+        return (
+            _lookup(env, formula.left),
+            _lookup(env, formula.right),
+        ) in structure.less
+    if isinstance(formula, Equal):
+        return _lookup(env, formula.left) == _lookup(env, formula.right)
+    if isinstance(formula, Member):
+        return _lookup(env, formula.var) in env[formula.set_var]
+    if isinstance(formula, Not):
+        return not _eval(structure, formula.inner, env)
+    if isinstance(formula, And):
+        return _eval(structure, formula.left, env) and _eval(
+            structure, formula.right, env
+        )
+    if isinstance(formula, Or):
+        return _eval(structure, formula.left, env) or _eval(
+            structure, formula.right, env
+        )
+    if isinstance(formula, Implies):
+        return (not _eval(structure, formula.left, env)) or _eval(
+            structure, formula.right, env
+        )
+    if isinstance(formula, Exists):
+        return any(
+            _eval(structure, formula.inner, {**env, formula.var: element})
+            for element in structure.domain
+        )
+    if isinstance(formula, Forall):
+        return all(
+            _eval(structure, formula.inner, {**env, formula.var: element})
+            for element in structure.domain
+        )
+    if isinstance(formula, ExistsSet):
+        return any(
+            _eval(structure, formula.inner, {**env, formula.set_var: frozenset(subset)})
+            for subset in _subsets(structure.domain)
+        )
+    if isinstance(formula, ForallSet):
+        return all(
+            _eval(structure, formula.inner, {**env, formula.set_var: frozenset(subset)})
+            for subset in _subsets(structure.domain)
+        )
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _lookup(env: Assignment, var: Var) -> Element:
+    if var not in env:
+        raise KeyError(f"unbound variable {var!r}")
+    return env[var]
+
+
+def string_satisfies(word: Sequence[str], sentence: Formula) -> bool:
+    """``w ⊨ φ`` for a sentence over the string vocabulary."""
+    return evaluate(Structure.from_string(word), sentence)
+
+
+def tree_satisfies(tree: Tree, sentence: Formula) -> bool:
+    """``t ⊨ φ`` for a sentence over the tree vocabulary."""
+    return evaluate(Structure.from_tree(tree), sentence)
+
+
+def string_query(word: Sequence[str], formula: Formula, var: Var) -> frozenset[int]:
+    """The unary query ``{i : w ⊨ φ[i]}`` (positions are 1-based)."""
+    structure = Structure.from_string(word)
+    return frozenset(
+        position
+        for position in structure.domain
+        if _eval(structure, formula, {var: position})
+    )
+
+
+def tree_query(tree: Tree, formula: Formula, var: Var) -> frozenset[Path]:
+    """The unary query ``{v : t ⊨ φ[v]}`` of Section 3's definition."""
+    structure = Structure.from_tree(tree)
+    return frozenset(
+        path for path in structure.domain if _eval(structure, formula, {var: path})
+    )

@@ -1,0 +1,354 @@
+"""Monadic second-order logic over strings and trees — formula syntax.
+
+The vocabularies follow Section 2 of the paper:
+
+* **Strings** (§2.2): positions with the order ``<`` and unary label
+  predicates ``O_σ``.
+* **Trees** (§2.3): nodes with the child relation ``E``, the sibling order
+  ``<`` (which orders the children of each node), and label predicates
+  ``O_σ``.
+
+First-order variables (written lowercase by convention) range over
+positions/nodes; set variables (uppercase) range over sets of them.  The
+same AST serves both vocabularies; :mod:`repro.logic.semantics` interprets
+``Less`` as position order on strings and as sibling order on trees.
+
+Construction helpers allow idiomatic formula building::
+
+    x, y = Var("x"), Var("y")
+    X = SetVar("X")
+    phi = Exists(x, Label(x, "book") & Forall(y, Edge(x, y) >> Label(y, "author")))
+
+Derived predicates used throughout the paper — ``root(x)``, ``leaf(x)``,
+``first_child(x)``, ``last_sibling(x)`` — are provided as functions that
+expand to core syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union as TypingUnion
+
+
+@dataclass(frozen=True)
+class Var:
+    """A first-order variable (ranges over positions / nodes)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SetVar:
+    """A second-order (set) variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Formula:
+    """Base class providing operator sugar: ``&``, ``|``, ``~``, ``>>`` (implies)."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+    # -- structural helpers -------------------------------------------
+
+    def free_vars(self) -> frozenset[Var]:
+        """Free first-order variables."""
+        return _free(self)[0]
+
+    def free_set_vars(self) -> frozenset[SetVar]:
+        """Free set variables."""
+        return _free(self)[1]
+
+    def quantifier_depth(self) -> int:
+        """The nesting depth of quantifiers (the paper's ``k``)."""
+        return _depth(self)
+
+
+@dataclass(frozen=True, repr=False)
+class Label(Formula):
+    """``O_σ(x)``: the element ``x`` carries label ``σ``."""
+
+    var: Var
+    label: str
+
+    def __repr__(self) -> str:
+        return f"O_{self.label}({self.var!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Edge(Formula):
+    """``E(x, y)``: ``y`` is a child of ``x`` (trees only)."""
+
+    parent: Var
+    child: Var
+
+    def __repr__(self) -> str:
+        return f"E({self.parent!r}, {self.child!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Descendant(Formula):
+    """``x ⊏ y``: ``y`` is a proper descendant of ``x`` (trees only).
+
+    Definable in MSO (see :func:`ancestor`) but provided as an atom so
+    the compilers can use a constant-size automaton for it.
+    """
+
+    ancestor: Var
+    descendant: Var
+
+    def __repr__(self) -> str:
+        return f"Desc({self.ancestor!r}, {self.descendant!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Less(Formula):
+    """``x < y``: position order (strings) / sibling order (trees)."""
+
+    left: Var
+    right: Var
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} < {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Equal(Formula):
+    """``x = y``."""
+
+    left: Var
+    right: Var
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} = {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Member(Formula):
+    """``X(x)``: membership of ``x`` in the set ``X``."""
+
+    var: Var
+    set_var: SetVar
+
+    def __repr__(self) -> str:
+        return f"{self.set_var!r}({self.var!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Not(Formula):
+    """Negation."""
+
+    inner: Formula
+
+    def __repr__(self) -> str:
+        return f"¬{self.inner!r}"
+
+
+@dataclass(frozen=True, repr=False)
+class And(Formula):
+    """Conjunction."""
+
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∧ {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Or(Formula):
+    """Disjunction."""
+
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∨ {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Implies(Formula):
+    """Implication (eliminated by the compiler as ``¬a ∨ b``)."""
+
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} → {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Exists(Formula):
+    """First-order existential quantification."""
+
+    var: Var
+    inner: Formula
+
+    def __repr__(self) -> str:
+        return f"∃{self.var!r} {self.inner!r}"
+
+
+@dataclass(frozen=True, repr=False)
+class Forall(Formula):
+    """First-order universal quantification."""
+
+    var: Var
+    inner: Formula
+
+    def __repr__(self) -> str:
+        return f"∀{self.var!r} {self.inner!r}"
+
+
+@dataclass(frozen=True, repr=False)
+class ExistsSet(Formula):
+    """Second-order existential quantification (the MSO step beyond FO)."""
+
+    set_var: SetVar
+    inner: Formula
+
+    def __repr__(self) -> str:
+        return f"∃{self.set_var!r} {self.inner!r}"
+
+
+@dataclass(frozen=True, repr=False)
+class ForallSet(Formula):
+    """Second-order universal quantification."""
+
+    set_var: SetVar
+    inner: Formula
+
+    def __repr__(self) -> str:
+        return f"∀{self.set_var!r} {self.inner!r}"
+
+
+AtomicFormula = TypingUnion[Label, Edge, Descendant, Less, Equal, Member]
+
+
+def _free(formula: Formula) -> tuple[frozenset[Var], frozenset[SetVar]]:
+    if isinstance(formula, Label):
+        return frozenset({formula.var}), frozenset()
+    if isinstance(formula, Edge):
+        return frozenset({formula.parent, formula.child}), frozenset()
+    if isinstance(formula, Descendant):
+        return frozenset({formula.ancestor, formula.descendant}), frozenset()
+    if isinstance(formula, (Less, Equal)):
+        return frozenset({formula.left, formula.right}), frozenset()
+    if isinstance(formula, Member):
+        return frozenset({formula.var}), frozenset({formula.set_var})
+    if isinstance(formula, Not):
+        return _free(formula.inner)
+    if isinstance(formula, (And, Or, Implies)):
+        left_fo, left_so = _free(formula.left)
+        right_fo, right_so = _free(formula.right)
+        return left_fo | right_fo, left_so | right_so
+    if isinstance(formula, (Exists, Forall)):
+        fo, so = _free(formula.inner)
+        return fo - {formula.var}, so
+    if isinstance(formula, (ExistsSet, ForallSet)):
+        fo, so = _free(formula.inner)
+        return fo, so - {formula.set_var}
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _depth(formula: Formula) -> int:
+    if isinstance(formula, (Label, Edge, Descendant, Less, Equal, Member)):
+        return 0
+    if isinstance(formula, Not):
+        return _depth(formula.inner)
+    if isinstance(formula, (And, Or, Implies)):
+        return max(_depth(formula.left), _depth(formula.right))
+    if isinstance(formula, (Exists, Forall, ExistsSet, ForallSet)):
+        return 1 + _depth(formula.inner)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+# ----------------------------------------------------------------------
+# Derived predicates (tree vocabulary)
+# ----------------------------------------------------------------------
+
+_FRESH = [0]
+
+
+def fresh_var(hint: str = "t") -> Var:
+    """A first-order variable guaranteed not to collide with user names."""
+    _FRESH[0] += 1
+    return Var(f"_{hint}{_FRESH[0]}")
+
+
+def fresh_set_var(hint: str = "S") -> SetVar:
+    """A set variable guaranteed not to collide with user names."""
+    _FRESH[0] += 1
+    return SetVar(f"_{hint}{_FRESH[0]}")
+
+
+def root(x: Var) -> Formula:
+    """``x`` has no parent."""
+    y = fresh_var("p")
+    return Not(Exists(y, Edge(y, x)))
+
+
+def leaf(x: Var) -> Formula:
+    """``x`` has no children."""
+    y = fresh_var("c")
+    return Not(Exists(y, Edge(x, y)))
+
+
+def first_sibling(x: Var) -> Formula:
+    """``x`` has no earlier sibling (also true of the root)."""
+    y = fresh_var("s")
+    return Not(Exists(y, Less(y, x)))
+
+
+def last_sibling(x: Var) -> Formula:
+    """``x`` has no later sibling (also true of the root)."""
+    y = fresh_var("s")
+    return Not(Exists(y, Less(x, y)))
+
+
+def next_sibling(x: Var, y: Var) -> Formula:
+    """``y`` is the immediate next sibling of ``x``."""
+    z = fresh_var("m")
+    return And(Less(x, y), Not(Exists(z, And(Less(x, z), Less(z, y)))))
+
+
+def ancestor(x: Var, y: Var) -> Formula:
+    """``x`` is a proper ancestor of ``y`` (MSO: every E-closed set
+    containing the children of ``x`` contains ``y``)."""
+    closed = fresh_set_var("Anc")
+    u, v = fresh_var("u"), fresh_var("v")
+    closure = Forall(
+        u,
+        Forall(
+            v,
+            Implies(And(Member(u, closed), Edge(u, v)), Member(v, closed)),
+        ),
+    )
+    seeded = Forall(u, Implies(Edge(x, u), Member(u, closed)))
+    return ForallSet(closed, Implies(And(seeded, closure), Member(y, closed)))
+
+
+def true_formula() -> Formula:
+    """A valid formula (``∀x x = x`` would add depth; use ``x = x``-free form)."""
+    x = fresh_var("tt")
+    return Forall(x, Equal(x, x))
+
+
+def false_formula() -> Formula:
+    """An unsatisfiable formula."""
+    return Not(true_formula())

@@ -1,0 +1,34 @@
+"""Ranked tree automata: DBTA^r, 2DTA^r, QA^r, and Theorem 4.8 (Section 4)."""
+
+from .bta import (
+    DeterministicRankedAutomaton,
+    RankedTreeAutomaton,
+    boolean_circuit_dbta,
+)
+from .twoway import RankedQueryAutomaton, TwoWayRankedAutomaton
+from .behavior import (
+    behavior_functions,
+    evaluate_query_via_behavior,
+    states_closure,
+    up_state,
+)
+from .examples import circuit_acceptor, circuit_reference_query, circuit_value_query
+from .mso_to_qa import QueryAutomatonBuilder, build_query_qar, two_phase_evaluate
+
+__all__ = [
+    "DeterministicRankedAutomaton",
+    "RankedTreeAutomaton",
+    "boolean_circuit_dbta",
+    "RankedQueryAutomaton",
+    "TwoWayRankedAutomaton",
+    "behavior_functions",
+    "evaluate_query_via_behavior",
+    "states_closure",
+    "up_state",
+    "circuit_acceptor",
+    "circuit_reference_query",
+    "circuit_value_query",
+    "QueryAutomatonBuilder",
+    "build_query_qar",
+    "two_phase_evaluate",
+]

@@ -1,0 +1,211 @@
+"""Behavior functions of two-way ranked tree automata (Definition 4.6).
+
+The executable content of Lemma 4.7: the query computed by a QA^r is
+determined by *local* data —
+
+* the behavior function ``f^A_{t_v} : Q → Q`` of every subtree, computable
+  bottom-up (a leaf's function depends only on its label; an inner node's
+  only on its children's functions and the labels involved);
+* the sets ``Assumed^A(t, v)`` of states the run assumes at each node,
+  computable top-down from the behavior functions.
+
+This yields a linear-time query evaluator
+(:func:`evaluate_query_via_behavior`) whose agreement with the direct
+cut-simulation of :mod:`repro.ranked.twoway` is property-tested — that
+agreement *is* Lemma 4.7, and the same data drives the decision procedures
+of Section 6.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from ..strings.dfa import AutomatonError
+from ..strings.twoway import NonTerminatingRunError
+from ..trees.tree import Path, Tree
+from .twoway import RankedQueryAutomaton, TwoWayRankedAutomaton
+
+State = Hashable
+
+#: A behavior function: partial map from states to states.
+BehaviorFunction = dict[State, State]
+
+
+def states_closure(behavior: BehaviorFunction, state: State) -> list[State]:
+    """``States(f, q)``: the orbit of ``q`` under ``f`` in iteration order.
+
+    Stops at a fixed point (an up-ready state) or where ``f`` is undefined;
+    a proper cycle raises (the automaton would not halt).
+    """
+    orbit = [state]
+    seen = {state}
+    current = state
+    while current in behavior:
+        nxt = behavior[current]
+        if nxt == current:
+            break
+        if nxt in seen:
+            raise NonTerminatingRunError(f"behavior cycles from state {state!r}")
+        orbit.append(nxt)
+        seen.add(nxt)
+        current = nxt
+    return orbit
+
+
+def up_state(behavior: BehaviorFunction, state: State) -> State | None:
+    """``up(f, q)``: the unique fixed point reachable from ``q``, if any.
+
+    The state in which the node makes its up transition when entered in
+    state ``q``; ``None`` when the excursion gets stuck instead.
+    """
+    orbit = states_closure(behavior, state)
+    last = orbit[-1]
+    if behavior.get(last) == last:
+        return last
+    return None
+
+
+def behavior_functions(
+    automaton: TwoWayRankedAutomaton, tree: Tree
+) -> dict[Path, BehaviorFunction]:
+    """``f^A_{t_v}`` for every node, computed bottom-up (Lemma 4.7 items 1–2)."""
+    functions: dict[Path, BehaviorFunction] = {}
+    for path in tree.postorder():
+        node = tree.subtree(path)
+        label = node.label
+        behavior: BehaviorFunction = {}
+        for state in automaton.states:
+            pair = (state, label)
+            if pair in automaton.up_pairs:
+                behavior[state] = state
+            elif pair in automaton.down_pairs:
+                if not node.children:
+                    target = automaton.delta_leaf.get(pair)
+                    if target is not None:
+                        behavior[state] = target
+                else:
+                    arity = len(node.children)
+                    down = automaton.delta_down.get((state, label, arity))
+                    if down is None:
+                        continue
+                    word: list[tuple[State, Hashable]] = []
+                    ok = True
+                    for i, child_state in enumerate(down):
+                        child_path = path + (i,)
+                        child_up = up_state(functions[child_path], child_state)
+                        if child_up is None:
+                            ok = False
+                            break
+                        word.append((child_up, node.children[i].label))
+                    if not ok:
+                        continue
+                    target = automaton.delta_up.get(tuple(word))
+                    if target is not None:
+                        behavior[state] = target
+        functions[path] = behavior
+    return functions
+
+
+def root_trajectory(
+    automaton: TwoWayRankedAutomaton,
+    tree: Tree,
+    root_behavior: BehaviorFunction,
+) -> tuple[list[State], State | None]:
+    """States assumed at the root and the state the run halts in at the root.
+
+    Interleaves the root behavior function (excursions into the tree) with
+    ``δ_root`` (which may re-fire on U states).  Returns ``(assumed,
+    halting)``; ``halting`` is ``None`` when the run gets stuck *inside*
+    the tree instead of at the root (then the final cut is not {root} and
+    the tree is rejected, Definition 4.1's acceptance).
+    """
+    root_label = tree.label_at(())
+    arity = tree.arity_at(())
+    assumed: list[State] = []
+    seen: set[State] = set()
+    state = automaton.initial
+    while True:
+        if state in seen:
+            raise NonTerminatingRunError("root trajectory cycles")
+        seen.add(state)
+        assumed.append(state)
+        pair = (state, root_label)
+        if pair in automaton.down_pairs:
+            if state in root_behavior:
+                state = root_behavior[state]
+                continue
+            # f undefined: either no transition fires at the root at all
+            # (halt at the root in this state) or the down transition fires
+            # but the excursion dies inside (final cut ≠ {root}).
+            fires = (
+                pair in automaton.delta_leaf
+                if arity == 0
+                else (state, root_label, arity) in automaton.delta_down
+            )
+            return assumed, (None if fires else state)
+        if pair in automaton.up_pairs:
+            target = automaton.delta_root.get(pair)
+            if target is None:
+                return assumed, state  # halt at the root
+            state = target
+            continue
+        return assumed, state  # no transition at all: halt at the root
+
+
+def assumed_sets(
+    automaton: TwoWayRankedAutomaton,
+    tree: Tree,
+    functions: dict[Path, BehaviorFunction] | None = None,
+) -> tuple[dict[Path, set[State]], State | None]:
+    """``Assumed^A(t, v)`` for every node plus the root halting state.
+
+    Items (3)–(4) of Lemma 4.7: the root's set comes from closing the
+    start state under ``f`` and ``δ_root``; a child's set collects the
+    orbits of the states its parent's down transitions hand it.
+    """
+    if functions is None:
+        functions = behavior_functions(automaton, tree)
+    assumed: dict[Path, set[State]] = {path: set() for path in tree.nodes()}
+
+    root_states, halting = root_trajectory(automaton, tree, functions[()])
+    assumed[()] = set(root_states)
+
+    for path in tree.nodes():
+        node = tree.subtree(path)
+        arity = len(node.children)
+        if arity == 0:
+            continue
+        label = node.label
+        for parent_state in assumed[path]:
+            down = automaton.delta_down.get((parent_state, label, arity))
+            if down is None:
+                continue
+            for i, child_state in enumerate(down):
+                child_path = path + (i,)
+                assumed[child_path].update(
+                    states_closure(functions[child_path], child_state)
+                )
+    return assumed, halting
+
+
+def evaluate_query_via_behavior(
+    qa: RankedQueryAutomaton, tree: Tree
+) -> frozenset[Path]:
+    """Linear-time QA^r evaluation from the Lemma 4.7 data.
+
+    Agrees with :meth:`RankedQueryAutomaton.evaluate` (the direct cut
+    simulation) on every halting automaton — the executable Lemma 4.7.
+    """
+    automaton = qa.automaton
+    if not tree.is_ranked(automaton.max_rank):
+        raise AutomatonError(f"input tree exceeds rank {automaton.max_rank}")
+    functions = behavior_functions(automaton, tree)
+    assumed, halting = assumed_sets(automaton, tree, functions)
+    if halting is None or halting not in automaton.accepting:
+        return frozenset()
+    selected: set[Path] = set()
+    for path in tree.nodes():
+        label = tree.label_at(path)
+        if any((state, label) in qa.selecting for state in assumed[path]):
+            selected.add(path)
+    return frozenset(selected)

@@ -1,0 +1,283 @@
+"""Bottom-up tree automata over ranked trees (Definition 2.6).
+
+The classical Doner–Thatcher–Wright machinery of §2.3: deterministic and
+nondeterministic bottom-up automata on trees of rank at most ``m``, with the
+standard toolkit (determinization, products, complement, emptiness with
+witnesses) used by Theorem 2.8 and by the ranked query-automaton
+constructions of Section 4.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+from itertools import product as iter_product
+
+from ..strings.dfa import AutomatonError
+from ..trees.tree import Path, Tree
+
+State = Hashable
+Label = Hashable
+
+
+@dataclass(frozen=True)
+class RankedTreeAutomaton:
+    """A nondeterministic bottom-up ranked tree automaton (NBTA^r).
+
+    ``transitions`` maps ``(label, children_states_tuple)`` to the set of
+    possible states; leaves use the empty tuple.  ``max_rank`` bounds the
+    arity of inputs (and of transition keys).
+    """
+
+    states: frozenset[State]
+    alphabet: frozenset[Label]
+    max_rank: int
+    transitions: dict[tuple[Label, tuple[State, ...]], frozenset[State]]
+    accepting: frozenset[State]
+
+    def __post_init__(self) -> None:
+        if not self.accepting <= self.states:
+            raise AutomatonError("accepting states must be a subset of states")
+        for (label, children), targets in self.transitions.items():
+            if label not in self.alphabet:
+                raise AutomatonError(f"unknown label {label!r}")
+            if len(children) > self.max_rank:
+                raise AutomatonError("transition arity exceeds the rank bound")
+            if not (set(children) <= self.states and targets <= self.states):
+                raise AutomatonError("transition uses unknown states")
+
+    @property
+    def size(self) -> int:
+        """|Q| + |Σ| + number of transition entries."""
+        return len(self.states) + len(self.alphabet) + len(self.transitions)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def run(self, tree: Tree) -> dict[Path, frozenset[State]]:
+        """``δ*`` at every node (sets of possible states)."""
+        if not tree.is_ranked(self.max_rank):
+            raise AutomatonError(f"input tree exceeds rank {self.max_rank}")
+        result: dict[Path, frozenset[State]] = {}
+        for path in tree.postorder():
+            node = tree.subtree(path)
+            child_sets = [result[path + (i,)] for i in range(len(node.children))]
+            possible: set[State] = set()
+            for children in iter_product(*child_sets):
+                possible |= self.transitions.get((node.label, children), frozenset())
+            result[path] = frozenset(possible)
+        return result
+
+    def accepts(self, tree: Tree) -> bool:
+        """``δ*(t) ∩ F ≠ ∅``."""
+        return bool(self.run(tree)[()] & self.accepting)
+
+    # ------------------------------------------------------------------
+    # Decision procedures
+    # ------------------------------------------------------------------
+
+    def _reachable_with_witnesses(self) -> dict[State, Tree]:
+        witnesses: dict[State, Tree] = {}
+        changed = True
+        while changed:
+            changed = False
+            for (label, children), targets in self.transitions.items():
+                if not all(q in witnesses for q in children):
+                    continue
+                for target in targets:
+                    if target in witnesses:
+                        continue
+                    witnesses[target] = Tree(
+                        label, [witnesses[q] for q in children]
+                    )
+                    changed = True
+        return witnesses
+
+    def is_empty(self) -> bool:
+        """Language emptiness (linear-time fixpoint)."""
+        return not (
+            frozenset(self._reachable_with_witnesses()) & self.accepting
+        )
+
+    def witness(self) -> Tree | None:
+        """Some accepted tree, or ``None``."""
+        witnesses = self._reachable_with_witnesses()
+        for state in self.accepting:
+            if state in witnesses:
+                return witnesses[state]
+        return None
+
+    # ------------------------------------------------------------------
+    # Constructions
+    # ------------------------------------------------------------------
+
+    def determinized(self) -> "DeterministicRankedAutomaton":
+        """Subset construction (only realizable subsets are materialized)."""
+        subsets: set[frozenset[State]] = set()
+        transitions: dict[tuple[Label, tuple], frozenset[State]] = {}
+
+        def result_of(label: Label, children: tuple) -> frozenset[State]:
+            out: set[State] = set()
+            for concrete in iter_product(*children):
+                out |= self.transitions.get((label, concrete), frozenset())
+            return frozenset(out)
+
+        changed = True
+        while changed:
+            changed = False
+            known = list(subsets)
+            for label in self.alphabet:
+                for arity in range(self.max_rank + 1):
+                    for children in iter_product(known, repeat=arity):
+                        key = (label, children)
+                        if key in transitions:
+                            continue
+                        target = result_of(label, children)
+                        transitions[key] = target
+                        if target not in subsets:
+                            subsets.add(target)
+                            changed = True
+        accepting = frozenset(s for s in subsets if s & self.accepting)
+        return DeterministicRankedAutomaton(
+            frozenset(subsets),
+            self.alphabet,
+            self.max_rank,
+            {key: value for key, value in transitions.items()},
+            accepting,
+        )
+
+    def intersection(self, other: "RankedTreeAutomaton") -> "RankedTreeAutomaton":
+        """Product automaton for the intersection."""
+        if self.alphabet != other.alphabet or self.max_rank != other.max_rank:
+            raise AutomatonError("product requires matching alphabet and rank")
+        transitions: dict[tuple[Label, tuple], frozenset] = {}
+        for (label, children_a), targets_a in self.transitions.items():
+            for (label_b, children_b), targets_b in other.transitions.items():
+                if label != label_b or len(children_a) != len(children_b):
+                    continue
+                children = tuple(zip(children_a, children_b))
+                key = (label, children)
+                pairs = frozenset(
+                    (ta, tb) for ta in targets_a for tb in targets_b
+                )
+                transitions[key] = transitions.get(key, frozenset()) | pairs
+        states = frozenset(
+            (a, b) for a in self.states for b in other.states
+        )
+        accepting = frozenset(
+            (a, b) for a in self.accepting for b in other.accepting
+        )
+        return RankedTreeAutomaton(
+            states, self.alphabet, self.max_rank, transitions, accepting
+        )
+
+
+@dataclass(frozen=True)
+class DeterministicRankedAutomaton:
+    """A DBTA^r: at most one state per (label, children) combination."""
+
+    states: frozenset[State]
+    alphabet: frozenset[Label]
+    max_rank: int
+    transitions: dict[tuple[Label, tuple[State, ...]], State]
+    accepting: frozenset[State]
+
+    def __post_init__(self) -> None:
+        if not self.accepting <= self.states:
+            raise AutomatonError("accepting states must be a subset of states")
+
+    @property
+    def size(self) -> int:
+        """|Q| + |Σ| + number of transition entries."""
+        return len(self.states) + len(self.alphabet) + len(self.transitions)
+
+    def step(self, label: Label, children: tuple[State, ...]) -> State | None:
+        """One bottom-up transition (``None`` = reject)."""
+        return self.transitions.get((label, children))
+
+    def run(self, tree: Tree) -> dict[Path, State | None]:
+        """The unique state of each subtree (``None`` once the run dies)."""
+        result: dict[Path, State | None] = {}
+        for path in tree.postorder():
+            node = tree.subtree(path)
+            children = tuple(
+                result[path + (i,)] for i in range(len(node.children))
+            )
+            if any(q is None for q in children):
+                result[path] = None
+            else:
+                result[path] = self.step(node.label, children)
+        return result
+
+    def state_of(self, tree: Tree) -> State | None:
+        """``δ*(t)``."""
+        return self.run(tree)[()]
+
+    def accepts(self, tree: Tree) -> bool:
+        """Membership."""
+        state = self.state_of(tree)
+        return state is not None and state in self.accepting
+
+    def completed(self, sink: State = ("__sink__",)) -> "DeterministicRankedAutomaton":
+        """Add an explicit rejecting sink so every tree gets a state.
+
+        Note: totality requires transition entries for all (label,
+        children) combinations, exponential in rank; we materialize them
+        (rank is a small constant in this library's uses).
+        """
+        if sink in self.states:
+            raise AutomatonError("sink collides with an existing state")
+        states = self.states | {sink}
+        transitions = dict(self.transitions)
+        for label in self.alphabet:
+            for arity in range(self.max_rank + 1):
+                for children in iter_product(states, repeat=arity):
+                    transitions.setdefault((label, children), sink)
+        return DeterministicRankedAutomaton(
+            states, self.alphabet, self.max_rank, transitions, self.accepting
+        )
+
+    def complement(self) -> "DeterministicRankedAutomaton":
+        """Automaton for the complement language."""
+        total = self.completed()
+        return DeterministicRankedAutomaton(
+            total.states,
+            total.alphabet,
+            total.max_rank,
+            total.transitions,
+            total.states - total.accepting,
+        )
+
+    def to_nondeterministic(self) -> RankedTreeAutomaton:
+        """View as an NBTA^r."""
+        return RankedTreeAutomaton(
+            self.states,
+            self.alphabet,
+            self.max_rank,
+            {key: frozenset({value}) for key, value in self.transitions.items()},
+            self.accepting,
+        )
+
+
+def boolean_circuit_dbta() -> DeterministicRankedAutomaton:
+    """The natural bottom-up evaluator of full binary AND/OR circuits.
+
+    States are the Boolean values; used as the reference automaton in the
+    Example 4.2 tests.
+    """
+    transitions: dict[tuple[Label, tuple], State] = {
+        ("0", ()): 0,
+        ("1", ()): 1,
+    }
+    for op, fn in (("AND", min), ("OR", max)):
+        for a in (0, 1):
+            for b in (0, 1):
+                transitions[(op, (a, b))] = fn(a, b)
+    return DeterministicRankedAutomaton(
+        frozenset({0, 1}),
+        frozenset({"0", "1", "AND", "OR"}),
+        2,
+        transitions,
+        frozenset({1}),
+    )

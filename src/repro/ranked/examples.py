@@ -1,0 +1,120 @@
+"""The paper's ranked worked examples: Boolean circuits (Examples 4.2, 4.4).
+
+Trees represent circuits of binary AND/OR gates (internal nodes) over
+constant inputs (leaves ``0``/``1``).  Example 4.2 builds a 2DTA^r
+accepting exactly the circuits that evaluate to 1; Example 4.4 turns it
+into a QA^r selecting every node whose subcircuit evaluates to 1.
+
+We follow the paper's state space: ``s`` (descend), ``u`` (leaf turned
+around), pairs ``(i, j)`` (the children's subcircuits evaluate to ``i``
+and ``j``), plus explicit value states ``v0``/``v1`` for the root
+transition's result (the paper leaves these implicit in "``i op j``").
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+
+from .twoway import RankedQueryAutomaton, TwoWayRankedAutomaton
+
+_OPS = ("AND", "OR")
+_BITS = ("0", "1")
+_SIGMA = _OPS + _BITS
+
+
+def _apply(op: str, i: int, j: int) -> int:
+    return (i and j) if op == "AND" else (i or j)
+
+
+def circuit_acceptor() -> TwoWayRankedAutomaton:
+    """Example 4.2: accept full binary circuits that evaluate to 1."""
+    pair_states = [(i, j) for i in (0, 1) for j in (0, 1)]
+    states = {"s", "u", "v0", "v1", *pair_states}
+    down_pairs = {("s", sigma) for sigma in _SIGMA}
+    up_pairs = {
+        (state, sigma) for state in ["u", *pair_states] for sigma in _SIGMA
+    }
+
+    delta_down = {("s", sigma, 2): ("s", "s") for sigma in _SIGMA}
+    delta_leaf = {("s", bit): "u" for bit in _BITS}
+
+    delta_up: dict[tuple, str | tuple] = {}
+    # (3) two turned-around leaves: remember their labels as a value pair.
+    for i in _BITS:
+        for j in _BITS:
+            delta_up[(("u", i), ("u", j))] = (int(i), int(j))
+    # (4) two evaluated gates: evaluate each and pair the results.
+    for (i1, j1), op1 in iter_product(pair_states, _OPS):
+        for (i2, j2), op2 in iter_product(pair_states, _OPS):
+            delta_up[(((i1, j1), op1), ((i2, j2), op2))] = (
+                _apply(op1, i1, j1),
+                _apply(op2, i2, j2),
+            )
+    # Mixed heights do not occur in full binary circuits (paper's setting).
+
+    # (5) root: evaluate the final pair.  (The single-leaf circuit, not
+    # covered by the paper's "full binary" convention, is handled by the
+    # extra (u, bit) root transitions.)
+    delta_root = {
+        ((i, j), op): f"v{_apply(op, i, j)}"
+        for (i, j) in pair_states
+        for op in _OPS
+    }
+    delta_root.update({("u", bit): f"v{bit}" for bit in _BITS})
+
+    return TwoWayRankedAutomaton.build(
+        states,
+        _SIGMA,
+        2,
+        "s",
+        {"v1"},
+        up_pairs,
+        down_pairs,
+        delta_leaf,
+        delta_root,
+        delta_up,
+        delta_down,
+    )
+
+
+def circuit_value_query() -> RankedQueryAutomaton:
+    """Example 4.4: select every node whose subcircuit evaluates to 1.
+
+    As in the paper, ``F`` becomes the whole state set (selection should
+    happen on every circuit) and λ((i,j), op) = 1 iff ``i op j = 1``.  The
+    paper's λ covers only gate nodes; we additionally select 1-labeled
+    leaves (visited in state ``u``) so the computed query matches its
+    English statement "all nodes that evaluate to 1" exactly.
+    """
+    base = circuit_acceptor()
+    automaton = TwoWayRankedAutomaton(
+        base.states,
+        base.alphabet,
+        base.max_rank,
+        base.initial,
+        base.states,  # F := Q
+        base.up_pairs,
+        base.down_pairs,
+        base.delta_leaf,
+        base.delta_root,
+        base.delta_up,
+        base.delta_down,
+    )
+    selecting = {
+        ((i, j), op)
+        for i in (0, 1)
+        for j in (0, 1)
+        for op in _OPS
+        if _apply(op, i, j) == 1
+    }
+    selecting.add(("u", "1"))
+    return RankedQueryAutomaton(automaton, frozenset(selecting))
+
+
+def circuit_reference_query(tree) -> frozenset:
+    """Oracle: the set of nodes whose subcircuit evaluates to 1."""
+    from ..trees.generators import evaluate_circuit
+
+    return frozenset(
+        path for path in tree.nodes() if evaluate_circuit(tree.subtree(path)) == 1
+    )

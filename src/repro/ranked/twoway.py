@@ -1,0 +1,284 @@
+"""Two-way deterministic ranked tree automata — Definition 4.1 (Moriya).
+
+A 2DTA^r works on *cuts*: antichains meeting every root-to-leaf path
+exactly once.  A configuration assigns a state to every node of a cut.
+Four transition kinds move the cut:
+
+* **down** at ``v`` (``(state, label) ∈ D``): ``v`` is replaced by its
+  children, which receive the state string ``δ_↓(q, σ, arity)``;
+* **up** at ``v`` (every child's ``(state, label) ∈ U``): the children are
+  replaced by ``v`` in state ``δ_↑((q_1, σ_1) ... (q_n, σ_n))``;
+* **leaf** at a leaf ``v`` (``(state, label) ∈ D``): the state becomes
+  ``δ_leaf(q, σ)``, cut unchanged;
+* **root** when the cut is ``{root}`` and ``(state, label) ∈ U``: the state
+  becomes ``δ_root(q, σ)``.
+
+The disjointness of ``U`` and ``D`` makes all runs visit each node in the
+same state sequence (the paper's determinism argument), so our scheduler's
+canonical order (leftmost enabled transition) is a faithful choice of
+"the" run.  The run is *accepting* when it is maximal and the final
+configuration is ``{root ↦ q}`` with ``q ∈ F``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+from ..strings.dfa import AutomatonError
+from ..strings.twoway import NonTerminatingRunError
+from ..trees.tree import Path, Tree
+
+State = Hashable
+Label = Hashable
+
+#: A configuration: mapping from the cut's node paths to states.
+Configuration = dict[Path, State]
+
+#: A pair (state, label) — the alphabet of up-transition strings.
+UPair = tuple[State, Label]
+
+
+@dataclass(frozen=True)
+class TwoWayRankedAutomaton:
+    """A 2DTA^r: ``(Q, Σ, F, s, δ)`` with the four transition tables.
+
+    ``up_pairs`` / ``down_pairs`` are the sets ``U`` and ``D``; they must
+    be disjoint.  ``delta_up`` maps tuples of (state, label) pairs (one per
+    child, in order) to the parent's new state.  ``delta_down`` maps
+    ``(state, label, arity)`` to the children's state tuple.
+    """
+
+    states: frozenset[State]
+    alphabet: frozenset[Label]
+    max_rank: int
+    initial: State
+    accepting: frozenset[State]
+    up_pairs: frozenset[UPair]
+    down_pairs: frozenset[UPair]
+    delta_leaf: dict[UPair, State]
+    delta_root: dict[UPair, State]
+    delta_up: dict[tuple[UPair, ...], State]
+    delta_down: dict[tuple[State, Label, int], tuple[State, ...]]
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise AutomatonError("initial state unknown")
+        if not self.accepting <= self.states:
+            raise AutomatonError("accepting states must be a subset of states")
+        if self.up_pairs & self.down_pairs:
+            raise AutomatonError("U and D must be disjoint")
+        for (state, label) in self.up_pairs | self.down_pairs:
+            if state not in self.states or label not in self.alphabet:
+                raise AutomatonError(f"unknown (state, label) pair {(state, label)!r}")
+        for pair in self.delta_leaf:
+            if pair not in self.down_pairs:
+                raise AutomatonError(f"δ_leaf defined outside D at {pair!r}")
+        for pair in self.delta_root:
+            if pair not in self.up_pairs:
+                raise AutomatonError(f"δ_root defined outside U at {pair!r}")
+        for pairs in self.delta_up:
+            if not 1 <= len(pairs) <= self.max_rank:
+                raise AutomatonError("δ_up arity out of range")
+            for pair in pairs:
+                if pair not in self.up_pairs:
+                    raise AutomatonError(f"δ_up argument {pair!r} outside U")
+        for (state, label, arity), targets in self.delta_down.items():
+            if (state, label) not in self.down_pairs:
+                raise AutomatonError(f"δ_down defined outside D at {(state, label)!r}")
+            if len(targets) != arity or not 1 <= arity <= self.max_rank:
+                raise AutomatonError("δ_down output length must equal the arity")
+
+    @staticmethod
+    def build(
+        states: Iterable[State],
+        alphabet: Iterable[Label],
+        max_rank: int,
+        initial: State,
+        accepting: Iterable[State],
+        up_pairs: Iterable[UPair],
+        down_pairs: Iterable[UPair],
+        delta_leaf: dict[UPair, State],
+        delta_root: dict[UPair, State],
+        delta_up: dict[tuple[UPair, ...], State],
+        delta_down: dict[tuple[State, Label, int], tuple[State, ...]],
+    ) -> "TwoWayRankedAutomaton":
+        """Convenience constructor accepting any iterables."""
+        return TwoWayRankedAutomaton(
+            frozenset(states),
+            frozenset(alphabet),
+            max_rank,
+            initial,
+            frozenset(accepting),
+            frozenset(up_pairs),
+            frozenset(down_pairs),
+            dict(delta_leaf),
+            dict(delta_root),
+            dict(delta_up),
+            dict(delta_down),
+        )
+
+    @property
+    def size(self) -> int:
+        """|Q| + |Σ| + number of transition entries (paper-style measure)."""
+        return (
+            len(self.states)
+            + len(self.alphabet)
+            + len(self.delta_leaf)
+            + len(self.delta_root)
+            + len(self.delta_up)
+            + len(self.delta_down)
+        )
+
+    # ------------------------------------------------------------------
+    # Run semantics
+    # ------------------------------------------------------------------
+
+    def _enabled_transition(
+        self, tree: Tree, configuration: Configuration
+    ) -> tuple[str, Path] | None:
+        """The canonical (leftmost) enabled transition, or ``None``."""
+        cut = sorted(configuration)
+        # Root transition has the whole-cut precondition; check it first.
+        if cut == [()]:
+            pair = (configuration[()], tree.label_at(()))
+            if pair in self.up_pairs and pair in self.delta_root:
+                return ("root", ())
+        candidate_parents: set[Path] = set()
+        for path in cut:
+            state = configuration[path]
+            label = tree.label_at(path)
+            pair = (state, label)
+            arity = tree.arity_at(path)
+            if pair in self.down_pairs:
+                if arity == 0:
+                    if pair in self.delta_leaf:
+                        return ("leaf", path)
+                elif (state, label, arity) in self.delta_down:
+                    return ("down", path)
+            if pair in self.up_pairs and path:
+                candidate_parents.add(path[:-1])
+        for parent in sorted(candidate_parents):
+            arity = tree.arity_at(parent)
+            children = [parent + (i,) for i in range(arity)]
+            if not all(child in configuration for child in children):
+                continue
+            word = tuple(
+                (configuration[child], tree.label_at(child)) for child in children
+            )
+            if all(pair in self.up_pairs for pair in word) and word in self.delta_up:
+                return ("up", parent)
+        return None
+
+    def _fire(
+        self, tree: Tree, configuration: Configuration, kind: str, path: Path
+    ) -> Configuration:
+        new = dict(configuration)
+        label = tree.label_at(path)
+        if kind == "root":
+            new[()] = self.delta_root[(configuration[()], label)]
+        elif kind == "leaf":
+            new[path] = self.delta_leaf[(configuration[path], label)]
+        elif kind == "down":
+            arity = tree.arity_at(path)
+            targets = self.delta_down[(configuration[path], label, arity)]
+            del new[path]
+            for i, target in enumerate(targets):
+                new[path + (i,)] = target
+        elif kind == "up":
+            arity = tree.arity_at(path)
+            children = [path + (i,) for i in range(arity)]
+            word = tuple(
+                (configuration[child], tree.label_at(child)) for child in children
+            )
+            for child in children:
+                del new[child]
+            new[path] = self.delta_up[word]
+        else:  # pragma: no cover - internal
+            raise AssertionError(kind)
+        return new
+
+    def run(
+        self, tree: Tree, max_steps: int | None = None
+    ) -> list[Configuration]:
+        """The (canonical) maximal run as a list of configurations.
+
+        ``max_steps`` defaults to ``4 |Q| |t| + 4`` — a halting automaton
+        visits each node at most |Q| times per direction; exceeding the
+        budget raises :class:`NonTerminatingRunError`.
+        """
+        if not tree.is_ranked(self.max_rank):
+            raise AutomatonError(f"input tree exceeds rank {self.max_rank}")
+        if max_steps is None:
+            max_steps = 4 * len(self.states) * tree.size + 4
+        configuration: Configuration = {(): self.initial}
+        trace = [dict(configuration)]
+        for _ in range(max_steps):
+            enabled = self._enabled_transition(tree, configuration)
+            if enabled is None:
+                return trace
+            configuration = self._fire(tree, configuration, *enabled)
+            trace.append(dict(configuration))
+        raise NonTerminatingRunError(
+            f"run exceeded {max_steps} steps on a tree of size {tree.size}"
+        )
+
+    def accepts(self, tree: Tree) -> bool:
+        """Is the (maximal) run accepting?"""
+        final = self.run(tree)[-1]
+        return list(final) == [()] and final[()] in self.accepting
+
+    def visited_states(self, tree: Tree) -> dict[Path, list[State]]:
+        """The sequence of states each node is visited in (for tests)."""
+        visits: dict[Path, list[State]] = {path: [] for path in tree.nodes()}
+        previous: dict[Path, State | None] = {}
+        for configuration in self.run(tree):
+            for path in visits:
+                now = configuration.get(path)
+                if now is not None and previous.get(path) != now:
+                    visits[path].append(now)
+                previous[path] = now
+        return visits
+
+
+@dataclass(frozen=True)
+class RankedQueryAutomaton:
+    """A QA^r (Definition 4.3): a 2DTA^r plus a selection function.
+
+    ``selecting`` is the set of (state, label) pairs with ``λ = 1``.  A
+    node is selected when the accepting run visits it at least once in a
+    selecting state (Definition's semantics); a rejected tree selects
+    nothing.
+    """
+
+    automaton: TwoWayRankedAutomaton
+    selecting: frozenset[UPair]
+
+    def __post_init__(self) -> None:
+        for state, label in self.selecting:
+            if state not in self.automaton.states:
+                raise AutomatonError(f"selection uses unknown state {state!r}")
+            if label not in self.automaton.alphabet:
+                raise AutomatonError(f"selection uses unknown label {label!r}")
+
+    @property
+    def size(self) -> int:
+        """Size of the underlying automaton (selection adds nothing)."""
+        return self.automaton.size
+
+    def evaluate(self, tree: Tree) -> frozenset[Path]:
+        """The computed query ``A(t)`` — selected node paths."""
+        trace = self.automaton.run(tree)
+        final = trace[-1]
+        if list(final) != [()] or final[()] not in self.automaton.accepting:
+            return frozenset()
+        selected: set[Path] = set()
+        for configuration in trace:
+            for path, state in configuration.items():
+                if (state, tree.label_at(path)) in self.selecting:
+                    selected.add(path)
+        return frozenset(selected)
+
+    def accepts(self, tree: Tree) -> bool:
+        """The tree language of the underlying automaton."""
+        return self.automaton.accepts(tree)

@@ -1,0 +1,64 @@
+"""String-automata substrate: regular languages and two-way machines (§2.2, §3).
+
+Public surface:
+
+* :class:`~repro.strings.dfa.DFA`, :class:`~repro.strings.nfa.NFA` — one-way
+  automata with the full boolean/decision toolkit.
+* :mod:`~repro.strings.regex` — regular expressions; Thompson construction.
+* :class:`~repro.strings.simple_regex.SimpleRegex` — slender ``x y* z``
+  unions used by unranked down transitions (Shallit normal form).
+* :class:`~repro.strings.twoway.TwoWayDFA` — two-way DFAs with endmarkers
+  (Definition 3.1), :class:`~repro.strings.twoway.StringQueryAutomaton`
+  (Definition 3.2) and :class:`~repro.strings.twoway.GeneralizedStringQA`
+  (Definition 3.5).
+* :mod:`~repro.strings.behavior` — behavior functions and the linear-time
+  Theorem 3.9 query evaluator.
+* :func:`~repro.strings.hopcroft_ullman.hopcroft_ullman_gsqa` — Lemma 3.10.
+* :func:`~repro.strings.shepherdson.to_one_way_dfa` — 2DFA → DFA.
+"""
+
+from .dfa import DFA, AutomatonError, empty_dfa, singleton_dfa, universal_dfa
+from .nfa import EPSILON, NFA, intersection_nfa, union_nfa
+from .regex import parse_regex, to_dfa, to_nfa
+from .simple_regex import Branch, SimpleRegex, constant_sequence, fixed_sequences
+from .twoway import (
+    GeneralizedStringQA,
+    LEFT_MARKER,
+    NonTerminatingRunError,
+    RIGHT_MARKER,
+    StringQueryAutomaton,
+    TwoWayDFA,
+)
+from .behavior import evaluate_query_via_behavior
+from .hopcroft_ullman import hopcroft_ullman_gsqa, reference_pairs
+from .shepherdson import accepts_via_tables, to_one_way_dfa
+
+__all__ = [
+    "DFA",
+    "NFA",
+    "EPSILON",
+    "AutomatonError",
+    "empty_dfa",
+    "singleton_dfa",
+    "universal_dfa",
+    "intersection_nfa",
+    "union_nfa",
+    "parse_regex",
+    "to_dfa",
+    "to_nfa",
+    "Branch",
+    "SimpleRegex",
+    "constant_sequence",
+    "fixed_sequences",
+    "GeneralizedStringQA",
+    "LEFT_MARKER",
+    "RIGHT_MARKER",
+    "NonTerminatingRunError",
+    "StringQueryAutomaton",
+    "TwoWayDFA",
+    "evaluate_query_via_behavior",
+    "hopcroft_ullman_gsqa",
+    "reference_pairs",
+    "accepts_via_tables",
+    "to_one_way_dfa",
+]

@@ -1,0 +1,218 @@
+"""Behavior functions of two-way string automata (Theorem 3.9 machinery).
+
+For a 2DFA ``M`` and input ``w``, the *behavior function*
+``f⁻_{w_1...w_i} : S → S`` records what an excursion into the prefix does:
+``f(s) = s`` when ``(s, w_i) ∈ R``, and otherwise the first state in which
+``M`` returns to position ``i`` after moving left in state ``s`` (undefined
+when it never returns).  The proof of Theorem 3.9 shows that the functions
+``f⁻``, the states ``first(w, i)`` (the first state in which position ``i``
+is reached) and the sets ``Assumed(w, i)`` are determined by *local*
+recurrences — its items (1)–(4) — which we implement verbatim here.
+
+This yields a **linear-time query evaluator** for ``QA^string``
+(:func:`evaluate_query_via_behavior`): one left-to-right pass fixes ``f⁻``
+and ``first``, one right-to-left pass fixes ``Assumed``, and a position is
+selected iff some assumed state is selecting.  Its agreement with direct
+simulation is the executable content of Theorem 3.9's "only if" direction
+and is property-tested.
+
+Positions use the marked-string convention of :mod:`repro.strings.twoway`:
+index 0 is ``⊳``, indices ``1..n`` the word, ``n+1`` is ``⊲``.  The
+evaluator requires the paper's standing convention that the automaton
+always halts *at the right endmarker*; a run that would halt elsewhere
+raises :class:`BehaviorError` (direct simulation remains available for such
+automata).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from .twoway import (
+    LEFT_MARKER,
+    NonTerminatingRunError,
+    StringQueryAutomaton,
+    TwoWayDFA,
+)
+
+State = Hashable
+Symbol = Hashable
+
+#: A behavior function: a partial map from states to states.
+BehaviorFunction = dict[State, State]
+
+
+class BehaviorError(RuntimeError):
+    """The run does not conform to the halt-at-``⊲`` convention."""
+
+
+def states_closure(behavior: BehaviorFunction, state: State) -> list[State]:
+    """``States(f, s)``: the orbit of ``s`` under ``f`` (Theorem 3.9).
+
+    Returned in iteration order; stops when ``f`` is undefined or a state
+    repeats with ``f(s') = s'`` (a proper cycle raises — the automaton
+    would not halt).
+    """
+    orbit = [state]
+    seen = {state}
+    current = state
+    while current in behavior:
+        nxt = behavior[current]
+        if nxt == current:
+            break  # fixed point: (current, cell) ∈ R
+        if nxt in seen:
+            raise NonTerminatingRunError(
+                f"behavior function cycles on state {state!r}"
+            )
+        orbit.append(nxt)
+        seen.add(nxt)
+        current = nxt
+    return orbit
+
+
+def right_state(
+    automaton: TwoWayDFA,
+    behavior: BehaviorFunction,
+    state: State,
+    cell: Hashable,
+) -> State | None:
+    """``right(f, s, σ)``: the state in which the next right move happens.
+
+    Iterates the behavior function from ``s`` until reaching a state ``s'``
+    with ``(s', σ) ∈ R``; ``None`` when the machine instead halts (or the
+    excursion never returns).
+    """
+    for candidate in states_closure(behavior, state):
+        if automaton.in_right(candidate, cell):
+            return candidate
+    return None
+
+
+def left_behavior_functions(
+    automaton: TwoWayDFA, word: Sequence[Symbol]
+) -> list[BehaviorFunction]:
+    """All prefix behavior functions ``f⁻_0 .. f⁻_{n+1}`` (items 1–2).
+
+    Index ``i`` is the behavior function *at* marked position ``i`` (for
+    the prefix of cells ``0..i``).
+    """
+    cells = automaton.cells(word)
+    functions: list[BehaviorFunction] = []
+
+    # Base: at ⊳ only right moves exist (left moves off ⊳ are illegal).
+    base: BehaviorFunction = {
+        state: state
+        for state in automaton.states
+        if automaton.in_right(state, LEFT_MARKER)
+    }
+    functions.append(base)
+
+    for i in range(1, len(cells)):
+        cell, previous_cell = cells[i], cells[i - 1]
+        previous = functions[-1]
+        current: BehaviorFunction = {}
+        for state in automaton.states:
+            if automaton.in_right(state, cell):
+                current[state] = state
+                continue
+            if not automaton.in_left(state, cell):
+                continue  # halting pair: f undefined
+            entered = automaton.left_moves[(state, cell)]
+            returner = right_state(automaton, previous, entered, previous_cell)
+            if returner is None:
+                continue
+            current[state] = automaton.right_moves[(returner, previous_cell)]
+        functions.append(current)
+    return functions
+
+
+def first_states(
+    automaton: TwoWayDFA,
+    word: Sequence[Symbol],
+    functions: list[BehaviorFunction] | None = None,
+) -> list[State | None]:
+    """``first(w, i)`` for every marked position (item 1 and item 2).
+
+    ``None`` means the run halts before ever reaching position ``i``.
+    """
+    cells = automaton.cells(word)
+    if functions is None:
+        functions = left_behavior_functions(automaton, word)
+    firsts: list[State | None] = [automaton.initial]
+    for i in range(1, len(cells)):
+        previous = firsts[-1]
+        if previous is None:
+            firsts.append(None)
+            continue
+        mover = right_state(automaton, functions[i - 1], previous, cells[i - 1])
+        if mover is None:
+            firsts.append(None)
+        else:
+            firsts.append(automaton.right_moves[(mover, cells[i - 1])])
+    return firsts
+
+
+def assumed_via_behavior(
+    automaton: TwoWayDFA, word: Sequence[Symbol]
+) -> tuple[list[set[State]], State]:
+    """``Assumed(w, i)`` for all marked positions, plus the halting state.
+
+    Implements items (3) and (4) of Theorem 3.9: the ``Assumed`` sets are
+    fixed right-to-left from the behavior functions and the ``first``
+    states.  Unlike the paper's presentation we do not require halting at
+    ``⊲``: the recurrence is seeded at the rightmost position the run
+    reaches, which makes the evaluator total over halting 2DFAs (the run of
+    Example 3.4, for instance, ends at ``⊳``).
+    """
+    cells = automaton.cells(word)
+    functions = left_behavior_functions(automaton, word)
+    firsts = first_states(automaton, word, functions)
+
+    rightmost = max(i for i, state in enumerate(firsts) if state is not None)
+
+    assumed: list[set[State]] = [set() for _ in cells]
+    assumed[rightmost] = set(states_closure(functions[rightmost], firsts[rightmost]))
+    for i in range(rightmost - 1, -1, -1):
+        bucket: set[State] = set()
+        if firsts[i] is not None:
+            bucket.update(states_closure(functions[i], firsts[i]))
+        for later in assumed[i + 1]:
+            if automaton.in_left(later, cells[i + 1]):
+                entered = automaton.left_moves[(later, cells[i + 1])]
+                bucket.update(states_closure(functions[i], entered))
+        assumed[i] = bucket
+
+    # The halting configuration is the unique assumed (position, state)
+    # with no applicable transition; the Assumed sets are exact, so exactly
+    # one exists for a halting automaton.
+    halting_configurations = [
+        (i, state)
+        for i in range(rightmost + 1)
+        for state in assumed[i]
+        if automaton.move(state, cells[i]) is None
+    ]
+    if len(halting_configurations) != 1:
+        raise BehaviorError(
+            f"expected one halting configuration, found {halting_configurations!r}"
+        )
+    _position, halting = halting_configurations[0]
+    return assumed, halting
+
+
+def evaluate_query_via_behavior(
+    qa: StringQueryAutomaton, word: Sequence[Symbol]
+) -> frozenset[int]:
+    """Evaluate a ``QA^string`` in linear time via Theorem 3.9's data.
+
+    Returns the selected 1-based positions of ``w``; agrees with
+    :meth:`StringQueryAutomaton.evaluate` on automata that halt at ``⊲``.
+    """
+    assumed, halting = assumed_via_behavior(qa.automaton, word)
+    if halting not in qa.automaton.accepting:
+        return frozenset()
+    selected: set[int] = set()
+    for position in range(1, len(word) + 1):
+        symbol = word[position - 1]
+        if any((state, symbol) in qa.selecting for state in assumed[position]):
+            selected.add(position)
+    return frozenset(selected)

@@ -1,0 +1,394 @@
+"""Deterministic finite automata over arbitrary hashable alphabets.
+
+The workhorse representation for regular string languages throughout the
+library: DTD content models, the transition languages ``L_↑(q)`` of unranked
+two-way tree automata (the paper requires these to be *deterministic*, see
+the discussion at the end of Theorem 6.3), and the targets of the MSO
+compiler of Theorem 2.5.
+
+A DFA here may be *partial*: a missing transition means the word is
+rejected.  :meth:`DFA.completed` adds an explicit sink when totality is
+needed (e.g., before complementation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from dataclasses import dataclass
+
+State = Hashable
+Symbol = Hashable
+
+
+class AutomatonError(ValueError):
+    """Raised for ill-formed automata."""
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A (possibly partial) deterministic finite automaton.
+
+    Parameters
+    ----------
+    states:
+        Finite set of states.
+    alphabet:
+        Finite input alphabet.
+    transitions:
+        Mapping ``(state, symbol) -> state``; pairs may be absent.
+    initial:
+        The start state.
+    accepting:
+        The set of final states.
+    """
+
+    states: frozenset[State]
+    alphabet: frozenset[Symbol]
+    transitions: dict[tuple[State, Symbol], State]
+    initial: State
+    accepting: frozenset[State]
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise AutomatonError(f"initial state {self.initial!r} not in states")
+        if not self.accepting <= self.states:
+            raise AutomatonError("accepting states must be a subset of states")
+        for (source, symbol), target in self.transitions.items():
+            if source not in self.states or target not in self.states:
+                raise AutomatonError(
+                    f"transition {source!r} --{symbol!r}--> {target!r} uses unknown states"
+                )
+            if symbol not in self.alphabet:
+                raise AutomatonError(f"transition symbol {symbol!r} not in alphabet")
+
+    @staticmethod
+    def build(
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: dict[tuple[State, Symbol], State],
+        initial: State,
+        accepting: Iterable[State],
+    ) -> "DFA":
+        """Convenience constructor accepting any iterables."""
+        return DFA(
+            frozenset(states),
+            frozenset(alphabet),
+            dict(transitions),
+            initial,
+            frozenset(accepting),
+        )
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def step(self, state: State, symbol: Symbol) -> State | None:
+        """One transition; ``None`` when undefined."""
+        return self.transitions.get((state, symbol))
+
+    def run(self, word: Iterable[Symbol]) -> State | None:
+        """The state ``δ*(initial, word)``, or ``None`` if the run dies."""
+        state: State | None = self.initial
+        for symbol in word:
+            if state is None:
+                return None
+            state = self.step(state, symbol)
+        return state
+
+    def run_states(self, word: Iterable[Symbol]) -> list[State | None]:
+        """The full state sequence (length ``|word| + 1``, starting state first)."""
+        states: list[State | None] = [self.initial]
+        for symbol in word:
+            prev = states[-1]
+            states.append(None if prev is None else self.step(prev, symbol))
+        return states
+
+    def accepts(self, word: Iterable[Symbol]) -> bool:
+        """Membership test."""
+        state = self.run(word)
+        return state is not None and state in self.accepting
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """|states| + |alphabet| (the paper's size measure for automata)."""
+        return len(self.states) + len(self.alphabet)
+
+    def is_total(self) -> bool:
+        """True iff every (state, symbol) pair has a transition."""
+        return all(
+            (state, symbol) in self.transitions
+            for state in self.states
+            for symbol in self.alphabet
+        )
+
+    def completed(self, sink: State = ("__sink__",)) -> "DFA":
+        """Return a total DFA, adding a non-accepting sink if needed."""
+        if self.is_total():
+            return self
+        if sink in self.states:
+            raise AutomatonError(f"sink name {sink!r} collides with a state")
+        transitions = dict(self.transitions)
+        states = self.states | {sink}
+        for state in states:
+            for symbol in self.alphabet:
+                transitions.setdefault((state, symbol), sink)
+        return DFA(states, self.alphabet, transitions, self.initial, self.accepting)
+
+    def reachable_states(self) -> frozenset[State]:
+        """States reachable from the initial state."""
+        seen = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for symbol in self.alphabet:
+                target = self.step(state, symbol)
+                if target is not None and target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return frozenset(seen)
+
+    def trimmed(self) -> "DFA":
+        """Restrict to reachable states."""
+        reachable = self.reachable_states()
+        return DFA(
+            reachable,
+            self.alphabet,
+            {
+                key: target
+                for key, target in self.transitions.items()
+                if key[0] in reachable
+            },
+            self.initial,
+            self.accepting & reachable,
+        )
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+
+    def complement(self) -> "DFA":
+        """DFA for the complement language (w.r.t. this alphabet)."""
+        total = self.completed()
+        return DFA(
+            total.states,
+            total.alphabet,
+            total.transitions,
+            total.initial,
+            total.states - total.accepting,
+        )
+
+    def _product(self, other: "DFA", accept_both: bool, accept_either: bool) -> "DFA":
+        if self.alphabet != other.alphabet:
+            raise AutomatonError("product requires identical alphabets")
+        left = self.completed()
+        right = other.completed()
+        initial = (left.initial, right.initial)
+        states: set[tuple[State, State]] = {initial}
+        transitions: dict[tuple[State, Symbol], State] = {}
+        frontier = [initial]
+        while frontier:
+            a, b = frontier.pop()
+            for symbol in self.alphabet:
+                target = (left.transitions[(a, symbol)], right.transitions[(b, symbol)])
+                transitions[((a, b), symbol)] = target
+                if target not in states:
+                    states.add(target)
+                    frontier.append(target)
+        states = frozenset(states)
+        if accept_both:
+            accepting = frozenset(
+                (a, b) for a, b in states if a in left.accepting and b in right.accepting
+            )
+        elif accept_either:
+            accepting = frozenset(
+                (a, b) for a, b in states if a in left.accepting or b in right.accepting
+            )
+        else:  # symmetric difference — used for equivalence checking
+            accepting = frozenset(
+                (a, b)
+                for a, b in states
+                if (a in left.accepting) != (b in right.accepting)
+            )
+        return DFA(states, self.alphabet, transitions, initial, accepting)
+
+    def intersection(self, other: "DFA") -> "DFA":
+        """DFA for the intersection of the two languages."""
+        return self._product(other, accept_both=True, accept_either=False)
+
+    def union(self, other: "DFA") -> "DFA":
+        """DFA for the union of the two languages."""
+        return self._product(other, accept_both=False, accept_either=True)
+
+    # ------------------------------------------------------------------
+    # Decision procedures
+    # ------------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True iff the language is empty."""
+        return not (self.reachable_states() & self.accepting)
+
+    def shortest_accepted(self) -> list[Symbol] | None:
+        """A shortest accepted word, or ``None`` when the language is empty."""
+        if self.initial in self.accepting:
+            return []
+        parent: dict[State, tuple[State, Symbol]] = {}
+        frontier = [self.initial]
+        seen = {self.initial}
+        while frontier:
+            next_frontier: list[State] = []
+            for state in frontier:
+                for symbol in sorted(self.alphabet, key=repr):
+                    target = self.step(state, symbol)
+                    if target is None or target in seen:
+                        continue
+                    seen.add(target)
+                    parent[target] = (state, symbol)
+                    if target in self.accepting:
+                        word: list[Symbol] = []
+                        node = target
+                        while node != self.initial:
+                            node, sym = parent[node]
+                            word.append(sym)
+                        return list(reversed(word))
+                    next_frontier.append(target)
+            frontier = next_frontier
+        return None
+
+    def is_disjoint(self, other: "DFA") -> bool:
+        """True iff the two languages have no common word."""
+        return self.intersection(other).is_empty()
+
+    def equivalent(self, other: "DFA") -> bool:
+        """Language equality via emptiness of the symmetric difference."""
+        return self._product(other, accept_both=False, accept_either=False).is_empty()
+
+    # ------------------------------------------------------------------
+    # Minimization (Hopcroft's partition refinement)
+    # ------------------------------------------------------------------
+
+    def minimized(self) -> "DFA":
+        """The canonical minimal DFA for this language.
+
+        Uses Hopcroft's partition-refinement algorithm on the completed,
+        trimmed automaton.  States of the result are frozensets of original
+        states (the equivalence blocks).
+        """
+        total = self.completed().trimmed()
+        partition: list[set[State]] = []
+        accepting = set(total.accepting)
+        rejecting = set(total.states) - accepting
+        for block in (accepting, rejecting):
+            if block:
+                partition.append(block)
+        work = [set(block) for block in partition]
+
+        # Pre-compute inverse transitions for speed.
+        inverse: dict[tuple[State, Symbol], set[State]] = {}
+        for (source, symbol), target in total.transitions.items():
+            inverse.setdefault((target, symbol), set()).add(source)
+
+        while work:
+            splitter = work.pop()
+            for symbol in total.alphabet:
+                predecessors: set[State] = set()
+                for state in splitter:
+                    predecessors |= inverse.get((state, symbol), set())
+                new_partition: list[set[State]] = []
+                for block in partition:
+                    inside = block & predecessors
+                    outside = block - predecessors
+                    if inside and outside:
+                        new_partition.extend((inside, outside))
+                        if block in work:
+                            work.remove(block)
+                            work.extend((inside, outside))
+                        else:
+                            work.append(inside if len(inside) <= len(outside) else outside)
+                    else:
+                        new_partition.append(block)
+                partition = new_partition
+
+        block_of: dict[State, frozenset[State]] = {}
+        for block in partition:
+            frozen = frozenset(block)
+            for state in block:
+                block_of[state] = frozen
+
+        states = frozenset(block_of.values())
+        transitions = {
+            (block_of[source], symbol): block_of[target]
+            for (source, symbol), target in total.transitions.items()
+        }
+        return DFA(
+            states,
+            total.alphabet,
+            transitions,
+            block_of[total.initial],
+            frozenset(block_of[state] for state in total.accepting),
+        ).trimmed()
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+
+    def words_of_length(self, length: int) -> Iterator[tuple[Symbol, ...]]:
+        """Enumerate all accepted words of exactly the given length."""
+        symbols = sorted(self.alphabet, key=repr)
+
+        def extend(state: State, remaining: int) -> Iterator[tuple[Symbol, ...]]:
+            if remaining == 0:
+                if state in self.accepting:
+                    yield ()
+                return
+            for symbol in symbols:
+                target = self.step(state, symbol)
+                if target is None:
+                    continue
+                for suffix in extend(target, remaining - 1):
+                    yield (symbol,) + suffix
+
+        yield from extend(self.initial, length)
+
+    def reversed_dfa(self) -> "DFA":
+        """A DFA for the reversal of the language (via reverse-NFA subset construction)."""
+        from .nfa import NFA
+
+        reverse_transitions: dict[tuple[State, Symbol], frozenset[State]] = {}
+        grouped: dict[tuple[State, Symbol], set[State]] = {}
+        for (source, symbol), target in self.transitions.items():
+            grouped.setdefault((target, symbol), set()).add(source)
+        for key, sources in grouped.items():
+            reverse_transitions[key] = frozenset(sources)
+        nfa = NFA(
+            states=self.states,
+            alphabet=self.alphabet,
+            transitions=reverse_transitions,
+            initials=self.accepting,
+            accepting=frozenset({self.initial}),
+        )
+        return nfa.determinized()
+
+
+def singleton_dfa(alphabet: Iterable[Symbol], word: Iterable[Symbol]) -> DFA:
+    """A DFA accepting exactly one word."""
+    word = tuple(word)
+    states: set[State] = set(range(len(word) + 1))
+    transitions = {(i, symbol): i + 1 for i, symbol in enumerate(word)}
+    return DFA.build(states, alphabet, transitions, 0, {len(word)})
+
+
+def universal_dfa(alphabet: Iterable[Symbol]) -> DFA:
+    """A DFA accepting every word over the alphabet."""
+    alphabet = frozenset(alphabet)
+    return DFA.build(
+        {0}, alphabet, {(0, symbol): 0 for symbol in alphabet}, 0, {0}
+    )
+
+
+def empty_dfa(alphabet: Iterable[Symbol]) -> DFA:
+    """A DFA accepting nothing."""
+    return DFA.build({0}, frozenset(alphabet), {}, 0, set())

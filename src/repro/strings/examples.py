@@ -1,0 +1,148 @@
+"""The paper's worked string-automaton examples, verbatim.
+
+* Example 3.4 — a ``QA^string`` selecting every position labeled ``1`` that
+  occurs at an odd position counting from the right end.
+* Example 3.6 — the same machine as a GSQA copying the input but replacing
+  each such ``1`` by ``*``.
+* Remark 3.3 — the "select first and last symbol if the string contains a
+  σ" query, as a two-way QA (no one-way QA computes it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from .twoway import (
+    GeneralizedStringQA,
+    LEFT_MARKER,
+    RIGHT_MARKER,
+    StringQueryAutomaton,
+    TwoWayDFA,
+)
+
+Symbol = Hashable
+
+
+def _odd_position_2dfa() -> TwoWayDFA:
+    """The underlying 2DFA of Examples 3.4/3.6.
+
+    Walks right in ``s0``; bounces off ``⊲`` and walks back alternating
+    ``s1``/``s2`` (``s1`` marks odd distance from the right end).  Unlike
+    the paper's version, it ends with an explicit halt at ``⊳`` so the run
+    is maximal there.
+    """
+    states = {"s0", "s1", "s2"}
+    alphabet = {"0", "1"}
+    right_moves = {
+        ("s0", LEFT_MARKER): "s0",
+        ("s0", "0"): "s0",
+        ("s0", "1"): "s0",
+    }
+    left_moves = {
+        ("s0", RIGHT_MARKER): "s1",
+        ("s1", "0"): "s2",
+        ("s1", "1"): "s2",
+        ("s2", "0"): "s1",
+        ("s2", "1"): "s1",
+    }
+    return TwoWayDFA.build(
+        states, alphabet, "s0", {"s1", "s2"}, left_moves, right_moves
+    )
+
+
+def odd_ones_query_automaton() -> StringQueryAutomaton:
+    """Example 3.4: select 1-labeled positions at odd distance from the right.
+
+    >>> odd_ones_query_automaton().evaluate(list("0110"))
+    frozenset({2})
+    """
+    return StringQueryAutomaton(
+        _odd_position_2dfa(), frozenset({("s1", "1")})
+    )
+
+
+def odd_ones_gsqa() -> GeneralizedStringQA:
+    """Example 3.6: copy the input, starring the odd-position 1s.
+
+    >>> "".join(odd_ones_gsqa().transduce(list("0110")))
+    '0*10'
+    """
+    output = {
+        ("s1", "0"): "0",
+        ("s1", "1"): "*",
+        ("s2", "0"): "0",
+        ("s2", "1"): "1",
+    }
+    return GeneralizedStringQA(
+        _odd_position_2dfa(), output, frozenset({"0", "1", "*"})
+    )
+
+
+def endpoints_if_contains(
+    alphabet: Sequence[Symbol], needle: Symbol
+) -> StringQueryAutomaton:
+    """Remark 3.3: select the first and last position iff ``needle`` occurs.
+
+    A genuinely two-way query: a one-way QA would have to decide about the
+    first position before seeing the input (the paper's argument for why
+    two-wayness matters for *queries* even though it does not for
+    *languages*).
+    """
+    alphabet = list(alphabet)
+    if needle not in alphabet:
+        raise ValueError("needle must belong to the alphabet")
+    # Phase 1 (seek): walk right looking for the needle.
+    # Phase 2 (found): continue right to ⊲, walk back to ⊳ in `back`,
+    #   flagging the position next to each marker via `at_first`/`at_last`.
+    states = {"seek", "found", "back", "report_last", "done"}
+    right_moves: dict[tuple[str, Symbol], str] = {
+        ("seek", LEFT_MARKER): "seek",
+        ("report_last", LEFT_MARKER): "done",
+    }
+    left_moves: dict[tuple[str, Symbol], str] = {
+        ("found", RIGHT_MARKER): "report_last",
+    }
+    for symbol in alphabet:
+        right_moves[("seek", symbol)] = "found" if symbol == needle else "seek"
+        right_moves[("found", symbol)] = "found"
+        left_moves[("report_last", symbol)] = "back"
+        left_moves[("back", symbol)] = "back"
+    # From ⊳ the head re-enters position 1 in `report_first`, which has no
+    # moves on symbols — the run halts there, with the first position
+    # having been visited in the selecting state.
+    right_moves[("back", LEFT_MARKER)] = "report_first"
+    states.add("report_first")
+    selecting = frozenset(
+        {("report_last", symbol) for symbol in alphabet}
+        | {("report_first", symbol) for symbol in alphabet}
+    )
+    automaton = TwoWayDFA.build(
+        states,
+        alphabet,
+        "seek",
+        {"report_first", "seek", "done"},
+        left_moves,
+        right_moves,
+    )
+    return StringQueryAutomaton(automaton, selecting)
+
+
+def sweep_right_dfa_as_qa(
+    alphabet: Sequence[Symbol],
+    selecting_symbols: Sequence[Symbol],
+) -> StringQueryAutomaton:
+    """A trivial one-way QA selecting all positions with given labels.
+
+    Used as a baseline in benchmarks (one left-to-right sweep, no
+    two-way behavior).
+    """
+    alphabet = list(alphabet)
+    right_moves: dict[tuple[str, Symbol], str] = {("go", LEFT_MARKER): "go"}
+    for symbol in alphabet:
+        right_moves[("go", symbol)] = "go"
+    automaton = TwoWayDFA.build(
+        {"go"}, alphabet, "go", {"go"}, {}, right_moves
+    )
+    return StringQueryAutomaton(
+        automaton, frozenset(("go", symbol) for symbol in selecting_symbols)
+    )

@@ -1,0 +1,358 @@
+"""The Hopcroft–Ullman lemma (Lemma 3.10) as an executable construction.
+
+Given a left-to-right DFA ``M1`` and a right-to-left DFA ``M2``, there is a
+*generalized string query automaton* (a deterministic two-way machine with
+per-position output) that outputs, at every position ``i`` of the input,
+the pair ``(δ1*(p0, w_1..w_i), δ2*(q0, w_n..w_i))`` — both one-way state
+sequences at once, even though the two sequences flow in opposite
+directions.  The paper calls this "powerful and surprising" and uses it
+twice: for Theorem 3.9 (combining the two type-computing DFAs) and inside
+the Figure 5 / Figure 6 algorithms for unary chains and sibling sequences.
+
+We implement the construction exactly as sketched in the paper (after
+Engelfriet's survey):
+
+* **Forward phase** — walk right simulating ``M1``; at ``⊲`` turn around.
+* **Settle sweep** — walk left; at each position output the known pair and
+  reconstruct ``M1``'s previous state from the *preimages* of the current
+  one.  ``M2`` advances normally during this sweep (it runs right-to-left).
+* **Backward excursion** — when the previous ``M1`` state is ambiguous
+  (``k ≥ 2`` preimage candidates), walk further left maintaining, for each
+  candidate ``p_t``, the γ-set of states that would lead to it.  Stop when
+  a single γ-set survives, or at ``⊳`` (then the winner is the candidate
+  whose γ-set contains ``M1``'s start state).
+* **Way back** — return to the settle position by simulating two remembered
+  states from *different* γ-sets forward until their runs first merge: by
+  determinism and γ-disjointness that happens exactly one position to the
+  right of the settle target.
+
+The state space is exponential in ``|M1|`` in the worst case (γ-set
+families), matching Proposition 6.2; only reachable states are built.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from .dfa import DFA, AutomatonError
+from .twoway import (
+    GeneralizedStringQA,
+    LEFT_MARKER,
+    RIGHT_MARKER,
+    TwoWayDFA,
+)
+
+State = Hashable
+Symbol = Hashable
+
+_LEFT, _RIGHT = -1, +1
+
+#: Canonical sort key for states inside constructed tuples.
+def _key(value: Hashable) -> str:
+    return repr(value)
+
+
+class _Builder:
+    """Constructs the combined automaton's transition graph lazily."""
+
+    def __init__(self, forward: DFA, backward: DFA) -> None:
+        if forward.alphabet != backward.alphabet:
+            raise AutomatonError("M1 and M2 must share an alphabet")
+        self.m1 = forward.completed()
+        self.m2 = backward.completed()
+        self.alphabet = self.m1.alphabet
+        # preimages[(t, σ)] = the set of M1-states p' with δ1(p', σ) = t.
+        self.preimages: dict[tuple[State, Symbol], frozenset[State]] = {}
+        for (source, symbol), target in self.m1.transitions.items():
+            key = (target, symbol)
+            self.preimages[key] = self.preimages.get(key, frozenset()) | {source}
+
+    def preimage(self, target: State, symbol: Symbol) -> frozenset[State]:
+        return self.preimages.get((target, symbol), frozenset())
+
+    # -- state constructors -------------------------------------------
+
+    @staticmethod
+    def freeze_gamma(gamma: dict[State, frozenset[State]]) -> tuple:
+        return tuple(sorted(gamma.items(), key=lambda item: _key(item[0])))
+
+    def remembered_pair(
+        self, gamma: dict[State, frozenset[State]]
+    ) -> tuple[State, State] | None:
+        """Two states from the first two nonempty γ-sets (canonical order)."""
+        nonempty = [
+            states for _t, states in sorted(gamma.items(), key=lambda i: _key(i[0]))
+            if states
+        ]
+        if len(nonempty) < 2:
+            return None
+        first = min(nonempty[0], key=_key)
+        second = min(nonempty[1], key=_key)
+        return (first, second)
+
+    # -- the transition function --------------------------------------
+
+    def delta(self, state: tuple, cell: Hashable) -> tuple[int, tuple] | None:
+        kind = state[0]
+        if kind == "fwd":
+            return self._delta_forward(state, cell)
+        if kind == "set":
+            return self._delta_settled(state, cell)
+        if kind == "exc0":
+            return self._delta_first_excursion(state, cell)
+        if kind == "exc":
+            return self._delta_excursion(state, cell)
+        if kind == "wbf":
+            return self._delta_wayback_fresh(state, cell)
+        if kind == "wb":
+            return self._delta_wayback(state, cell)
+        return None
+
+    def _delta_forward(self, state: tuple, cell: Hashable) -> tuple[int, tuple] | None:
+        _, p = state
+        if cell == LEFT_MARKER:
+            return (_RIGHT, state)
+        if cell == RIGHT_MARKER:
+            # Turn around: position n settles immediately with carry q0.
+            return (_LEFT, ("set", p, self.m2.initial))
+        return (_RIGHT, ("fwd", self.m1.transitions[(p, cell)]))
+
+    def _delta_settled(self, state: tuple, cell: Hashable) -> tuple[int, tuple] | None:
+        _, p, q = state
+        if cell in (LEFT_MARKER, RIGHT_MARKER):
+            return None  # the sweep is complete: halt at ⊳
+        carry = self.m2.transitions[(q, cell)]
+        candidates = self.preimage(p, cell)
+        if len(candidates) == 1:
+            (only,) = candidates
+            return (_LEFT, ("set", only, carry))
+        if not candidates:
+            return None  # unreachable on real inputs (M1 is total)
+        return (_LEFT, ("exc0", candidates, carry))
+
+    def _delta_first_excursion(
+        self, state: tuple, cell: Hashable
+    ) -> tuple[int, tuple] | None:
+        _, candidates, q = state
+        if cell == LEFT_MARKER:
+            # The settle target would be ⊳ itself: every real position has
+            # been output already, so the machine is done.
+            return None
+        if cell == RIGHT_MARKER:
+            return None
+        gamma_here = {t: frozenset({t}) for t in candidates}
+        pair = self.remembered_pair(gamma_here)
+        if pair is None:
+            return None  # unreachable: exc0 always has ≥ 2 candidates
+        next_gamma = {
+            t: frozenset(
+                p for p in self.m1.states if self.m1.transitions[(p, cell)] in states
+            )
+            for t, states in gamma_here.items()
+        }
+        return (_LEFT, ("exc", self.freeze_gamma(next_gamma), pair, q))
+
+    def _delta_excursion(
+        self, state: tuple, cell: Hashable
+    ) -> tuple[int, tuple] | None:
+        _, frozen_gamma, pair, q = state
+        gamma = dict(frozen_gamma)
+        if cell == RIGHT_MARKER:
+            return None
+        if cell == LEFT_MARKER:
+            # Winner: the candidate whose γ-set contains M1's start state.
+            winners = [t for t, states in gamma.items() if self.m1.initial in states]
+            if len(winners) != 1:
+                return None  # unreachable on real inputs
+            return (_RIGHT, ("wbf", pair[0], pair[1], winners[0], q))
+        nonempty = [t for t, states in gamma.items() if states]
+        if len(nonempty) == 1:
+            return (_RIGHT, ("wbf", pair[0], pair[1], nonempty[0], q))
+        if not nonempty:
+            return None  # unreachable on real inputs
+        new_pair = self.remembered_pair(gamma)
+        assert new_pair is not None
+        next_gamma = {
+            t: frozenset(
+                p for p in self.m1.states if self.m1.transitions[(p, cell)] in states
+            )
+            for t, states in gamma.items()
+        }
+        return (_LEFT, ("exc", self.freeze_gamma(next_gamma), new_pair, q))
+
+    def _delta_wayback_fresh(
+        self, state: tuple, cell: Hashable
+    ) -> tuple[int, tuple] | None:
+        _, r1, r2, winner, q = state
+        if cell in (LEFT_MARKER, RIGHT_MARKER):
+            return None  # unreachable on real inputs
+        # r1 and r2 are the flow values *at this position*; the first
+        # update happens one step to the right.
+        return (_RIGHT, ("wb", r1, r2, winner, q))
+
+    def _delta_wayback(self, state: tuple, cell: Hashable) -> tuple[int, tuple] | None:
+        _, x, y, winner, q = state
+        if cell in (LEFT_MARKER, RIGHT_MARKER):
+            return None  # unreachable on real inputs
+        x_next = self.m1.transitions[(x, cell)]
+        y_next = self.m1.transitions[(y, cell)]
+        if x_next == y_next:
+            # The flows merge exactly one position right of the settle
+            # target: step back left and settle it with the winner.
+            return (_LEFT, ("set", winner, q))
+        return (_RIGHT, ("wb", x_next, y_next, winner, q))
+
+
+def hopcroft_ullman_gsqa(
+    forward: DFA, backward: DFA, render=None
+) -> GeneralizedStringQA:
+    """Build the Lemma 3.10 automaton for ``M1`` (→) and ``M2`` (←).
+
+    The result outputs, at each position ``i`` of any input word ``w``, the
+    pair ``(δ1*(p0, w_1..w_i), δ2*(q0, w_n..w_i))``, where both DFAs are
+    first completed (so the pairs may mention sink states of partial
+    inputs).
+
+    ``render(p, q, letter)``, when given, postprocesses the pair into the
+    actual output symbol — the form in which Theorem 5.17's stay
+    transitions consume the lemma (the combined automaton computes the
+    sibling contexts from the two one-way state streams).
+
+    >>> from repro.strings.dfa import DFA
+    >>> parity = DFA.build({0, 1}, {"a"}, {(0, "a"): 1, (1, "a"): 0}, 0, {0})
+    >>> combined = hopcroft_ullman_gsqa(parity, parity)
+    >>> combined.transduce(["a", "a", "a"])
+    ((1, 1), (0, 0), (1, 1))
+    """
+    builder = _Builder(forward, backward)
+    initial = ("fwd", builder.m1.initial)
+    cells = list(builder.alphabet) + [LEFT_MARKER, RIGHT_MARKER]
+
+    states: set[tuple] = {initial}
+    left_moves: dict[tuple[tuple, Hashable], tuple] = {}
+    right_moves: dict[tuple[tuple, Hashable], tuple] = {}
+    frontier = [initial]
+    while frontier:
+        source = frontier.pop()
+        for cell in cells:
+            step = builder.delta(source, cell)
+            if step is None:
+                continue
+            direction, target = step
+            if direction == _LEFT:
+                left_moves[(source, cell)] = target
+            else:
+                right_moves[(source, cell)] = target
+            if target not in states:
+                states.add(target)
+                frontier.append(target)
+
+    automaton = TwoWayDFA(
+        frozenset(states),
+        builder.alphabet,
+        initial,
+        frozenset(states),  # acceptance is irrelevant for the transduction
+        left_moves,
+        right_moves,
+    )
+    output: dict[tuple[tuple, Symbol], Hashable] = {}
+    gamma_alphabet: set[Hashable] = set()
+    for state in states:
+        if state[0] != "set":
+            continue
+        _, p, q = state
+        for symbol in builder.alphabet:
+            q_here = builder.m2.transitions[(q, symbol)]
+            value = (p, q_here) if render is None else render(p, q_here, symbol)
+            output[(state, symbol)] = value
+            gamma_alphabet.add(value)
+    return GeneralizedStringQA(automaton, output, frozenset(gamma_alphabet))
+
+
+def mirror_gsqa(original: GeneralizedStringQA) -> GeneralizedStringQA:
+    """The GSQA that behaves like ``original`` run on the reversed word.
+
+    Every move direction and endmarker is swapped; a fresh start state
+    first carries the head from ``⊳`` to ``⊲`` (our machines always start
+    at the left marker).  Outputs land at mirrored positions — i.e., the
+    mirrored machine computes ``reverse(original(reverse(w)))``.
+    """
+    h = original.automaton
+    start = ("__mirror_start__",)
+    if start in h.states:
+        raise AutomatonError("mirror start state collides")
+
+    def swap(cell):
+        if cell == LEFT_MARKER:
+            return RIGHT_MARKER
+        if cell == RIGHT_MARKER:
+            return LEFT_MARKER
+        return cell
+
+    left_moves: dict[tuple, Hashable] = {}
+    right_moves: dict[tuple, Hashable] = {}
+    for (state, cell), target in h.right_moves.items():
+        left_moves[(state, swap(cell))] = target
+    for (state, cell), target in h.left_moves.items():
+        right_moves[(state, swap(cell))] = target
+
+    # Pre-phase: walk from ⊳ to ⊲, then splice into the original's first
+    # transition (which is a right move at its ⊳).
+    right_moves[(start, LEFT_MARKER)] = start
+    for symbol in h.alphabet:
+        right_moves[(start, symbol)] = start
+    first = h.right_moves.get((h.initial, LEFT_MARKER))
+    if first is None:
+        raise AutomatonError("the mirrored machine must start with a right move")
+    left_moves[(start, RIGHT_MARKER)] = first
+
+    automaton = TwoWayDFA(
+        h.states | {start},
+        h.alphabet,
+        start,
+        h.states | {start},
+        left_moves,
+        right_moves,
+    )
+    return GeneralizedStringQA(automaton, dict(original.output), original.gamma)
+
+
+def reversed_hopcroft_ullman_gsqa(
+    left_to_right: DFA, right_to_left: DFA, render=None
+) -> GeneralizedStringQA:
+    """Lemma 3.10 with the state-reconstruction burden on ``right_to_left``.
+
+    Semantically identical to ``hopcroft_ullman_gsqa(left_to_right,
+    right_to_left, render)`` — outputs ``render(p_i, q_i, w_i)`` with
+    ``p_i = δ1*(p0, w_1..w_i)`` and ``q_i = δ2*(q0, w_n..w_i)`` — but the
+    exponential γ-set machinery of the excursions runs over the
+    *right-to-left* automaton's states.  Pick whichever variant has the
+    smaller reconstructed machine (Theorem 5.17's stay transition uses
+    this one: its suffix automaton is the small transition monoid).
+    """
+    swapped_render = None
+    if render is not None:
+        swapped_render = lambda p, q, letter: render(q, p, letter)
+    else:
+        swapped_render = lambda p, q, letter: (q, p)
+    reversed_machine = hopcroft_ullman_gsqa(
+        right_to_left, left_to_right, render=swapped_render
+    )
+    return mirror_gsqa(reversed_machine)
+
+
+def reference_pairs(
+    forward: DFA, backward: DFA, word: Sequence[Symbol]
+) -> tuple[tuple[State, State], ...]:
+    """The pairs the Lemma 3.10 automaton must output, computed directly.
+
+    ``(δ1*(p0, w_1..w_i), δ2*(q0, w_n..w_i))`` for ``i = 1..n`` — the
+    two-pass oracle used to test :func:`hopcroft_ullman_gsqa`.
+    """
+    m1 = forward.completed()
+    m2 = backward.completed()
+    forward_states = m1.run_states(word)[1:]  # state after each prefix
+    backward_states = list(reversed(m2.run_states(list(reversed(word)))[1:]))
+    return tuple(
+        (p, q) for p, q in zip(forward_states, backward_states, strict=True)
+    )

@@ -1,0 +1,264 @@
+"""Nondeterministic finite automata (with ε-transitions) and determinization.
+
+Matches Section 2.2's definition (a set of initial states, transition
+function into the powerset) extended with ε-moves for convenient Thompson
+construction from regular expressions.  The subset construction
+(:meth:`NFA.determinized`) realizes the classical NFA→DFA translation the
+paper relies on implicitly whenever it says "represented by NFAs".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+from .dfa import DFA, AutomatonError
+
+State = Hashable
+Symbol = Hashable
+
+#: Sentinel used as the "symbol" of ε-transitions.
+EPSILON = ("__epsilon__",)
+
+
+@dataclass(frozen=True)
+class NFA:
+    """A nondeterministic finite automaton, possibly with ε-moves.
+
+    ``transitions`` maps ``(state, symbol)`` to a frozenset of successor
+    states; the symbol :data:`EPSILON` marks ε-transitions.
+    """
+
+    states: frozenset[State]
+    alphabet: frozenset[Symbol]
+    transitions: dict[tuple[State, Symbol], frozenset[State]]
+    initials: frozenset[State]
+    accepting: frozenset[State]
+
+    def __post_init__(self) -> None:
+        if not self.initials <= self.states:
+            raise AutomatonError("initial states must be a subset of states")
+        if not self.accepting <= self.states:
+            raise AutomatonError("accepting states must be a subset of states")
+        for (source, symbol), targets in self.transitions.items():
+            if source not in self.states or not targets <= self.states:
+                raise AutomatonError("transition uses unknown states")
+            if symbol is not EPSILON and symbol not in self.alphabet:
+                raise AutomatonError(f"transition symbol {symbol!r} not in alphabet")
+
+    @staticmethod
+    def build(
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: dict[tuple[State, Symbol], Iterable[State]],
+        initials: Iterable[State],
+        accepting: Iterable[State],
+    ) -> "NFA":
+        """Convenience constructor accepting any iterables."""
+        return NFA(
+            frozenset(states),
+            frozenset(alphabet),
+            {key: frozenset(value) for key, value in transitions.items()},
+            frozenset(initials),
+            frozenset(accepting),
+        )
+
+    @property
+    def size(self) -> int:
+        """|states| + |alphabet| (paper's size measure)."""
+        return len(self.states) + len(self.alphabet)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def epsilon_closure(self, states: Iterable[State]) -> frozenset[State]:
+        """All states reachable from ``states`` by ε-moves."""
+        closure = set(states)
+        frontier = list(closure)
+        while frontier:
+            state = frontier.pop()
+            for target in self.transitions.get((state, EPSILON), ()):
+                if target not in closure:
+                    closure.add(target)
+                    frontier.append(target)
+        return frozenset(closure)
+
+    def step(self, states: Iterable[State], symbol: Symbol) -> frozenset[State]:
+        """The ε-closed successor set after reading one symbol."""
+        moved: set[State] = set()
+        for state in states:
+            moved |= self.transitions.get((state, symbol), frozenset())
+        return self.epsilon_closure(moved)
+
+    def run(self, word: Iterable[Symbol]) -> frozenset[State]:
+        """The set of states reachable on the word."""
+        current = self.epsilon_closure(self.initials)
+        for symbol in word:
+            current = self.step(current, symbol)
+        return current
+
+    def accepts(self, word: Iterable[Symbol]) -> bool:
+        """Membership test."""
+        return bool(self.run(word) & self.accepting)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+
+    def determinized(self) -> DFA:
+        """Subset construction; result states are frozensets of NFA states.
+
+        Only reachable subsets are materialized, so the output is often far
+        smaller than :math:`2^{|Q|}` in practice (the benchmarks in
+        ``bench_twoway_conversion`` measure the actual blowup).
+        """
+        initial = self.epsilon_closure(self.initials)
+        states: set[frozenset[State]] = {initial}
+        transitions: dict[tuple[State, Symbol], State] = {}
+        frontier = [initial]
+        while frontier:
+            subset = frontier.pop()
+            for symbol in self.alphabet:
+                target = self.step(subset, symbol)
+                transitions[(subset, symbol)] = target
+                if target not in states:
+                    states.add(target)
+                    frontier.append(target)
+        accepting = frozenset(
+            subset for subset in states if subset & self.accepting
+        )
+        return DFA(frozenset(states), self.alphabet, transitions, initial, accepting)
+
+    def is_empty(self) -> bool:
+        """True iff no word is accepted (reachability check)."""
+        seen = set(self.epsilon_closure(self.initials))
+        frontier = list(seen)
+        while frontier:
+            state = frontier.pop()
+            if state in self.accepting:
+                return False
+            for (source, _symbol), targets in self.transitions.items():
+                if source != state:
+                    continue
+                for target in targets:
+                    if target not in seen:
+                        seen.add(target)
+                        frontier.append(target)
+        return not (seen & self.accepting)
+
+    def trimmed(self) -> "NFA":
+        """Restrict to states reachable from the initial states.
+
+        Keeps nested product constructions (MSO compilation) from carrying
+        dead Cartesian-product states through further products.
+        """
+        reachable = set(self.epsilon_closure(self.initials))
+        frontier = list(reachable)
+        while frontier:
+            state = frontier.pop()
+            for symbol in list(self.alphabet) + [EPSILON]:
+                for target in self.transitions.get((state, symbol), ()):
+                    if target not in reachable:
+                        reachable.add(target)
+                        frontier.append(target)
+        return NFA(
+            frozenset(reachable),
+            self.alphabet,
+            {
+                key: targets & frozenset(reachable)
+                for key, targets in self.transitions.items()
+                if key[0] in reachable
+            },
+            self.initials & frozenset(reachable),
+            self.accepting & frozenset(reachable),
+        )
+
+    def reversed_nfa(self) -> "NFA":
+        """NFA for the reversal of the language."""
+        transitions: dict[tuple[State, Symbol], set[State]] = {}
+        for (source, symbol), targets in self.transitions.items():
+            for target in targets:
+                transitions.setdefault((target, symbol), set()).add(source)
+        return NFA.build(
+            self.states,
+            self.alphabet,
+            {key: frozenset(value) for key, value in transitions.items()},
+            self.accepting,
+            self.initials,
+        )
+
+    @staticmethod
+    def from_dfa(dfa: DFA) -> "NFA":
+        """View a DFA as an NFA."""
+        return NFA(
+            dfa.states,
+            dfa.alphabet,
+            {
+                key: frozenset({target})
+                for key, target in dfa.transitions.items()
+            },
+            frozenset({dfa.initial}),
+            dfa.accepting,
+        )
+
+
+def intersection_nfa(left: NFA, right: NFA) -> NFA:
+    """Product NFA for the intersection of the two languages.
+
+    Only product states reachable from the initial pairs are materialized,
+    which keeps nested products (the MSO compiler) tractable.
+    """
+    if left.alphabet != right.alphabet:
+        raise AutomatonError("product requires identical alphabets")
+    # ε-eliminate by determinizing when ε-moves are present (simplest correct path).
+    if any(symbol is EPSILON for _, symbol in left.transitions):
+        left = NFA.from_dfa(left.determinized().trimmed())
+    if any(symbol is EPSILON for _, symbol in right.transitions):
+        right = NFA.from_dfa(right.determinized().trimmed())
+    initials = frozenset((a, b) for a in left.initials for b in right.initials)
+    states: set[State] = set(initials)
+    transitions: dict[tuple[State, Symbol], frozenset[State]] = {}
+    frontier = list(initials)
+    while frontier:
+        a, b = frontier.pop()
+        for symbol in left.alphabet:
+            targets_a = left.transitions.get((a, symbol), frozenset())
+            targets_b = right.transitions.get((b, symbol), frozenset())
+            if not targets_a or not targets_b:
+                continue
+            targets = frozenset((ta, tb) for ta in targets_a for tb in targets_b)
+            transitions[((a, b), symbol)] = targets
+            for target in targets:
+                if target not in states:
+                    states.add(target)
+                    frontier.append(target)
+    accepting = frozenset(
+        (a, b) for (a, b) in states if a in left.accepting and b in right.accepting
+    )
+    return NFA(frozenset(states), left.alphabet, transitions, initials, accepting)
+
+
+def union_nfa(left: NFA, right: NFA) -> NFA:
+    """Disjoint-union NFA for the union of the two languages."""
+    if left.alphabet != right.alphabet:
+        raise AutomatonError("union requires identical alphabets")
+
+    def tag(which: int, state: State) -> State:
+        return (which, state)
+
+    states = frozenset(tag(0, s) for s in left.states) | frozenset(
+        tag(1, s) for s in right.states
+    )
+    transitions: dict[tuple[State, Symbol], frozenset[State]] = {}
+    for (source, symbol), targets in left.transitions.items():
+        transitions[(tag(0, source), symbol)] = frozenset(tag(0, t) for t in targets)
+    for (source, symbol), targets in right.transitions.items():
+        transitions[(tag(1, source), symbol)] = frozenset(tag(1, t) for t in targets)
+    initials = frozenset(tag(0, s) for s in left.initials) | frozenset(
+        tag(1, s) for s in right.initials
+    )
+    accepting = frozenset(tag(0, s) for s in left.accepting) | frozenset(
+        tag(1, s) for s in right.accepting
+    )
+    return NFA(states, left.alphabet, transitions, initials, accepting)

@@ -1,0 +1,307 @@
+"""Regular expressions with Thompson construction to NFAs.
+
+Used in two places the paper calls for regular languages given by
+expressions: the right-hand sides of extended context-free grammar (DTD)
+productions, and human-friendly specification of the transition languages
+``L_↑(q)`` of unranked automata (e.g., Example 5.14's ``up* 1 up* + up*``).
+
+The expression AST is alphabet-generic; :func:`parse_regex` offers a textual
+syntax whose atoms are identifier tokens (so multi-character symbols such as
+element names work naturally):
+
+=============  =====================
+syntax         meaning
+=============  =====================
+``a``          the symbol ``a``
+``(e)``        grouping
+``e f``        concatenation (juxtaposition; ``,`` also allowed)
+``e | f``      union (``+`` also allowed, DTD-style ``|`` preferred)
+``e*``         Kleene star
+``e+``         one or more
+``e?``         optional
+``%e``         epsilon (the empty word) — written ``%``
+``~``          the empty language — written ``~``
+=============  =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Union
+
+from .nfa import EPSILON, NFA
+
+Symbol = Hashable
+
+
+class RegexError(ValueError):
+    """Raised for malformed regular expressions."""
+
+
+@dataclass(frozen=True)
+class Empty:
+    """The empty language ∅."""
+
+
+@dataclass(frozen=True)
+class Epsilon:
+    """The language {ε}."""
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A single symbol."""
+
+    symbol: Symbol
+
+
+@dataclass(frozen=True)
+class Concat:
+    """Concatenation of two languages."""
+
+    left: "Regex"
+    right: "Regex"
+
+
+@dataclass(frozen=True)
+class Union:
+    """Union of two languages."""
+
+    left: "Regex"
+    right: "Regex"
+
+
+@dataclass(frozen=True)
+class Star:
+    """Kleene star."""
+
+    inner: "Regex"
+
+
+Regex = Union  # forward declaration aid (overwritten below)
+Regex = Empty | Epsilon | Atom | Concat | Union | Star  # type: ignore[misc]
+
+
+def concat_all(*parts: Regex) -> Regex:
+    """Concatenation of any number of expressions (ε when empty)."""
+    result: Regex = Epsilon()
+    for part in parts:
+        result = part if isinstance(result, Epsilon) else Concat(result, part)
+    return result
+
+
+def union_all(*parts: Regex) -> Regex:
+    """Union of any number of expressions (∅ when empty)."""
+    if not parts:
+        return Empty()
+    result = parts[0]
+    for part in parts[1:]:
+        result = Union(result, part)
+    return result
+
+
+def plus(inner: Regex) -> Regex:
+    """``e+`` as ``e e*``."""
+    return Concat(inner, Star(inner))
+
+
+def optional(inner: Regex) -> Regex:
+    """``e?`` as ``e | ε``."""
+    return Union(inner, Epsilon())
+
+
+def literal(word: tuple[Symbol, ...] | list[Symbol] | str) -> Regex:
+    """The singleton language of one word (characters when given a str)."""
+    return concat_all(*(Atom(symbol) for symbol in word))
+
+
+def symbols_of(expr: Regex) -> frozenset[Symbol]:
+    """All symbols occurring in the expression."""
+    if isinstance(expr, Atom):
+        return frozenset({expr.symbol})
+    if isinstance(expr, (Concat, Union)):
+        return symbols_of(expr.left) | symbols_of(expr.right)
+    if isinstance(expr, Star):
+        return symbols_of(expr.inner)
+    return frozenset()
+
+
+# ----------------------------------------------------------------------
+# Thompson construction
+# ----------------------------------------------------------------------
+
+
+def to_nfa(expr: Regex, alphabet: frozenset[Symbol] | None = None) -> NFA:
+    """Compile an expression to an ε-NFA by Thompson's construction.
+
+    >>> to_nfa(parse_regex("a b* c")).accepts(["a", "b", "b", "c"])
+    True
+    """
+    if alphabet is None:
+        alphabet = symbols_of(expr)
+    counter = [0]
+
+    def fresh() -> int:
+        counter[0] += 1
+        return counter[0]
+
+    transitions: dict[tuple[int, Symbol], set[int]] = {}
+
+    def add(source: int, symbol: Symbol, target: int) -> None:
+        transitions.setdefault((source, symbol), set()).add(target)
+
+    def build(node: Regex) -> tuple[int, int]:
+        start, end = fresh(), fresh()
+        if isinstance(node, Empty):
+            pass  # no path from start to end
+        elif isinstance(node, Epsilon):
+            add(start, EPSILON, end)
+        elif isinstance(node, Atom):
+            add(start, node.symbol, end)
+        elif isinstance(node, Concat):
+            left_start, left_end = build(node.left)
+            right_start, right_end = build(node.right)
+            add(start, EPSILON, left_start)
+            add(left_end, EPSILON, right_start)
+            add(right_end, EPSILON, end)
+        elif isinstance(node, Union):
+            left_start, left_end = build(node.left)
+            right_start, right_end = build(node.right)
+            add(start, EPSILON, left_start)
+            add(start, EPSILON, right_start)
+            add(left_end, EPSILON, end)
+            add(right_end, EPSILON, end)
+        elif isinstance(node, Star):
+            inner_start, inner_end = build(node.inner)
+            add(start, EPSILON, inner_start)
+            add(inner_end, EPSILON, inner_start)
+            add(start, EPSILON, end)
+            add(inner_end, EPSILON, end)
+        else:
+            raise RegexError(f"unknown regex node {node!r}")
+        return start, end
+
+    start, end = build(expr)
+    states = frozenset(range(1, counter[0] + 1))
+    return NFA(
+        states,
+        frozenset(alphabet),
+        {key: frozenset(value) for key, value in transitions.items()},
+        frozenset({start}),
+        frozenset({end}),
+    )
+
+
+def to_dfa(expr: Regex, alphabet: frozenset[Symbol] | None = None):
+    """Compile an expression to a (trimmed, minimized) DFA."""
+    return to_nfa(expr, alphabet).determinized().minimized()
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse the textual regex syntax documented in the module docstring.
+
+    >>> parse_regex("up* 1 up* | up*")  # doctest: +ELLIPSIS
+    Union(...)
+    """
+    tokens = _tokenize(text)
+    pos = [0]
+
+    def peek() -> str | None:
+        return tokens[pos[0]] if pos[0] < len(tokens) else None
+
+    def advance() -> str:
+        token = tokens[pos[0]]
+        pos[0] += 1
+        return token
+
+    def parse_union() -> Regex:
+        left = parse_concat()
+        while peek() in ("|", "+") and _is_infix_plus(tokens, pos[0]):
+            advance()
+            left = Union(left, parse_concat())
+        return left
+
+    def parse_concat() -> Regex:
+        parts = [parse_postfix()]
+        while peek() not in (None, "|", ")") and not (
+            peek() == "+" and _is_infix_plus(tokens, pos[0])
+        ):
+            if peek() == ",":
+                advance()
+                continue
+            parts.append(parse_postfix())
+        return concat_all(*parts)
+
+    def parse_postfix() -> Regex:
+        node = parse_atom()
+        while True:
+            token = peek()
+            if token == "*":
+                advance()
+                node = Star(node)
+            elif token == "?":
+                advance()
+                node = optional(node)
+            elif token == "+" and not _is_infix_plus(tokens, pos[0]):
+                advance()
+                node = plus(node)
+            else:
+                return node
+
+    def parse_atom() -> Regex:
+        token = peek()
+        if token is None:
+            raise RegexError(f"unexpected end of regex {text!r}")
+        if token == "(":
+            advance()
+            node = parse_union()
+            if peek() != ")":
+                raise RegexError(f"missing ')' in {text!r}")
+            advance()
+            return node
+        if token == "%":
+            advance()
+            return Epsilon()
+        if token == "~":
+            advance()
+            return Empty()
+        if token in (")", "|", "*", "?", ","):
+            raise RegexError(f"unexpected {token!r} in {text!r}")
+        advance()
+        return Atom(token)
+
+    result = parse_union()
+    if pos[0] != len(tokens):
+        raise RegexError(f"trailing tokens in {text!r}")
+    return result
+
+
+def _is_infix_plus(tokens: list[str], index: int) -> bool:
+    """Disambiguate ``+``: infix union when followed by an atom-starter."""
+    if tokens[index] == "|":
+        return True
+    nxt = tokens[index + 1] if index + 1 < len(tokens) else None
+    return nxt is not None and nxt not in (")", "|", "*", "+", "?", ",")
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if char.isspace():
+            i += 1
+        elif char in "()|*+?,%~":
+            tokens.append(char)
+            i += 1
+        else:
+            start = i
+            while i < len(text) and not text[i].isspace() and text[i] not in "()|*+?,%~":
+                i += 1
+            tokens.append(text[start:i])
+    return tokens

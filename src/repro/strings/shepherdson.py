@@ -1,0 +1,177 @@
+"""Shepherdson's construction: two-way DFAs are no more powerful than DFAs.
+
+The paper leans on this classical fact twice: Remark 3.3 cites it to
+contrast *language* equivalence with *query* inequivalence of one-way and
+two-way automata, and Proposition 6.2 (Globerman–Harel) bounds the size of
+the resulting one-way automaton — our benchmarks measure that exponential
+blowup empirically.
+
+The construction here uses *exit tables*.  For a prefix ``⊳ w_1 .. w_i``,
+the table ``E_i : S → Exit`` records, for a machine started at position
+``i`` in state ``s`` with only the prefix available, whether it eventually
+
+* makes a right move off position ``i`` arriving at ``i+1`` in state
+  ``s'`` — ``("exit", s')``, or
+* halts somewhere inside the prefix in state ``h`` — ``("halt", h)``, or
+* loops forever — ``("loop",)``.
+
+``E_{i+1}`` is computable from ``E_i`` and the symbol ``w_{i+1}`` alone, so
+a one-way DFA whose states are pairs (exit table, run status) simulates the
+two-way machine.  Unlike the classical presentation we keep explicit
+"halt inside" and "loop" outcomes, so the conversion is *total*: it is
+correct for every 2DFA, not only those that halt at ``⊲``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from .dfa import DFA
+from .twoway import LEFT_MARKER, RIGHT_MARKER, TwoWayDFA
+
+State = Hashable
+Symbol = Hashable
+
+#: Exit-table outcomes.
+EXIT = "exit"
+HALT = "halt"
+LOOP = "loop"
+
+#: An exit table: maps each state to ("exit", s') | ("halt", h) | ("loop",).
+ExitTable = tuple[tuple[State, tuple], ...]
+
+
+def _exit_table_for_left_marker(automaton: TwoWayDFA) -> dict[State, tuple]:
+    """``E_0``: behavior at ``⊳`` (only right moves or halts are possible)."""
+    table: dict[State, tuple] = {}
+    for state in automaton.states:
+        if automaton.in_right(state, LEFT_MARKER):
+            table[state] = (EXIT, automaton.right_moves[(state, LEFT_MARKER)])
+        else:
+            table[state] = (HALT, state)
+    return table
+
+
+def _extend_exit_table(
+    automaton: TwoWayDFA, table: dict[State, tuple], cell: Hashable
+) -> dict[State, tuple]:
+    """``E_{i+1}`` from ``E_i`` and the cell at position ``i+1``.
+
+    Started at ``i+1`` in state ``s``: a right pair exits immediately; a
+    left pair excursions into the prefix, whose outcome ``E_i`` gives; a
+    return to ``i+1`` recurses (with cycle detection → ``loop``).
+    """
+    extended: dict[State, tuple] = {}
+    for start in automaton.states:
+        current = start
+        seen = {current}
+        outcome: tuple | None = None
+        while True:
+            if automaton.in_right(current, cell):
+                outcome = (EXIT, automaton.right_moves[(current, cell)])
+                break
+            if not automaton.in_left(current, cell):
+                outcome = (HALT, current)
+                break
+            entered = automaton.left_moves[(current, cell)]
+            prefix_outcome = table[entered]
+            if prefix_outcome[0] != EXIT:
+                outcome = prefix_outcome  # halt inside or loop inside
+                break
+            current = prefix_outcome[1]
+            if current in seen:
+                outcome = (LOOP,)
+                break
+            seen.add(current)
+        extended[start] = outcome
+    return extended
+
+
+def _freeze(table: dict[State, tuple]) -> ExitTable:
+    return tuple(sorted(table.items(), key=lambda item: repr(item[0])))
+
+
+def _resolve(
+    table: dict[State, tuple], status: tuple
+) -> tuple:
+    """Advance the run status across the current prefix boundary.
+
+    ``status`` is ``("at", s)`` — the head just arrived at the rightmost
+    prefix position in state ``s`` — or a terminal ``("halt", h)`` /
+    ``("loop",)``.  Returns the status at the *next* boundary.
+    """
+    if status[0] != "at":
+        return status
+    outcome = table[status[1]]
+    if outcome[0] == EXIT:
+        return ("at", outcome[1])
+    return outcome
+
+
+def to_one_way_dfa(automaton: TwoWayDFA) -> DFA:
+    """A one-way DFA accepting the same language as the 2DFA.
+
+    States are triples (exit table, status, last cell); only reachable
+    states are materialized.  The benchmarks in
+    ``benchmarks/bench_twoway_conversion.py`` measure the state blowup
+    against the exponential bound of Proposition 6.2.
+    """
+    base = _exit_table_for_left_marker(automaton)
+    initial_status = _resolve(base, ("at", automaton.initial))
+    initial = (_freeze(base), initial_status, LEFT_MARKER)
+
+    states = {initial}
+    transitions: dict[tuple, tuple] = {}
+    frontier = [initial]
+    while frontier:
+        source = frontier.pop()
+        table_frozen, status, _last_cell = source
+        table = dict(table_frozen)
+        for symbol in automaton.alphabet:
+            extended = _extend_exit_table(automaton, table, symbol)
+            new_status = _resolve(extended, status)
+            target = (_freeze(extended), new_status, symbol)
+            transitions[(source, symbol)] = target
+            if target not in states:
+                states.add(target)
+                frontier.append(target)
+
+    def accepts_state(state: tuple) -> bool:
+        """Finish the run at ``⊲`` and test acceptance."""
+        table_frozen, status, _last_cell = state
+        final_table = _extend_exit_table(
+            automaton, dict(table_frozen), RIGHT_MARKER
+        )
+        final_status = _resolve(final_table, status)
+        if final_status[0] == "at":
+            # An EXIT at ⊲ is impossible (no right moves off ⊲); _extend
+            # never produces one, so "at" cannot survive.  Defensive only.
+            return False
+        if final_status[0] == LOOP:
+            return False
+        return final_status[1] in automaton.accepting
+
+    accepting = frozenset(state for state in states if accepts_state(state))
+    return DFA(
+        frozenset(states),
+        automaton.alphabet,
+        transitions,
+        initial,
+        accepting,
+    )
+
+
+def accepts_via_tables(automaton: TwoWayDFA, word: Sequence[Symbol]) -> bool:
+    """Membership by streaming the exit tables (no DFA materialization).
+
+    Linear in ``|word|`` for a fixed automaton; total — handles runs that
+    halt inside the word or loop (loop ⇒ reject).
+    """
+    table = _exit_table_for_left_marker(automaton)
+    status = _resolve(table, ("at", automaton.initial))
+    for symbol in word:
+        table = _extend_exit_table(automaton, table, symbol)
+        status = _resolve(table, status)
+    table = _extend_exit_table(automaton, table, RIGHT_MARKER)
+    status = _resolve(table, status)
+    return status[0] == HALT and status[1] in automaton.accepting

@@ -1,0 +1,158 @@
+"""Slender regular languages in Shallit normal form: unions of ``x y* z``.
+
+Section 5.2 of the paper: each down-transition language ``L_↓(q, a)``
+contains *at most one string of each length* (the automaton must assign a
+unique state sequence to the ``n`` children).  Shallit showed such
+languages are finite unions of expressions ``x y* z`` with ``x, y, z``
+plain strings; looking up "the string of length n, if any" then takes time
+linear in ``n``, which is what makes each down transition of a 2DTA^u
+linear-time (the paper's remark after Definition 5.7).
+
+:class:`SimpleRegex` stores the union of branches, *validates* the
+one-string-per-length property on construction, and provides the
+:meth:`SimpleRegex.string_of_length` lookup the automata use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator, Sequence
+from dataclasses import dataclass
+
+Symbol = Hashable
+
+
+class SlendernessError(ValueError):
+    """Raised when a union of ``x y* z`` branches has two strings of one length."""
+
+
+@dataclass(frozen=True)
+class Branch:
+    """One ``x y* z`` component: prefix ``x``, pumped block ``y``, suffix ``z``."""
+
+    prefix: tuple[Symbol, ...]
+    pump: tuple[Symbol, ...]
+    suffix: tuple[Symbol, ...]
+
+    def string_of_length(self, length: int) -> tuple[Symbol, ...] | None:
+        """The unique string of the given length in ``x y* z``, if any."""
+        base = len(self.prefix) + len(self.suffix)
+        if length < base:
+            return None
+        if not self.pump:
+            return self.prefix + self.suffix if length == base else None
+        extra = length - base
+        if extra % len(self.pump) != 0:
+            return None
+        repeats = extra // len(self.pump)
+        return self.prefix + self.pump * repeats + self.suffix
+
+    def lengths(self) -> tuple[int, int]:
+        """(offset, period): realized lengths are offset + k*period (period 0 = single)."""
+        return (len(self.prefix) + len(self.suffix), len(self.pump))
+
+
+class SimpleRegex:
+    """A finite union of ``x y* z`` branches with ≤ 1 string per length.
+
+    >>> r = SimpleRegex([Branch(("s",), ("s",), ())])
+    >>> r.string_of_length(3)
+    ('s', 's', 's')
+    >>> r.string_of_length(0) is None
+    True
+    """
+
+    def __init__(self, branches: Sequence[Branch]) -> None:
+        self.branches = tuple(branches)
+        self._check_slender()
+
+    def _check_slender(self) -> None:
+        """Reject the union if two branches can produce distinct strings of one length.
+
+        For each pair of branches we check all lengths up to
+        ``offset_max + lcm(period_i, period_j)`` — beyond that, length
+        coincidences repeat periodically with identical string pairs, so a
+        finite check suffices.
+        """
+        for i, left in enumerate(self.branches):
+            for right in self.branches[i + 1 :]:
+                off_l, per_l = left.lengths()
+                off_r, per_r = right.lengths()
+                horizon = max(off_l, off_r) + _lcm(max(per_l, 1), max(per_r, 1)) * max(
+                    per_l, per_r, 1
+                )
+                for length in range(horizon + 1):
+                    a = left.string_of_length(length)
+                    b = right.string_of_length(length)
+                    if a is not None and b is not None and a != b:
+                        raise SlendernessError(
+                            f"two strings of length {length}: {a!r} and {b!r}"
+                        )
+        # A single branch x y* z always has exactly one string per realized length.
+
+    def string_of_length(self, length: int) -> tuple[Symbol, ...] | None:
+        """The unique member of the language with the given length, if any."""
+        for branch in self.branches:
+            result = branch.string_of_length(length)
+            if result is not None:
+                return result
+        return None
+
+    def __contains__(self, word: Sequence[Symbol]) -> bool:
+        word = tuple(word)
+        return self.string_of_length(len(word)) == word
+
+    def symbols(self) -> frozenset[Symbol]:
+        """All symbols used by any branch."""
+        out: set[Symbol] = set()
+        for branch in self.branches:
+            out.update(branch.prefix)
+            out.update(branch.pump)
+            out.update(branch.suffix)
+        return frozenset(out)
+
+    def realized_lengths(self, up_to: int) -> Iterator[int]:
+        """All lengths ≤ ``up_to`` for which a string exists."""
+        for length in range(up_to + 1):
+            if self.string_of_length(length) is not None:
+                yield length
+
+    @property
+    def size(self) -> int:
+        """Total description length (symbol count across branches)."""
+        return sum(
+            len(branch.prefix) + len(branch.pump) + len(branch.suffix)
+            for branch in self.branches
+        )
+
+    def __repr__(self) -> str:
+        rendered = " + ".join(
+            f"{list(b.prefix)}{list(b.pump)}*{list(b.suffix)}" for b in self.branches
+        )
+        return f"SimpleRegex({rendered})"
+
+
+def _lcm(a: int, b: int) -> int:
+    from math import gcd
+
+    return a * b // gcd(a, b) if a and b else max(a, b, 1)
+
+
+def constant_sequence(state: Symbol) -> SimpleRegex:
+    """The language ``s+``: every child receives the same state.
+
+    The most common down transition (Examples 4.2 and 5.9 use it: "walk to
+    the leaves in state s").
+    """
+    return SimpleRegex([Branch((state,), (state,), ())])
+
+
+def fixed_sequences(words: Sequence[Sequence[Symbol]]) -> SimpleRegex:
+    """A finite language given explicitly (must have ≤ 1 word per length)."""
+    return SimpleRegex([Branch(tuple(word), (), ()) for word in words])
+
+
+def pattern(
+    prefix: Sequence[Symbol], pump: Sequence[Symbol], suffix: Sequence[Symbol]
+) -> SimpleRegex:
+    """A single ``x y* z`` branch."""
+    return SimpleRegex([Branch(tuple(prefix), tuple(pump), tuple(suffix))])

@@ -1,0 +1,308 @@
+"""Two-way deterministic finite automata on strings (Definition 3.1).
+
+A 2DFA reads its input between endmarkers ``⊳ w ⊲`` and may move its head
+left or right.  The move direction is determined by disjoint sets ``L`` and
+``R`` of (state, symbol) pairs; the transition functions ``δ_←`` and ``δ_→``
+are defined on ``L`` and ``R`` respectively.  The automaton never moves left
+off ``⊳`` nor right off ``⊲`` (enforced at construction).
+
+Positions
+---------
+We index the marked string ``⊳ w_1 ... w_n ⊲`` by ``0 .. n+1`` where
+position 0 carries ``⊳`` and position ``n+1`` carries ``⊲``; positions
+``1 .. n`` carry the input word, matching the paper's 1-based positions of
+``w``.  A *run* starts at position 0 in the initial state and ends when no
+transition applies; it is *accepting* when the final state is in ``F``.
+
+The paper assumes every automaton halts on every input (a decidable
+property; see :mod:`repro.decision`).  Direct simulation enforces this
+dynamically: a run revisiting a configuration raises
+:class:`NonTerminatingRunError`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .dfa import AutomatonError
+
+State = Hashable
+Symbol = Hashable
+
+
+class Marker(Enum):
+    """The endmarkers ``⊳`` (LEFT) and ``⊲`` (RIGHT)."""
+
+    LEFT = "⊳"
+    RIGHT = "⊲"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+LEFT_MARKER = Marker.LEFT
+RIGHT_MARKER = Marker.RIGHT
+
+#: What a transition table cell may read: an input symbol or an endmarker.
+Cell = Symbol
+
+
+class NonTerminatingRunError(RuntimeError):
+    """A two-way run revisited a configuration (the automaton cycles)."""
+
+
+@dataclass(frozen=True)
+class TwoWayDFA:
+    """A two-way deterministic finite automaton with endmarkers.
+
+    Parameters
+    ----------
+    states:
+        Finite state set ``S``.
+    alphabet:
+        Input alphabet ``Σ`` (endmarkers are implicit and must not occur).
+    initial:
+        The start state ``s_0``.
+    accepting:
+        The final states ``F``.
+    left_moves:
+        ``δ_← : L → S`` given as ``{(state, cell): next_state}``; cells range
+        over ``Σ ∪ {⊲}`` (a left move from ``⊳`` is illegal).
+    right_moves:
+        ``δ_→ : R → S``; cells range over ``Σ ∪ {⊳}`` (no right move off ``⊲``).
+    """
+
+    states: frozenset[State]
+    alphabet: frozenset[Symbol]
+    initial: State
+    accepting: frozenset[State]
+    left_moves: dict[tuple[State, Cell], State]
+    right_moves: dict[tuple[State, Cell], State]
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise AutomatonError("initial state unknown")
+        if not self.accepting <= self.states:
+            raise AutomatonError("accepting states must be a subset of states")
+        if LEFT_MARKER in self.alphabet or RIGHT_MARKER in self.alphabet:
+            raise AutomatonError("endmarkers may not occur in the alphabet")
+        overlap = self.left_moves.keys() & self.right_moves.keys()
+        if overlap:
+            raise AutomatonError(f"L and R overlap on {sorted(overlap, key=repr)!r}")
+        for (state, cell), target in self.left_moves.items():
+            if state not in self.states or target not in self.states:
+                raise AutomatonError("left move uses unknown state")
+            if cell == LEFT_MARKER:
+                raise AutomatonError("cannot move left from ⊳")
+            if cell != RIGHT_MARKER and cell not in self.alphabet:
+                raise AutomatonError(f"left move on unknown cell {cell!r}")
+        for (state, cell), target in self.right_moves.items():
+            if state not in self.states or target not in self.states:
+                raise AutomatonError("right move uses unknown state")
+            if cell == RIGHT_MARKER:
+                raise AutomatonError("cannot move right from ⊲")
+            if cell != LEFT_MARKER and cell not in self.alphabet:
+                raise AutomatonError(f"right move on unknown cell {cell!r}")
+
+    @staticmethod
+    def build(
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        initial: State,
+        accepting: Iterable[State],
+        left_moves: dict[tuple[State, Cell], State],
+        right_moves: dict[tuple[State, Cell], State],
+    ) -> "TwoWayDFA":
+        """Convenience constructor accepting any iterables."""
+        return TwoWayDFA(
+            frozenset(states),
+            frozenset(alphabet),
+            initial,
+            frozenset(accepting),
+            dict(left_moves),
+            dict(right_moves),
+        )
+
+    @property
+    def size(self) -> int:
+        """|S| + |Σ| (the paper's automaton size)."""
+        return len(self.states) + len(self.alphabet)
+
+    # ------------------------------------------------------------------
+    # Cells and moves
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def cells(word: Sequence[Symbol]) -> list[Cell]:
+        """The marked string ``⊳ w ⊲`` as a list indexed ``0 .. n+1``."""
+        return [LEFT_MARKER, *word, RIGHT_MARKER]
+
+    def move(self, state: State, cell: Cell) -> tuple[int, State] | None:
+        """The (direction, next state) of the unique applicable transition.
+
+        Direction is ``-1`` (left) or ``+1`` (right); ``None`` when the
+        automaton halts on this (state, cell) pair.
+        """
+        target = self.left_moves.get((state, cell))
+        if target is not None:
+            return (-1, target)
+        target = self.right_moves.get((state, cell))
+        if target is not None:
+            return (+1, target)
+        return None
+
+    def in_left(self, state: State, cell: Cell) -> bool:
+        """Is ``(state, cell) ∈ L``?"""
+        return (state, cell) in self.left_moves
+
+    def in_right(self, state: State, cell: Cell) -> bool:
+        """Is ``(state, cell) ∈ R``?"""
+        return (state, cell) in self.right_moves
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def run(self, word: Sequence[Symbol]) -> list[tuple[State, int]]:
+        """The full run on ``word`` as a list of (state, position) pairs.
+
+        Positions refer to the marked string (0 = ``⊳``).  Raises
+        :class:`NonTerminatingRunError` when a configuration repeats.
+        """
+        cells = self.cells(word)
+        state, position = self.initial, 0
+        trace = [(state, position)]
+        seen = {(state, position)}
+        while True:
+            step = self.move(state, cells[position])
+            if step is None:
+                return trace
+            direction, state = step
+            position += direction
+            configuration = (state, position)
+            if configuration in seen:
+                raise NonTerminatingRunError(
+                    f"configuration {configuration!r} repeats on input {word!r}"
+                )
+            seen.add(configuration)
+            trace.append(configuration)
+
+    def final_configuration(self, word: Sequence[Symbol]) -> tuple[State, int]:
+        """The halting (state, position) of the run."""
+        return self.run(word)[-1]
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """True iff the run halts in an accepting state."""
+        state, _position = self.final_configuration(word)
+        return state in self.accepting
+
+    def assumed_states(self, word: Sequence[Symbol]) -> list[set[State]]:
+        """``Assumed(w, i)`` for every marked position ``i`` (Theorem 3.9).
+
+        Index 0 is ``⊳``; indices ``1 .. n`` are the word; ``n+1`` is ``⊲``.
+        """
+        assumed: list[set[State]] = [set() for _ in range(len(word) + 2)]
+        for state, position in self.run(word):
+            assumed[position].add(state)
+        return assumed
+
+
+@dataclass(frozen=True)
+class StringQueryAutomaton:
+    """A query automaton on strings, ``QA^string`` (Definition 3.2).
+
+    A 2DFA plus a selection function ``λ : S × Σ → {⊥, 1}``; we represent λ
+    as the set of selecting (state, symbol) pairs.  The automaton selects
+    position ``i`` of ``w`` iff the (accepting) run visits ``i`` at least
+    once in a selecting state.
+    """
+
+    automaton: TwoWayDFA
+    selecting: frozenset[tuple[State, Symbol]]
+
+    def __post_init__(self) -> None:
+        for state, symbol in self.selecting:
+            if state not in self.automaton.states:
+                raise AutomatonError(f"selection uses unknown state {state!r}")
+            if symbol not in self.automaton.alphabet:
+                raise AutomatonError(f"selection uses unknown symbol {symbol!r}")
+
+    def evaluate(self, word: Sequence[Symbol]) -> frozenset[int]:
+        """The selected positions of ``w`` (1-based), per Definition 3.2.
+
+        When the run is not accepting, no position is selected.
+        """
+        trace = self.automaton.run(word)
+        final_state, _ = trace[-1]
+        if final_state not in self.automaton.accepting:
+            return frozenset()
+        selected: set[int] = set()
+        for state, position in trace:
+            if 1 <= position <= len(word) and (state, word[position - 1]) in self.selecting:
+                selected.add(position)
+        return frozenset(selected)
+
+    @property
+    def size(self) -> int:
+        """|S| + |Σ| (selection adds no states)."""
+        return self.automaton.size
+
+
+#: Output value meaning "no output at this visit" (the paper's ⊥).
+BOTTOM = None
+
+
+@dataclass(frozen=True)
+class GeneralizedStringQA:
+    """A generalized string query automaton, GSQA (Definition 3.5).
+
+    A 2DFA with an output function ``λ : S × Σ → Γ ∪ {⊥}``.  Following the
+    paper's convention we require that an accepting run outputs *exactly
+    one* Γ-symbol at every position of the input; :meth:`transduce` checks
+    this dynamically and raises otherwise.
+    """
+
+    automaton: TwoWayDFA
+    output: dict[tuple[State, Symbol], Hashable]
+    gamma: frozenset[Hashable] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        for (state, symbol), value in self.output.items():
+            if state not in self.automaton.states:
+                raise AutomatonError(f"output uses unknown state {state!r}")
+            if symbol not in self.automaton.alphabet:
+                raise AutomatonError(f"output uses unknown symbol {symbol!r}")
+            if self.gamma and value not in self.gamma:
+                raise AutomatonError(f"output symbol {value!r} not in Γ")
+
+    def transduce(self, word: Sequence[Symbol]) -> tuple[Hashable, ...]:
+        """Compute ``M(w) = M(w, 1) ... M(w, |w|)``.
+
+        Raises :class:`AutomatonError` if some position receives zero or two
+        distinct output symbols (the well-formedness convention of §3).
+        """
+        trace = self.automaton.run(word)
+        outputs: list[Hashable] = [BOTTOM] * len(word)
+        for state, position in trace:
+            if not 1 <= position <= len(word):
+                continue
+            value = self.output.get((state, word[position - 1]), BOTTOM)
+            if value is BOTTOM:
+                continue
+            current = outputs[position - 1]
+            if current is not BOTTOM and current != value:
+                raise AutomatonError(
+                    f"two outputs {current!r} and {value!r} at position {position}"
+                )
+            outputs[position - 1] = value
+        missing = [index + 1 for index, value in enumerate(outputs) if value is BOTTOM]
+        if missing:
+            raise AutomatonError(f"no output at positions {missing!r} of {word!r}")
+        return tuple(outputs)
+
+    @property
+    def size(self) -> int:
+        """|S| + |Σ| (paper's measure)."""
+        return self.automaton.size

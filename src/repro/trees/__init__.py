@@ -1,0 +1,51 @@
+"""Tree substrate: Σ-trees, generators, XML and DTD abstraction (§1, §2.3)."""
+
+from .tree import Path, Tree, TreeError, is_ancestor, sigma_tree
+from .generators import (
+    complete_binary_tree,
+    enumerate_trees,
+    evaluate_circuit,
+    flat_tree,
+    monadic_chain,
+    random_binary_circuit,
+    random_tree,
+    random_unranked_circuit,
+)
+from .xml import (
+    BIBLIOGRAPHY_EXAMPLE,
+    XMLElement,
+    XMLError,
+    make_bibliography,
+    parse_document,
+    parse_to_structure_tree,
+    parse_to_tree,
+    serialize,
+    to_structure_tree,
+    to_tree,
+)
+
+__all__ = [
+    "Path",
+    "Tree",
+    "TreeError",
+    "is_ancestor",
+    "sigma_tree",
+    "complete_binary_tree",
+    "enumerate_trees",
+    "evaluate_circuit",
+    "flat_tree",
+    "monadic_chain",
+    "random_binary_circuit",
+    "random_tree",
+    "random_unranked_circuit",
+    "BIBLIOGRAPHY_EXAMPLE",
+    "XMLElement",
+    "XMLError",
+    "make_bibliography",
+    "parse_document",
+    "parse_to_structure_tree",
+    "parse_to_tree",
+    "serialize",
+    "to_structure_tree",
+    "to_tree",
+]

@@ -1,0 +1,199 @@
+"""DTDs as extended context-free grammars, with automaton validation.
+
+The paper's opening abstraction (Figures 1–4): XML documents are unranked
+trees, DTDs are extended context-free grammars (regular expressions over
+element names on production right-hand sides), and *tree automata can
+easily determine whether the input tree is a derivation tree of a given
+(E)CFG* — which is exactly how we validate: a DTD compiles to a
+:class:`~repro.unranked.nbta.UnrankedTreeAutomaton` whose states are the
+element names.
+
+The concrete DTD syntax supported is the classical fragment the paper's
+Figure 2 uses::
+
+    <!ELEMENT bibliography (book | article)+>
+    <!ELEMENT article (author+, title, journal, year)>
+    <!ELEMENT author PCDATA>
+
+(``#PCDATA`` is also accepted; ``EMPTY`` means no content; ``ANY`` allows
+arbitrary children.)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..strings.nfa import NFA
+from ..strings.regex import Regex, parse_regex, symbols_of, to_nfa
+from ..trees.tree import Path, Tree
+from ..unranked.nbta import UnrankedTreeAutomaton, all_words_nfa, empty_word_nfa
+from .xml import TEXT_LABEL
+
+
+class DTDError(ValueError):
+    """Raised for malformed DTD declarations."""
+
+
+#: Content-model kinds.
+PCDATA = "PCDATA"
+EMPTY = "EMPTY"
+ANY = "ANY"
+
+
+@dataclass(frozen=True)
+class ElementDeclaration:
+    """One ``<!ELEMENT name content>`` declaration."""
+
+    name: str
+    kind: str  # "regex" | PCDATA | EMPTY | ANY
+    content: Regex | None = None
+
+
+@dataclass(frozen=True)
+class DTD:
+    """A document type definition: element declarations plus a root name.
+
+    The root defaults to the first declared element (Figure 2's
+    convention: ``bibliography`` comes first).
+    """
+
+    declarations: dict[str, ElementDeclaration]
+    root: str
+
+    def __post_init__(self) -> None:
+        if self.root not in self.declarations:
+            raise DTDError(f"root element {self.root!r} is not declared")
+
+    @property
+    def element_names(self) -> frozenset[str]:
+        """All declared element names."""
+        return frozenset(self.declarations)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def to_tree_automaton(self) -> UnrankedTreeAutomaton:
+        """The NBTA^u recognizing exactly the derivation trees.
+
+        States are the element names (plus ``#text``); the horizontal
+        language of ``(name, name)`` is the declared content model.  Being
+        a derivation tree of the ECFG = being accepted, the equivalence
+        the paper invokes in the introduction.
+        """
+        states = set(self.element_names) | {TEXT_LABEL}
+        alphabet = frozenset(states)
+        horizontal: dict[tuple, NFA] = {
+            (TEXT_LABEL, TEXT_LABEL): empty_word_nfa(states)
+        }
+        for name, declaration in self.declarations.items():
+            if declaration.kind == EMPTY:
+                horizontal[(name, name)] = empty_word_nfa(states)
+            elif declaration.kind == PCDATA:
+                # Any number of text chunks.
+                horizontal[(name, name)] = to_nfa(
+                    parse_regex(f"{TEXT_LABEL}*"), frozenset(states)
+                )
+            elif declaration.kind == ANY:
+                horizontal[(name, name)] = all_words_nfa(states)
+            else:
+                assert declaration.content is not None
+                horizontal[(name, name)] = to_nfa(
+                    declaration.content, frozenset(states)
+                )
+        return UnrankedTreeAutomaton(
+            frozenset(states),
+            alphabet,
+            frozenset({self.root}),
+            horizontal,
+        )
+
+    def validates(self, tree: Tree) -> bool:
+        """Is the tree a derivation tree of this DTD?"""
+        if not tree.labels() <= self.element_names | {TEXT_LABEL}:
+            return False
+        return self.to_tree_automaton().accepts(tree)
+
+    def violations(self, tree: Tree) -> list[tuple[Path, str]]:
+        """Per-node diagnostics (empty list ⟺ valid)."""
+        problems: list[tuple[Path, str]] = []
+        if tree.label != self.root:
+            problems.append(((), f"root is {tree.label!r}, expected {self.root!r}"))
+        for path, label in tree.nodes_with_labels():
+            if label == TEXT_LABEL:
+                if tree.arity_at(path):
+                    problems.append((path, "text nodes cannot have children"))
+                continue
+            declaration = self.declarations.get(label)
+            if declaration is None:
+                problems.append((path, f"undeclared element {label!r}"))
+                continue
+            children = [
+                tree.label_at(path + (i,)) for i in range(tree.arity_at(path))
+            ]
+            if not self._content_allows(declaration, children):
+                problems.append(
+                    (path, f"content {children!r} not allowed for {label!r}")
+                )
+        return problems
+
+    def _content_allows(
+        self, declaration: ElementDeclaration, children: list[str]
+    ) -> bool:
+        if declaration.kind == EMPTY:
+            return not children
+        if declaration.kind == PCDATA:
+            return all(child == TEXT_LABEL for child in children)
+        if declaration.kind == ANY:
+            return True
+        assert declaration.content is not None
+        return to_nfa(
+            declaration.content,
+            symbols_of(declaration.content) | {TEXT_LABEL},
+        ).accepts(children)
+
+
+_DECLARATION = re.compile(r"<!ELEMENT\s+([\w.:-]+)\s+(.*?)>", re.DOTALL)
+
+
+def parse_dtd(text: str, root: str | None = None) -> DTD:
+    """Parse ``<!ELEMENT ...>`` declarations into a :class:`DTD`.
+
+    >>> dtd = parse_dtd('<!ELEMENT r (a, b*)> <!ELEMENT a PCDATA> <!ELEMENT b EMPTY>')
+    >>> sorted(dtd.element_names)
+    ['a', 'b', 'r']
+    """
+    declarations: dict[str, ElementDeclaration] = {}
+    order: list[str] = []
+    for match in _DECLARATION.finditer(text):
+        name, body = match.group(1), match.group(2).strip()
+        if name in declarations:
+            raise DTDError(f"duplicate declaration for {name!r}")
+        normalized = body.replace("#PCDATA", "PCDATA")
+        if normalized == "PCDATA" or normalized == "(PCDATA)":
+            declaration = ElementDeclaration(name, PCDATA)
+        elif normalized == "EMPTY":
+            declaration = ElementDeclaration(name, EMPTY)
+        elif normalized == "ANY":
+            declaration = ElementDeclaration(name, ANY)
+        else:
+            declaration = ElementDeclaration(name, "regex", parse_regex(normalized))
+        declarations[name] = declaration
+        order.append(name)
+    if not declarations:
+        raise DTDError("no element declarations found")
+    return DTD(declarations, root or order[0])
+
+
+#: The Figure 2 DTD, verbatim.
+BIBLIOGRAPHY_DTD = """\
+<!ELEMENT bibliography (book | article)+>
+<!ELEMENT article (author+, title, journal, year)>
+<!ELEMENT book (author+, title, publisher, year)>
+<!ELEMENT author PCDATA>
+<!ELEMENT title PCDATA>
+<!ELEMENT journal PCDATA>
+<!ELEMENT year PCDATA>
+<!ELEMENT publisher PCDATA>
+"""

@@ -1,0 +1,180 @@
+"""Deterministic workload generators for trees.
+
+Benchmarks and property tests need reproducible families of trees: complete
+binary trees (the Figure 5 setting), Boolean circuits (Examples 4.2, 4.4 and
+5.9), flat wide trees (the Proposition 5.10 separation), and random ranked /
+unranked trees.  All generators take an explicit :class:`random.Random` (or a
+seed) so every experiment is repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from .tree import Tree
+
+
+def _rng(seed_or_rng: int | random.Random) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def complete_binary_tree(height: int, internal: str = "a", leaf: str = "b") -> Tree:
+    """A complete binary tree of the given height.
+
+    >>> complete_binary_tree(2).size
+    7
+    """
+    if height < 0:
+        raise ValueError("height must be >= 0")
+    if height == 0:
+        return Tree(leaf)
+    child = complete_binary_tree(height - 1, internal, leaf)
+    return Tree(internal, [child, child])
+
+
+def random_binary_circuit(height: int, seed_or_rng: int | random.Random = 0) -> Tree:
+    """A full binary AND/OR circuit with random gate choices and 0/1 leaves.
+
+    This is the input family of Examples 4.2 and 4.4: internal nodes are
+    labeled ``AND``/``OR`` with exactly two children; leaves are ``0``/``1``.
+    """
+    rng = _rng(seed_or_rng)
+
+    def build(h: int) -> Tree:
+        if h == 0:
+            return Tree(rng.choice("01"))
+        return Tree(rng.choice(["AND", "OR"]), [build(h - 1), build(h - 1)])
+
+    return build(height)
+
+
+def random_unranked_circuit(
+    depth: int,
+    max_arity: int = 4,
+    seed_or_rng: int | random.Random = 0,
+) -> Tree:
+    """An AND/OR circuit where gates have between 1 and ``max_arity`` inputs.
+
+    The input family of Example 5.9 (QA^u over unranked circuit trees).
+    """
+    rng = _rng(seed_or_rng)
+
+    def build(d: int) -> Tree:
+        if d == 0:
+            return Tree(rng.choice("01"))
+        arity = rng.randint(1, max_arity)
+        return Tree(rng.choice(["AND", "OR"]), [build(d - 1) for _ in range(arity)])
+
+    return build(depth)
+
+
+def evaluate_circuit(tree: Tree) -> int:
+    """Reference bottom-up evaluation of an AND/OR circuit tree.
+
+    Returns the Boolean value (0 or 1) of the circuit; used as the oracle
+    against which the circuit automata of Examples 4.2/4.4/5.9 are tested.
+    """
+    if not tree.children:
+        if tree.label not in ("0", "1"):
+            raise ValueError(f"leaf label must be 0 or 1, got {tree.label!r}")
+        return int(tree.label)
+    values = [evaluate_circuit(child) for child in tree.children]
+    if tree.label == "AND":
+        return int(all(values))
+    if tree.label == "OR":
+        return int(any(values))
+    raise ValueError(f"gate label must be AND or OR, got {tree.label!r}")
+
+
+def flat_tree(leaf_labels: Sequence[str], root: str = "r") -> Tree:
+    """A depth-1 tree whose leaves carry the given labels, in order.
+
+    The shape used in Proposition 5.10's separation argument.
+    """
+    return Tree(root, [Tree(label) for label in leaf_labels])
+
+
+def random_tree(
+    size: int,
+    labels: Sequence[str],
+    max_arity: int | None = None,
+    seed_or_rng: int | random.Random = 0,
+) -> Tree:
+    """A uniform-ish random tree with exactly ``size`` nodes.
+
+    Built by attaching each new node to a random existing node (respecting
+    ``max_arity`` when given), then assigning independent random labels.
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    rng = _rng(seed_or_rng)
+    children_of: list[list[int]] = [[] for _ in range(size)]
+    for node in range(1, size):
+        candidates = [
+            parent
+            for parent in range(node)
+            if max_arity is None or len(children_of[parent]) < max_arity
+        ]
+        if not candidates:
+            raise ValueError(f"cannot fit {size} nodes with max_arity={max_arity}")
+        parent = rng.choice(candidates)
+        children_of[parent].append(node)
+
+    node_labels = [rng.choice(labels) for _ in range(size)]
+
+    def build(node: int) -> Tree:
+        return Tree(node_labels[node], [build(child) for child in children_of[node]])
+
+    return build(0)
+
+
+def monadic_chain(labels: Sequence[str]) -> Tree:
+    """A unary chain: ``labels[0]`` on top, each next label the only child.
+
+    Chains exercise the Hopcroft–Ullman string-segment handling of
+    Theorem 4.8 (nodes with exactly one child are treated as string
+    positions).
+    """
+    if not labels:
+        raise ValueError("need at least one label")
+    tree = Tree(labels[-1])
+    for label in reversed(labels[:-1]):
+        tree = Tree(label, [tree])
+    return tree
+
+
+def enumerate_trees(
+    labels: Sequence[str], max_size: int, max_arity: int | None = None
+) -> list[Tree]:
+    """All trees over ``labels`` with at most ``max_size`` nodes.
+
+    Exhaustive enumeration (small sizes only) — the ground truth for
+    brute-force checks of emptiness, containment, and equivalence in the
+    decision-procedure tests.
+    """
+    by_size: dict[int, list[Tree]] = {0: []}
+
+    def forests(total: int, arity_left: int | None) -> list[list[Tree]]:
+        if total == 0:
+            return [[]]
+        if arity_left == 0:
+            return []
+        out: list[list[Tree]] = []
+        for first_size in range(1, total + 1):
+            for first in by_size.get(first_size, []):
+                rest_arity = None if arity_left is None else arity_left - 1
+                for rest in forests(total - first_size, rest_arity):
+                    out.append([first] + rest)
+        return out
+
+    for size in range(1, max_size + 1):
+        trees: list[Tree] = []
+        for label in labels:
+            for children in forests(size - 1, max_arity):
+                trees.append(Tree(label, children))
+        by_size[size] = trees
+
+    return [tree for size in range(1, max_size + 1) for tree in by_size[size]]

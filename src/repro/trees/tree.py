@@ -1,0 +1,362 @@
+"""Ordered, labeled trees — the data model shared by every automaton.
+
+The paper (Section 2.3) works with :math:`\\Sigma`-trees: finite, ordered
+trees whose every node carries a label from a finite alphabet.  Trees are
+*ranked* when the number of children of every node is bounded by a fixed
+constant ``m`` and *unranked* otherwise.  This module provides a single
+:class:`Tree` class used for both; rank constraints are checked by the
+automata that require them.
+
+Nodes are addressed by *Dewey paths*: the root is the empty tuple ``()``,
+and the ``i``-th child (0-indexed) of the node at path ``p`` is
+``p + (i,)``.  The paper writes ``vi`` for the ``i``-th child of ``v`` with
+1-indexing; path component ``i - 1`` corresponds to the paper's ``vi``.
+
+Example
+-------
+>>> t = Tree.parse("a(b, c(d, e))")
+>>> t.label_at(())
+'a'
+>>> t.label_at((1, 0))
+'d'
+>>> sorted(t.leaves())
+[(0,), (1, 0), (1, 1)]
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import Callable
+
+#: A node address: the sequence of child indices from the root.
+Path = tuple[int, ...]
+
+#: Type of node labels.  Any hashable value works; strings are typical.
+Label = str
+
+
+class TreeError(ValueError):
+    """Raised for malformed trees or invalid node addresses."""
+
+
+class Tree:
+    """A finite ordered tree with labeled nodes.
+
+    Instances are immutable once constructed: the children list is copied
+    and never mutated, which lets automaton runs safely share subtrees.
+
+    Parameters
+    ----------
+    label:
+        The label of the root node.
+    children:
+        The ordered child subtrees (possibly empty).
+    """
+
+    __slots__ = ("label", "children", "_size", "_height")
+
+    def __init__(self, label: Label, children: Sequence["Tree"] = ()) -> None:
+        self.label = label
+        self.children: tuple[Tree, ...] = tuple(children)
+        for child in self.children:
+            if not isinstance(child, Tree):
+                raise TreeError(f"child {child!r} is not a Tree")
+        self._size = 1 + sum(c._size for c in self.children)
+        self._height = (
+            0 if not self.children else 1 + max(c._height for c in self.children)
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def leaf(label: Label) -> "Tree":
+        """Return the single-node tree ``t(σ)`` of the paper."""
+        return Tree(label)
+
+    @staticmethod
+    def parse(text: str) -> "Tree":
+        """Parse the compact term syntax ``a(b, c(d))``.
+
+        Labels are runs of characters other than ``(``, ``)``, ``,`` and
+        whitespace.  ``a`` alone denotes a leaf; ``a()`` is also a leaf.
+
+        >>> Tree.parse("and(0, or(1, 0))").size
+        5
+        """
+        pos = 0
+
+        def skip_ws() -> None:
+            nonlocal pos
+            while pos < len(text) and text[pos].isspace():
+                pos += 1
+
+        def parse_label() -> str:
+            nonlocal pos
+            start = pos
+            while pos < len(text) and text[pos] not in "(),]" and not text[pos].isspace():
+                pos += 1
+            if pos == start:
+                raise TreeError(f"expected a label at position {start} of {text!r}")
+            return text[start:pos]
+
+        def parse_tree() -> Tree:
+            nonlocal pos
+            skip_ws()
+            label = parse_label()
+            skip_ws()
+            children: list[Tree] = []
+            if pos < len(text) and text[pos] == "(":
+                pos += 1
+                skip_ws()
+                if pos < len(text) and text[pos] == ")":
+                    pos += 1
+                else:
+                    while True:
+                        children.append(parse_tree())
+                        skip_ws()
+                        if pos < len(text) and text[pos] == ",":
+                            pos += 1
+                            continue
+                        if pos < len(text) and text[pos] == ")":
+                            pos += 1
+                            break
+                        raise TreeError(
+                            f"expected ',' or ')' at position {pos} of {text!r}"
+                        )
+            return Tree(label, children)
+
+        result = parse_tree()
+        skip_ws()
+        if pos != len(text):
+            raise TreeError(f"trailing input at position {pos} of {text!r}")
+        return result
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of nodes, ``|Nodes(t)|``."""
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of edges on the longest root-to-leaf path (0 for a leaf)."""
+        return self._height
+
+    @property
+    def arity(self) -> int:
+        """Number of children of the root."""
+        return len(self.children)
+
+    def rank(self) -> int:
+        """The maximum arity over all nodes (0 for a single leaf)."""
+        best = len(self.children)
+        for child in self.children:
+            best = max(best, child.rank())
+        return best
+
+    def is_ranked(self, m: int) -> bool:
+        """True iff every node has at most ``m`` children."""
+        return self.rank() <= m
+
+    # ------------------------------------------------------------------
+    # Node addressing
+    # ------------------------------------------------------------------
+
+    def subtree(self, path: Path) -> "Tree":
+        """Return ``t_v``, the subtree rooted at ``path``.
+
+        >>> Tree.parse("a(b, c(d))").subtree((1,)).label
+        'c'
+        """
+        node = self
+        for index in path:
+            if not 0 <= index < len(node.children):
+                raise TreeError(f"no node at path {path!r}")
+            node = node.children[index]
+        return node
+
+    def label_at(self, path: Path) -> Label:
+        """The label ``lab_t(v)`` of the node at ``path``."""
+        return self.subtree(path).label
+
+    def arity_at(self, path: Path) -> int:
+        """The number of children of the node at ``path``."""
+        return len(self.subtree(path).children)
+
+    def has_node(self, path: Path) -> bool:
+        """True iff ``path`` addresses a node of this tree."""
+        node = self
+        for index in path:
+            if not 0 <= index < len(node.children):
+                return False
+            node = node.children[index]
+        return True
+
+    def envelope(self, path: Path) -> "Tree":
+        """Return the *envelope* of ``t`` at ``v``.
+
+        The envelope (paper notation: ``t̄_v``) is the tree obtained by
+        deleting the subtrees rooted at the *children* of ``v``; note that
+        ``v`` itself remains, as a leaf of the envelope.
+
+        >>> Tree.parse("a(b(x, y), c)").envelope((0,)).size
+        3
+        """
+
+        def rebuild(node: Tree, remaining: Path) -> Tree:
+            if not remaining:
+                return Tree(node.label)
+            index = remaining[0]
+            if not 0 <= index < len(node.children):
+                raise TreeError(f"no node at path {path!r}")
+            children = list(node.children)
+            children[index] = rebuild(children[index], remaining[1:])
+            return Tree(node.label, children)
+
+        return rebuild(self, path)
+
+    # ------------------------------------------------------------------
+    # Traversals
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> Iterator[Path]:
+        """All node paths in document (pre-)order.
+
+        >>> list(Tree.parse("a(b, c)").nodes())
+        [(), (0,), (1,)]
+        """
+        stack: list[tuple[Path, Tree]] = [((), self)]
+        while stack:
+            path, node = stack.pop()
+            yield path
+            for index in range(len(node.children) - 1, -1, -1):
+                stack.append((path + (index,), node.children[index]))
+
+    def nodes_with_labels(self) -> Iterator[tuple[Path, Label]]:
+        """Pairs ``(path, label)`` in document order."""
+        stack: list[tuple[Path, Tree]] = [((), self)]
+        while stack:
+            path, node = stack.pop()
+            yield path, node.label
+            for index in range(len(node.children) - 1, -1, -1):
+                stack.append((path + (index,), node.children[index]))
+
+    def leaves(self) -> Iterator[Path]:
+        """Paths of all leaves, in document order."""
+        for path, _ in self.nodes_with_labels():
+            if not self.subtree(path).children:
+                yield path
+
+    def nodes_by_depth(self) -> Iterator[list[Path]]:
+        """Yield the *levels* of the tree: lists of paths at depth 0, 1, ...
+
+        This mirrors the outer loop of the Figure 5 / Figure 6 algorithms,
+        which process all vertices of each level in parallel.
+        """
+        level: list[tuple[Path, Tree]] = [((), self)]
+        while level:
+            yield [path for path, _ in level]
+            nxt: list[tuple[Path, Tree]] = []
+            for path, node in level:
+                for index, child in enumerate(node.children):
+                    nxt.append((path + (index,), child))
+            level = nxt
+
+    def postorder(self) -> Iterator[Path]:
+        """All node paths in bottom-up (post-)order."""
+        out: list[Path] = []
+        stack: list[tuple[Path, Tree]] = [((), self)]
+        while stack:
+            path, node = stack.pop()
+            out.append(path)
+            for index, child in enumerate(node.children):
+                stack.append((path + (index,), child))
+        return reversed(out)
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def parent(path: Path) -> Path:
+        """The parent path of a non-root path."""
+        if not path:
+            raise TreeError("the root has no parent")
+        return path[:-1]
+
+    @staticmethod
+    def depth(path: Path) -> int:
+        """Number of edges from the root (root has depth 0)."""
+        return len(path)
+
+    def labels(self) -> frozenset[Label]:
+        """The set of labels occurring in the tree."""
+        return frozenset(label for _, label in self.nodes_with_labels())
+
+    def relabel(self, mapping: Callable[[Path, Label], Label]) -> "Tree":
+        """Return a tree of identical shape with labels ``mapping(path, label)``."""
+
+        def rebuild(node: Tree, path: Path) -> Tree:
+            children = [
+                rebuild(child, path + (index,))
+                for index, child in enumerate(node.children)
+            ]
+            return Tree(mapping(path, node.label), children)
+
+        return rebuild(self, ())
+
+    def mark(self, marked: Path) -> "Tree":
+        """Return the tree over ``Σ ∪ (Σ × {1})`` marking one node.
+
+        This is the marked-alphabet encoding used in the Theorem 6.3 and
+        Theorem 6.4 reductions: the node at ``marked`` gets label
+        ``(label, 1)`` (rendered as ``label*``) and all others keep theirs.
+        """
+        if not self.has_node(marked):
+            raise TreeError(f"no node at path {marked!r}")
+        return self.relabel(
+            lambda path, label: label + "*" if path == marked else label
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tree):
+            return NotImplemented
+        if self.label != other.label or len(self.children) != len(other.children):
+            return False
+        return all(a == b for a, b in zip(self.children, other.children))
+
+    def __hash__(self) -> int:
+        return hash((self.label, self.children))
+
+    def __repr__(self) -> str:
+        return f"Tree.parse({str(self)!r})"
+
+    def __str__(self) -> str:
+        if not self.children:
+            return str(self.label)
+        inner = ", ".join(str(child) for child in self.children)
+        return f"{self.label}({inner})"
+
+
+def sigma_tree(label: Label, *children: Tree) -> Tree:
+    """The ``σ(t_1, ..., t_n)`` constructor notation of Section 2.3."""
+    return Tree(label, children)
+
+
+def document_order(paths: Sequence[Path]) -> list[Path]:
+    """Sort paths in document (pre-)order."""
+    return sorted(paths)
+
+
+def is_ancestor(ancestor: Path, descendant: Path) -> bool:
+    """True iff ``ancestor`` is a proper ancestor of ``descendant``."""
+    return len(ancestor) < len(descendant) and descendant[: len(ancestor)] == ancestor

@@ -1,0 +1,65 @@
+"""Unranked tree automata: NBTA^u, 2DTA^u, QA^u, SQA^u, Theorem 5.17 (Section 5)."""
+
+from .nbta import UnrankedTreeAutomaton
+from .dbta import (
+    DeterministicUnrankedAutomaton,
+    HorizontalClassifier,
+    brute_force_marked_query,
+    determinize,
+    evaluate_marked_query,
+)
+from .twoway import (
+    STAY,
+    StayLimitError,
+    TwoWayUnrankedAutomaton,
+    UP,
+    UnrankedQueryAutomaton,
+    UpClassifier,
+    up_classifier_from_languages,
+)
+from .behavior import evaluate_query_via_behavior
+from .examples import (
+    circuit_query_automaton,
+    circuit_reference_query,
+    first_one_sqa,
+)
+from .separation import (
+    first_one_reference,
+    flat_family_tree,
+    impossibility_witness,
+    pigeonhole_pair,
+    root_state_sequence,
+)
+from .mso_to_sqa import (
+    StrongQueryAutomatonBuilder,
+    build_query_sqa,
+    figure6_evaluate,
+)
+
+__all__ = [
+    "UnrankedTreeAutomaton",
+    "DeterministicUnrankedAutomaton",
+    "HorizontalClassifier",
+    "brute_force_marked_query",
+    "determinize",
+    "evaluate_marked_query",
+    "STAY",
+    "StayLimitError",
+    "TwoWayUnrankedAutomaton",
+    "UP",
+    "UnrankedQueryAutomaton",
+    "UpClassifier",
+    "up_classifier_from_languages",
+    "evaluate_query_via_behavior",
+    "circuit_query_automaton",
+    "circuit_reference_query",
+    "first_one_sqa",
+    "first_one_reference",
+    "flat_family_tree",
+    "impossibility_witness",
+    "pigeonhole_pair",
+    "root_state_sequence",
+    "StrongQueryAutomatonBuilder",
+    "build_query_sqa",
+    "figure6_evaluate",
+]

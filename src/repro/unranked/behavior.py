@@ -1,0 +1,238 @@
+"""Behavior functions of two-way unranked automata (Lemma 5.16 machinery).
+
+The unranked analogue of :mod:`repro.ranked.behavior`: the behavior
+function ``f^A_{t_v}`` of every subtree is computed bottom-up — a node's
+function depends on its children's functions, the slender down language,
+the up classifier, and (for strong automata) at most one application of
+the stay GSQA, exactly the case analysis (2a)/(2b) in the proof of
+Lemma 5.16.  ``Assumed`` sets then flow top-down, yielding a linear-time
+SQA^u query evaluator whose agreement with the cut simulation is
+property-tested.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from ..trees.tree import Path, Tree
+from ..strings.twoway import NonTerminatingRunError
+from .twoway import (
+    STAY,
+    StayLimitError,
+    TwoWayUnrankedAutomaton,
+    UnrankedQueryAutomaton,
+    UP,
+)
+
+State = Hashable
+BehaviorFunction = dict[State, State]
+
+
+def states_closure(behavior: BehaviorFunction, state: State) -> list[State]:
+    """``States(f, q)``: the orbit of ``q`` under ``f``."""
+    orbit = [state]
+    seen = {state}
+    current = state
+    while current in behavior:
+        nxt = behavior[current]
+        if nxt == current:
+            break
+        if nxt in seen:
+            raise NonTerminatingRunError(f"behavior cycles from {state!r}")
+        orbit.append(nxt)
+        seen.add(nxt)
+        current = nxt
+    return orbit
+
+
+def up_state(behavior: BehaviorFunction, state: State) -> State | None:
+    """``up(f, q)``: the fixed point reached from ``q``, if any."""
+    orbit = states_closure(behavior, state)
+    last = orbit[-1]
+    return last if behavior.get(last) == last else None
+
+
+def _excursion_result(
+    automaton: TwoWayUnrankedAutomaton,
+    node: Tree,
+    child_functions: list[BehaviorFunction],
+    state: State,
+) -> tuple[State | None, tuple | None]:
+    """Resolve one down excursion from ``state`` at ``node``.
+
+    Returns ``(return_state, stay_states)`` where ``return_state`` is the
+    state in which the head comes back up to the node (None if the
+    excursion gets stuck) and ``stay_states`` is the tuple the stay
+    transition assigned (None if no stay happened) — the latter feeds the
+    ``Assumed`` computation.
+    """
+    arity = len(node.children)
+    down = automaton.delta_down(state, node.label, arity)
+    if down is None:
+        return None, None
+
+    def settle(entry_states) -> tuple | None:
+        """Children enter in these states; the word at their up moment."""
+        word = []
+        for i, child_state in enumerate(entry_states):
+            settled = up_state(child_functions[i], child_state)
+            if settled is None:
+                return None
+            word.append((settled, node.children[i].label))
+        return tuple(word)
+
+    word = settle(down)
+    if word is None:
+        return None, None
+    outcome = automaton.up_classifier.classify(word)
+    if outcome is None:
+        return None, None
+    if outcome[0] == UP:
+        return outcome[1], None
+    # Stay transition (case 2b of Lemma 5.16): at most one for a strong
+    # automaton, then the re-settled word must classify as an up.
+    assert outcome[0] == STAY and automaton.stay_gsqa is not None
+    stay_states = automaton.stay_gsqa.transduce(word)
+    word2 = settle(stay_states)
+    if word2 is None:
+        return None, stay_states
+    outcome2 = automaton.up_classifier.classify(word2)
+    if outcome2 is None:
+        return None, stay_states
+    if outcome2[0] == STAY:
+        if automaton.stay_limit is not None and automaton.stay_limit <= 1:
+            raise StayLimitError(
+                "second stay transition at the children of one node"
+            )
+        raise NotImplementedError(
+            "behavior evaluation supports at most one stay per node"
+        )
+    return outcome2[1], stay_states
+
+
+def behavior_functions(
+    automaton: TwoWayUnrankedAutomaton, tree: Tree
+) -> dict[Path, BehaviorFunction]:
+    """``f^A_{t_v}`` for every node, bottom-up (Lemma 5.16)."""
+    functions: dict[Path, BehaviorFunction] = {}
+    for path in tree.postorder():
+        node = tree.subtree(path)
+        child_functions = [
+            functions[path + (i,)] for i in range(len(node.children))
+        ]
+        behavior: BehaviorFunction = {}
+        for state in automaton.states:
+            pair = (state, node.label)
+            if pair in automaton.up_pairs:
+                behavior[state] = state
+            elif pair in automaton.down_pairs:
+                if not node.children:
+                    target = automaton.delta_leaf.get(pair)
+                    if target is not None:
+                        behavior[state] = target
+                else:
+                    result, _stays = _excursion_result(
+                        automaton, node, child_functions, state
+                    )
+                    if result is not None:
+                        behavior[state] = result
+        functions[path] = behavior
+    return functions
+
+
+def root_trajectory(
+    automaton: TwoWayUnrankedAutomaton,
+    tree: Tree,
+    root_behavior: BehaviorFunction,
+) -> tuple[list[State], State | None]:
+    """States assumed at the root; the halting state there (None = stuck inside)."""
+    label = tree.label_at(())
+    arity = tree.arity_at(())
+    assumed: list[State] = []
+    seen: set[State] = set()
+    state = automaton.initial
+    while True:
+        if state in seen:
+            raise NonTerminatingRunError("root trajectory cycles")
+        seen.add(state)
+        assumed.append(state)
+        pair = (state, label)
+        if pair in automaton.down_pairs:
+            if state in root_behavior:
+                state = root_behavior[state]
+                continue
+            fires = (
+                pair in automaton.delta_leaf
+                if arity == 0
+                else automaton.delta_down(state, label, arity) is not None
+            )
+            return assumed, (None if fires else state)
+        if pair in automaton.up_pairs:
+            target = automaton.delta_root.get(pair)
+            if target is None:
+                return assumed, state
+            state = target
+            continue
+        return assumed, state
+
+
+def assumed_sets(
+    automaton: TwoWayUnrankedAutomaton,
+    tree: Tree,
+    functions: dict[Path, BehaviorFunction] | None = None,
+) -> tuple[dict[Path, set[State]], State | None]:
+    """``Assumed`` at every node plus the root halting state.
+
+    Children receive the orbit of their down-transition state and — when a
+    stay transition fires for their sibling word — also the orbit of their
+    stay-assigned state.
+    """
+    if functions is None:
+        functions = behavior_functions(automaton, tree)
+    assumed: dict[Path, set[State]] = {path: set() for path in tree.nodes()}
+
+    root_states, halting = root_trajectory(automaton, tree, functions[()])
+    assumed[()] = set(root_states)
+
+    for path in tree.nodes():
+        node = tree.subtree(path)
+        arity = len(node.children)
+        if arity == 0:
+            continue
+        child_functions = [functions[path + (i,)] for i in range(arity)]
+        for parent_state in assumed[path]:
+            if (parent_state, node.label) not in automaton.down_pairs:
+                continue
+            down = automaton.delta_down(parent_state, node.label, arity)
+            if down is None:
+                continue
+            _result, stay_states = _excursion_result(
+                automaton, node, child_functions, parent_state
+            )
+            for i, child_state in enumerate(down):
+                assumed[path + (i,)].update(
+                    states_closure(child_functions[i], child_state)
+                )
+            if stay_states is not None:
+                for i, child_state in enumerate(stay_states):
+                    assumed[path + (i,)].update(
+                        states_closure(child_functions[i], child_state)
+                    )
+    return assumed, halting
+
+
+def evaluate_query_via_behavior(
+    qa: UnrankedQueryAutomaton, tree: Tree
+) -> frozenset[Path]:
+    """Linear-time SQA^u evaluation from the Lemma 5.16 data."""
+    automaton = qa.automaton
+    functions = behavior_functions(automaton, tree)
+    assumed, halting = assumed_sets(automaton, tree, functions)
+    if halting is None or halting not in automaton.accepting:
+        return frozenset()
+    selected: set[Path] = set()
+    for path in tree.nodes():
+        label = tree.label_at(path)
+        if any((state, label) in qa.selecting for state in assumed[path]):
+            selected.add(path)
+    return frozenset(selected)

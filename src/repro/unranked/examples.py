@@ -1,0 +1,180 @@
+"""The paper's unranked worked examples: Example 5.9 and Example 5.14.
+
+* Example 5.9 — a QA^u over unbounded-fanin AND/OR circuits selecting all
+  gates whose subcircuit evaluates to 1, via the states ``all_one``,
+  ``all_zero``, ``mixed``.
+* Example 5.14 — the SQA^u computing Proposition 5.10's query "select all
+  1-labeled leaves with no 1-labeled left sibling", which no plain QA^u
+  can compute.  One stay transition per node suffices: the stay GSQA scans
+  the children and crowns the first 1-labeled one.
+"""
+
+from __future__ import annotations
+
+from ..strings.dfa import DFA
+from ..strings.simple_regex import constant_sequence
+from ..strings.twoway import GeneralizedStringQA, LEFT_MARKER, TwoWayDFA
+from .twoway import (
+    TwoWayUnrankedAutomaton,
+    UnrankedQueryAutomaton,
+    up_classifier_from_languages,
+)
+
+_OPS = ("AND", "OR")
+_BITS = ("0", "1")
+_SIGMA = _OPS + _BITS
+
+
+def _letters(states, labels):
+    return frozenset((q, a) for q in states for a in labels)
+
+
+def _letterwise_dfa(pair_alphabet, allowed) -> DFA:
+    """DFA for ``allowed⁺`` (nonempty words of allowed letters)."""
+    transitions = {}
+    for pair in pair_alphabet:
+        if pair in allowed:
+            transitions[(0, pair)] = 1
+            transitions[(1, pair)] = 1
+    return DFA.build({0, 1}, pair_alphabet, transitions, 0, {1})
+
+
+def circuit_query_automaton() -> UnrankedQueryAutomaton:
+    """Example 5.9: select every gate whose subcircuit evaluates to 1.
+
+    Exactly the paper's automaton; as with Example 4.4 we additionally let
+    λ select 1-labeled leaves (visited in state ``u``) so the computed
+    query matches the example's English statement on leaves too.
+    """
+    states = frozenset({"s", "u", "all_one", "all_zero", "mixed"})
+    up_states = ("u", "all_one", "all_zero", "mixed")
+    pair_alphabet = _letters(up_states, _SIGMA)
+
+    # (3) L_↑(all_one): leaves must be 1, AND children all_one, OR children
+    # all_one or mixed.
+    one_allowed = (
+        {("u", "1")}
+        | {("all_one", "AND")}
+        | {("all_one", "OR"), ("mixed", "OR")}
+    )
+    # (4) L_↑(all_zero): dually.
+    zero_allowed = (
+        {("u", "0")}
+        | {("all_zero", "AND"), ("mixed", "AND")}
+        | {("all_zero", "OR")}
+    )
+    one_dfa = _letterwise_dfa(pair_alphabet, one_allowed)
+    zero_dfa = _letterwise_dfa(pair_alphabet, zero_allowed)
+    # (5) L_↑(mixed) := U⁺ − (L_↑(all_one) ∪ L_↑(all_zero)).
+    nonempty = _letterwise_dfa(pair_alphabet, pair_alphabet)
+    mixed_dfa = nonempty.intersection(
+        one_dfa.union(zero_dfa).complement()
+    ).minimized()
+
+    classifier = up_classifier_from_languages(
+        {"all_one": one_dfa, "all_zero": zero_dfa, "mixed": mixed_dfa},
+        None,
+        pair_alphabet,
+    )
+    automaton = TwoWayUnrankedAutomaton(
+        states=states,
+        alphabet=frozenset(_SIGMA),
+        initial="s",
+        accepting=states,  # F = Q
+        up_pairs=pair_alphabet,
+        down_pairs=_letters(("s",), _SIGMA),
+        delta_leaf={("s", sigma): "u" for sigma in _SIGMA},
+        delta_root={},
+        up_classifier=classifier,
+        down={("s", sigma): constant_sequence("s") for sigma in _SIGMA},
+        stay_gsqa=None,
+        stay_limit=0,
+    )
+    selecting = {("all_one", op) for op in _OPS}
+    selecting |= {("mixed", "OR")}
+    selecting |= {("u", "1")}
+    return UnrankedQueryAutomaton(automaton, frozenset(selecting))
+
+
+def circuit_reference_query(tree) -> frozenset:
+    """Oracle for Example 5.9: nodes whose subcircuit evaluates to 1."""
+    from ..trees.generators import evaluate_circuit
+
+    return frozenset(
+        path for path in tree.nodes() if evaluate_circuit(tree.subtree(path)) == 1
+    )
+
+
+def _first_one_gsqa(pair_alphabet) -> GeneralizedStringQA:
+    """The stay GSQA of Example 5.14: output ``one`` at the first
+    1-labeled position, ``up`` elsewhere (single left-to-right sweep)."""
+    states = {"seek", "after"}
+    right_moves = {("seek", LEFT_MARKER): "seek"}
+    output = {}
+    for pair in pair_alphabet:
+        _state, label = pair
+        if label == "1":
+            right_moves[("seek", pair)] = "after"
+            output[("seek", pair)] = "one"
+        else:
+            right_moves[("seek", pair)] = "seek"
+            output[("seek", pair)] = "up"
+        right_moves[("after", pair)] = "after"
+        output[("after", pair)] = "up"
+    automaton = TwoWayDFA.build(
+        states, pair_alphabet, "seek", states, {}, right_moves
+    )
+    return GeneralizedStringQA(automaton, output, frozenset({"one", "up"}))
+
+
+def first_one_sqa() -> UnrankedQueryAutomaton:
+    """Example 5.14: the SQA^u selecting each node's first 1-labeled leaf child.
+
+    Faithful to the paper: ``U_stay = ({stay} × Σ)⁺``, ``L_↑(up) =
+    up* one up* + up*`` (over the state components), one stay per node.
+    As in the paper's setting the automaton is intended for trees whose
+    internal nodes have only-leaf or only-internal children (in particular
+    the flat trees of Proposition 5.10); on other trees it gets stuck and
+    rejects.
+    """
+    labels = ("0", "1")
+    states = frozenset({"s", "stay", "up", "one"})
+    up_states = ("stay", "up", "one")
+    pair_alphabet = _letters(up_states, labels)
+
+    stay_pairs = {("stay", label) for label in labels}
+    stay_dfa = _letterwise_dfa(pair_alphabet, stay_pairs)
+
+    # L_↑(up) = up* one up* | up⁺ over the state components.
+    up_pairs_only = {("up", label) for label in labels}
+    one_pairs = {("one", label) for label in labels}
+    transitions = {}
+    for pair in pair_alphabet:
+        if pair in up_pairs_only:
+            transitions[(0, pair)] = 1
+            transitions[(1, pair)] = 1
+            transitions[(2, pair)] = 2
+        elif pair in one_pairs:
+            transitions[(0, pair)] = 2
+            transitions[(1, pair)] = 2
+    up_dfa = DFA.build({0, 1, 2}, pair_alphabet, transitions, 0, {1, 2})
+
+    classifier = up_classifier_from_languages(
+        {"up": up_dfa}, stay_dfa, pair_alphabet
+    )
+    automaton = TwoWayUnrankedAutomaton(
+        states=states,
+        alphabet=frozenset(labels),
+        initial="s",
+        accepting=states,  # F = Q
+        up_pairs=pair_alphabet,
+        down_pairs=_letters(("s",), labels),
+        delta_leaf={("s", label): "stay" for label in labels},
+        delta_root={},
+        up_classifier=classifier,
+        down={("s", label): constant_sequence("s") for label in labels},
+        stay_gsqa=_first_one_gsqa(pair_alphabet),
+        stay_limit=1,
+    )
+    selecting = frozenset(("one", label) for label in labels)
+    return UnrankedQueryAutomaton(automaton, selecting)

@@ -1,0 +1,119 @@
+"""Proposition 5.10, executable: plain QA^u cannot compute FO queries.
+
+The query *select all 1-labeled leaves with no 1-labeled left sibling* is
+first-order definable and computed by the SQA^u of Example 5.14, but by
+Proposition 5.10 **no** QA^u (no stay transitions) computes it.  The
+paper's pigeonhole argument is made executable here:
+
+* the witness family ``t_i`` — a flat tree whose first ``i`` leaves are
+  ``0`` and the rest ``1`` (:func:`flat_family_tree`);
+* :func:`root_state_sequence` — the sequence of states the automaton
+  assumes at the root, the quantity the pigeonhole is applied to;
+* :func:`impossibility_witness` — given *any* candidate QA^u, finds a pair
+  ``j < j'`` with identical root sequences and returns the tree of the
+  family on which the candidate provably answers the query wrongly.
+
+Tests instantiate this against a battery of natural QA^u attempts at the
+query and confirm that every one of them fails on some family member,
+while the Example 5.14 SQA^u answers all members correctly.
+"""
+
+from __future__ import annotations
+
+from ..trees.tree import Path, Tree
+from .twoway import TwoWayUnrankedAutomaton, UnrankedQueryAutomaton
+
+
+def first_one_reference(tree: Tree) -> frozenset[Path]:
+    """The Proposition 5.10 query, evaluated directly.
+
+    1-labeled leaves all of whose earlier siblings are not 1-labeled.
+    """
+    selected: set[Path] = set()
+    for path in tree.nodes():
+        node = tree.subtree(path)
+        for i, child in enumerate(node.children):
+            if child.children or child.label != "1":
+                continue
+            earlier = [node.children[j].label for j in range(i)]
+            if "1" not in earlier:
+                selected.add(path + (i,))
+    return frozenset(selected)
+
+
+def flat_family_tree(zeros: int, width: int, root_label: str = "0") -> Tree:
+    """``t_i``: a root with ``width`` leaf children, the first ``zeros``
+    labeled 0 and the rest 1 (the paper uses width ``n + 1``)."""
+    if zeros > width:
+        raise ValueError("zeros cannot exceed the width")
+    labels = ["0"] * zeros + ["1"] * (width - zeros)
+    return Tree(root_label, [Tree(label) for label in labels])
+
+
+def root_state_sequence(
+    automaton: TwoWayUnrankedAutomaton, tree: Tree
+) -> tuple:
+    """The sequence of states assumed at the root during the run."""
+    sequence: list = []
+    previous = None
+    for configuration in automaton.run(tree):
+        now = configuration.get(())
+        if now is not None and now != previous:
+            sequence.append(now)
+        previous = now
+    return tuple(sequence)
+
+
+def impossibility_witness(
+    qa: UnrankedQueryAutomaton, width: int | None = None
+) -> tuple[Tree, frozenset[Path], frozenset[Path]] | None:
+    """A family member on which the QA^u answers the query incorrectly.
+
+    Follows the Proposition 5.10 proof: with ``width = m! + 1`` (``m`` the
+    state count) two family members share their root-state sequence, and
+    the determinism of down transitions then forces the automaton to treat
+    the first 1 of one tree and a non-first 1 of the other alike.  Rather
+    than reconstructing the contradiction abstractly we simply evaluate
+    the automaton on the family and return the first mismatch — the
+    proposition guarantees one exists within the bound.
+
+    Returns ``(tree, produced, expected)`` or ``None`` if the automaton
+    miraculously survives the whole family (impossible for a true QA^u
+    computing the query, by the proposition).
+    """
+    if qa.automaton.stay_limit not in (0, None) and qa.automaton.stay_gsqa:
+        raise ValueError("impossibility applies to stay-free QA^u only")
+    if width is None:
+        m = len(qa.automaton.states)
+        width = min(_factorial(m), 64) + 1  # cap for practicality
+    for zeros in range(width):
+        tree = flat_family_tree(zeros, width)
+        expected = first_one_reference(tree)
+        produced = qa.evaluate(tree)
+        if produced != expected:
+            return tree, produced, expected
+    return None
+
+
+def pigeonhole_pair(
+    qa: UnrankedQueryAutomaton, width: int
+) -> tuple[int, int] | None:
+    """``j < j'`` with identical root-state sequences on ``t_j``/``t_{j'}``.
+
+    The combinatorial heart of the proof, surfaced for tests and demos.
+    """
+    seen: dict[tuple, int] = {}
+    for zeros in range(width):
+        tree = flat_family_tree(zeros, width)
+        sequence = root_state_sequence(qa.automaton, tree)
+        if sequence in seen:
+            return seen[sequence], zeros
+        seen[sequence] = zeros
+    return None
+
+
+def _factorial(n: int) -> int:
+    out = 1
+    for k in range(2, n + 1):
+        out *= k
+    return out

@@ -1,0 +1,166 @@
+"""Beyond MSO: unrestricted stay transitions (the Definition 5.12 rationale).
+
+Section 5.3: generalized two-way automata (G2DTA^u) with *unbounded* stay
+transitions "are much more expressive than MSO — they can for instance
+simulate linear space Turing machines on trees of depth one".  The strong
+restriction (one stay per node) is exactly what keeps query automata
+MSO-bounded.
+
+This module makes the expressiveness gap executable with a linear-space
+computation in the paper's style: :func:`anbn_acceptor` is a G2DTA^u
+accepting the depth-1 trees whose leaf word lies in the **non-regular**
+language ``{aⁿbⁿ : n ≥ 1}``.  The set of such trees is not recognizable,
+so by Proposition 5.15 no 2DTA^u — and hence no S2DTA^u — accepts it:
+removing the stay bound strictly increases power.
+
+Mechanics (a crossing-off linear-space procedure):
+
+* the children's states are tape cells ``a, b, x, y`` (``x``/``y`` are
+  crossed-off ``a``/``b``);
+* each **stay transition** crosses off the leftmost live ``a`` and the
+  rightmost live ``b`` simultaneously — computed by a Lemma 3.10 GSQA
+  combining a forward "a-count" DFA with a backward "b-count" DFA;
+* the classifier keeps staying while the word matches ``x* a⁺ b⁺ y*``,
+  accepts on ``x⁺ y⁺``, and sticks (rejects) on anything else — which is
+  precisely where interleavings like ``abab`` or imbalances like ``aab``
+  die.
+
+The run makes ``n`` stay transitions on ``aⁿbⁿ`` — linear, unbounded, and
+fatal for any fixed stay budget (:class:`~repro.unranked.twoway.StayLimitError`
+fires if you impose one; the tests do).
+"""
+
+from __future__ import annotations
+
+from ..strings.dfa import DFA
+from ..strings.hopcroft_ullman import hopcroft_ullman_gsqa
+from ..strings.simple_regex import constant_sequence
+from ..strings.twoway import GeneralizedStringQA
+from .twoway import (
+    STAY,
+    TwoWayUnrankedAutomaton,
+    UP,
+    UpClassifier,
+)
+
+#: Tape-cell states of the children.
+def cell(symbol: str) -> tuple:
+    """The child state representing an un-headed tape cell."""
+    return ("cell", symbol)
+
+
+_TAPE = ("a", "b", "x", "y")
+_LABELS = ("a", "b", "r")
+
+
+def _pair_alphabet() -> frozenset:
+    return frozenset(
+        (cell(symbol), label) for symbol in _TAPE for label in _LABELS
+    )
+
+
+def _count_dfa(symbol: str, pair_alphabet) -> DFA:
+    """Counts occurrences of ``cell(symbol)`` read so far, capped at 2."""
+    transitions = {}
+    for letter in pair_alphabet:
+        hit = letter[0] == cell(symbol)
+        for count in (0, 1, 2):
+            transitions[(count, letter)] = min(2, count + 1) if hit else count
+    return DFA.build({0, 1, 2}, pair_alphabet, transitions, 0, set())
+
+
+def _cross_off_gsqa(pair_alphabet) -> GeneralizedStringQA:
+    """One crossing-off step, via Lemma 3.10.
+
+    The forward DFA counts ``a``-cells (so position ``i`` is the *first*
+    live ``a`` iff its letter is an ``a``-cell and the count through ``i``
+    is 1); the backward DFA counts ``b``-cells from the right (the *last*
+    live ``b`` dually).  The combined two-way transducer rewrites exactly
+    those two positions and copies the rest.
+    """
+    forward = _count_dfa("a", pair_alphabet)
+    backward = _count_dfa("b", pair_alphabet)
+
+    def render(p, q, letter):
+        state_part = letter[0]
+        if state_part == cell("a") and p == 1:
+            return cell("x")
+        if state_part == cell("b") and q == 1:
+            return cell("y")
+        return state_part
+
+    return hopcroft_ullman_gsqa(forward, backward, render=render)
+
+
+def _phase_classifier(pair_alphabet) -> UpClassifier:
+    """``x* a⁺ b⁺ y*`` → stay; ``x⁺ y⁺`` → accept; otherwise stuck.
+
+    One DFA tracks the phase (x-prefix, a-block, b-block, y-suffix) with
+    booleans for "saw an a"/"saw a b"; the outcome map reads off the
+    verdict at the end of the children word.
+    """
+    # States: (phase, saw_a, saw_b) with phase ∈ x < a < b < y; "dead".
+    order = {"x": 0, "a": 1, "b": 2, "y": 3}
+    states = {("ok", phase, sa, sb) for phase in order for sa in (0, 1) for sb in (0, 1)}
+    states.add("dead")
+    transitions = {}
+    for letter in pair_alphabet:
+        symbol = letter[0][1]
+        for state in states:
+            if state == "dead":
+                transitions[(state, letter)] = "dead"
+                continue
+            _ok, phase, sa, sb = state
+            if order[symbol] < order[phase]:
+                transitions[(state, letter)] = "dead"
+            else:
+                transitions[(state, letter)] = (
+                    "ok",
+                    symbol,
+                    sa or int(symbol == "a"),
+                    sb or int(symbol == "b"),
+                )
+    dfa = DFA.build(states, pair_alphabet, transitions, ("ok", "x", 0, 0), set())
+    outcome = {}
+    for state in states:
+        if state == "dead":
+            continue
+        _ok, phase, sa, sb = state
+        if sa and sb:
+            outcome[state] = (STAY,)  # live letters remain: cross off more
+        elif not sa and not sb and phase in ("y",):
+            outcome[state] = (UP, "done")  # x⁺ y⁺ (or x⁺... see below)
+        elif not sa and not sb and phase == "x":
+            pass  # x⁺ alone: an all-a-was-never-there word — reject
+        # one-sided leftovers (sa xor sb) are rejected by leaving them out
+    return UpClassifier(dfa, outcome)
+
+
+def anbn_acceptor() -> TwoWayUnrankedAutomaton:
+    """A G2DTA^u for {r-rooted depth-1 trees with leaf word aⁿbⁿ}.
+
+    Not recognizable ⇒ beyond every S2DTA^u (Proposition 5.15): the
+    executable content of the paper's linear-space remark.
+    """
+    pair_alphabet = _pair_alphabet()
+    states = frozenset({"go", "done", *(cell(s) for s in _TAPE)})
+    return TwoWayUnrankedAutomaton(
+        states=states,
+        alphabet=frozenset(_LABELS),
+        initial="go",
+        accepting=frozenset({"done"}),
+        up_pairs=pair_alphabet,
+        down_pairs=frozenset(("go", label) for label in _LABELS),
+        delta_leaf={("go", "a"): cell("a"), ("go", "b"): cell("b")},
+        delta_root={},
+        up_classifier=_phase_classifier(pair_alphabet),
+        down={("go", "r"): constant_sequence("go")},
+        stay_gsqa=_cross_off_gsqa(pair_alphabet),
+        stay_limit=None,  # the whole point: G2DTA^u, unbounded stays
+    )
+
+
+def anbn_reference(word: str) -> bool:
+    """Ground truth for the accepted leaf words."""
+    n = len(word) // 2
+    return n >= 1 and word == "a" * n + "b" * n

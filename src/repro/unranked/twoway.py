@@ -1,0 +1,387 @@
+"""Two-way automata over unranked trees: 2DTA^u, G2DTA^u, S2DTA^u, QA^u, SQA^u.
+
+Definitions 5.7–5.13 of the paper.  Compared to the ranked model
+(Definition 4.1), the transition tables become *infinite* and are
+represented finitely:
+
+* ``δ_↓(q, a, n)`` is the unique length-``n`` string of the slender
+  language ``L_↓(q, a)`` — a :class:`~repro.strings.simple_regex.SimpleRegex`
+  (finite union of ``x y* z``, at most one string per length, following
+  Shallit's normal form as the paper prescribes);
+* ``δ_↑`` is given by the disjoint regular languages ``L_↑(q)`` over the
+  pair alphabet ``U ⊆ Q × Σ``.  We represent the whole family by one total
+  *classifier DFA* with a partial map from its states to outcomes — this
+  makes the disjointness the paper requires structural, and matches its
+  insistence (proof of Theorem 6.3) that up transitions be given by DFAs;
+* **stay transitions** (Definition 5.11) extend the classifier with a
+  ``stay`` outcome on the regular set ``U_stay``; the replacement states of
+  the children are computed by a GSQA (a deterministic two-way string
+  automaton with output, Definition 3.5) reading the children's
+  (state, label) word.
+
+A *strong* automaton (S2DTA^u, Definition 5.12) makes at most one stay
+transition at the children of each node; the runner enforces the
+declared ``stay_limit`` and raises :class:`StayLimitError` on violation
+(the paper shows unrestricted stay transitions simulate linear-space
+Turing machines, so the limit is what keeps the model MSO-bounded).
+
+Query automata (QA^u, Definition 5.8; SQA^u, Definition 5.13) add a
+selection function λ, with the usual semantics: a node is selected iff the
+accepting run visits it at least once in a selecting (state, label) pair.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass
+
+from ..strings.dfa import DFA, AutomatonError
+from ..strings.simple_regex import SimpleRegex
+from ..strings.twoway import GeneralizedStringQA, NonTerminatingRunError
+from ..trees.tree import Path, Tree
+
+State = Hashable
+Label = Hashable
+UPair = tuple[State, Label]
+Configuration = dict[Path, State]
+
+
+class StayLimitError(RuntimeError):
+    """The automaton attempted more stay transitions than its declared limit."""
+
+
+#: Classifier outcomes.
+UP = "up"
+STAY = "stay"
+
+
+@dataclass(frozen=True)
+class UpClassifier:
+    """The up/stay transition family as one total DFA with outcomes.
+
+    ``dfa`` runs over the pair alphabet ``U``; ``outcome`` maps (some of)
+    its states to either ``("up", q)`` — the word lies in ``L_↑(q)`` — or
+    ``("stay",)`` — the word lies in ``U_stay``.  Unmapped states mean "no
+    transition".  Disjointness of the languages is structural.
+    """
+
+    dfa: DFA
+    outcome: dict[State, tuple]
+
+    def __post_init__(self) -> None:
+        for state, value in self.outcome.items():
+            if state not in self.dfa.states:
+                raise AutomatonError(f"outcome for unknown DFA state {state!r}")
+            if value[0] not in (UP, STAY):
+                raise AutomatonError(f"bad outcome {value!r}")
+
+    def classify(self, word: Sequence[UPair]) -> tuple | None:
+        """``("up", q)``, ``("stay",)``, or ``None`` for the children word."""
+        state = self.dfa.run(word)
+        if state is None:
+            return None
+        return self.outcome.get(state)
+
+    @property
+    def size(self) -> int:
+        """Size of the classifier DFA (part of the automaton's size)."""
+        return self.dfa.size
+
+
+@dataclass(frozen=True)
+class TwoWayUnrankedAutomaton:
+    """A generalized two-way deterministic unranked tree automaton.
+
+    With ``stay_limit = 0`` this is a plain 2DTA^u (Definition 5.7); with
+    ``stay_limit = 1`` and a stay-capable classifier it is an S2DTA^u
+    (Definition 5.12); ``stay_limit = None`` means unrestricted (G2DTA^u).
+
+    ``down`` maps ``(q, a) ∈ D`` to the slender language ``L_↓(q, a)``;
+    ``up_classifier`` realizes ``δ_↑`` (and ``δ_-`` via ``stay_gsqa``).
+    """
+
+    states: frozenset[State]
+    alphabet: frozenset[Label]
+    initial: State
+    accepting: frozenset[State]
+    up_pairs: frozenset[UPair]
+    down_pairs: frozenset[UPair]
+    delta_leaf: dict[UPair, State]
+    delta_root: dict[UPair, State]
+    up_classifier: UpClassifier
+    down: dict[UPair, SimpleRegex]
+    stay_gsqa: GeneralizedStringQA | None = None
+    stay_limit: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise AutomatonError("initial state unknown")
+        if not self.accepting <= self.states:
+            raise AutomatonError("accepting states must be a subset of states")
+        if self.up_pairs & self.down_pairs:
+            raise AutomatonError("U and D must be disjoint")
+        for pair in self.delta_leaf:
+            if pair not in self.down_pairs:
+                raise AutomatonError(f"δ_leaf outside D at {pair!r}")
+        for pair in self.delta_root:
+            if pair not in self.up_pairs:
+                raise AutomatonError(f"δ_root outside U at {pair!r}")
+        for pair in self.down:
+            if pair not in self.down_pairs:
+                raise AutomatonError(f"L_↓ outside D at {pair!r}")
+        if any(
+            value[0] == STAY for value in self.up_classifier.outcome.values()
+        ) and self.stay_gsqa is None:
+            raise AutomatonError("stay outcomes require a stay GSQA")
+
+    @property
+    def size(self) -> int:
+        """States + alphabet + transition representations (paper's measure)."""
+        total = len(self.states) + len(self.alphabet)
+        total += len(self.delta_leaf) + len(self.delta_root)
+        total += self.up_classifier.size
+        total += sum(regex.size for regex in self.down.values())
+        if self.stay_gsqa is not None:
+            total += self.stay_gsqa.size
+        return total
+
+    # ------------------------------------------------------------------
+    # Transition helpers
+    # ------------------------------------------------------------------
+
+    def delta_down(self, state: State, label: Label, arity: int):
+        """``δ_↓(q, a, n)`` or ``None``."""
+        regex = self.down.get((state, label))
+        if regex is None:
+            return None
+        return regex.string_of_length(arity)
+
+    def children_word(
+        self, tree: Tree, configuration: Configuration, path: Path
+    ) -> tuple[UPair, ...] | None:
+        """The (state, label) word of ``path``'s children, if all in the cut."""
+        arity = tree.arity_at(path)
+        word = []
+        for i in range(arity):
+            child = path + (i,)
+            if child not in configuration:
+                return None
+            word.append((configuration[child], tree.label_at(child)))
+        return tuple(word)
+
+    # ------------------------------------------------------------------
+    # Run semantics (cut-based, as in §4.1 / §5.2)
+    # ------------------------------------------------------------------
+
+    def _enabled(
+        self, tree: Tree, configuration: Configuration, stays: dict[Path, int]
+    ) -> tuple[str, Path] | None:
+        cut = sorted(configuration)
+        if cut == [()]:
+            pair = (configuration[()], tree.label_at(()))
+            if pair in self.up_pairs and pair in self.delta_root:
+                return ("root", ())
+        candidate_parents: set[Path] = set()
+        for path in cut:
+            state = configuration[path]
+            label = tree.label_at(path)
+            pair = (state, label)
+            arity = tree.arity_at(path)
+            if pair in self.down_pairs:
+                if arity == 0:
+                    if pair in self.delta_leaf:
+                        return ("leaf", path)
+                elif self.delta_down(state, label, arity) is not None:
+                    return ("down", path)
+            if pair in self.up_pairs and path:
+                candidate_parents.add(path[:-1])
+        for parent in sorted(candidate_parents):
+            word = self.children_word(tree, configuration, parent)
+            if word is None or not all(pair in self.up_pairs for pair in word):
+                continue
+            outcome = self.up_classifier.classify(word)
+            if outcome is None:
+                continue
+            if outcome[0] == UP:
+                return ("up", parent)
+            if outcome[0] == STAY:
+                if (
+                    self.stay_limit is not None
+                    and stays.get(parent, 0) >= self.stay_limit
+                ):
+                    raise StayLimitError(
+                        f"more than {self.stay_limit} stay transition(s) at {parent!r}"
+                    )
+                return ("stay", parent)
+        return None
+
+    def _fire(
+        self,
+        tree: Tree,
+        configuration: Configuration,
+        stays: dict[Path, int],
+        kind: str,
+        path: Path,
+    ) -> Configuration:
+        new = dict(configuration)
+        label = tree.label_at(path)
+        if kind == "root":
+            new[()] = self.delta_root[(configuration[()], label)]
+        elif kind == "leaf":
+            new[path] = self.delta_leaf[(configuration[path], label)]
+        elif kind == "down":
+            arity = tree.arity_at(path)
+            targets = self.delta_down(configuration[path], label, arity)
+            assert targets is not None
+            del new[path]
+            for i, target in enumerate(targets):
+                new[path + (i,)] = target
+        elif kind == "up":
+            word = self.children_word(tree, configuration, path)
+            assert word is not None
+            outcome = self.up_classifier.classify(word)
+            assert outcome is not None and outcome[0] == UP
+            for i in range(tree.arity_at(path)):
+                del new[path + (i,)]
+            new[path] = outcome[1]
+        elif kind == "stay":
+            word = self.children_word(tree, configuration, path)
+            assert word is not None and self.stay_gsqa is not None
+            replacements = self.stay_gsqa.transduce(word)
+            for i, state in enumerate(replacements):
+                if state not in self.states:
+                    raise AutomatonError(
+                        f"stay GSQA produced unknown state {state!r}"
+                    )
+                new[path + (i,)] = state
+            stays[path] = stays.get(path, 0) + 1
+        else:  # pragma: no cover - internal
+            raise AssertionError(kind)
+        return new
+
+    def run(
+        self, tree: Tree, max_steps: int | None = None
+    ) -> list[Configuration]:
+        """The canonical maximal run (a list of configurations).
+
+        The step budget scales with ``|Q| · |t|``; exceeding it raises
+        :class:`NonTerminatingRunError` (the paper only considers automata
+        that halt on every input).
+        """
+        if max_steps is None:
+            max_steps = 6 * max(1, len(self.states)) * tree.size + 6
+        configuration: Configuration = {(): self.initial}
+        stays: dict[Path, int] = {}
+        trace = [dict(configuration)]
+        for _ in range(max_steps):
+            enabled = self._enabled(tree, configuration, stays)
+            if enabled is None:
+                return trace
+            configuration = self._fire(tree, configuration, stays, *enabled)
+            trace.append(dict(configuration))
+        raise NonTerminatingRunError(
+            f"run exceeded {max_steps} steps on a tree of size {tree.size}"
+        )
+
+    def accepts(self, tree: Tree) -> bool:
+        """Maximal run ends with ``{root ↦ q}``, ``q ∈ F``."""
+        final = self.run(tree)[-1]
+        return list(final) == [()] and final[()] in self.accepting
+
+
+@dataclass(frozen=True)
+class UnrankedQueryAutomaton:
+    """A QA^u / SQA^u: a two-way unranked automaton plus selection λ.
+
+    With ``automaton.stay_limit == 0`` this is a QA^u (Definition 5.8);
+    with limit 1 and stay transitions, an SQA^u (Definition 5.13).
+    """
+
+    automaton: TwoWayUnrankedAutomaton
+    selecting: frozenset[UPair]
+
+    def __post_init__(self) -> None:
+        for state, label in self.selecting:
+            if state not in self.automaton.states:
+                raise AutomatonError(f"selection uses unknown state {state!r}")
+            if label not in self.automaton.alphabet:
+                raise AutomatonError(f"selection uses unknown label {label!r}")
+
+    @property
+    def size(self) -> int:
+        """Size of the underlying automaton (λ adds nothing)."""
+        return self.automaton.size
+
+    def evaluate(self, tree: Tree) -> frozenset[Path]:
+        """The computed query ``A(t)``."""
+        trace = self.automaton.run(tree)
+        final = trace[-1]
+        if list(final) != [()] or final[()] not in self.automaton.accepting:
+            return frozenset()
+        selected: set[Path] = set()
+        for configuration in trace:
+            for path, state in configuration.items():
+                if (state, tree.label_at(path)) in self.selecting:
+                    selected.add(path)
+        return frozenset(selected)
+
+    def accepts(self, tree: Tree) -> bool:
+        """The underlying tree language."""
+        return self.automaton.accepts(tree)
+
+
+def up_classifier_from_languages(
+    languages: dict[State, DFA],
+    stay_language: DFA | None,
+    pair_alphabet: Iterable[UPair],
+) -> UpClassifier:
+    """Build a classifier from per-state DFAs (checking disjointness).
+
+    ``languages[q]`` is a DFA for ``L_↑(q)``; ``stay_language`` (optional)
+    recognizes ``U_stay``.  All must be over the same pair alphabet.  The
+    classifier is their product; a word in two languages at once raises
+    :class:`AutomatonError` (the paper's determinism requirement).
+    """
+    pair_alphabet = frozenset(pair_alphabet)
+    entries: list[tuple[tuple, DFA]] = []
+    for state, dfa in sorted(languages.items(), key=lambda item: repr(item[0])):
+        entries.append(((UP, state), dfa.completed()))
+    if stay_language is not None:
+        entries.append(((STAY,), stay_language.completed()))
+    if not entries:
+        everything = DFA.build({0}, pair_alphabet, {}, 0, set()).completed()
+        return UpClassifier(everything, {})
+
+    # Product of all the DFAs; outcome per product state.
+    initial = tuple(dfa.initial for _tag, dfa in entries)
+    states = {initial}
+    transitions: dict[tuple[tuple, UPair], tuple] = {}
+    frontier = [initial]
+    while frontier:
+        source = frontier.pop()
+        for pair in pair_alphabet:
+            target = tuple(
+                dfa.transitions[(component, pair)]
+                for (component, (_tag, dfa)) in zip(source, entries)
+            )
+            transitions[(source, pair)] = target
+            if target not in states:
+                states.add(target)
+                frontier.append(target)
+    outcome: dict[tuple, tuple] = {}
+    for product_state in states:
+        hits = [
+            tag
+            for component, (tag, dfa) in zip(product_state, entries)
+            if component in dfa.accepting
+        ]
+        if len(hits) > 1:
+            raise AutomatonError(
+                f"up/stay languages overlap (outcomes {hits!r}); "
+                "the model requires disjoint L_↑ languages"
+            )
+        if hits:
+            full = hits[0]
+            outcome[product_state] = (UP, full[1]) if full[0] == UP else (STAY,)
+    dfa = DFA.build(states, pair_alphabet, transitions, initial, set())
+    return UpClassifier(dfa, outcome)

@@ -1,0 +1,99 @@
+"""Shared hypothesis strategies and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.strings.dfa import DFA
+from repro.trees.tree import Tree
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def total_dfas(draw, alphabet=("a", "b"), max_states=4):
+    """A random total DFA over the alphabet."""
+    n = draw(st.integers(min_value=1, max_value=max_states))
+    states = list(range(n))
+    transitions = {
+        (state, symbol): draw(st.sampled_from(states))
+        for state in states
+        for symbol in alphabet
+    }
+    accepting = draw(st.sets(st.sampled_from(states)))
+    initial = draw(st.sampled_from(states))
+    return DFA.build(states, alphabet, transitions, initial, accepting)
+
+
+@st.composite
+def words(draw, alphabet=("a", "b"), max_length=8):
+    """A random word over the alphabet."""
+    return draw(
+        st.lists(st.sampled_from(alphabet), max_size=max_length)
+    )
+
+
+@st.composite
+def trees(draw, labels=("a", "b"), max_size=7, max_arity=3):
+    """A random tree with at most ``max_size`` nodes."""
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    from repro.trees.generators import random_tree
+
+    return random_tree(size, list(labels), max_arity=max_arity, seed_or_rng=seed)
+
+
+@st.composite
+def full_binary_trees(draw, labels=("a", "b"), max_height=2):
+    """A random full binary tree (arities 0/2 only)."""
+    def build(height: int) -> Tree:
+        label = draw(st.sampled_from(labels))
+        if height == 0:
+            return Tree(label)
+        return Tree(label, [build(height - 1), build(height - 1)])
+
+    height = draw(st.integers(min_value=0, max_value=max_height))
+    return build(height)
+
+
+@st.composite
+def wide_trees(draw, labels=("a", "b"), max_depth=2, max_arity=3):
+    """A random tree whose inner nodes have ≥ 2 children."""
+    def build(depth: int) -> Tree:
+        label = draw(st.sampled_from(labels))
+        if depth == 0 or draw(st.booleans()):
+            return Tree(label)
+        arity = draw(st.integers(min_value=2, max_value=max_arity))
+        return Tree(label, [build(depth - 1) for _ in range(arity)])
+
+    return build(max_depth)
+
+
+# ----------------------------------------------------------------------
+# Plain helpers
+# ----------------------------------------------------------------------
+
+
+def all_words(alphabet, max_length):
+    """Every word over the alphabet up to the length (deterministic)."""
+    import itertools
+
+    for n in range(max_length + 1):
+        yield from (list(w) for w in itertools.product(alphabet, repeat=n))
+
+
+def random_total_dfa(rng: random.Random, alphabet=("a", "b"), max_states=4) -> DFA:
+    n = rng.randint(1, max_states)
+    states = list(range(n))
+    transitions = {
+        (state, symbol): rng.randrange(n)
+        for state in states
+        for symbol in alphabet
+    }
+    accepting = {state for state in states if rng.random() < 0.5}
+    return DFA.build(states, alphabet, transitions, rng.randrange(n), accepting)

@@ -1,0 +1,53 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.trees.dtd import BIBLIOGRAPHY_DTD
+from repro.trees.xml import BIBLIOGRAPHY_EXAMPLE
+
+
+@pytest.fixture()
+def document_file(tmp_path):
+    path = tmp_path / "bib.xml"
+    path.write_text(BIBLIOGRAPHY_EXAMPLE)
+    return str(path)
+
+
+@pytest.fixture()
+def dtd_file(tmp_path):
+    path = tmp_path / "bib.dtd"
+    path.write_text(BIBLIOGRAPHY_DTD)
+    return str(path)
+
+
+class TestCLI:
+    def test_query(self, document_file, capsys):
+        assert main(["query", document_file, "//author"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("<author>") == 4
+
+    def test_query_with_validation(self, document_file, dtd_file, capsys):
+        assert main(["query", document_file, "//year", "--dtd", dtd_file]) == 0
+        out = capsys.readouterr().out
+        assert "1995" in out and "1970" in out
+
+    def test_query_validation_failure(self, tmp_path, dtd_file, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<bibliography><book><title>x</title></book></bibliography>")
+        assert main(["query", str(bad), "//title", "--dtd", dtd_file]) == 2
+
+    def test_validate_ok(self, document_file, dtd_file, capsys):
+        assert main(["validate", document_file, dtd_file]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_validate_reports_violations(self, tmp_path, dtd_file, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<bibliography><book><title>x</title></book></bibliography>")
+        assert main(["validate", str(bad), dtd_file]) == 1
+        assert "book" in capsys.readouterr().out
+
+    def test_tree(self, document_file, capsys):
+        assert main(["tree", document_file]) == 0
+        out = capsys.readouterr().out
+        assert "bibliography" in out.splitlines()[0]

@@ -1,0 +1,98 @@
+"""Pattern language and the XML pipeline (the paper's motivating workflow)."""
+
+import pytest
+
+from repro.core.patterns import PatternError, compile_pattern
+from repro.core.pipeline import Document, ValidationError, run_pattern
+from repro.trees.dtd import BIBLIOGRAPHY_DTD, parse_dtd
+from repro.trees.tree import Tree
+from repro.trees.xml import BIBLIOGRAPHY_EXAMPLE
+
+
+class TestPatterns:
+    def test_child_step(self):
+        query = compile_pattern("/b", ["a", "b"])
+        assert query.evaluate(Tree.parse("a(b, a, b)")) == frozenset({(0,), (2,)})
+
+    def test_nested_child_steps(self):
+        query = compile_pattern("/b/a", ["a", "b"])
+        tree = Tree.parse("a(b(a, b), a(a))")
+        assert query.evaluate(tree) == frozenset({(0, 0)})
+
+    def test_descendant_step(self):
+        query = compile_pattern("//a", ["a", "b"])
+        tree = Tree.parse("b(a(a), b(b(a)))")
+        assert query.evaluate(tree) == frozenset({(0,), (0, 0), (1, 0, 0)})
+
+    def test_wildcard(self):
+        query = compile_pattern("/*", ["a", "b"])
+        tree = Tree.parse("a(b, a)")
+        assert query.evaluate(tree) == frozenset({(0,), (1,)})
+
+    def test_leaf_filter(self):
+        query = compile_pattern("//b[leaf]", ["a", "b"])
+        tree = Tree.parse("a(b, a(b), b(a))")
+        assert query.evaluate(tree) == frozenset({(0,), (1, 0)})
+
+    def test_first_last_filters(self):
+        tree = Tree.parse("a(b, b, b)")
+        first = compile_pattern("/b[first]", ["a", "b"])
+        last = compile_pattern("/b[last]", ["a", "b"])
+        assert first.evaluate(tree) == frozenset({(0,)})
+        assert last.evaluate(tree) == frozenset({(2,)})
+
+    def test_has_filter(self):
+        # ``//`` selects proper descendants of the root, so the root
+        # itself (which also has a b-child here) is not matched.
+        query = compile_pattern("//a[has(b)]", ["a", "b"])
+        tree = Tree.parse("a(a(b), a(a))")
+        assert query.evaluate(tree) == frozenset({(0,)})
+
+    def test_agrees_with_naive_engine(self):
+        from repro.trees.generators import enumerate_trees
+
+        for pattern in ["/a", "//b", "//a[leaf]", "/a/b"]:
+            fast = compile_pattern(pattern, ["a", "b"], engine="automaton")
+            slow = compile_pattern(pattern, ["a", "b"], engine="naive")
+            for tree in enumerate_trees(["a", "b"], 4)[:60]:
+                assert fast.evaluate(tree) == slow.evaluate(tree), (
+                    pattern, str(tree)
+                )
+
+    def test_errors(self):
+        with pytest.raises(PatternError):
+            compile_pattern("book", ["book"])
+        with pytest.raises(PatternError):
+            compile_pattern("//x[unknown]", ["x"])
+
+
+class TestPipeline:
+    def test_bibliography_authors(self):
+        document = Document.from_text(
+            BIBLIOGRAPHY_EXAMPLE, parse_dtd(BIBLIOGRAPHY_DTD)
+        )
+        authors = document.select("//author")
+        assert authors == [(0, 0), (0, 1), (0, 2), (1, 0)]
+
+    def test_matches_return_subtrees(self):
+        document = Document.from_text(BIBLIOGRAPHY_EXAMPLE)
+        titles = document.matches("//title")
+        assert len(titles) == 2
+        assert all(t.label == "title" for t in titles)
+
+    def test_element_access(self):
+        document = Document.from_text(BIBLIOGRAPHY_EXAMPLE)
+        book = document.element_at((0,))
+        assert book.tag == "book"
+        assert document.element_at((0, 3)).texts() == ["Foundations of Databases"]
+
+    def test_validation_failure(self):
+        with pytest.raises(ValidationError):
+            Document.from_text(
+                "<bibliography><book><title>X</title></book></bibliography>",
+                parse_dtd(BIBLIOGRAPHY_DTD),
+            )
+
+    def test_run_pattern_one_shot(self):
+        years = run_pattern(BIBLIOGRAPHY_EXAMPLE, "//year")
+        assert len(years) == 2

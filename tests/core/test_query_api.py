@@ -1,0 +1,77 @@
+"""The public Query API: engines agree with each other and the oracle."""
+
+import pytest
+
+from repro.core.query import (
+    CompiledQuery,
+    MSOQuery,
+    RankedAutomatonQuery,
+    UnrankedAutomatonQuery,
+    select,
+    subtrees,
+)
+from repro.logic.semantics import tree_query
+from repro.logic.syntax import And, Edge, Exists, Label, Var
+from repro.ranked.examples import circuit_value_query
+from repro.trees.generators import (
+    enumerate_trees,
+    random_binary_circuit,
+    random_unranked_circuit,
+)
+from repro.trees.tree import Tree
+from repro.unranked.examples import circuit_query_automaton
+
+x, y = Var("x"), Var("y")
+
+
+class TestMSOQuery:
+    def test_engines_agree(self):
+        phi = Exists(y, And(Edge(x, y), Label(y, "a")))
+        automaton_engine = MSOQuery(phi, x, ("a", "b"), engine="automaton")
+        naive_engine = MSOQuery(phi, x, ("a", "b"), engine="naive")
+        for tree in enumerate_trees(["a", "b"], 4):
+            assert automaton_engine.evaluate(tree) == naive_engine.evaluate(tree)
+
+    def test_compiled_is_cached(self):
+        query = MSOQuery(Label(x, "a"), x, ("a", "b"))
+        assert query.compiled() is query.compiled()
+
+    def test_callable(self):
+        query = MSOQuery(Label(x, "a"), x, ("a", "b"))
+        assert query(Tree.parse("a(b)")) == frozenset({()})
+
+    def test_compiled_query_wrapper(self):
+        base = MSOQuery(Label(x, "a"), x, ("a", "b"))
+        wrapped = CompiledQuery(base.compiled())
+        tree = Tree.parse("b(a, a)")
+        assert wrapped.evaluate(tree) == base.evaluate(tree)
+
+
+class TestAutomatonQueries:
+    def test_ranked_engines_agree(self):
+        query_sim = RankedAutomatonQuery(circuit_value_query(), engine="simulate")
+        query_beh = RankedAutomatonQuery(circuit_value_query(), engine="behavior")
+        for seed in range(8):
+            tree = random_binary_circuit(3, seed)
+            assert query_sim.evaluate(tree) == query_beh.evaluate(tree)
+
+    def test_unranked_engines_agree(self):
+        query_sim = UnrankedAutomatonQuery(circuit_query_automaton(), engine="simulate")
+        query_beh = UnrankedAutomatonQuery(circuit_query_automaton(), engine="behavior")
+        for seed in range(8):
+            tree = random_unranked_circuit(2, 4, seed)
+            assert query_sim.evaluate(tree) == query_beh.evaluate(tree)
+
+
+class TestHelpers:
+    def test_select_is_document_ordered(self):
+        query = MSOQuery(Label(x, "a"), x, ("a", "b"))
+        tree = Tree.parse("a(b, a(a), a)")
+        paths = select(query, tree)
+        assert paths == sorted(paths)
+        assert paths == [(), (1,), (1, 0), (2,)]
+
+    def test_subtrees(self):
+        query = MSOQuery(Label(x, "a"), x, ("a", "b"))
+        tree = Tree.parse("b(a(b), b)")
+        assert [str(t) for t in subtrees(query, tree)] == ["a(b)"]

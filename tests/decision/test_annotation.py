@@ -1,0 +1,67 @@
+"""The annotation NFA: one-way recognition of a GSQA's transduction graph."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decision.annotation import AnnotationNFA
+from repro.strings.examples import odd_ones_gsqa
+from repro.unranked.examples import first_one_sqa
+
+
+class TestExactness:
+    def test_accepts_true_streams(self):
+        gsqa = odd_ones_gsqa()
+        annotation = AnnotationNFA(gsqa)
+        for n in range(6):
+            for word in itertools.product("01", repeat=n):
+                outputs = gsqa.transduce(list(word))
+                assert annotation.accepts_stream(list(zip(word, outputs))), word
+
+    def test_rejects_any_single_corruption(self):
+        gsqa = odd_ones_gsqa()
+        annotation = AnnotationNFA(gsqa)
+        for n in range(1, 5):
+            for word in itertools.product("01", repeat=n):
+                outputs = list(gsqa.transduce(list(word)))
+                for position in range(n):
+                    for wrong in "01*":
+                        if wrong == outputs[position]:
+                            continue
+                        corrupted = list(outputs)
+                        corrupted[position] = wrong
+                        assert not annotation.accepts_stream(
+                            list(zip(word, corrupted))
+                        ), (word, corrupted)
+
+    @given(st.lists(st.sampled_from("01"), min_size=0, max_size=9))
+    @settings(max_examples=50, deadline=None)
+    def test_graph_membership_property(self, word):
+        gsqa = odd_ones_gsqa()
+        annotation = AnnotationNFA(gsqa)
+        outputs = gsqa.transduce(word)
+        assert annotation.accepts_stream(list(zip(word, outputs)))
+
+
+class TestStayGSQA:
+    def test_first_one_stay_transducer(self):
+        """The Example 5.14 stay GSQA's graph is recognized exactly."""
+        sqa = first_one_sqa()
+        gsqa = sqa.automaton.stay_gsqa
+        annotation = AnnotationNFA(gsqa)
+        letters = [("stay", "0"), ("stay", "1")]
+        for n in range(1, 5):
+            for word in itertools.product(letters, repeat=n):
+                outputs = gsqa.transduce(list(word))
+                assert annotation.accepts_stream(list(zip(word, outputs)))
+                # Crown a non-first position instead: must reject.
+                if outputs.count("one") == 1 and n >= 2:
+                    index = outputs.index("one")
+                    other = (index + 1) % n
+                    corrupted = list(outputs)
+                    corrupted[index], corrupted[other] = "up", "one"
+                    assert not annotation.accepts_stream(
+                        list(zip(word, corrupted))
+                    ), (word, corrupted)

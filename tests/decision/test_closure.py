@@ -1,0 +1,140 @@
+"""Theorem 6.3: non-emptiness of query automata, via the behavior closure."""
+
+import pytest
+
+from repro.decision.closure import (
+    JointClosure,
+    language_is_empty,
+    language_witness,
+    query_is_empty,
+    query_witness,
+)
+from repro.decision.convert import ranked_query_to_unranked, ranked_to_unranked
+from repro.ranked.examples import circuit_acceptor, circuit_value_query
+from repro.trees.generators import enumerate_trees
+from repro.unranked.examples import circuit_query_automaton, first_one_sqa
+from repro.unranked.twoway import (
+    TwoWayUnrankedAutomaton,
+    UnrankedQueryAutomaton,
+    up_classifier_from_languages,
+)
+
+
+def ones_selector(select) -> UnrankedQueryAutomaton:
+    """Walks to the leaves; 1-leaves turn to ``u``, 0-leaves to ``z``;
+    internal nodes collapse to ``p``; selection is the given pair."""
+    from repro.strings.dfa import DFA
+    from repro.strings.simple_regex import constant_sequence
+
+    labels = ("0", "1")
+    states = frozenset({"s", "u", "z", "p"})
+    pairs = frozenset((q, a) for q in ("u", "z", "p") for a in labels)
+    transitions = {}
+    for pair in pairs:
+        transitions[(0, pair)] = 1
+        transitions[(1, pair)] = 1
+    everything = DFA.build({0, 1}, pairs, transitions, 0, {1})
+    classifier = up_classifier_from_languages({"p": everything}, None, pairs)
+    automaton = TwoWayUnrankedAutomaton(
+        states=states,
+        alphabet=frozenset(labels),
+        initial="s",
+        accepting=states,
+        up_pairs=pairs,
+        down_pairs=frozenset(("s", a) for a in labels),
+        delta_leaf={("s", "1"): "u", ("s", "0"): "z"},
+        delta_root={},
+        up_classifier=classifier,
+        down={("s", a): constant_sequence("s") for a in labels},
+    )
+    return UnrankedQueryAutomaton(automaton, frozenset({select}))
+
+
+class TestLanguageEmptiness:
+    def test_circuit_nonempty_with_witness(self):
+        qa = circuit_query_automaton()
+        witness = language_witness(qa.automaton)
+        assert witness is not None
+        assert qa.automaton.accepts(witness)
+
+    def test_ranked_acceptor_nonempty(self):
+        acceptor = ranked_to_unranked(circuit_acceptor())
+        witness = language_witness(acceptor)
+        assert witness is not None
+        assert acceptor.accepts(witness)
+
+    def test_empty_language_detected(self):
+        """Make the circuit acceptor unsatisfiable: F = ∅."""
+        from dataclasses import replace
+
+        qa = circuit_query_automaton()
+        rejecting = replace(qa.automaton, accepting=frozenset())
+        assert language_is_empty(rejecting)
+
+    def test_closure_agrees_with_enumeration(self):
+        """Brute-force ground truth on a small tree universe."""
+        qa = circuit_query_automaton()
+        automaton = qa.automaton
+        brute_nonempty = any(
+            automaton.accepts(tree)
+            for tree in enumerate_trees(["0", "1", "AND", "OR"], 3, max_arity=3)
+        )
+        assert (not language_is_empty(automaton)) == brute_nonempty
+
+
+class TestQueryNonEmptiness:
+    def test_circuit_query_witness(self):
+        qa = circuit_query_automaton()
+        result = query_witness(qa)
+        assert result is not None
+        tree, path = result
+        assert path in qa.evaluate(tree)
+
+    def test_stay_automaton_query_witness(self):
+        """The SQA^u case exercises the annotation-NFA machinery."""
+        sqa = first_one_sqa()
+        result = query_witness(sqa)
+        assert result is not None
+        tree, path = result
+        assert path in sqa.evaluate(tree)
+
+    def test_empty_query_detected(self):
+        """Selection on a pair that can never be visited.
+
+        In ``ones_selector`` the state ``u`` is assigned only by the leaf
+        transition at 1-labeled leaves, so the pair (u, "0") never occurs.
+        """
+        selector = ones_selector(select=("u", "0"))
+        assert query_is_empty(selector)
+
+    def test_nonempty_variant_of_the_same_automaton(self):
+        selector = ones_selector(select=("u", "1"))
+        result = query_witness(selector)
+        assert result is not None
+        tree, path = result
+        assert path in selector.evaluate(tree)
+
+    def test_ranked_query_via_conversion(self):
+        qa = ranked_query_to_unranked(circuit_value_query())
+        result = query_witness(qa)
+        assert result is not None
+        tree, path = result
+        assert path in qa.evaluate(tree)
+
+    def test_selection_requires_accepting_run(self):
+        """A selecting visit on a rejected tree does not count."""
+        from dataclasses import replace
+
+        qa = circuit_query_automaton()
+        rejecting = UnrankedQueryAutomaton(
+            replace(qa.automaton, accepting=frozenset()), qa.selecting
+        )
+        assert query_is_empty(rejecting)
+
+
+class TestWitnessMinimality:
+    def test_witnesses_are_small(self):
+        """The closure finds witnesses without enumerating big trees."""
+        qa = circuit_query_automaton()
+        tree, _path = query_witness(qa)
+        assert tree.size <= 4

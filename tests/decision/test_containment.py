@@ -1,0 +1,76 @@
+"""Theorem 6.4: containment and equivalence of query automata."""
+
+import pytest
+
+from repro.decision.closure import (
+    are_equivalent,
+    containment_counterexample,
+    is_contained,
+)
+from repro.trees.generators import enumerate_trees
+from repro.unranked.examples import circuit_query_automaton, first_one_sqa
+from repro.unranked.twoway import UnrankedQueryAutomaton
+
+
+def gates_only_variant() -> UnrankedQueryAutomaton:
+    full = circuit_query_automaton()
+    return UnrankedQueryAutomaton(
+        full.automaton, frozenset(p for p in full.selecting if p[0] != "u")
+    )
+
+
+class TestContainment:
+    def test_restriction_is_contained(self):
+        assert is_contained(gates_only_variant(), circuit_query_automaton())
+
+    def test_strict_containment_has_counterexample(self):
+        full = circuit_query_automaton()
+        gates = gates_only_variant()
+        result = containment_counterexample(full, gates)
+        assert result is not None
+        tree, path = result
+        assert path in full.evaluate(tree)
+        assert path not in gates.evaluate(tree)
+
+    def test_counterexample_agrees_with_brute_force(self):
+        """Ground truth: enumerate small circuit trees directly."""
+        full = circuit_query_automaton()
+        gates = gates_only_variant()
+        brute = None
+        for tree in enumerate_trees(["0", "1", "AND", "OR"], 3, max_arity=3):
+            extra = full.evaluate(tree) - gates.evaluate(tree)
+            if extra:
+                brute = (tree, sorted(extra)[0])
+                break
+        assert brute is not None  # brute force agrees a counterexample exists
+        assert containment_counterexample(full, gates) is not None
+
+
+class TestEquivalence:
+    def test_reflexive(self):
+        qa = circuit_query_automaton()
+        assert are_equivalent(qa, qa)
+
+    def test_sqa_reflexive(self):
+        sqa = first_one_sqa()
+        assert are_equivalent(sqa, sqa)
+
+    def test_different_queries_not_equivalent(self):
+        assert not are_equivalent(circuit_query_automaton(), gates_only_variant())
+
+    def test_syntactically_different_equivalent_automata(self):
+        """Adding a never-firing selection pair keeps the query equal."""
+        from .test_closure import ones_selector
+
+        qa = ones_selector(select=("u", "1"))
+        padded = UnrankedQueryAutomaton(
+            qa.automaton,
+            qa.selecting | {("u", "0"), ("z", "1")},  # unreachable pairs
+        )
+        assert are_equivalent(qa, padded)
+
+
+class TestAlphabetDiscipline:
+    def test_mismatched_alphabets_rejected(self):
+        with pytest.raises(ValueError):
+            is_contained(circuit_query_automaton(), first_one_sqa())

@@ -1,0 +1,42 @@
+"""Ranked → unranked embedding (the Section 6 uniformization)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decision.convert import ranked_query_to_unranked, ranked_to_unranked
+from repro.ranked.examples import circuit_acceptor, circuit_value_query
+from repro.trees.generators import random_binary_circuit
+
+
+class TestConversion:
+    @given(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_language_preserved(self, height, seed):
+        ranked = circuit_acceptor()
+        unranked = ranked_to_unranked(ranked)
+        tree = random_binary_circuit(height, seed)
+        assert unranked.accepts(tree) == ranked.accepts(tree)
+
+    @given(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_query_preserved(self, height, seed):
+        ranked = circuit_value_query()
+        unranked = ranked_query_to_unranked(ranked)
+        tree = random_binary_circuit(height, seed)
+        assert unranked.evaluate(tree) == ranked.evaluate(tree)
+
+    def test_runs_have_matching_shape(self):
+        """Same number of configurations on the same input."""
+        from repro.trees.tree import Tree
+
+        ranked = circuit_acceptor()
+        unranked = ranked_to_unranked(ranked)
+        tree = Tree.parse("AND(1, 0)")
+        assert len(ranked.run(tree)) == len(unranked.run(tree))
+
+    def test_down_languages_are_slender(self):
+        unranked = ranked_to_unranked(circuit_acceptor())
+        for (state, label), regex in unranked.down.items():
+            # At most one string per realized length, by construction.
+            for length in regex.realized_lengths(4):
+                assert regex.string_of_length(length) is not None

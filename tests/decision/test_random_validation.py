@@ -1,0 +1,120 @@
+"""Randomized ground-truth validation of the Section 6 procedures.
+
+Random one-sweep QA^u (guaranteed halting by construction: one descent,
+leaf turnaround, classifier-driven ascent) are pitted against brute-force
+enumeration over all trees of bounded size: every closure verdict must be
+consistent with the enumeration, and every witness must check out.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decision.closure import (
+    containment_counterexample,
+    query_witness,
+)
+from repro.strings.dfa import DFA
+from repro.strings.simple_regex import constant_sequence
+from repro.trees.generators import enumerate_trees
+from repro.unranked.twoway import (
+    TwoWayUnrankedAutomaton,
+    UnrankedQueryAutomaton,
+    UpClassifier,
+)
+
+LABELS = ("a", "b")
+SMALL_TREES = enumerate_trees(list(LABELS), 4)
+
+
+def random_sweep_qa(seed: int, up_states: int = 2) -> UnrankedQueryAutomaton:
+    """A random always-halting QA^u.
+
+    Descends in ``s``; leaves turn into a label-dependent up state;
+    internal nodes classify their children word with a random DFA into a
+    random up state.  F and λ are random.
+    """
+    rng = random.Random(seed)
+    ups = [f"u{i}" for i in range(up_states)]
+    states = frozenset({"s", *ups})
+    pair_alphabet = frozenset((u, label) for u in ups for label in LABELS)
+
+    # Random total classifier DFA with 2 states over the pair alphabet.
+    dfa_states = [0, 1]
+    transitions = {
+        (q, letter): rng.choice(dfa_states)
+        for q in dfa_states
+        for letter in pair_alphabet
+    }
+    dfa = DFA.build(dfa_states, pair_alphabet, transitions, 0, set())
+    outcome = {}
+    for q in dfa_states:
+        if rng.random() < 0.9:
+            outcome[q] = ("up", rng.choice(ups))
+    classifier = UpClassifier(dfa, outcome)
+
+    delta_leaf = {("s", label): rng.choice(ups) for label in LABELS}
+    automaton = TwoWayUnrankedAutomaton(
+        states=states,
+        alphabet=frozenset(LABELS),
+        initial="s",
+        accepting=frozenset(q for q in states if rng.random() < 0.6),
+        up_pairs=pair_alphabet,
+        down_pairs=frozenset(("s", label) for label in LABELS),
+        delta_leaf=delta_leaf,
+        delta_root={},
+        up_classifier=classifier,
+        down={("s", label): constant_sequence("s") for label in LABELS},
+    )
+    selecting = frozenset(
+        pair for pair in pair_alphabet if rng.random() < 0.3
+    )
+    return UnrankedQueryAutomaton(automaton, selecting)
+
+
+def brute_force_query_nonempty(qa: UnrankedQueryAutomaton):
+    for tree in SMALL_TREES:
+        selected = qa.evaluate(tree)
+        if selected:
+            return tree, sorted(selected)[0]
+    return None
+
+
+class TestQueryNonEmptinessAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_verdicts_consistent(self, seed):
+        qa = random_sweep_qa(seed)
+        verdict = query_witness(qa)
+        brute = brute_force_query_nonempty(qa)
+        if verdict is None:
+            # The closure is complete: no small tree may select anything.
+            assert brute is None, f"closure missed witness {brute!r}"
+        else:
+            tree, path = verdict
+            assert path in qa.evaluate(tree), "closure witness is wrong"
+
+    @pytest.mark.parametrize("seed", range(20, 30))
+    def test_behavior_evaluation_agrees_on_random_automata(self, seed):
+        from repro.unranked.behavior import evaluate_query_via_behavior
+
+        qa = random_sweep_qa(seed)
+        for tree in SMALL_TREES[:50]:
+            assert evaluate_query_via_behavior(qa, tree) == qa.evaluate(tree)
+
+
+class TestContainmentAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_counterexamples_and_containments(self, seed):
+        first = random_sweep_qa(seed * 2 + 100)
+        second = random_sweep_qa(seed * 2 + 101)
+        result = containment_counterexample(first, second)
+        if result is None:
+            # Claimed containment: check it on every small tree.
+            for tree in SMALL_TREES:
+                assert first.evaluate(tree) <= second.evaluate(tree), str(tree)
+        else:
+            tree, path = result
+            assert path in first.evaluate(tree)
+            assert path not in second.evaluate(tree)

@@ -1,0 +1,101 @@
+"""Section 6 on strings: QA^string non-emptiness/containment/equivalence."""
+
+import itertools
+
+import pytest
+
+from repro.decision.strings import (
+    selection_language,
+    string_containment_counterexample,
+    string_queries_equivalent,
+    string_query_witness,
+)
+from repro.strings.examples import (
+    endpoints_if_contains,
+    odd_ones_query_automaton,
+    sweep_right_dfa_as_qa,
+)
+
+
+class TestSelectionLanguage:
+    def test_exact_on_exhaustive_words(self):
+        qa = odd_ones_query_automaton()
+        language = selection_language(qa, ["0", "1"])
+        for n in range(7):
+            for letters in itertools.product("01", repeat=n):
+                word = list(letters)
+                selected = qa.evaluate(word)
+                for i in range(1, n + 1):
+                    marked = [
+                        (symbol, 1 if j + 1 == i else 0)
+                        for j, symbol in enumerate(word)
+                    ]
+                    assert language.accepts(marked) == (i in selected), (word, i)
+
+    def test_exact_for_two_way_endpoint_query(self):
+        qa = endpoints_if_contains("01", "1")
+        language = selection_language(qa, ["0", "1"])
+        for n in range(6):
+            for letters in itertools.product("01", repeat=n):
+                word = list(letters)
+                selected = qa.evaluate(word)
+                for i in range(1, n + 1):
+                    marked = [
+                        (symbol, 1 if j + 1 == i else 0)
+                        for j, symbol in enumerate(word)
+                    ]
+                    assert language.accepts(marked) == (i in selected), (word, i)
+
+    def test_language_rejects_unmarked_and_double_marked(self):
+        qa = odd_ones_query_automaton()
+        language = selection_language(qa, ["0", "1"])
+        assert not language.accepts([("1", 0), ("1", 0)])
+        assert not language.accepts([("1", 1), ("1", 1)])
+
+
+class TestStringDecisions:
+    def test_nonemptiness_witness(self):
+        qa = odd_ones_query_automaton()
+        result = string_query_witness(qa, ["0", "1"])
+        assert result is not None
+        word, position = result
+        assert position in qa.evaluate(word)
+
+    def test_empty_query(self):
+        """A QA^string with empty λ selects nothing, everywhere."""
+        qa = odd_ones_query_automaton()
+        from repro.strings.twoway import StringQueryAutomaton
+
+        never = StringQueryAutomaton(qa.automaton, frozenset())
+        assert string_query_witness(never, ["0", "1"]) is None
+
+    def test_containment_both_ways(self):
+        endpoints = endpoints_if_contains("01", "1")
+        all_ones = sweep_right_dfa_as_qa("01", ["1"])
+        cx = string_containment_counterexample(endpoints, all_ones, ["0", "1"])
+        assert cx is not None
+        word, position = cx
+        assert position in endpoints.evaluate(word)
+        assert position not in all_ones.evaluate(word)
+        cx2 = string_containment_counterexample(all_ones, endpoints, ["0", "1"])
+        assert cx2 is not None  # e.g. a middle 1 is not an endpoint
+
+    def test_equivalence(self):
+        qa = odd_ones_query_automaton()
+        assert string_queries_equivalent(qa, qa, ["0", "1"])
+        assert not string_queries_equivalent(
+            qa, sweep_right_dfa_as_qa("01", ["1"]), ["0", "1"]
+        )
+
+    def test_equivalence_of_distinct_machines_same_query(self):
+        """A one-way and a two-way machine computing the same query."""
+        one_way = sweep_right_dfa_as_qa("01", ["1"])  # select all 1s
+        # Two-way variant: Example 3.4's walker but selecting 1s in both
+        # sweep states (s1 and s2), i.e. every 1 — the same query.
+        from repro.strings.twoway import StringQueryAutomaton
+
+        base = odd_ones_query_automaton()
+        both_sweeps = StringQueryAutomaton(
+            base.automaton, frozenset({("s1", "1"), ("s2", "1")})
+        )
+        assert string_queries_equivalent(one_way, both_sweeps, ["0", "1"])

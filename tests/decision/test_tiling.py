@@ -1,0 +1,139 @@
+"""Proposition 6.1: TWO PERSON CORRIDOR TILING → 2DTA^r non-emptiness."""
+
+import pytest
+
+from repro.decision.closure import language_witness
+from repro.decision.convert import ranked_to_unranked
+from repro.decision.tiling import (
+    TilingInstance,
+    is_strategy_tree,
+    strategy_tree,
+    tiling_acceptor,
+)
+
+FULL = frozenset(
+    [(a, b) for a in ("a", "b") for b in ("a", "b")]
+)
+
+
+def trivial_win() -> TilingInstance:
+    """Width 1; the bottom row already supports the top."""
+    return TilingInstance(
+        tiles=("a", "b"),
+        horizontal=FULL,
+        vertical=frozenset([("a", "a")]),
+        bottom=("a",),
+        top=("a",),
+    )
+
+
+def forced_loss() -> TilingInstance:
+    """No vertical continuation at all: player 1 cannot ever finish."""
+    return TilingInstance(
+        tiles=("a", "b"),
+        horizontal=frozenset([("a", "a")]),
+        vertical=frozenset(),
+        bottom=("a",),
+        top=("b",),
+    )
+
+
+def one_step_win() -> TilingInstance:
+    """Width 1 with a forced middle row: a → b → a (no direct a → a)."""
+    return TilingInstance(
+        tiles=("a", "b"),
+        horizontal=FULL,
+        vertical=frozenset([("a", "b"), ("b", "a")]),
+        bottom=("a",),
+        top=("a",),
+    )
+
+
+def width_two_game() -> TilingInstance:
+    """Width 2 with player 2 interference on even columns."""
+    return TilingInstance(
+        tiles=("a", "b"),
+        horizontal=FULL,
+        vertical=frozenset([("a", "a"), ("b", "b"), ("a", "b")]),
+        bottom=("a", "a"),
+        top=("b", "b"),
+    )
+
+
+class TestGameSolver:
+    def test_trivial_win(self):
+        assert trivial_win().player_one_wins()
+
+    def test_forced_loss(self):
+        assert not forced_loss().player_one_wins()
+
+    def test_one_step_win(self):
+        assert one_step_win().player_one_wins()
+
+    def test_width_two(self):
+        # Vertical allows staying or moving a→b; player 2 can also play
+        # legally, but every legal play still reaches (b, b): player 1 wins.
+        assert width_two_game().player_one_wins()
+
+
+class TestStrategyTrees:
+    @pytest.mark.parametrize(
+        "instance_factory",
+        [trivial_win, one_step_win, width_two_game],
+        ids=["trivial", "one-step", "width-two"],
+    )
+    def test_winning_strategy_tree_is_valid(self, instance_factory):
+        instance = instance_factory()
+        tree = strategy_tree(instance)
+        assert tree is not None
+        assert is_strategy_tree(instance, tree)
+
+    def test_losing_instance_has_no_tree(self):
+        assert strategy_tree(forced_loss()) is None
+
+    def test_corrupted_tree_rejected(self):
+        instance = one_step_win()
+        tree = strategy_tree(instance)
+        # Replace player 1's move by an illegal tile: a → a has no V-edge.
+        corrupted = tree.relabel(
+            lambda _p, label: label.replace("1:1:b", "1:1:a")
+        )
+        assert corrupted != tree
+        assert not is_strategy_tree(instance, corrupted)
+
+
+class TestReduction:
+    """instance ↦ 2DTA^r with (non-empty ⟺ player 1 wins)."""
+
+    @pytest.mark.parametrize(
+        "instance_factory,expected",
+        [
+            (trivial_win, True),
+            (one_step_win, True),
+            (forced_loss, False),
+        ],
+        ids=["trivial-win", "one-step-win", "forced-loss"],
+    )
+    def test_emptiness_decides_the_game(self, instance_factory, expected):
+        instance = instance_factory()
+        acceptor = tiling_acceptor(instance)
+        witness = language_witness(ranked_to_unranked(acceptor))
+        assert (witness is not None) == expected
+        assert instance.player_one_wins() == expected
+        if witness is not None:
+            assert acceptor.accepts(witness)
+
+    def test_acceptor_accepts_the_strategy_tree(self):
+        instance = one_step_win()
+        tree = strategy_tree(instance)
+        acceptor = tiling_acceptor(instance)
+        assert acceptor.accepts(tree)
+
+    def test_acceptor_rejects_corrupted_trees(self):
+        instance = one_step_win()
+        tree = strategy_tree(instance)
+        acceptor = tiling_acceptor(instance)
+        corrupted = tree.relabel(
+            lambda _p, label: label.replace("1:1:b", "1:1:a")
+        )
+        assert not acceptor.accepts(corrupted)

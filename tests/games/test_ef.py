@@ -1,0 +1,102 @@
+"""Ehrenfeucht–Fraïssé MSO games (Section 2.1): Propositions 2.3, 2.4, 2.7."""
+
+import pytest
+
+from repro.games.ef import (
+    distinguishing_depth,
+    mso_equivalent_strings,
+    mso_equivalent_trees,
+    mso_equivalent_trees_pointed,
+)
+from repro.logic.compile_strings import compile_sentence
+from repro.logic.semantics import string_satisfies
+from repro.trees.tree import Tree
+
+
+class TestStringGames:
+    def test_zero_rounds_everything_equivalent(self):
+        assert mso_equivalent_strings("a", "bbbb", 0)
+
+    def test_one_round_sees_labels(self):
+        assert not mso_equivalent_strings("a", "b", 1)
+        assert mso_equivalent_strings("aa", "aaa", 1)
+
+    def test_two_rounds_see_small_counts(self):
+        # One a vs two a's: spoiler picks both a's.
+        assert not mso_equivalent_strings("a", "aa", 2)
+
+    def test_identical_structures_always_equivalent(self):
+        for k in range(3):
+            assert mso_equivalent_strings("abab", "abab", k)
+
+    def test_distinguishing_depth_monotone(self):
+        depth = distinguishing_depth("a", "aa", max_rounds=2)
+        assert depth == 2
+        # Once distinguishable, higher k stays distinguishable.
+        assert not mso_equivalent_strings("a", "aa", 2)
+
+    def test_proposition_2_3_against_formulas(self):
+        """Game equivalence ⟹ agreement on every depth-k sentence.
+
+        (Proposition 2.3 in one direction, checked with the compiler.)
+        """
+        from repro.logic.syntax import Exists, Forall, Label, Less, Var
+
+        x, y = Var("x"), Var("y")
+        sentences_depth_1 = [
+            Exists(x, Label(x, "a")),
+            Forall(x, Label(x, "b")),
+        ]
+        pairs = [("ab", "ba"), ("aab", "aba"), ("bb", "bbb")]
+        for u, v in pairs:
+            if mso_equivalent_strings(u, v, 1):
+                for phi in sentences_depth_1:
+                    assert string_satisfies(u, phi) == string_satisfies(v, phi)
+
+    def test_proposition_2_4_composition(self):
+        """w ≡ₖ w' and v ≡ₖ v' imply wv ≡ₖ w'v' (checked for k = 1)."""
+        candidates = ["a", "b", "ab", "ba", "aa"]
+        k = 1
+        for w in candidates:
+            for w2 in candidates:
+                if not mso_equivalent_strings(w, w2, k):
+                    continue
+                for v in ["a", "b"]:
+                    for v2 in ["a", "b"]:
+                        if mso_equivalent_strings(v, v2, k):
+                            assert mso_equivalent_strings(w + v, w2 + v2, k), (
+                                w, w2, v, v2
+                            )
+
+
+class TestTreeGames:
+    def test_labels_matter(self):
+        assert not mso_equivalent_trees(Tree.parse("a"), Tree.parse("b"), 1)
+
+    def test_small_trees_one_round(self):
+        s = Tree.parse("a(b, b)")
+        t = Tree.parse("a(b, b, b)")
+        assert mso_equivalent_trees(s, t, 1)
+
+    def test_proposition_2_7_composition(self):
+        """tᵢ ≡ₖ sᵢ implies σ(t₁, t₂) ≡ₖ σ(s₁, s₂) (k = 1)."""
+        k = 1
+        pairs = [
+            (Tree.parse("a"), Tree.parse("a")),
+            (Tree.parse("b(a)"), Tree.parse("b(a, a)")),
+        ]
+        for t1, s1 in pairs:
+            for t2, s2 in pairs:
+                if mso_equivalent_trees(t1, s1, k) and mso_equivalent_trees(
+                    t2, s2, k
+                ):
+                    assert mso_equivalent_trees(
+                        Tree("c", [t1, t2]), Tree("c", [s1, s2]), k
+                    )
+
+    def test_pointed_equivalence(self):
+        s = Tree.parse("a(b, c)")
+        # Within one tree: the two children are distinguishable with one
+        # round (their labels differ) even as distinguished points.
+        assert not mso_equivalent_trees_pointed(s, (0,), s, (1,), 1)
+        assert mso_equivalent_trees_pointed(s, (0,), s, (0,), 2)

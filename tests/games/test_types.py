@@ -1,0 +1,75 @@
+"""MSO type partitions (Φ_k on a bounded universe) and compositionality."""
+
+import itertools
+
+from repro.games.types import (
+    composition_respects_types,
+    partition_strings,
+    partition_trees,
+    type_of,
+)
+from repro.trees.tree import Tree
+
+
+def words_up_to(alphabet: str, length: int) -> list[str]:
+    return [
+        "".join(w)
+        for n in range(length + 1)
+        for w in itertools.product(alphabet, repeat=n)
+    ]
+
+
+class TestStringTypes:
+    def test_zero_rounds_single_class(self):
+        """Φ_0 over a one-letter alphabet: nonemptiness is not even
+        visible without a move... actually with 0 rounds everything is
+        equivalent."""
+        classes = partition_strings(words_up_to("a", 3), 0)
+        assert len(classes) == 1
+
+    def test_one_round_counts_letters_to_one(self):
+        """k = 1 distinguishes 'contains an a' and 'contains a b'."""
+        classes = partition_strings(["", "a", "b", "ab", "aab"], 1)
+        # "" | a, aa-style | b | ab, aab: presence profiles {∅, {a}, {b}, {a,b}}
+        assert len(classes) == 4
+
+    def test_partition_is_an_equivalence(self):
+        universe = words_up_to("ab", 3)
+        classes = partition_strings(universe, 1)
+        assert sum(len(c) for c in classes) == len(universe)
+        flattened = [w for c in classes for w in c]
+        assert sorted(flattened) == sorted(universe)
+
+    def test_refinement_with_more_rounds(self):
+        """Φ_{k+1} refines Φ_k (more rounds distinguish more)."""
+        universe = words_up_to("a", 4)
+        coarse = partition_strings(universe, 1)
+        fine = partition_strings(universe, 2)
+        assert len(fine) >= len(coarse)
+
+    def test_type_of(self):
+        universe = ["", "a", "aa", "b"]
+        index_a = type_of("a", universe, 1)
+        index_aa = type_of("aa", universe, 1)
+        assert index_a == index_aa  # both are "some a, no b" at k = 1
+
+    def test_proposition_2_4_composition(self):
+        """No counterexample to compositionality in a small universe."""
+        assert composition_respects_types(
+            ["", "a", "b", "ab"], ["", "a", "b"], 1
+        )
+
+
+class TestTreeTypes:
+    def test_tree_partition(self):
+        trees = [
+            Tree.parse("a"),
+            Tree.parse("b"),
+            Tree.parse("a(a)"),
+            Tree.parse("a(b)"),
+            Tree.parse("a(a, a)"),
+        ]
+        classes = partition_trees(trees, 1)
+        # k=1 at least separates by label inventory.
+        assert len(classes) >= 3
+        assert sum(len(c) for c in classes) == len(trees)

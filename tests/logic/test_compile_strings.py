@@ -1,0 +1,115 @@
+"""Büchi's theorem, executable (Theorem 2.5) + marked unary queries."""
+
+import pytest
+
+from repro.logic.compile_strings import (
+    CompilationError,
+    compile_query,
+    compile_sentence,
+    evaluate_marked_query,
+    mark_word,
+)
+from repro.logic.semantics import string_query, string_satisfies
+from repro.logic.syntax import (
+    And,
+    Edge,
+    Exists,
+    ExistsSet,
+    Forall,
+    Implies,
+    Label,
+    Less,
+    Member,
+    Not,
+    Or,
+    SetVar,
+    Var,
+    fresh_var,
+)
+
+from ..conftest import all_words
+
+x, y = Var("x"), Var("y")
+X = SetVar("X")
+
+
+def succ(a, b):
+    z = fresh_var()
+    return And(Less(a, b), Not(Exists(z, And(Less(a, z), Less(z, b)))))
+
+
+SENTENCES = [
+    ("contains a", Exists(x, Label(x, "a"))),
+    ("all a", Forall(x, Label(x, "a"))),
+    ("a before some b", Exists(x, Exists(y, And(Less(x, y), And(Label(x, "a"), Label(y, "b")))))),
+    ("no two adjacent a", Forall(x, Forall(y, Implies(And(succ(x, y), Label(x, "a")), Not(Label(y, "a")))))),
+]
+
+
+class TestSentences:
+    @pytest.mark.parametrize("name,phi", SENTENCES, ids=[n for n, _ in SENTENCES])
+    def test_agrees_with_naive_semantics(self, name, phi):
+        dfa = compile_sentence(phi, ["a", "b"])
+        for word in all_words(["a", "b"], 5):
+            assert dfa.accepts(word) == string_satisfies(word, phi), word
+
+    def test_genuinely_second_order(self):
+        """An MSO (not FO) property: even length, via an alternating set."""
+        even = ExistsSet(
+            X,
+            Forall(
+                x,
+                And(
+                    Implies(Not(Exists(y, Less(y, x))), Member(x, X)),
+                    And(
+                        Forall(y, Implies(And(Member(x, X), succ(x, y)), Not(Member(y, X)))),
+                        And(
+                            Forall(y, Implies(And(Not(Member(x, X)), succ(x, y)), Member(y, X))),
+                            Implies(Not(Exists(y, Less(x, y))), Not(Member(x, X))),
+                        ),
+                    ),
+                ),
+            ),
+        )
+        dfa = compile_sentence(even, ["a"])
+        assert len(dfa.states) == 2  # minimal parity automaton
+        for n in range(7):
+            assert dfa.accepts(["a"] * n) == (n % 2 == 0)
+
+    def test_free_variables_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_sentence(Label(x, "a"), ["a"])
+
+    def test_edge_rejected_on_strings(self):
+        with pytest.raises(CompilationError):
+            compile_sentence(Exists(x, Exists(y, Edge(x, y))), ["a"])
+
+
+QUERIES = [
+    ("a with later b", And(Label(x, "a"), Exists(y, And(Less(x, y), Label(y, "b"))))),
+    ("first position", Not(Exists(y, Less(y, x)))),
+    ("last a", And(Label(x, "a"), Not(Exists(y, And(Less(x, y), Label(y, "a")))))),
+]
+
+
+class TestQueries:
+    @pytest.mark.parametrize("name,phi", QUERIES, ids=[n for n, _ in QUERIES])
+    def test_marked_dfa_agrees(self, name, phi):
+        qdfa = compile_query(phi, x, ["a", "b"])
+        for word in all_words(["a", "b"], 5):
+            reference = string_query(word, phi, x)
+            linear = evaluate_marked_query(qdfa, word)
+            direct = frozenset(
+                i for i in range(1, len(word) + 1) if qdfa.accepts(mark_word(word, i))
+            )
+            assert linear == reference == direct, word
+
+    def test_zero_or_two_marks_rejected(self):
+        qdfa = compile_query(Label(x, "a"), x, ["a", "b"])
+        assert not qdfa.accepts([("a", 0), ("a", 0)])
+        assert not qdfa.accepts([("a", 1), ("a", 1)])
+        assert qdfa.accepts([("a", 1), ("a", 0)])
+
+    def test_wrong_free_variables_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_query(Label(y, "a"), x, ["a"])

@@ -1,0 +1,138 @@
+"""The MSO reference semantics and formula structure."""
+
+import pytest
+
+from repro.logic.syntax import (
+    And,
+    Descendant,
+    Edge,
+    Equal,
+    Exists,
+    ExistsSet,
+    Forall,
+    Formula,
+    Implies,
+    Label,
+    Less,
+    Member,
+    Not,
+    Or,
+    SetVar,
+    Var,
+    ancestor,
+    false_formula,
+    first_sibling,
+    last_sibling,
+    leaf,
+    next_sibling,
+    root,
+    true_formula,
+)
+from repro.logic.semantics import (
+    string_query,
+    string_satisfies,
+    tree_query,
+    tree_satisfies,
+)
+from repro.trees.tree import Tree
+
+x, y, z = Var("x"), Var("y"), Var("z")
+X = SetVar("X")
+
+
+class TestSyntax:
+    def test_free_variables(self):
+        phi = Exists(y, And(Edge(x, y), Member(y, X)))
+        assert phi.free_vars() == {x}
+        assert phi.free_set_vars() == {X}
+
+    def test_quantifier_depth(self):
+        phi = Exists(x, ExistsSet(X, Forall(y, Member(y, X))))
+        assert phi.quantifier_depth() == 3
+
+    def test_operator_sugar(self):
+        phi = Label(x, "a") & ~Label(x, "b") | Label(x, "c")
+        assert isinstance(phi, Or)
+        implies = Label(x, "a") >> Label(x, "b")
+        assert isinstance(implies, Implies)
+
+
+class TestStringSemantics:
+    def test_label_and_order(self):
+        assert string_satisfies("ab", Exists(x, Label(x, "a")))
+        assert not string_satisfies("bb", Exists(x, Label(x, "a")))
+        before = Exists(x, Exists(y, And(Less(x, y), And(Label(x, "a"), Label(y, "b")))))
+        assert string_satisfies("ab", before)
+        assert not string_satisfies("ba", before)
+
+    def test_set_quantifier(self):
+        # There is a set containing every a-position.
+        phi = ExistsSet(X, Forall(x, Implies(Label(x, "a"), Member(x, X))))
+        assert string_satisfies("aba", phi)
+
+    def test_string_query_positions(self):
+        # First position: nothing before it.
+        first = Not(Exists(y, Less(y, x)))
+        assert string_query("abc", first, x) == frozenset({1})
+        assert string_query("", first, x) == frozenset()
+
+    def test_truth_constants(self):
+        assert string_satisfies("a", true_formula())
+        assert not string_satisfies("a", false_formula())
+
+
+class TestTreeSemantics:
+    def test_edge(self):
+        tree = Tree.parse("a(b, c)")
+        has_b_child = Exists(x, Exists(y, And(Edge(x, y), Label(y, "b"))))
+        assert tree_satisfies(tree, has_b_child)
+        assert not tree_satisfies(Tree.parse("a(c)"), has_b_child)
+
+    def test_sibling_order_is_not_document_order(self):
+        tree = Tree.parse("a(b(c), d)")
+        # c and d are NOT siblings: < must not relate them.
+        related = Exists(
+            x,
+            Exists(
+                y,
+                And(And(Label(x, "c"), Label(y, "d")), Or(Less(x, y), Less(y, x))),
+            ),
+        )
+        assert not tree_satisfies(tree, related)
+
+    def test_descendant_atom(self):
+        tree = Tree.parse("a(b(c), d)")
+        below_b = And(Label(y, "c"), Exists(x, And(Label(x, "b"), Descendant(x, y))))
+        assert tree_query(tree, below_b, y) == frozenset({(0, 0)})
+
+    def test_descendant_matches_mso_definition(self):
+        """The Descendant atom agrees with its set-quantifier definition."""
+        tree = Tree.parse("a(b(c, d(e)), f)")
+        from repro.logic.semantics import Structure, evaluate
+
+        structure = Structure.from_tree(tree)
+        for u in tree.nodes():
+            for v in tree.nodes():
+                atom = evaluate(structure, Descendant(x, y), {x: u, y: v})
+                defined = evaluate(structure, ancestor(x, y), {x: u, y: v})
+                assert atom == defined, (u, v)
+
+    def test_derived_predicates(self):
+        tree = Tree.parse("a(b, c(d))")
+        assert tree_query(tree, root(x), x) == frozenset({()})
+        assert tree_query(tree, leaf(x), x) == frozenset({(0,), (1, 0)})
+        assert tree_query(tree, first_sibling(x) & ~root(x), x) == frozenset(
+            {(0,), (1, 0)}
+        )
+        assert tree_query(tree, last_sibling(x) & ~root(x), x) == frozenset(
+            {(1,), (1, 0)}
+        )
+
+    def test_next_sibling(self):
+        tree = Tree.parse("a(b, c, d)")
+        phi = Exists(y, And(next_sibling(y, x), Label(y, "b")))
+        assert tree_query(tree, phi, x) == frozenset({(1,)})
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(KeyError):
+            tree_satisfies(Tree.parse("a"), Label(x, "a"))

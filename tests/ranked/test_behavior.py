@@ -1,0 +1,62 @@
+"""Lemma 4.7: behavior functions determine the computed query."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ranked.behavior import (
+    assumed_sets,
+    behavior_functions,
+    evaluate_query_via_behavior,
+    states_closure,
+    up_state,
+)
+from repro.ranked.examples import circuit_value_query
+from repro.trees.generators import random_binary_circuit
+from repro.trees.tree import Tree
+
+
+class TestBehaviorFunctions:
+    def test_leaf_behavior_depends_only_on_label(self):
+        """Lemma 4.7 item 1."""
+        qa = circuit_value_query()
+        t1 = Tree.parse("AND(1, 0)")
+        t2 = Tree.parse("OR(1, AND(1, 0))")
+        functions1 = behavior_functions(qa.automaton, t1)
+        functions2 = behavior_functions(qa.automaton, t2)
+        # 1-labeled leaves: (0,) in t1 and (0,) in t2.
+        assert functions1[(0,)] == functions2[(0,)]
+
+    def test_behavior_composes_from_children(self):
+        """Lemma 4.7 item 2: equal-children subtrees get equal functions."""
+        qa = circuit_value_query()
+        tree = Tree.parse("OR(AND(1, 0), AND(1, 0))")
+        functions = behavior_functions(qa.automaton, tree)
+        assert functions[(0,)] == functions[(1,)]
+
+    def test_up_state(self):
+        behavior = {1: 2, 2: 2, 3: 1}
+        assert up_state(behavior, 3) == 2
+        assert up_state({1: 2}, 1) is None  # runs off the function
+
+    def test_states_closure_matches_assumed(self):
+        qa = circuit_value_query()
+        tree = Tree.parse("AND(OR(1, 0), OR(1, 1))")
+        assumed, halting = assumed_sets(qa.automaton, tree)
+        trace = qa.automaton.run(tree)
+        for path in tree.nodes():
+            observed = {
+                conf[path] for conf in trace if path in conf
+            }
+            assert assumed[path] == observed, path
+        final = trace[-1]
+        assert list(final) == [()] and final[()] == halting
+
+
+class TestLinearEvaluation:
+    @given(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=300))
+    @settings(max_examples=80, deadline=None)
+    def test_agrees_with_cut_simulation(self, height, seed):
+        """The executable content of Lemma 4.7."""
+        qa = circuit_value_query()
+        tree = random_binary_circuit(height, seed)
+        assert evaluate_query_via_behavior(qa, tree) == qa.evaluate(tree)

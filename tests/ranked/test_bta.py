@@ -1,0 +1,106 @@
+"""Bottom-up ranked tree automata (Definition 2.6, Theorem 2.8 toolkit)."""
+
+import pytest
+
+from repro.ranked.bta import (
+    DeterministicRankedAutomaton,
+    RankedTreeAutomaton,
+    boolean_circuit_dbta,
+)
+from repro.strings.dfa import AutomatonError
+from repro.trees.generators import (
+    enumerate_trees,
+    evaluate_circuit,
+    random_binary_circuit,
+)
+from repro.trees.tree import Tree
+
+
+class TestDeterministic:
+    def test_circuit_evaluator(self):
+        dbta = boolean_circuit_dbta()
+        for seed in range(10):
+            for height in range(4):
+                tree = random_binary_circuit(height, seed * 10 + height)
+                assert dbta.accepts(tree) == (evaluate_circuit(tree) == 1)
+
+    def test_run_records_every_node(self):
+        dbta = boolean_circuit_dbta()
+        tree = Tree.parse("AND(1, OR(0, 1))")
+        states = dbta.run(tree)
+        assert states[(1, 0)] == 0
+        assert states[(1,)] == 1
+        assert states[()] == 1
+
+    def test_partial_run_dies(self):
+        dbta = boolean_circuit_dbta()
+        assert dbta.state_of(Tree.parse("AND(1, 1, 1)")) is None
+        assert not dbta.accepts(Tree.parse("AND(1, 1, 1)"))
+
+    def test_complement(self):
+        dbta = boolean_circuit_dbta()
+        complement = dbta.complement()
+        for seed in range(5):
+            tree = random_binary_circuit(2, seed)
+            assert complement.accepts(tree) != dbta.accepts(tree)
+
+
+def nondeterministic_has_a() -> RankedTreeAutomaton:
+    """Guess-and-check: some node is labeled a (rank ≤ 2)."""
+    states = {"?", "!"}
+    transitions = {}
+    for label in ("a", "b"):
+        hit = label == "a"
+        transitions[(label, ())] = frozenset({"!"} if hit else {"?"}) | (
+            frozenset({"?"}) if not hit else frozenset()
+        )
+        if hit:
+            transitions[(label, ())] = frozenset({"!"})
+        else:
+            transitions[(label, ())] = frozenset({"?"})
+        for c1 in states:
+            for c2 in states:
+                out = "!" if hit or "!" in (c1, c2) else "?"
+                transitions[(label, (c1, c2))] = frozenset({out})
+            out1 = "!" if hit or c1 == "!" else "?"
+            transitions[(label, (c1,))] = frozenset({out1})
+    return RankedTreeAutomaton(
+        frozenset(states), frozenset({"a", "b"}), 2, transitions, frozenset({"!"})
+    )
+
+
+class TestNondeterministic:
+    def test_semantics(self):
+        nbta = nondeterministic_has_a()
+        assert nbta.accepts(Tree.parse("b(b, a)"))
+        assert not nbta.accepts(Tree.parse("b(b, b)"))
+
+    def test_emptiness_and_witness(self):
+        nbta = nondeterministic_has_a()
+        assert not nbta.is_empty()
+        witness = nbta.witness()
+        assert witness is not None and nbta.accepts(witness)
+
+    def test_empty_language(self):
+        empty = RankedTreeAutomaton(
+            frozenset({"q"}), frozenset({"a"}), 2, {}, frozenset({"q"})
+        )
+        assert empty.is_empty()
+        assert empty.witness() is None
+
+    def test_determinization(self):
+        nbta = nondeterministic_has_a()
+        det = nbta.determinized()
+        for tree in enumerate_trees(["a", "b"], 4, max_arity=2):
+            assert det.accepts(tree) == nbta.accepts(tree), str(tree)
+
+    def test_intersection(self):
+        has_a = nondeterministic_has_a()
+        both = has_a.intersection(has_a)
+        for tree in enumerate_trees(["a", "b"], 3, max_arity=2):
+            assert both.accepts(tree) == has_a.accepts(tree)
+
+    def test_rank_enforced(self):
+        nbta = nondeterministic_has_a()
+        with pytest.raises(AutomatonError):
+            nbta.accepts(Tree.parse("a(b, b, b)"))

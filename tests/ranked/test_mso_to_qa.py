@@ -1,0 +1,146 @@
+"""Theorem 4.8: MSO unary queries → QA^r (Figure 5 construction)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic.compile_trees import compile_tree_query
+from repro.logic.semantics import tree_query
+from repro.logic.syntax import (
+    And,
+    Edge,
+    Exists,
+    Label,
+    Less,
+    Not,
+    Var,
+    leaf,
+    root,
+)
+from repro.ranked.behavior import evaluate_query_via_behavior
+from repro.ranked.mso_to_qa import build_query_qar, two_phase_evaluate
+from repro.trees.tree import Tree
+
+from ..conftest import full_binary_trees
+
+x, y = Var("x"), Var("y")
+
+QUERIES = [
+    ("label a", Label(x, "a")),
+    ("has a-child", Exists(y, And(Edge(x, y), Label(y, "a")))),
+    ("left sibling b", Exists(y, And(Less(y, x), Label(y, "b")))),
+    ("leaf under a-root", And(leaf(x), Exists(y, And(root(y), Label(y, "a"))))),
+]
+
+SAMPLE_TREES = [
+    Tree.parse("a"),
+    Tree.parse("b"),
+    Tree.parse("a(a, b)"),
+    Tree.parse("b(a(a, a), b)"),
+    Tree.parse("a(b(b, a), a(a, b))"),
+    Tree.parse("b(b(a, b), b(b, b))"),
+]
+
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=1)
+def _compiled_has_a_child():
+    phi = QUERIES[1][1]
+    return (
+        compile_tree_query(phi, x, ["a", "b"]),
+        build_query_qar(phi, x, ["a", "b"]),
+        phi,
+    )
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return {
+        name: (compile_tree_query(phi, x, ["a", "b"]), build_query_qar(phi, x, ["a", "b"]), phi)
+        for name, phi in QUERIES
+    }
+
+
+class TestFigure5Algorithm:
+    @pytest.mark.parametrize("name", [n for n, _ in QUERIES])
+    def test_two_phase_matches_semantics(self, compiled, name):
+        d, _qa, phi = compiled[name]
+        for tree in SAMPLE_TREES:
+            assert two_phase_evaluate(d, tree) == tree_query(tree, phi, x), (
+                name, str(tree)
+            )
+
+    def test_two_phase_handles_unary_nodes(self, compiled):
+        """The algorithm (unlike the binary QA^r) covers arity 1 directly."""
+        d, _qa, phi = compiled["label a"]
+        chain = Tree.parse("a(b(a(a)))")
+        assert two_phase_evaluate(d, chain) == tree_query(chain, phi, x)
+
+
+class TestTheorem48Automaton:
+    @pytest.mark.parametrize("name", [n for n, _ in QUERIES])
+    def test_qar_computes_the_query(self, compiled, name):
+        _d, qa, phi = compiled[name]
+        for tree in SAMPLE_TREES:
+            assert qa.evaluate(tree) == tree_query(tree, phi, x), (name, str(tree))
+
+    @pytest.mark.parametrize("name", [n for n, _ in QUERIES])
+    def test_behavior_evaluation_agrees(self, compiled, name):
+        """The constructed QA^r is an honest QA^r: Lemma 4.7 applies."""
+        _d, qa, phi = compiled[name]
+        for tree in SAMPLE_TREES:
+            assert evaluate_query_via_behavior(qa, tree) == qa.evaluate(tree)
+
+    @given(full_binary_trees(max_height=3))
+    @settings(max_examples=40, deadline=None)
+    def test_property_random_full_binary(self, tree):
+        d, qa, phi = _compiled_has_a_child()
+        reference = tree_query(tree, phi, x)
+        assert two_phase_evaluate(d, tree) == reference
+        assert qa.evaluate(tree) == reference
+
+    def test_run_is_a_legal_cut_run(self, compiled):
+        """The produced automaton satisfies Definition 4.1 mechanically:
+        its run starts and ends at the root and fires legal transitions
+        (the TwoWayRankedAutomaton runner validates this by construction)."""
+        _d, qa, _phi = compiled["label a"]
+        trace = qa.automaton.run(Tree.parse("a(b, a)"))
+        assert list(trace[0]) == [()]
+        assert list(trace[-1]) == [()]
+
+
+class TestGeneralRank:
+    """The rank-m generalization of the pebbling construction."""
+
+    def test_rank_three_queries(self):
+        import random
+
+        from repro.ranked.mso_to_qa import build_query_qar
+
+        rng = random.Random(3)
+
+        def wide_tree(depth):
+            label = rng.choice("ab")
+            if depth == 0 or rng.random() < 0.3:
+                return Tree(label)
+            arity = rng.choice([2, 3])
+            return Tree(label, [wide_tree(depth - 1) for _ in range(arity)])
+
+        trees = [wide_tree(2) for _ in range(25)] + [
+            Tree.parse("a(b, a, b)"),
+            Tree.parse("b(a(a, b, a), b, a)"),
+        ]
+        for _name, phi in QUERIES[:2]:
+            qa = build_query_qar(phi, x, ["a", "b"], max_rank=3)
+            for tree in trees:
+                assert qa.evaluate(tree) == tree_query(tree, phi, x), str(tree)
+
+    def test_rank_below_two_rejected(self):
+        from repro.logic.compile_trees import compile_tree_query
+        from repro.ranked.mso_to_qa import QueryAutomatonBuilder
+        from repro.strings.dfa import AutomatonError
+
+        d = compile_tree_query(QUERIES[0][1], x, ["a", "b"])
+        with pytest.raises(AutomatonError):
+            QueryAutomatonBuilder(d, ["a", "b"], max_rank=1)

@@ -1,0 +1,104 @@
+"""2DTA^r cut semantics and QA^r (Definitions 4.1, 4.3; Examples 4.2, 4.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ranked.examples import (
+    circuit_acceptor,
+    circuit_reference_query,
+    circuit_value_query,
+)
+from repro.ranked.twoway import RankedQueryAutomaton, TwoWayRankedAutomaton
+from repro.strings.dfa import AutomatonError
+from repro.trees.generators import evaluate_circuit, random_binary_circuit
+from repro.trees.tree import Tree
+
+
+class TestExample42:
+    def test_accepts_true_circuits(self):
+        acceptor = circuit_acceptor()
+        assert acceptor.accepts(Tree.parse("OR(0, 1)"))
+        assert not acceptor.accepts(Tree.parse("AND(0, 1)"))
+
+    @given(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_evaluator(self, height, seed):
+        acceptor = circuit_acceptor()
+        tree = random_binary_circuit(height, seed)
+        assert acceptor.accepts(tree) == (evaluate_circuit(tree) == 1)
+
+    def test_run_starts_and_ends_at_root(self):
+        acceptor = circuit_acceptor()
+        trace = acceptor.run(Tree.parse("AND(1, 1)"))
+        assert list(trace[0]) == [()]
+        assert list(trace[-1]) == [()]
+
+    def test_visited_states_sequence(self):
+        """Every node is visited in the same state sequence in the run
+        (the determinism argument after Definition 4.1)."""
+        acceptor = circuit_acceptor()
+        tree = Tree.parse("AND(OR(1, 1), OR(0, 1))")
+        visits = acceptor.visited_states(tree)
+        assert visits[()][0] == "s"
+        assert visits[(0, 0)] == ["s", "u"]  # down, then leaf turnaround
+
+    def test_single_leaf_circuit(self):
+        acceptor = circuit_acceptor()
+        assert acceptor.accepts(Tree.parse("1"))
+        assert not acceptor.accepts(Tree.parse("0"))
+
+
+class TestExample44:
+    def test_selects_true_subcircuits(self):
+        qa = circuit_value_query()
+        tree = Tree.parse("AND(OR(1, 1), OR(0, 1))")
+        assert qa.evaluate(tree) == frozenset(
+            {(), (0,), (1,), (0, 0), (0, 1), (1, 1)}
+        )
+
+    def test_false_circuit_still_selects_true_parts(self):
+        qa = circuit_value_query()
+        tree = Tree.parse("AND(0, 1)")
+        # F = Q: the run accepts, so the true leaf is selected.
+        assert qa.evaluate(tree) == frozenset({(1,)})
+
+    @given(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_agrees_with_reference(self, height, seed):
+        qa = circuit_value_query()
+        tree = random_binary_circuit(height, seed)
+        assert qa.evaluate(tree) == circuit_reference_query(tree)
+
+
+class TestModelValidation:
+    def test_u_d_disjointness_enforced(self):
+        with pytest.raises(AutomatonError):
+            TwoWayRankedAutomaton.build(
+                {"q"}, {"a"}, 2, "q", set(),
+                {("q", "a")}, {("q", "a")},
+                {}, {}, {}, {},
+            )
+
+    def test_delta_down_length_checked(self):
+        with pytest.raises(AutomatonError):
+            TwoWayRankedAutomaton.build(
+                {"q"}, {"a"}, 2, "q", set(),
+                set(), {("q", "a")},
+                {}, {}, {}, {("q", "a", 2): ("q",)},
+            )
+
+    def test_selection_labels_validated(self):
+        base = circuit_acceptor()
+        with pytest.raises(AutomatonError):
+            RankedQueryAutomaton(base, frozenset({("s", "nope")}))
+
+    def test_rejecting_run_selects_nothing(self):
+        acceptor = circuit_acceptor()
+        qa = RankedQueryAutomaton(
+            acceptor, frozenset({("u", "1")})
+        )
+        # AND(0,1) evaluates to 0: run ends in v0 ∉ F={v1} → no selection,
+        # even though the 1-leaf is visited in the selecting pair (u, 1).
+        assert qa.evaluate(Tree.parse("AND(0, 1)")) == frozenset()
+        assert qa.evaluate(Tree.parse("OR(0, 1)")) == frozenset({(1,)})

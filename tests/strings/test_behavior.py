@@ -1,0 +1,77 @@
+"""Theorem 3.9 machinery: behavior functions, first, Assumed (strings)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.behavior import (
+    assumed_via_behavior,
+    evaluate_query_via_behavior,
+    first_states,
+    left_behavior_functions,
+    states_closure,
+)
+from repro.strings.examples import (
+    endpoints_if_contains,
+    odd_ones_query_automaton,
+)
+
+from ..conftest import all_words
+
+
+class TestBehaviorFunctions:
+    def test_orbit(self):
+        assert states_closure({1: 2, 2: 3}, 1) == [1, 2, 3]
+        assert states_closure({1: 1}, 1) == [1]
+
+    def test_first_states_match_trace(self):
+        automaton = odd_ones_query_automaton().automaton
+        for word in all_words(["0", "1"], 6):
+            firsts = first_states(automaton, word)
+            trace = automaton.run(word)
+            for position in range(len(word) + 2):
+                visits = [s for s, p in trace if p == position]
+                expected = visits[0] if visits else None
+                assert firsts[position] == expected, (word, position)
+
+    def test_assumed_matches_trace(self):
+        automaton = odd_ones_query_automaton().automaton
+        for word in all_words(["0", "1"], 6):
+            assumed, halting = assumed_via_behavior(automaton, word)
+            trace = automaton.run(word)
+            final_state, _ = trace[-1]
+            assert halting == final_state, word
+            for position in range(len(word) + 2):
+                expected = {s for s, p in trace if p == position}
+                assert assumed[position] == expected, (word, position)
+
+    def test_behavior_function_fixed_points_are_right_moves(self):
+        automaton = odd_ones_query_automaton().automaton
+        word = list("0101")
+        cells = automaton.cells(word)
+        functions = left_behavior_functions(automaton, word)
+        for index, behavior in enumerate(functions):
+            for state, target in behavior.items():
+                if target == state:
+                    assert automaton.in_right(state, cells[index])
+
+
+class TestLinearTimeEvaluation:
+    """Lemma content: behavior evaluation ≡ direct simulation."""
+
+    def test_example_3_4_agrees(self):
+        qa = odd_ones_query_automaton()
+        for word in all_words(["0", "1"], 7):
+            assert evaluate_query_via_behavior(qa, word) == qa.evaluate(word)
+
+    def test_remark_3_3_agrees(self):
+        qa = endpoints_if_contains("ab", "a")
+        for word in all_words(["a", "b"], 6):
+            assert evaluate_query_via_behavior(qa, word) == qa.evaluate(word)
+
+    @given(st.lists(st.sampled_from("01"), min_size=0, max_size=12))
+    @settings(max_examples=80, deadline=None)
+    def test_agreement_property(self, word):
+        qa = odd_ones_query_automaton()
+        assert evaluate_query_via_behavior(qa, word) == qa.evaluate(word)

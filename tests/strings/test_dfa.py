@@ -1,0 +1,178 @@
+"""DFA toolkit: boolean operations, minimization, decision procedures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.dfa import (
+    DFA,
+    AutomatonError,
+    empty_dfa,
+    singleton_dfa,
+    universal_dfa,
+)
+
+from ..conftest import all_words, total_dfas, words
+
+import pytest
+
+
+def even_as() -> DFA:
+    return DFA.build(
+        {0, 1},
+        {"a", "b"},
+        {(0, "a"): 1, (1, "a"): 0, (0, "b"): 0, (1, "b"): 1},
+        0,
+        {0},
+    )
+
+
+def contains_ab() -> DFA:
+    return DFA.build(
+        {0, 1, 2},
+        {"a", "b"},
+        {
+            (0, "a"): 1,
+            (0, "b"): 0,
+            (1, "a"): 1,
+            (1, "b"): 2,
+            (2, "a"): 2,
+            (2, "b"): 2,
+        },
+        0,
+        {2},
+    )
+
+
+class TestBasics:
+    def test_accepts(self):
+        dfa = even_as()
+        assert dfa.accepts("")
+        assert dfa.accepts("aa")
+        assert not dfa.accepts("a")
+        assert dfa.accepts("bab" + "a")
+
+    def test_run_states_length(self):
+        dfa = even_as()
+        assert len(dfa.run_states("abab")) == 5
+
+    def test_partial_run_dies(self):
+        dfa = DFA.build({0}, {"a", "b"}, {(0, "a"): 0}, 0, {0})
+        assert dfa.run("ab") is None
+        assert not dfa.accepts("ab")
+
+    def test_rejects_unknown_initial(self):
+        with pytest.raises(AutomatonError):
+            DFA.build({0}, {"a"}, {}, 1, set())
+
+    def test_rejects_bad_transition_symbol(self):
+        with pytest.raises(AutomatonError):
+            DFA.build({0}, {"a"}, {(0, "c"): 0}, 0, set())
+
+    def test_size_measure(self):
+        assert even_as().size == 2 + 2
+
+
+class TestBooleanOperations:
+    def test_complement(self):
+        dfa = even_as().complement()
+        assert dfa.accepts("a")
+        assert not dfa.accepts("aa")
+
+    def test_intersection(self):
+        both = even_as().intersection(contains_ab())
+        assert both.accepts("aba")  # two a's and contains the factor ab
+        assert not both.accepts("ab")  # only one a
+        assert not both.accepts("aa")  # no 'ab' factor
+
+    def test_union(self):
+        either = even_as().union(contains_ab())
+        assert either.accepts("ab")  # contains ab
+        assert either.accepts("aa")  # even a's
+        assert not either.accepts("a")
+
+    def test_complement_involution_language(self):
+        dfa = contains_ab()
+        double = dfa.complement().complement()
+        assert double.equivalent(dfa)
+
+
+class TestDecision:
+    def test_empty(self):
+        assert empty_dfa(["a"]).is_empty()
+        assert not universal_dfa(["a"]).is_empty()
+
+    def test_shortest_accepted(self):
+        assert contains_ab().shortest_accepted() == ["a", "b"]
+        assert empty_dfa(["a"]).shortest_accepted() is None
+
+    def test_singleton(self):
+        dfa = singleton_dfa(["a", "b"], "abba")
+        assert dfa.accepts("abba")
+        assert not dfa.accepts("abb")
+        assert not dfa.accepts("abbab")
+
+    def test_equivalence_of_minimized(self):
+        dfa = contains_ab()
+        assert dfa.minimized().equivalent(dfa)
+
+    def test_disjointness(self):
+        only_as = DFA.build(
+            {0}, {"a", "b"}, {(0, "a"): 0}, 0, {0}
+        )
+        only_bs = DFA.build(
+            {0, 1}, {"a", "b"}, {(0, "b"): 1, (1, "b"): 1}, 0, {1}
+        )
+        assert only_as.is_disjoint(only_bs)
+
+
+class TestMinimization:
+    def test_minimized_is_smaller_or_equal(self):
+        # A deliberately redundant DFA for (a|b)*b
+        dfa = DFA.build(
+            {0, 1, 2, 3},
+            {"a", "b"},
+            {
+                (0, "a"): 2,
+                (0, "b"): 1,
+                (1, "a"): 2,
+                (1, "b"): 3,
+                (2, "a"): 2,
+                (2, "b"): 1,
+                (3, "a"): 2,
+                (3, "b"): 3,
+            },
+            0,
+            {1, 3},
+        )
+        minimal = dfa.minimized()
+        assert len(minimal.states) == 2
+        assert minimal.equivalent(dfa)
+
+    @given(total_dfas())
+    @settings(max_examples=40, deadline=None)
+    def test_minimization_preserves_language(self, dfa):
+        minimal = dfa.minimized()
+        for word in all_words(["a", "b"], 5):
+            assert minimal.accepts(word) == dfa.accepts(word)
+
+    @given(total_dfas(), total_dfas())
+    @settings(max_examples=30, deadline=None)
+    def test_product_language(self, left, right):
+        both = left.intersection(right)
+        either = left.union(right)
+        for word in all_words(["a", "b"], 4):
+            assert both.accepts(word) == (left.accepts(word) and right.accepts(word))
+            assert either.accepts(word) == (left.accepts(word) or right.accepts(word))
+
+
+class TestEnumeration:
+    def test_words_of_length(self):
+        dfa = contains_ab()
+        of_two = set(dfa.words_of_length(2))
+        assert of_two == {("a", "b")}
+
+    def test_reversed_dfa(self):
+        dfa = contains_ab()
+        rev = dfa.reversed_dfa()
+        for word in all_words(["a", "b"], 5):
+            assert rev.accepts(word) == dfa.accepts(list(reversed(word)))

@@ -1,0 +1,115 @@
+"""Lemma 3.10: the Hopcroft–Ullman two-way combination."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.dfa import DFA
+from repro.strings.hopcroft_ullman import (
+    hopcroft_ullman_gsqa,
+    mirror_gsqa,
+    reference_pairs,
+    reversed_hopcroft_ullman_gsqa,
+)
+
+from ..conftest import all_words, random_total_dfa, total_dfas, words
+
+
+def parity_dfa() -> DFA:
+    return DFA.build(
+        {0, 1},
+        {"a", "b"},
+        {(0, "a"): 1, (1, "a"): 0, (0, "b"): 0, (1, "b"): 1},
+        0,
+        {0},
+    )
+
+
+def last_symbol_dfa() -> DFA:
+    states = {"x", "a", "b"}
+    return DFA.build(
+        states,
+        {"a", "b"},
+        {(s, c): c for s in states for c in "ab"},
+        "x",
+        {"a"},
+    )
+
+
+class TestHopcroftUllman:
+    def test_outputs_both_state_streams(self):
+        combined = hopcroft_ullman_gsqa(parity_dfa(), last_symbol_dfa())
+        word = list("abba")
+        assert combined.transduce(word) == reference_pairs(
+            parity_dfa(), last_symbol_dfa(), word
+        )
+
+    def test_empty_and_singleton_words(self):
+        combined = hopcroft_ullman_gsqa(parity_dfa(), parity_dfa())
+        assert combined.transduce([]) == ()
+        assert combined.transduce(["a"]) == reference_pairs(
+            parity_dfa(), parity_dfa(), ["a"]
+        )
+
+    def test_exhaustive_small_words(self):
+        combined = hopcroft_ullman_gsqa(parity_dfa(), last_symbol_dfa())
+        for word in all_words(["a", "b"], 7):
+            assert combined.transduce(word) == reference_pairs(
+                parity_dfa(), last_symbol_dfa(), word
+            ), word
+
+    @given(total_dfas(max_states=3), total_dfas(max_states=3), words(max_length=9))
+    @settings(max_examples=40, deadline=None)
+    def test_random_dfas_property(self, forward, backward, word):
+        combined = hopcroft_ullman_gsqa(forward, backward)
+        assert combined.transduce(word) == reference_pairs(forward, backward, word)
+
+    def test_deterministic_two_way_machine(self):
+        """The construction yields a genuine 2DFA (disjoint L/R, halts)."""
+        combined = hopcroft_ullman_gsqa(parity_dfa(), parity_dfa())
+        automaton = combined.automaton
+        assert not (automaton.left_moves.keys() & automaton.right_moves.keys())
+        # Runs halt on every sampled input.
+        for word in all_words(["a", "b"], 5):
+            automaton.run(word)
+
+
+class TestMirroredVariant:
+    """The Theorem 5.17 workhorse: reconstruction on the backward side."""
+
+    def test_same_outputs_as_direct(self):
+        m1, m2 = parity_dfa(), last_symbol_dfa()
+        direct = hopcroft_ullman_gsqa(m1, m2)
+        mirrored = reversed_hopcroft_ullman_gsqa(m1, m2)
+        for word in all_words(["a", "b"], 6):
+            assert mirrored.transduce(word) == direct.transduce(word), word
+
+    @given(total_dfas(max_states=3), total_dfas(max_states=3), words(max_length=8))
+    @settings(max_examples=30, deadline=None)
+    def test_mirrored_property(self, forward, backward, word):
+        mirrored = reversed_hopcroft_ullman_gsqa(forward, backward)
+        assert mirrored.transduce(word) == reference_pairs(forward, backward, word)
+
+    def test_render_hook(self):
+        m1, m2 = parity_dfa(), parity_dfa()
+        rendered = hopcroft_ullman_gsqa(
+            m1, m2, render=lambda p, q, letter: (letter, p + q)
+        )
+        word = list("ab")
+        pairs = reference_pairs(m1, m2, word)
+        expected = tuple(
+            (letter, p + q) for letter, (p, q) in zip(word, pairs)
+        )
+        assert rendered.transduce(word) == expected
+
+    def test_mirror_of_simple_copier(self):
+        """mirror_gsqa literally reverses the computation."""
+        from repro.strings.examples import odd_ones_gsqa
+
+        original = odd_ones_gsqa()
+        mirrored = mirror_gsqa(original)
+        word = list("0110")
+        expected = tuple(reversed(original.transduce(list(reversed(word)))))
+        assert mirrored.transduce(word) == expected

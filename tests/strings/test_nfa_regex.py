@@ -1,0 +1,154 @@
+"""NFAs, determinization, and regular expressions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.dfa import AutomatonError
+from repro.strings.nfa import EPSILON, NFA, intersection_nfa, union_nfa
+from repro.strings.regex import (
+    Atom,
+    Epsilon,
+    RegexError,
+    Star,
+    concat_all,
+    literal,
+    optional,
+    parse_regex,
+    plus,
+    to_dfa,
+    to_nfa,
+    union_all,
+)
+
+from ..conftest import all_words
+
+
+def nfa_ab_star() -> NFA:
+    """(ab)* as a hand-built NFA with an ε-move."""
+    return NFA.build(
+        {0, 1, 2},
+        {"a", "b"},
+        {(0, "a"): {1}, (1, "b"): {2}, (2, EPSILON): {0}},
+        {0},
+        {0, 2},
+    )
+
+
+class TestNFA:
+    def test_epsilon_closure(self):
+        nfa = nfa_ab_star()
+        assert nfa.epsilon_closure({2}) == {0, 2}
+
+    def test_accepts(self):
+        nfa = nfa_ab_star()
+        assert nfa.accepts("")
+        assert nfa.accepts("abab")
+        assert not nfa.accepts("aba")
+
+    def test_determinize_preserves_language(self):
+        nfa = nfa_ab_star()
+        dfa = nfa.determinized()
+        for word in all_words(["a", "b"], 6):
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+    def test_is_empty(self):
+        assert NFA.build({0}, {"a"}, {}, {0}, set()).is_empty()
+        assert not nfa_ab_star().is_empty()
+
+    def test_reversed(self):
+        nfa = to_nfa(parse_regex("a b b"))
+        rev = nfa.reversed_nfa()
+        assert rev.accepts("bba")
+        assert not rev.accepts("abb")
+
+    def test_trimmed_keeps_language(self):
+        nfa = nfa_ab_star()
+        trimmed = nfa.trimmed()
+        for word in all_words(["a", "b"], 5):
+            assert trimmed.accepts(word) == nfa.accepts(word)
+
+    def test_intersection_and_union(self):
+        starts_a = to_nfa(parse_regex("a (a|b)*"))
+        ends_b = to_nfa(parse_regex("(a|b)* b"))
+        both = intersection_nfa(starts_a, ends_b)
+        either = union_nfa(starts_a, ends_b)
+        for word in all_words(["a", "b"], 5):
+            assert both.accepts(word) == (
+                starts_a.accepts(word) and ends_b.accepts(word)
+            )
+            assert either.accepts(word) == (
+                starts_a.accepts(word) or ends_b.accepts(word)
+            )
+
+    def test_invalid_initials_rejected(self):
+        with pytest.raises(AutomatonError):
+            NFA.build({0}, {"a"}, {}, {1}, set())
+
+
+class TestRegexParsing:
+    def test_atoms_and_star(self):
+        dfa = to_dfa(parse_regex("a b* c"))
+        assert dfa.accepts(["a", "c"])
+        assert dfa.accepts(["a", "b", "b", "c"])
+        assert not dfa.accepts(["a", "b"])
+
+    def test_union_bar_and_plus(self):
+        # The paper's Example 5.14 expression: up* one up* + up*.
+        dfa = to_dfa(parse_regex("up* one up* + up*"))
+        assert dfa.accepts([])
+        assert dfa.accepts(["up", "one", "up"])
+        assert dfa.accepts(["up", "up"])
+        assert not dfa.accepts(["one", "one"])
+
+    def test_postfix_plus(self):
+        dfa = to_dfa(parse_regex("(a)+"))
+        assert dfa.accepts(["a"])
+        assert dfa.accepts(["a", "a"])
+        assert not dfa.accepts([])
+
+    def test_optional(self):
+        dfa = to_dfa(parse_regex("a? b"))
+        assert dfa.accepts(["b"])
+        assert dfa.accepts(["a", "b"])
+        assert not dfa.accepts(["a"])
+
+    def test_epsilon_and_empty(self):
+        assert to_dfa(parse_regex("%")).accepts([])
+        assert to_dfa(parse_regex("~")).is_empty()
+
+    def test_multichar_symbols(self):
+        dfa = to_dfa(parse_regex("(book | article)+"))
+        assert dfa.accepts(["book", "article", "book"])
+        assert not dfa.accepts([])
+
+    def test_dtd_style_commas(self):
+        dfa = to_dfa(parse_regex("author+, title, year"))
+        assert dfa.accepts(["author", "title", "year"])
+        assert dfa.accepts(["author", "author", "title", "year"])
+        assert not dfa.accepts(["title", "year"])
+
+    def test_parse_errors(self):
+        with pytest.raises(RegexError):
+            parse_regex("a |")
+        with pytest.raises(RegexError):
+            parse_regex("(a")
+
+    def test_builders(self):
+        expr = concat_all(literal("ab"), Star(Atom("c")))
+        dfa = to_dfa(expr)
+        assert dfa.accepts("abccc")
+        assert union_all() == parse_regex("~")
+        assert to_dfa(optional(Atom("a"))).accepts([])
+        assert not to_dfa(plus(Atom("a"))).accepts([])
+
+
+class TestRegexAgainstPython:
+    @given(st.lists(st.sampled_from("ab"), max_size=7))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python_re(self, word):
+        import re
+
+        ours = to_dfa(parse_regex("a (a|b)* b | b a*"))
+        python = re.compile(r"(a[ab]*b|ba*)\Z")
+        assert ours.accepts(word) == bool(python.match("".join(word)))

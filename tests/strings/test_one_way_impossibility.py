@@ -1,0 +1,125 @@
+"""Remark 3.3, executable: one-way QAs cannot compute the endpoint query.
+
+The paper: *"select the first and last symbol if the string contains the
+letter σ" is not computable by a QA^string that only moves in one
+direction — started on the first position it would have to decide whether
+to select without having seen the input.*
+
+We verify the claim by brute force over every one-way (left-to-right)
+query automaton with up to 2 states over {a, b}: none of them computes
+the query on a small word battery, while the two-way automaton of
+``endpoints_if_contains`` does.  (The paper's argument applies to any
+state count; the exhaustive search gives the small cases absolute
+certainty and the general case a sanity anchor.)
+"""
+
+import itertools
+
+import pytest
+
+from repro.strings.examples import endpoints_if_contains
+from repro.strings.twoway import (
+    LEFT_MARKER,
+    NonTerminatingRunError,
+    StringQueryAutomaton,
+    TwoWayDFA,
+)
+
+ALPHABET = ("a", "b")
+WORDS = [
+    list(w)
+    for n in range(0, 4)
+    for w in itertools.product(ALPHABET, repeat=n)
+]
+
+
+def reference(word):
+    """First and last position iff the word contains an 'a'."""
+    if "a" in word:
+        return frozenset({1, len(word)})
+    return frozenset()
+
+
+def one_way_automata(num_states: int):
+    """Every total-ish one-way QA with the given number of states.
+
+    Right moves only; each (state, cell) either moves right into some
+    state or halts.  All F and λ choices are enumerated.
+    """
+    states = list(range(num_states))
+    cells = [LEFT_MARKER, *ALPHABET]
+    slots = [(state, cell) for state in states for cell in cells]
+    for targets in itertools.product([None, *states], repeat=len(slots)):
+        right_moves = {
+            slot: target
+            for slot, target in zip(slots, targets)
+            if target is not None
+        }
+        # The machine must at least leave ⊳, else it reads nothing.
+        if (0, LEFT_MARKER) not in right_moves:
+            continue
+        automaton = TwoWayDFA.build(
+            states, ALPHABET, 0, states, {}, right_moves
+        )
+        selection_pairs = [
+            (state, symbol) for state in states for symbol in ALPHABET
+        ]
+        for mask in range(2 ** len(selection_pairs)):
+            selecting = frozenset(
+                pair
+                for index, pair in enumerate(selection_pairs)
+                if mask >> index & 1
+            )
+            for accepting_mask in range(1, 2 ** num_states):
+                accepting = frozenset(
+                    state
+                    for state in states
+                    if accepting_mask >> state & 1
+                )
+                yield TwoWayDFA.build(
+                    states, ALPHABET, 0, accepting, {}, right_moves
+                ), selecting
+
+
+def computes_reference(automaton, selecting) -> bool:
+    qa = StringQueryAutomaton(automaton, selecting)
+    for word in WORDS:
+        try:
+            if qa.evaluate(word) != reference(word):
+                return False
+        except NonTerminatingRunError:  # pragma: no cover - one-way halts
+            return False
+    return True
+
+
+class TestOneWayImpossibility:
+    @pytest.mark.parametrize("num_states", [1, 2])
+    def test_no_small_one_way_qa_computes_the_query(self, num_states):
+        assert not any(
+            computes_reference(automaton, selecting)
+            for automaton, selecting in one_way_automata(num_states)
+        )
+
+    def test_the_two_way_automaton_does(self):
+        qa = endpoints_if_contains(ALPHABET, "a")
+        for word in WORDS:
+            assert qa.evaluate(word) == reference(word), word
+
+    def test_sanity_search_finds_easier_queries(self):
+        """The search space is rich enough to find computable queries —
+        e.g. 'select every a' — so the negative result above is meaningful."""
+        def select_every_a(word):
+            return frozenset(
+                i for i, symbol in enumerate(word, start=1) if symbol == "a"
+            )
+
+        found = False
+        for automaton, selecting in one_way_automata(1):
+            qa = StringQueryAutomaton(automaton, selecting)
+            try:
+                if all(qa.evaluate(w) == select_every_a(w) for w in WORDS):
+                    found = True
+                    break
+            except NonTerminatingRunError:  # pragma: no cover
+                continue
+        assert found

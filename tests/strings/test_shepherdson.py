@@ -1,0 +1,82 @@
+"""Shepherdson's 2DFA → DFA conversion (cited in Remark 3.3, Prop 6.2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.examples import (
+    endpoints_if_contains,
+    odd_ones_query_automaton,
+)
+from repro.strings.shepherdson import accepts_via_tables, to_one_way_dfa
+from repro.strings.twoway import LEFT_MARKER, RIGHT_MARKER, TwoWayDFA
+
+from ..conftest import all_words
+
+
+class TestConversion:
+    def test_example_3_4_language(self):
+        two_way = odd_ones_query_automaton().automaton
+        one_way = to_one_way_dfa(two_way)
+        for word in all_words(["0", "1"], 8):
+            assert one_way.accepts(word) == two_way.accepts(word)
+
+    def test_remark_3_3_language(self):
+        two_way = endpoints_if_contains("ab", "a").automaton
+        one_way = to_one_way_dfa(two_way)
+        for word in all_words(["a", "b"], 7):
+            assert one_way.accepts(word) == two_way.accepts(word)
+
+    def test_streaming_tables_agree(self):
+        two_way = odd_ones_query_automaton().automaton
+        for word in all_words(["0", "1"], 7):
+            assert accepts_via_tables(two_way, word) == two_way.accepts(word)
+
+    def test_halt_inside_handled(self):
+        """A machine that halts mid-word (no transition) still converts."""
+        # Walk right; on 'b' enter a state with no moves: halts there.
+        automaton = TwoWayDFA.build(
+            {"go", "stuck"},
+            {"a", "b"},
+            "go",
+            {"stuck"},
+            {},
+            {
+                ("go", LEFT_MARKER): "go",
+                ("go", "a"): "go",
+                ("go", "b"): "stuck",
+            },
+        )
+        # 'go' halts at ⊲ when no b occurs (go not accepting); after a b
+        # the head sits one right of it in 'stuck' (accepting, halts
+        # unless there is another letter to walk over... stuck has no
+        # moves, so it halts immediately wherever it lands).
+        one_way = to_one_way_dfa(automaton)
+        for word in all_words(["a", "b"], 6):
+            assert one_way.accepts(word) == automaton.accepts(word), word
+
+    def test_looping_machine_rejects(self):
+        """A cycling 2DFA accepts nothing; the conversion is still total."""
+        automaton = TwoWayDFA.build(
+            {0, 1},
+            {"a"},
+            0,
+            {0, 1},
+            {(1, "a"): 0, (1, RIGHT_MARKER): 0},
+            {(0, LEFT_MARKER): 0, (0, "a"): 1},
+        )
+        one_way = to_one_way_dfa(automaton)
+        # On "a" and longer the machine bounces forever between cells.
+        assert not one_way.accepts(["a", "a"])
+        assert not accepts_via_tables(automaton, ["a", "a"])
+        # The empty word halts at ⊲ immediately in state 0 ∈ F... the run:
+        # 0 at ⊳ → right → 0 at ⊲, no move (left move needs 'a'): accept.
+        assert one_way.accepts([])
+
+    def test_exponential_blowup_is_bounded(self):
+        """Proposition 6.2: the converted automaton's size is at most
+        exponential in the two-way machine's."""
+        two_way = odd_ones_query_automaton().automaton
+        one_way = to_one_way_dfa(two_way)
+        n = len(two_way.states)
+        # Very generous bound: states are (table, status, cell) triples.
+        assert len(one_way.states) <= ((2 * n + 2) ** n) * (n + 3) * 4

@@ -1,0 +1,91 @@
+"""Slender languages (Shallit normal form) for down transitions (§5.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.simple_regex import (
+    Branch,
+    SimpleRegex,
+    SlendernessError,
+    constant_sequence,
+    fixed_sequences,
+    pattern,
+)
+
+
+class TestBranch:
+    def test_string_of_length(self):
+        branch = Branch(("x",), ("y", "z"), ("w",))
+        assert branch.string_of_length(2) == ("x", "w")
+        assert branch.string_of_length(4) == ("x", "y", "z", "w")
+        assert branch.string_of_length(3) is None
+
+    def test_no_pump(self):
+        branch = Branch(("a", "b"), (), ())
+        assert branch.string_of_length(2) == ("a", "b")
+        assert branch.string_of_length(3) is None
+
+
+class TestSimpleRegex:
+    def test_constant_sequence(self):
+        regex = constant_sequence("s")
+        assert regex.string_of_length(3) == ("s", "s", "s")
+        assert regex.string_of_length(1) == ("s",)
+        assert regex.string_of_length(0) is None
+
+    def test_membership(self):
+        regex = constant_sequence("s")
+        assert ["s", "s"] in regex
+        assert ["s", "t"] not in regex
+
+    def test_fixed_sequences(self):
+        regex = fixed_sequences([("a",), ("a", "b"), ("a", "b", "c")])
+        assert regex.string_of_length(2) == ("a", "b")
+        assert regex.string_of_length(4) is None
+
+    def test_one_string_per_length_enforced(self):
+        with pytest.raises(SlendernessError):
+            fixed_sequences([("a", "b"), ("b", "a")])
+
+    def test_overlapping_pumps_rejected(self):
+        with pytest.raises(SlendernessError):
+            SimpleRegex(
+                [Branch((), ("a",), ()), Branch((), ("b",), ())]
+            )
+
+    def test_compatible_union_allowed(self):
+        # Same strings from both branches: allowed (not two *distinct* ones).
+        regex = SimpleRegex([Branch(("a",), (), ()), Branch(("a",), (), ())])
+        assert regex.string_of_length(1) == ("a",)
+
+    def test_disjoint_lengths_allowed(self):
+        # Even lengths all-a, odd lengths all-b.
+        regex = SimpleRegex(
+            [
+                Branch(("a", "a"), ("a", "a"), ()),
+                Branch(("b",), ("b", "b"), ()),
+            ]
+        )
+        assert regex.string_of_length(2) == ("a", "a")
+        assert regex.string_of_length(3) == ("b", "b", "b")
+
+    def test_realized_lengths(self):
+        regex = pattern(("x",), ("y",), ("z",))
+        assert list(regex.realized_lengths(5)) == [2, 3, 4, 5]
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_slender_invariant(self, length):
+        """At most one string per length, by construction."""
+        regex = SimpleRegex(
+            [
+                Branch(("a",), ("b", "c"), ("d",)),
+                Branch(("e", "e", "e"), ("f", "f"), ()),
+            ]
+        )
+        first = regex.string_of_length(length)
+        if first is not None:
+            assert len(first) == length
+            # Membership agrees with lookup.
+            assert list(first) in regex

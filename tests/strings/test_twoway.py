@@ -1,0 +1,123 @@
+"""Two-way DFAs, string query automata, GSQAs (Definitions 3.1–3.5)."""
+
+import pytest
+
+from repro.strings.dfa import AutomatonError
+from repro.strings.examples import (
+    endpoints_if_contains,
+    odd_ones_gsqa,
+    odd_ones_query_automaton,
+    sweep_right_dfa_as_qa,
+)
+from repro.strings.twoway import (
+    LEFT_MARKER,
+    NonTerminatingRunError,
+    RIGHT_MARKER,
+    StringQueryAutomaton,
+    TwoWayDFA,
+)
+
+from ..conftest import all_words
+
+
+class TestTwoWayDFA:
+    def test_paper_run_example_3_4(self):
+        """The run on ⊳0110⊲ from Example 3.4, in our 0-based marking."""
+        automaton = odd_ones_query_automaton().automaton
+        trace = automaton.run(list("0110"))
+        # Paper: (s0,1)...(s0,6)(s1,5)(s2,4)(s1,3)(s2,2)(s1,1) with 1-based
+        # marked positions; ours are 0-based, so shift by one.
+        expected = [
+            ("s0", 0), ("s0", 1), ("s0", 2), ("s0", 3), ("s0", 4), ("s0", 5),
+            ("s1", 4), ("s2", 3), ("s1", 2), ("s2", 1), ("s1", 0),
+        ]
+        assert trace == expected
+
+    def test_moving_left_from_left_marker_rejected(self):
+        with pytest.raises(AutomatonError):
+            TwoWayDFA.build(
+                {0}, {"a"}, 0, set(), {(0, LEFT_MARKER): 0}, {}
+            )
+
+    def test_moving_right_from_right_marker_rejected(self):
+        with pytest.raises(AutomatonError):
+            TwoWayDFA.build(
+                {0}, {"a"}, 0, set(), {}, {(0, RIGHT_MARKER): 0}
+            )
+
+    def test_left_right_overlap_rejected(self):
+        with pytest.raises(AutomatonError):
+            TwoWayDFA.build(
+                {0}, {"a"}, 0, set(), {(0, "a"): 0}, {(0, "a"): 0}
+            )
+
+    def test_nontermination_detected(self):
+        # Bounce between two adjacent positions forever.
+        automaton = TwoWayDFA.build(
+            {0, 1},
+            {"a"},
+            0,
+            set(),
+            {(1, "a"): 0, (1, RIGHT_MARKER): 0},
+            {(0, LEFT_MARKER): 0, (0, "a"): 1},
+        )
+        with pytest.raises(NonTerminatingRunError):
+            automaton.run(["a", "a"])
+
+    def test_assumed_states_match_trace(self):
+        automaton = odd_ones_query_automaton().automaton
+        word = list("010")
+        assumed = automaton.assumed_states(word)
+        trace = automaton.run(word)
+        for position, bucket in enumerate(assumed):
+            expected = {state for state, p in trace if p == position}
+            assert bucket == expected
+
+
+class TestStringQueryAutomaton:
+    def test_example_3_4(self):
+        qa = odd_ones_query_automaton()
+        assert qa.evaluate(list("0110")) == frozenset({2})
+        assert qa.evaluate(list("1111")) == frozenset({2, 4})
+        assert qa.evaluate(list("0000")) == frozenset()
+        assert qa.evaluate([]) == frozenset()
+
+    def test_selection_requires_accepting_run(self):
+        base = odd_ones_query_automaton()
+        # Same machine with empty F: nothing is ever selected.
+        rejecting = StringQueryAutomaton(
+            TwoWayDFA(
+                base.automaton.states,
+                base.automaton.alphabet,
+                base.automaton.initial,
+                frozenset(),
+                base.automaton.left_moves,
+                base.automaton.right_moves,
+            ),
+            base.selecting,
+        )
+        assert rejecting.evaluate(list("11")) == frozenset()
+
+    def test_remark_3_3_two_wayness(self):
+        qa = endpoints_if_contains("ab", "a")
+        assert qa.evaluate(list("bab")) == frozenset({1, 3})
+        assert qa.evaluate(list("a")) == frozenset({1})
+        assert qa.evaluate(list("bbb")) == frozenset()
+
+    def test_one_way_baseline(self):
+        qa = sweep_right_dfa_as_qa("ab", ["a"])
+        assert qa.evaluate(list("aba")) == frozenset({1, 3})
+
+
+class TestGSQA:
+    def test_example_3_6(self):
+        gsqa = odd_ones_gsqa()
+        assert "".join(gsqa.transduce(list("0110"))) == "0*10"
+        assert "".join(gsqa.transduce(list("111"))) == "*1*"
+        assert gsqa.transduce([]) == ()
+
+    def test_every_position_gets_one_output(self):
+        gsqa = odd_ones_gsqa()
+        for word in all_words(["0", "1"], 6):
+            outputs = gsqa.transduce(word)
+            assert len(outputs) == len(word)

@@ -1,0 +1,136 @@
+"""Cross-module property tests: algebraic invariants of the substrates."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.dfa import DFA
+from repro.strings.regex import Atom, Star, concat_all, literal, to_dfa, union_all
+from repro.strings.simple_regex import Branch, SimpleRegex
+from repro.trees.tree import Tree
+
+from .conftest import all_words, total_dfas, trees, words
+
+
+class TestMinimalDFACanonicity:
+    """The minimal DFA is unique: equivalent automata minimize to the
+    same number of states (Myhill–Nerode)."""
+
+    @given(total_dfas(max_states=4))
+    @settings(max_examples=30, deadline=None)
+    def test_minimized_fixed_point(self, dfa):
+        once = dfa.minimized()
+        twice = once.minimized()
+        assert len(once.states) == len(twice.states)
+        assert once.equivalent(dfa)
+
+    @given(total_dfas(max_states=3), total_dfas(max_states=3))
+    @settings(max_examples=30, deadline=None)
+    def test_equivalent_automata_share_minimal_size(self, left, right):
+        if left.equivalent(right):
+            assert len(left.minimized().states) == len(right.minimized().states)
+
+
+class TestSimpleRegexVsFullRegex:
+    """A slender ``x y* z`` union denotes the same language through the
+    general regex machinery."""
+
+    @given(
+        st.lists(st.sampled_from("ab"), max_size=2),
+        st.lists(st.sampled_from("ab"), min_size=1, max_size=2),
+        st.lists(st.sampled_from("ab"), max_size=2),
+        words(max_length=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_membership_agrees(self, prefix, pump, suffix, word):
+        simple = SimpleRegex([Branch(tuple(prefix), tuple(pump), tuple(suffix))])
+        full = to_dfa(
+            concat_all(literal(prefix), Star(literal(pump)), literal(suffix)),
+            frozenset("ab"),
+        )
+        assert (list(word) in simple) == full.accepts(word)
+
+
+class TestTreeIdentities:
+    @given(trees(max_size=9))
+    @settings(max_examples=40, deadline=None)
+    def test_envelope_plus_children_subtrees(self, tree):
+        """|t̄_v| + Σ|t_{vi}| = |t| + 1 when v has children (v is shared)."""
+        for path in tree.nodes():
+            node = tree.subtree(path)
+            if not node.children:
+                continue
+            envelope = tree.envelope(path)
+            children_total = sum(child.size for child in node.children)
+            assert envelope.size + children_total == tree.size
+
+    @given(trees(max_size=9))
+    @settings(max_examples=40, deadline=None)
+    def test_height_and_depth_bounds(self, tree):
+        for path in tree.nodes():
+            assert Tree.depth(path) + tree.subtree(path).height <= (
+                tree.height
+            )
+
+    @given(trees(max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_mark_changes_exactly_one_label(self, tree):
+        for target in tree.nodes():
+            marked = tree.mark(target)
+            changed = [
+                path
+                for path, label in marked.nodes_with_labels()
+                if label != tree.label_at(path)
+            ]
+            assert changed == [target]
+
+
+class TestXMLRoundTrip:
+    @given(trees(labels=("alpha", "beta", "gamma"), max_size=9))
+    @settings(max_examples=40, deadline=None)
+    def test_serialize_parse_roundtrip(self, tree):
+        """Random element trees survive serialize → parse → abstract."""
+        from repro.trees.xml import XMLElement, parse_document, serialize, to_structure_tree
+
+        def to_element(node: Tree) -> XMLElement:
+            return XMLElement(
+                node.label, {}, [to_element(child) for child in node.children]
+            )
+
+        text = serialize(to_element(tree))
+        assert to_structure_tree(parse_document(text)) == tree
+
+
+class TestQueryEnginesAgree:
+    """Three independent engines on the same query never disagree."""
+
+    @given(trees(max_size=7, max_arity=3))
+    @settings(max_examples=30, deadline=None)
+    def test_three_engines(self, tree):
+        from repro.logic.compile_trees import compile_tree_query, mark
+        from repro.logic.semantics import tree_query
+        from repro.logic.syntax import And, Exists, Label, Less, Not, Var
+        from repro.unranked.dbta import evaluate_marked_query
+        from repro.unranked.mso_to_sqa import figure6_evaluate
+
+        x, y = Var("x"), Var("y")
+        phi = And(Label(x, "a"), Not(Exists(y, And(Less(y, x), Label(y, "a")))))
+        automaton = _cached_query()
+        reference = tree_query(tree, phi, x)
+        assert evaluate_marked_query(automaton, tree, mark) == reference
+        assert figure6_evaluate(automaton, tree) == reference
+
+
+_QUERY_CACHE = []
+
+
+def _cached_query():
+    if not _QUERY_CACHE:
+        from repro.logic.compile_trees import compile_tree_query
+        from repro.logic.syntax import And, Exists, Label, Less, Not, Var
+
+        x, y = Var("x"), Var("y")
+        phi = And(Label(x, "a"), Not(Exists(y, And(Less(y, x), Label(y, "a")))))
+        _QUERY_CACHE.append(compile_tree_query(phi, x, ["a", "b"]))
+    return _QUERY_CACHE[0]

@@ -1,0 +1,91 @@
+"""Workload generators: determinism and shape invariants."""
+
+import pytest
+
+from repro.trees.generators import (
+    complete_binary_tree,
+    enumerate_trees,
+    evaluate_circuit,
+    flat_tree,
+    monadic_chain,
+    random_binary_circuit,
+    random_tree,
+    random_unranked_circuit,
+)
+
+
+class TestShapes:
+    def test_complete_binary(self):
+        tree = complete_binary_tree(3)
+        assert tree.size == 15
+        assert tree.height == 3
+        assert all(
+            tree.arity_at(p) in (0, 2) for p in tree.nodes()
+        )
+
+    def test_flat(self):
+        tree = flat_tree(["0", "1", "1"])
+        assert tree.height == 1
+        assert [tree.label_at((i,)) for i in range(3)] == ["0", "1", "1"]
+
+    def test_chain(self):
+        tree = monadic_chain(["a", "b", "c"])
+        assert str(tree) == "a(b(c))"
+
+    def test_random_tree_deterministic(self):
+        assert random_tree(9, ["a", "b"], seed_or_rng=5) == random_tree(
+            9, ["a", "b"], seed_or_rng=5
+        )
+
+    def test_random_tree_respects_arity(self):
+        tree = random_tree(15, ["a"], max_arity=2, seed_or_rng=1)
+        assert tree.rank() <= 2
+        assert tree.size == 15
+
+
+class TestCircuits:
+    def test_binary_circuit_is_full(self):
+        tree = random_binary_circuit(3, 7)
+        assert all(tree.arity_at(p) in (0, 2) for p in tree.nodes())
+        assert all(
+            tree.label_at(p) in ("AND", "OR", "0", "1") for p in tree.nodes()
+        )
+
+    def test_evaluation(self):
+        from repro.trees.tree import Tree
+
+        assert evaluate_circuit(Tree.parse("AND(1, OR(0, 1))")) == 1
+        assert evaluate_circuit(Tree.parse("AND(1, OR(0, 0))")) == 0
+        assert evaluate_circuit(Tree.parse("1")) == 1
+
+    def test_evaluation_rejects_bad_labels(self):
+        from repro.trees.tree import Tree
+
+        with pytest.raises(ValueError):
+            evaluate_circuit(Tree.parse("XOR(1, 0)"))
+
+    def test_unranked_circuit_arity_bound(self):
+        tree = random_unranked_circuit(3, max_arity=5, seed_or_rng=2)
+        assert tree.rank() <= 5
+
+
+class TestEnumeration:
+    def test_counts(self):
+        # Trees over one label: 1 of size 1, 1 of size 2, 2 of size 3
+        # (chain and two-children), ... Catalan-ish.
+        trees = enumerate_trees(["a"], 3)
+        sizes = sorted(t.size for t in trees)
+        assert sizes == [1, 2, 3, 3]
+
+    def test_two_labels(self):
+        trees = enumerate_trees(["a", "b"], 2)
+        assert len(trees) == 2 + 4  # two leaves, four two-node trees
+
+    def test_rank_bound(self):
+        trees = enumerate_trees(["a"], 4, max_arity=1)
+        # Only chains: exactly one per size.
+        assert sorted(t.size for t in trees) == [1, 2, 3, 4]
+
+    def test_all_distinct(self):
+        trees = enumerate_trees(["a", "b"], 3)
+        assert len(trees) == len(set(trees))

@@ -1,0 +1,120 @@
+"""The Σ-tree data model (Section 2.3)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.trees.tree import Tree, TreeError, is_ancestor, sigma_tree
+
+from ..conftest import trees
+
+
+class TestConstruction:
+    def test_parse_roundtrip(self):
+        text = "a(b, c(d, e), f)"
+        tree = Tree.parse(text)
+        assert str(tree) == text
+        assert Tree.parse(str(tree)) == tree
+
+    def test_parse_leaf(self):
+        assert Tree.parse("x").size == 1
+        assert Tree.parse("x()").size == 1
+
+    def test_parse_errors(self):
+        with pytest.raises(TreeError):
+            Tree.parse("a(b")
+        with pytest.raises(TreeError):
+            Tree.parse("a)b(")
+        with pytest.raises(TreeError):
+            Tree.parse("a(b,)")
+
+    def test_sigma_tree_notation(self):
+        tree = sigma_tree("f", Tree.leaf("a"), Tree.leaf("b"))
+        assert str(tree) == "f(a, b)"
+
+
+class TestStructure:
+    def test_size_height_arity(self):
+        tree = Tree.parse("a(b(c), d, e(f, g))")
+        assert tree.size == 7
+        assert tree.height == 2
+        assert tree.arity == 3
+        assert tree.rank() == 3
+
+    def test_is_ranked(self):
+        tree = Tree.parse("a(b, c(d, e))")
+        assert tree.is_ranked(2)
+        assert not tree.is_ranked(1)
+
+    def test_subtree_and_labels(self):
+        tree = Tree.parse("a(b, c(d, e))")
+        assert tree.subtree((1,)).label == "c"
+        assert tree.label_at((1, 0)) == "d"
+        assert tree.arity_at((1,)) == 2
+        with pytest.raises(TreeError):
+            tree.subtree((5,))
+
+    def test_envelope(self):
+        """The paper's t̄_v: delete the subtrees of v's children, keep v."""
+        tree = Tree.parse("a(b(x, y), c)")
+        envelope = tree.envelope((0,))
+        assert str(envelope) == "a(b, c)"
+        # t_v and t̄_v share v (the paper's footnote 3).
+        assert envelope.has_node((0,))
+
+    def test_envelope_of_root(self):
+        tree = Tree.parse("a(b, c)")
+        assert str(tree.envelope(())) == "a"
+
+
+class TestTraversals:
+    def test_nodes_document_order(self):
+        tree = Tree.parse("a(b(c), d)")
+        assert list(tree.nodes()) == [(), (0,), (0, 0), (1,)]
+
+    def test_postorder_children_first(self):
+        tree = Tree.parse("a(b(c), d)")
+        order = list(tree.postorder())
+        assert order.index((0, 0)) < order.index((0,))
+        assert order.index((0,)) < order.index(())
+        assert order.index((1,)) < order.index(())
+
+    def test_levels(self):
+        tree = Tree.parse("a(b(c), d)")
+        assert list(tree.nodes_by_depth()) == [[()], [(0,), (1,)], [(0, 0)]]
+
+    def test_leaves(self):
+        tree = Tree.parse("a(b(c), d)")
+        assert list(tree.leaves()) == [(0, 0), (1,)]
+
+
+class TestDerived:
+    def test_mark(self):
+        tree = Tree.parse("a(b, c)")
+        marked = tree.mark((1,))
+        assert marked.label_at((1,)) == "c*"
+        assert marked.label_at((0,)) == "b"
+
+    def test_relabel_shape_preserved(self):
+        tree = Tree.parse("a(b, c)")
+        upper = tree.relabel(lambda _p, label: label.upper())
+        assert str(upper) == "A(B, C)"
+
+    def test_is_ancestor(self):
+        assert is_ancestor((), (0,))
+        assert is_ancestor((0,), (0, 1, 2))
+        assert not is_ancestor((0,), (0,))
+        assert not is_ancestor((1,), (0, 1))
+
+    @given(trees())
+    @settings(max_examples=50, deadline=None)
+    def test_node_count_invariants(self, tree):
+        nodes = list(tree.nodes())
+        assert len(nodes) == tree.size
+        assert len(set(nodes)) == tree.size
+        assert sorted(nodes) == nodes  # document order
+        assert len(list(tree.postorder())) == tree.size
+
+    @given(trees())
+    @settings(max_examples=50, deadline=None)
+    def test_parse_str_roundtrip(self, tree):
+        assert Tree.parse(str(tree)) == tree

@@ -1,0 +1,63 @@
+"""Lemma 5.16: behavior functions for unranked automata (with stays)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees.generators import random_unranked_circuit
+from repro.unranked.behavior import (
+    assumed_sets,
+    behavior_functions,
+    evaluate_query_via_behavior,
+)
+from repro.unranked.examples import circuit_query_automaton, first_one_sqa
+from repro.unranked.separation import flat_family_tree
+from repro.trees.tree import Tree
+
+
+class TestWithoutStays:
+    @given(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=150))
+    @settings(max_examples=50, deadline=None)
+    def test_circuit_agreement(self, depth, seed):
+        qa = circuit_query_automaton()
+        tree = random_unranked_circuit(depth, max_arity=4, seed_or_rng=seed)
+        assert evaluate_query_via_behavior(qa, tree) == qa.evaluate(tree)
+
+    def test_assumed_matches_trace(self):
+        qa = circuit_query_automaton()
+        tree = Tree.parse("AND(OR(1, 0, 1), 1, 0)")
+        assumed, halting = assumed_sets(qa.automaton, tree)
+        trace = qa.automaton.run(tree)
+        for path in tree.nodes():
+            observed = {conf[path] for conf in trace if path in conf}
+            assert assumed[path] == observed, path
+        assert trace[-1][()] == halting
+
+
+class TestWithStays:
+    def test_flat_family_agreement(self):
+        sqa = first_one_sqa()
+        for width in range(1, 8):
+            for zeros in range(width + 1):
+                tree = flat_family_tree(zeros, width)
+                assert evaluate_query_via_behavior(sqa, tree) == sqa.evaluate(
+                    tree
+                ), str(tree)
+
+    def test_uniform_two_level_agreement(self):
+        sqa = first_one_sqa()
+        for text in [
+            "0(0(1, 1), 1(0, 1))",
+            "1(1(1), 0(0))",
+            "0(1(0, 0, 1), 0(1, 1), 1(0))",
+        ]:
+            tree = Tree.parse(text)
+            assert evaluate_query_via_behavior(sqa, tree) == sqa.evaluate(tree)
+
+    def test_stay_assigned_states_are_assumed(self):
+        """Children carry both their down state and their stay state."""
+        sqa = first_one_sqa()
+        tree = flat_family_tree(1, 3)  # 0 1 1
+        assumed, _halting = assumed_sets(sqa.automaton, tree)
+        # Child 1 (the first 1): down state s, then stay, then crowned one.
+        assert assumed[(1,)] >= {"s", "stay", "one"}
+        assert assumed[(2,)] >= {"s", "stay", "up"}

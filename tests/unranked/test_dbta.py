@@ -1,0 +1,62 @@
+"""BMW determinization and the two-pass marked-query evaluation."""
+
+from hypothesis import given, settings
+
+from repro.trees.generators import enumerate_trees
+from repro.trees.tree import Tree
+from repro.unranked.dbta import (
+    brute_force_marked_query,
+    determinize,
+    evaluate_marked_query,
+)
+
+from ..conftest import trees
+from .test_nbta import has_a_automaton
+
+
+class TestDeterminization:
+    def test_language_preserved(self):
+        nbta = has_a_automaton()
+        det = determinize(nbta)
+        for tree in enumerate_trees(["a", "b"], 4):
+            assert det.accepts(tree) == nbta.accepts(tree), str(tree)
+
+    def test_every_tree_gets_exactly_one_state(self):
+        det = determinize(has_a_automaton())
+        for tree in enumerate_trees(["a", "b"], 3):
+            state = det.state_of(tree)  # would raise if not total
+            assert state in det.states
+
+    def test_complement(self):
+        det = determinize(has_a_automaton())
+        complement = det.complement()
+        for tree in enumerate_trees(["a", "b"], 3):
+            assert complement.accepts(tree) != det.accepts(tree)
+
+    def test_roundtrip_to_nbta(self):
+        det = determinize(has_a_automaton())
+        back = det.to_nbta()
+        for tree in enumerate_trees(["a", "b"], 3):
+            assert back.accepts(tree) == det.accepts(tree)
+
+    @given(trees(max_size=8, max_arity=4))
+    @settings(max_examples=50, deadline=None)
+    def test_determinized_subset_semantics(self, tree):
+        """The subset state is exactly the NBTA's possible-states set."""
+        nbta = has_a_automaton()
+        det = determinize(nbta)
+        assert det.state_of(tree) == nbta.states_of(tree)
+
+
+class TestMarkedQueryEvaluation:
+    def test_two_pass_equals_brute_force(self):
+        from repro.logic.compile_trees import compile_tree_query, mark
+        from repro.logic.syntax import And, Exists, Label, Less, Not, Var
+
+        x, y = Var("x"), Var("y")
+        phi = And(Label(x, "a"), Not(Exists(y, And(Less(y, x), Label(y, "a")))))
+        automaton = compile_tree_query(phi, x, ["a", "b"])
+        for tree in enumerate_trees(["a", "b"], 4):
+            two_pass = evaluate_marked_query(automaton, tree, mark)
+            brute = brute_force_marked_query(automaton, tree, mark)
+            assert two_pass == brute, str(tree)

@@ -1,0 +1,85 @@
+"""Theorem 5.17: MSO unary queries → SQA^u (Figure 6 construction)."""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.logic.compile_trees import compile_tree_query
+from repro.logic.semantics import tree_query
+from repro.logic.syntax import And, Edge, Exists, Label, Less, Not, Var
+from repro.trees.tree import Tree
+from repro.unranked.behavior import evaluate_query_via_behavior
+from repro.unranked.mso_to_sqa import build_query_sqa, figure6_evaluate
+
+x, y = Var("x"), Var("y")
+
+QUERIES = [
+    ("label a", Label(x, "a")),
+    ("no earlier a-sibling", And(Label(x, "a"), Not(Exists(y, And(Less(y, x), Label(y, "a")))))),
+]
+
+# Inner nodes with ≥ 2 children (the Figure 6 setting; chains go through
+# the Lemma 3.10 string treatment in the paper).
+WIDE_TREES = [
+    Tree.parse("a"),
+    Tree.parse("b"),
+    Tree.parse("a(b, a)"),
+    Tree.parse("b(a, a, b)"),
+    Tree.parse("a(b(a, a), b)"),
+    Tree.parse("b(a(b, b), a(a, b, a))"),
+    Tree.parse("a(a(a, a), a(a, a), b)"),
+]
+
+
+@lru_cache(maxsize=None)
+def compiled(index: int):
+    name, phi = QUERIES[index]
+    return (
+        compile_tree_query(phi, x, ["a", "b"]),
+        build_query_sqa(phi, x, ["a", "b"]),
+        phi,
+    )
+
+
+class TestFigure6Algorithm:
+    @pytest.mark.parametrize("index", range(len(QUERIES)))
+    def test_matches_naive_semantics(self, index):
+        d, _sqa, phi = compiled(index)
+        for tree in WIDE_TREES:
+            assert figure6_evaluate(d, tree) == tree_query(tree, phi, x), str(tree)
+
+    def test_handles_any_arity(self):
+        """The algorithm itself (unlike the automaton) covers chains."""
+        d, _sqa, phi = compiled(0)
+        chain = Tree.parse("a(b(a))")
+        assert figure6_evaluate(d, chain) == tree_query(chain, phi, x)
+
+
+class TestTheorem517Automaton:
+    @pytest.mark.parametrize("index", range(len(QUERIES)))
+    def test_sqa_computes_the_query(self, index):
+        _d, sqa, phi = compiled(index)
+        for tree in WIDE_TREES:
+            assert sqa.evaluate(tree) == tree_query(tree, phi, x), (
+                QUERIES[index][0], str(tree)
+            )
+
+    @pytest.mark.parametrize("index", range(len(QUERIES)))
+    def test_behavior_evaluation_agrees(self, index):
+        """The construction is an honest SQA^u: Lemma 5.16 applies."""
+        _d, sqa, _phi = compiled(index)
+        for tree in WIDE_TREES:
+            assert evaluate_query_via_behavior(sqa, tree) == sqa.evaluate(tree)
+
+    def test_is_strong(self):
+        """At most one stay transition per node (Definition 5.12)."""
+        _d, sqa, _phi = compiled(0)
+        assert sqa.automaton.stay_limit == 1
+        assert sqa.automaton.stay_gsqa is not None
+
+    def test_run_returns_to_root(self):
+        _d, sqa, _phi = compiled(0)
+        trace = sqa.automaton.run(Tree.parse("a(b, a)"))
+        assert list(trace[0]) == [()]
+        assert list(trace[-1]) == [()]
+        assert trace[-1][()] in sqa.automaton.accepting

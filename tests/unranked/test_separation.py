@@ -1,0 +1,145 @@
+"""Proposition 5.10, executable: QA^u cannot compute the first-1 query.
+
+We pit a battery of natural QA^u attempts against the query and confirm
+the pigeonhole failure the paper proves, while the Example 5.14 SQA^u
+(one stay transition) answers the whole family correctly.
+"""
+
+import pytest
+
+from repro.strings.dfa import DFA
+from repro.strings.simple_regex import Branch, SimpleRegex, constant_sequence
+from repro.trees.tree import Tree
+from repro.unranked.examples import first_one_sqa
+from repro.unranked.separation import (
+    first_one_reference,
+    flat_family_tree,
+    impossibility_witness,
+    pigeonhole_pair,
+    root_state_sequence,
+)
+from repro.unranked.twoway import (
+    TwoWayUnrankedAutomaton,
+    UnrankedQueryAutomaton,
+    up_classifier_from_languages,
+)
+
+
+def _letterwise(pairs, allowed) -> DFA:
+    transitions = {}
+    for pair in pairs:
+        if pair in allowed:
+            transitions[(0, pair)] = 1
+            transitions[(1, pair)] = 1
+    return DFA.build({0, 1}, pairs, transitions, 0, {1})
+
+
+def naive_attempt_select_all_ones() -> UnrankedQueryAutomaton:
+    """Attempt 1: select every 1-leaf (over-selects)."""
+    labels = ("0", "1")
+    states = frozenset({"s", "u"})
+    pairs = frozenset(("u", label) for label in labels)
+    classifier = up_classifier_from_languages(
+        {"u": _letterwise(pairs, pairs)}, None, pairs
+    )
+    automaton = TwoWayUnrankedAutomaton(
+        states=states,
+        alphabet=frozenset(labels),
+        initial="s",
+        accepting=states,
+        up_pairs=pairs,
+        down_pairs=frozenset(("s", label) for label in labels),
+        delta_leaf={("s", label): "u" for label in labels},
+        delta_root={},
+        up_classifier=classifier,
+        down={("s", label): constant_sequence("s") for label in labels},
+    )
+    return UnrankedQueryAutomaton(automaton, frozenset({("u", "1")}))
+
+
+def positional_attempt(max_tracked: int = 3) -> UnrankedQueryAutomaton:
+    """Attempt 2: mark the first few positions with distinct down states.
+
+    The slender down language hands position-dependent states to the first
+    ``max_tracked`` children — a finite-memory attempt at "first 1" that
+    must fail beyond its window (the pigeonhole argument in miniature).
+    """
+    labels = ("0", "1")
+    tracked = [f"p{i}" for i in range(max_tracked)]
+    states = frozenset({"s", "rest", "u", *tracked})
+    pairs = frozenset(("u", label) for label in labels)
+    classifier = up_classifier_from_languages(
+        {"u": _letterwise(pairs, pairs)}, None, pairs
+    )
+    # Down: p0 p1 ... p_{k-1} rest*
+    down_language = SimpleRegex(
+        [Branch(tuple(tracked), ("rest",), ())]
+        + [Branch(tuple(tracked[: n]), (), ()) for n in range(1, max_tracked)]
+    )
+    # All leaf states (positional or not) turn around into the up state u;
+    # λ below reads the positional state at the instant before the turn.
+    delta_leaf = {("rest", label): "u" for label in labels}
+    for name in tracked:
+        for label in labels:
+            delta_leaf[(name, label)] = "u"
+    automaton = TwoWayUnrankedAutomaton(
+        states=states,
+        alphabet=frozenset(labels),
+        initial="s",
+        accepting=states,
+        up_pairs=pairs,
+        down_pairs=frozenset(
+            (q, label) for q in ["s", "rest", *tracked] for label in labels
+        ),
+        delta_leaf=delta_leaf,
+        delta_root={},
+        up_classifier=classifier,
+        down={("s", label): down_language for label in labels},
+    )
+    # Select the first tracked position when labeled 1 — correct only
+    # when the first 1 sits within the window and all before are 0s...
+    # (it is not even that: it selects p0 iff labeled 1).
+    return UnrankedQueryAutomaton(automaton, frozenset({("p0", "1")}))
+
+
+class TestImpossibility:
+    @pytest.mark.parametrize(
+        "attempt",
+        [naive_attempt_select_all_ones, positional_attempt],
+        ids=["select-all-ones", "positional-window"],
+    )
+    def test_every_attempt_fails_on_the_family(self, attempt):
+        qa = attempt()
+        witness = impossibility_witness(qa, width=8)
+        assert witness is not None
+        tree, produced, expected = witness
+        assert produced != expected
+        assert produced == qa.evaluate(tree)
+        assert expected == first_one_reference(tree)
+
+    def test_pigeonhole_pair_exists(self):
+        """The combinatorial heart: some t_j, t_j' share root sequences."""
+        qa = naive_attempt_select_all_ones()
+        pair = pigeonhole_pair(qa, width=4)
+        assert pair is not None
+        j, j2 = pair
+        assert j < j2
+        width = 4
+        assert root_state_sequence(
+            qa.automaton, flat_family_tree(j, width)
+        ) == root_state_sequence(qa.automaton, flat_family_tree(j2, width))
+
+    def test_sqa_succeeds_where_qa_fails(self):
+        """The separation: Example 5.14's SQA^u answers the family."""
+        sqa = first_one_sqa()
+        assert impossibility_witness.__doc__  # documented procedure
+        for width in range(1, 8):
+            for zeros in range(width + 1):
+                tree = flat_family_tree(zeros, width)
+                assert sqa.evaluate(tree) == first_one_reference(tree)
+
+    def test_reference_query(self):
+        tree = Tree.parse("r(0, 1, 1, 0(1), 1)")
+        # first 1-leaf among r's children: position 1 (later 1s have an
+        # earlier 1-sibling); 0(1)'s own first 1-leaf child: (3, 0).
+        assert first_one_reference(tree) == frozenset({(1,), (3, 0)})

@@ -1,0 +1,84 @@
+"""Section 5.3's rationale: unbounded stays exceed MSO (and need bounding)."""
+
+import itertools
+
+import pytest
+
+from repro.trees.tree import Tree
+from repro.unranked.turing import anbn_acceptor, anbn_reference
+from repro.unranked.twoway import StayLimitError
+
+
+def leaf_word_tree(word: str) -> Tree:
+    return Tree("r", [Tree(symbol) for symbol in word])
+
+
+class TestBeyondMSO:
+    def test_exhaustive_small_words(self):
+        acceptor = anbn_acceptor()
+        for n in range(1, 7):
+            for letters in itertools.product("ab", repeat=n):
+                word = "".join(letters)
+                assert acceptor.accepts(leaf_word_tree(word)) == anbn_reference(
+                    word
+                ), word
+
+    def test_large_balanced_word(self):
+        acceptor = anbn_acceptor()
+        assert acceptor.accepts(leaf_word_tree("a" * 12 + "b" * 12))
+        assert not acceptor.accepts(leaf_word_tree("a" * 12 + "b" * 11))
+
+    def test_interleavings_rejected(self):
+        acceptor = anbn_acceptor()
+        for word in ["abab", "ba", "aabab", "abba"]:
+            assert not acceptor.accepts(leaf_word_tree(word)), word
+
+    def test_stay_count_is_linear(self):
+        """aⁿbⁿ needs n stay transitions — no constant bound suffices."""
+        acceptor = anbn_acceptor()
+        for n in (2, 4, 6):
+            trace = acceptor.run(leaf_word_tree("a" * n + "b" * n))
+            stays = sum(
+                1
+                for before, after in zip(trace, trace[1:])
+                if set(before) == set(after)
+                and sum(1 for p in before if before[p] != after[p]) >= 2
+            )
+            assert stays == n
+
+    def test_strong_restriction_fires(self):
+        """Imposing Definition 5.12's bound on this automaton breaks it —
+        the formal reason SQA^u stay within MSO."""
+        from dataclasses import replace
+
+        strong = replace(anbn_acceptor(), stay_limit=1)
+        with pytest.raises(StayLimitError):
+            strong.accepts(leaf_word_tree("aabb"))
+
+    def test_not_recognizable_hence_beyond_sqa(self):
+        """Sanity for the separation's premise: the accepted leaf words are
+        non-regular (pumping on a^k b^k vs a^k b^j)."""
+        acceptor = anbn_acceptor()
+        assert acceptor.accepts(leaf_word_tree("aaabbb"))
+        assert not acceptor.accepts(leaf_word_tree("aaabb"))
+        assert not acceptor.accepts(leaf_word_tree("aabbb"))
+
+
+class TestRemark518:
+    """Remark 5.18: the runner supports any constant stay budget.
+
+    An automaton declared with ``stay_limit = k`` runs exactly the inputs
+    whose nodes need at most k stays and faults beyond — here the
+    crossing-off acceptor under a budget of 2.
+    """
+
+    def test_two_stay_budget(self):
+        from dataclasses import replace
+
+        acceptor = replace(anbn_acceptor(), stay_limit=2)
+        # a¹b¹ and a²b² need 1 and 2 stays respectively: fine.
+        assert acceptor.accepts(leaf_word_tree("ab"))
+        assert acceptor.accepts(leaf_word_tree("aabb"))
+        # a³b³ would need a third stay at the root.
+        with pytest.raises(StayLimitError):
+            acceptor.accepts(leaf_word_tree("aaabbb"))

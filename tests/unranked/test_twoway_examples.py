@@ -1,0 +1,106 @@
+"""Unranked two-way automata: Example 5.9 (QA^u) and Example 5.14 (SQA^u)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.dfa import AutomatonError, DFA
+from repro.trees.generators import (
+    evaluate_circuit,
+    random_unranked_circuit,
+)
+from repro.trees.tree import Tree
+from repro.unranked.examples import (
+    circuit_query_automaton,
+    circuit_reference_query,
+    first_one_sqa,
+)
+from repro.unranked.separation import first_one_reference, flat_family_tree
+from repro.unranked.twoway import (
+    StayLimitError,
+    UnrankedQueryAutomaton,
+    up_classifier_from_languages,
+)
+
+
+class TestExample59:
+    @given(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_selects_true_gates_and_leaves(self, depth, seed):
+        qa = circuit_query_automaton()
+        tree = random_unranked_circuit(depth, max_arity=4, seed_or_rng=seed)
+        assert qa.evaluate(tree) == circuit_reference_query(tree)
+
+    def test_wide_gate(self):
+        qa = circuit_query_automaton()
+        tree = Tree.parse("OR(0, 0, 0, 0, 1)")
+        assert qa.evaluate(tree) == frozenset({(), (4,)})
+        tree = Tree.parse("AND(1, 1, 1, 0)")
+        assert qa.evaluate(tree) == frozenset({(0,), (1,), (2,)})
+
+    def test_language_is_all_circuits(self):
+        """F = Q: the automaton accepts every circuit (it computes a query,
+        not a language — the §5.4 discrepancy)."""
+        qa = circuit_query_automaton()
+        for tree in [Tree.parse("AND(0, 1)"), Tree.parse("OR(0, 0)"), Tree.parse("1")]:
+            assert qa.accepts(tree)
+
+
+class TestExample514:
+    def test_flat_family(self):
+        sqa = first_one_sqa()
+        for width in range(1, 8):
+            for zeros in range(width + 1):
+                tree = flat_family_tree(zeros, width)
+                assert sqa.evaluate(tree) == first_one_reference(tree), str(tree)
+
+    def test_one_stay_per_node(self):
+        sqa = first_one_sqa()
+        assert sqa.automaton.stay_limit == 1
+        # The run on a flat tree makes exactly one stay at the root.
+        tree = flat_family_tree(1, 3)
+        trace = sqa.automaton.run(tree)
+        # Count configurations where children states change without the
+        # cut moving: the stay transition.
+        stays = 0
+        for before, after in zip(trace, trace[1:]):
+            if set(before) != set(after):
+                continue  # the cut moved: a down or up transition
+            changed = sum(1 for path in before if before[path] != after[path])
+            if changed >= 2:
+                stays += 1  # only a stay rewrites several nodes at once
+        assert stays == 1
+
+    def test_uniform_depth_two(self):
+        sqa = first_one_sqa()
+        tree = Tree.parse("0(0(1, 1), 1(0, 1))")
+        assert sqa.evaluate(tree) == first_one_reference(tree)
+
+    def test_selection_is_per_parent(self):
+        sqa = first_one_sqa()
+        tree = Tree.parse("0(1(1, 1), 0(0, 1))")
+        # Each parent's first 1-leaf child: (0,0) and (1,1).
+        assert sqa.evaluate(tree) == frozenset({(0, 0), (1, 1)})
+
+
+class TestModelValidation:
+    def test_disjoint_up_languages_enforced(self):
+        pairs = frozenset({("q", "a")})
+        everything = DFA.build(
+            {0}, pairs, {(0, ("q", "a")): 0}, 0, {0}
+        )
+        with pytest.raises(AutomatonError):
+            up_classifier_from_languages(
+                {"q1": everything, "q2": everything}, None, pairs
+            )
+
+    def test_stay_limit_enforced(self):
+        """Exceeding the declared stay budget raises (Definition 5.12)."""
+        sqa = first_one_sqa()
+        # Force a 0-limit version of the same automaton: its stay would
+        # violate immediately.
+        from dataclasses import replace
+
+        strict = replace(sqa.automaton, stay_limit=0)
+        with pytest.raises(StayLimitError):
+            strict.run(flat_family_tree(0, 2))
