@@ -3,13 +3,16 @@
 Workload: random total DFA pairs (forward/backward) and random words.
 Measured: (a) construction cost vs DFA size — the γ-set machinery is the
 exponential part (Prop 6.2's bound); (b) transduction cost vs word length
-against the trivial two-pass oracle.
+against the trivial two-pass oracle, both by direct simulation and
+through the cached :mod:`repro.perf` behavior tables.
 """
 
+import os
 import random
 
 import pytest
 
+from repro.perf import fast_transduce
 from repro.strings.hopcroft_ullman import (
     hopcroft_ullman_gsqa,
     reference_pairs,
@@ -17,6 +20,10 @@ from repro.strings.hopcroft_ullman import (
 )
 
 from tests.conftest import random_total_dfa
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+STATE_COUNTS = [2] if SMOKE else [2, 3, 4]
+LENGTHS = [8, 16] if SMOKE else [50, 200, 800]
 
 
 def _pair(states: int, seed: int):
@@ -27,26 +34,44 @@ def _pair(states: int, seed: int):
     )
 
 
-@pytest.mark.parametrize("states", [2, 3, 4])
+@pytest.mark.parametrize("states", STATE_COUNTS)
 def test_construction_cost(benchmark, states):
     forward, backward = _pair(states, states)
+    benchmark.extra_info["max_dfa_states"] = states
     combined = benchmark(hopcroft_ullman_gsqa, forward, backward)
+    benchmark.extra_info["combined_states"] = len(combined.automaton.states)
     # Report the state blowup alongside the timing.
     assert len(combined.automaton.states) >= len(forward.states)
 
 
-@pytest.mark.parametrize("states", [2, 3, 4])
+@pytest.mark.parametrize("states", STATE_COUNTS)
 def test_mirrored_construction_cost(benchmark, states):
     forward, backward = _pair(states, states)
+    benchmark.extra_info["max_dfa_states"] = states
     combined = benchmark(reversed_hopcroft_ullman_gsqa, forward, backward)
+    benchmark.extra_info["combined_states"] = len(combined.automaton.states)
     assert len(combined.automaton.states) >= len(backward.states)
 
 
-@pytest.mark.parametrize("length", [50, 200, 800])
+@pytest.mark.parametrize("length", LENGTHS)
 def test_transduction_vs_two_pass(benchmark, length):
     forward, backward = _pair(3, 7)
     combined = hopcroft_ullman_gsqa(forward, backward)
     rng = random.Random(length)
     word = [rng.choice("ab") for _ in range(length)]
+    benchmark.extra_info["word_length"] = length
+    benchmark.extra_info["combined_states"] = len(combined.automaton.states)
     outputs = benchmark(combined.transduce, word)
+    assert outputs == reference_pairs(forward, backward, word)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_fast_transduction(benchmark, length):
+    forward, backward = _pair(3, 7)
+    combined = hopcroft_ullman_gsqa(forward, backward)
+    rng = random.Random(length)
+    word = [rng.choice("ab") for _ in range(length)]
+    benchmark.extra_info["word_length"] = length
+    benchmark.extra_info["combined_states"] = len(combined.automaton.states)
+    outputs = benchmark(fast_transduce, combined, word)
     assert outputs == reference_pairs(forward, backward, word)

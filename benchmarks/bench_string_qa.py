@@ -1,19 +1,34 @@
 """Experiment E3.4/E3.6: string query automata and GSQAs.
 
-Workload: random bit-strings of growing length.  Measured: the Example
-3.4 QA^string under (a) direct two-way simulation and (b) the linear-time
-Theorem 3.9 behavior evaluation — both linear, with (b)'s advantage
-growing with the number of head reversals.
+Workload: random bit-strings of growing length.  Measured, on the Example
+3.4 machine and on a multi-sweep machine making ``PASSES`` full head
+reversals:
+
+(a) direct two-way simulation (cost grows with the number of sweeps),
+(b) the per-call Theorem 3.9 behavior evaluation, and
+(c) the :mod:`repro.perf` fast path — the same two passes, but over
+    interned behavior tables shared across positions and calls.
+
+The multi-sweep naive/fast pair is the headline contrast: simulation does
+``(2·PASSES+1)·n`` head moves while the fast path stays two passes.
 """
 
+import os
 import random
 
 import pytest
 
+from repro.perf import fast_evaluate, fast_transduce
 from repro.strings.behavior import evaluate_query_via_behavior
-from repro.strings.examples import odd_ones_gsqa, odd_ones_query_automaton
+from repro.strings.examples import (
+    multi_sweep_query_automaton,
+    odd_ones_gsqa,
+    odd_ones_query_automaton,
+)
 
-LENGTHS = [100, 400, 1600]
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+LENGTHS = [8, 16] if SMOKE else [100, 400, 1600]
+PASSES = 2 if SMOKE else 8
 
 
 def _word(length: int) -> list[str]:
@@ -21,10 +36,17 @@ def _word(length: int) -> list[str]:
     return [rng.choice("01") for _ in range(length)]
 
 
+def _note_sizes(benchmark, automaton, length: int) -> None:
+    benchmark.extra_info["word_length"] = length
+    benchmark.extra_info["automaton_states"] = len(automaton.states)
+    benchmark.extra_info["automaton_size"] = automaton.size
+
+
 @pytest.mark.parametrize("length", LENGTHS)
 def test_direct_simulation(benchmark, length):
     qa = odd_ones_query_automaton()
     word = _word(length)
+    _note_sizes(benchmark, qa.automaton, length)
     selected = benchmark(qa.evaluate, word)
     assert all(word[i - 1] == "1" for i in selected)
 
@@ -33,7 +55,37 @@ def test_direct_simulation(benchmark, length):
 def test_behavior_evaluation(benchmark, length):
     qa = odd_ones_query_automaton()
     word = _word(length)
+    _note_sizes(benchmark, qa.automaton, length)
     selected = benchmark(evaluate_query_via_behavior, qa, word)
+    assert selected == qa.evaluate(word)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_fast_evaluation(benchmark, length):
+    qa = odd_ones_query_automaton()
+    word = _word(length)
+    _note_sizes(benchmark, qa.automaton, length)
+    selected = benchmark(fast_evaluate, qa, word)
+    assert selected == qa.evaluate(word)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_multi_sweep_direct_simulation(benchmark, length):
+    qa = multi_sweep_query_automaton(PASSES)
+    word = _word(length)
+    _note_sizes(benchmark, qa.automaton, length)
+    benchmark.extra_info["passes"] = PASSES
+    selected = benchmark(qa.evaluate, word)
+    assert all(word[i - 1] == "1" for i in selected)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_multi_sweep_fast_evaluation(benchmark, length):
+    qa = multi_sweep_query_automaton(PASSES)
+    word = _word(length)
+    _note_sizes(benchmark, qa.automaton, length)
+    benchmark.extra_info["passes"] = PASSES
+    selected = benchmark(fast_evaluate, qa, word)
     assert selected == qa.evaluate(word)
 
 
@@ -41,5 +93,15 @@ def test_behavior_evaluation(benchmark, length):
 def test_gsqa_transduction(benchmark, length):
     gsqa = odd_ones_gsqa()
     word = _word(length)
+    _note_sizes(benchmark, gsqa.automaton, length)
     outputs = benchmark(gsqa.transduce, word)
     assert len(outputs) == length
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_gsqa_fast_transduction(benchmark, length):
+    gsqa = odd_ones_gsqa()
+    word = _word(length)
+    _note_sizes(benchmark, gsqa.automaton, length)
+    outputs = benchmark(fast_transduce, gsqa, word)
+    assert outputs == gsqa.transduce(word)

@@ -1,16 +1,30 @@
 """Experiment F1–F4: the Figures 1–4 pipeline (XML → tree → DTD check).
 
 Workload: bibliography documents of growing size (the Figure 1 shape).
-Measured: parse+abstract time and tree-automaton validation time; both
-should scale linearly in document size.
+Measured: parse+abstract time, tree-automaton validation time, and the
+query stage under two regimes:
+
+* *uncached* — recompile the pattern and re-run the two-pass algorithm
+  from scratch on every call (the pre-cache behavior of
+  ``Document.select``);
+* *cached fast* — the :mod:`repro.perf` route: the pattern compiles once
+  per (pattern, alphabet), and per-node sweeps are memoized by hashed
+  subtree type, which bibliography trees (many identical ``book``
+  subtrees) reward heavily.  ``batch_select`` amortizes across documents.
 """
+
+import os
 
 import pytest
 
+from repro.core.patterns import compile_pattern
+from repro.core.pipeline import Document, batch_select
 from repro.trees.dtd import BIBLIOGRAPHY_DTD, parse_dtd
 from repro.trees.xml import make_bibliography, parse_to_tree
+from repro.unranked.dbta import evaluate_marked_query
 
-SIZES = [10, 40, 160]
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SIZES = [2, 4] if SMOKE else [10, 40, 160]
 
 
 @pytest.fixture(scope="module")
@@ -21,6 +35,8 @@ def dtd():
 @pytest.mark.parametrize("entries", SIZES)
 def test_parse_and_abstract(benchmark, entries):
     text = make_bibliography(entries, entries)
+    benchmark.extra_info["entries"] = entries
+    benchmark.extra_info["document_chars"] = len(text)
     tree = benchmark(parse_to_tree, text)
     assert tree.label == "bibliography"
     assert tree.arity == 2 * entries
@@ -30,19 +46,66 @@ def test_parse_and_abstract(benchmark, entries):
 def test_validate_against_figure2_dtd(benchmark, dtd, entries):
     tree = parse_to_tree(make_bibliography(entries, entries))
     automaton = dtd.to_tree_automaton()
+    benchmark.extra_info["entries"] = entries
+    benchmark.extra_info["tree_size"] = tree.size
     result = benchmark(automaton.accepts, tree)
     assert result
 
 
+@pytest.mark.parametrize("entries", SIZES)
+def test_query_uncached_per_call(benchmark, entries):
+    """Pre-cache regime: recompile + two-pass from scratch, every call."""
+    document = Document.from_text(make_bibliography(entries, entries))
+    expected = len(document.select("//author"))
+
+    def uncached():
+        query = compile_pattern("//author", document.alphabet)
+        return evaluate_marked_query(
+            query.compiled(), document.tree, lambda label, bit: (label, bit)
+        )
+
+    benchmark.extra_info["entries"] = entries
+    benchmark.extra_info["tree_size"] = document.tree.size
+    selected = benchmark(uncached)
+    assert len(selected) == expected
+
+
+@pytest.mark.parametrize("entries", SIZES)
+def test_query_cached_fast(benchmark, entries):
+    """The cached route ``Document.select`` now takes."""
+    document = Document.from_text(make_bibliography(entries, entries))
+    benchmark.extra_info["entries"] = entries
+    benchmark.extra_info["tree_size"] = document.tree.size
+    selected = benchmark(document.select, "//author")
+    query = compile_pattern("//author", document.alphabet)
+    assert selected == sorted(query.evaluate(document.tree))
+
+
 def test_full_pipeline_with_query(benchmark, dtd):
     """Parse, validate, and select all authors (the intro's use case)."""
-    from repro.core.pipeline import Document
-
-    text = make_bibliography(20, 20)
+    entries = 4 if SMOKE else 20
+    text = make_bibliography(entries, entries)
 
     def pipeline():
         document = Document.from_text(text, dtd)
         return document.select("//author")
 
+    benchmark.extra_info["entries"] = entries
     authors = benchmark(pipeline)
-    assert len(authors) == 20 * 2 + 20
+    assert len(authors) == entries * 2 + entries
+
+
+def test_batch_select_many_documents(benchmark, dtd):
+    """One cached engine over a corpus of similar documents."""
+    count = 3 if SMOKE else 25
+    entries = 2 if SMOKE else 8
+    documents = [
+        Document.from_text(make_bibliography(entries, entries + offset), dtd)
+        for offset in range(count)
+    ]
+    benchmark.extra_info["documents"] = count
+    benchmark.extra_info["entries_each"] = entries
+    results = benchmark(batch_select, documents, "//author")
+    assert len(results) == count
+    assert all(result == document.select("//author")
+               for result, document in zip(results, documents))

@@ -5,12 +5,59 @@ index in ``DESIGN.md`` (figures, worked examples, and complexity claims of
 the paper).  ``pytest benchmarks/ --benchmark-only`` runs them all;
 absolute numbers are machine-dependent, but the *shapes* (who wins, how
 costs grow) are the reproduction targets recorded in ``EXPERIMENTS.md``.
+
+Machine-readable results: after a measuring run, every benchmark module
+``bench_<name>.py`` gets a ``BENCH_<name>.json`` at the repository root —
+one row per benchmark with the timing stats plus each row's
+``extra_info`` (input sizes, automaton sizes).  Runs with
+``--benchmark-disable`` (e.g. CI smoke) produce no files.
+
+Setting ``REPRO_BENCH_SMOKE=1`` makes every module shrink its workloads
+to trivial sizes — used by CI to exercise the benchmark code paths
+without paying measurement time.
 """
 
 from __future__ import annotations
 
-import pytest
+import json
+from pathlib import Path
 
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "scaling: growth-curve measurements")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write ``BENCH_<module>.json`` files for every measured benchmark."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    benchmarks = getattr(bench_session, "benchmarks", None)
+    if not benchmarks:
+        return
+    by_module: dict[str, list[dict]] = {}
+    for bench in benchmarks:
+        try:
+            row = bench.as_dict(include_data=False)
+        except Exception:  # pragma: no cover - stats missing (interrupted run)
+            continue
+        module = Path(bench.fullname.split("::", 1)[0]).stem
+        name = module[len("bench_"):] if module.startswith("bench_") else module
+        by_module.setdefault(name, []).append(
+            {
+                "name": row.get("name"),
+                "group": row.get("group"),
+                "params": row.get("params"),
+                "extra_info": row.get("extra_info"),
+                "stats": {
+                    key: row.get("stats", {}).get(key)
+                    for key in ("min", "max", "mean", "stddev", "median", "rounds")
+                },
+            }
+        )
+    root = Path(str(session.config.rootpath))
+    for name, rows in sorted(by_module.items()):
+        payload = {"module": f"benchmarks/bench_{name}.py", "benchmarks": rows}
+        (root / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=repr) + "\n"
+        )

@@ -7,7 +7,9 @@ DTD, run unary queries over it, and extract the matched subdocuments.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..trees.dtd import DTD
 from ..trees.tree import Path, Tree
@@ -18,6 +20,18 @@ from .query import Query
 
 class ValidationError(ValueError):
     """The document does not conform to the DTD."""
+
+
+@lru_cache(maxsize=256)
+def cached_pattern(pattern: str, alphabet: tuple) -> Query:
+    """``compile_pattern`` memoized on (pattern, alphabet).
+
+    The returned query object is shared, so its compiled marked-alphabet
+    automaton — and the :mod:`repro.perf` engine keyed on it — survive
+    across :meth:`Document.select` calls and across documents with the
+    same label alphabet.
+    """
+    return compile_pattern(pattern, alphabet)
 
 
 @dataclass
@@ -48,10 +62,17 @@ class Document:
         return tuple(sorted(self.tree.labels()))
 
     def select(self, query: Query | str) -> list[Path]:
-        """Run a query (object or pattern string); document-ordered paths."""
+        """Run a query (object or pattern string); document-ordered paths.
+
+        Pattern strings are compiled once per (pattern, alphabet) pair and
+        evaluated through the cached :mod:`repro.perf` engines, so
+        repeated selections over similar documents stay cheap.
+        """
         if isinstance(query, str):
-            query = compile_pattern(query, self.alphabet)
-        return sorted(query.evaluate(self.tree))
+            query = cached_pattern(query, self.alphabet)
+        from ..perf.batch import evaluate_one
+
+        return sorted(evaluate_one(query, self.tree))
 
     def matches(self, query: Query | str) -> list[Tree]:
         """The matched subtrees, in document order."""
@@ -73,3 +94,25 @@ def run_pattern(
     """One-shot convenience: parse, validate, query, return subtrees."""
     document = Document.from_text(text, dtd)
     return document.matches(pattern)
+
+
+def batch_select(
+    documents: Sequence[Document], query: Query | str
+) -> list[list[Path]]:
+    """Run one query over many documents via :func:`repro.perf.batch_evaluate`.
+
+    Compiles a pattern string once (against the union of the documents'
+    alphabets) and evaluates every tree through a single cached engine, so
+    automaton and table construction is amortized over the whole batch.
+    Returns one document-ordered path list per document.
+    """
+    documents = list(documents)
+    if isinstance(query, str):
+        labels: set = set()
+        for document in documents:
+            labels.update(document.alphabet)
+        query = cached_pattern(query, tuple(sorted(labels)))
+    from ..perf.batch import batch_evaluate
+
+    results = batch_evaluate(query, [document.tree for document in documents])
+    return [sorted(paths) for paths in results]

@@ -44,7 +44,10 @@ class MSOQuery(Query):
     * ``"naive"`` — direct model checking (exponential; the oracle);
     * ``"automaton"`` — compile once to a marked-alphabet deterministic
       bottom-up automaton, evaluate with the two-pass algorithm (linear
-      per tree; the Figure 5/6 content).
+      per tree; the Figure 5/6 content);
+    * ``"fast"`` — like ``"automaton"``, but through the cached
+      :mod:`repro.perf` engine: per-node sweeps are memoized by hashed
+      subtree type and shared across calls.
     """
 
     formula: Formula
@@ -67,6 +70,10 @@ class MSOQuery(Query):
         """Selected node paths of the tree."""
         if self.engine == "naive":
             return tree_query(tree, self.formula, self.var)
+        if self.engine == "fast":
+            from ..perf.trees import fast_evaluate_marked
+
+            return fast_evaluate_marked(self.compiled(), tree)
         return evaluate_marked_query(
             self.compiled(), tree, lambda label, bit: (label, bit)
         )
@@ -91,7 +98,13 @@ class RankedAutomatonQuery(Query):
 
 @dataclass
 class UnrankedAutomatonQuery(Query):
-    """A query computed by a QA^u or SQA^u (Definitions 5.8, 5.13)."""
+    """A query computed by a QA^u or SQA^u (Definitions 5.8, 5.13).
+
+    ``engine``: ``"simulate"`` runs the cut semantics, ``"behavior"`` the
+    Lemma 5.16 per-call evaluation, ``"fast"`` the cached
+    :mod:`repro.perf` engine (behaviors memoized per subtree type, shared
+    across calls).
+    """
 
     automaton: UnrankedQueryAutomaton
     engine: str = "behavior"
@@ -99,16 +112,29 @@ class UnrankedAutomatonQuery(Query):
     def evaluate(self, tree: Tree) -> frozenset[Path]:
         if self.engine == "simulate":
             return self.automaton.evaluate(tree)
+        if self.engine == "fast":
+            from ..perf.trees import fast_evaluate_unranked
+
+            return fast_evaluate_unranked(self.automaton, tree)
         return unranked_behavior_eval(self.automaton, tree)
 
 
 @dataclass
 class CompiledQuery(Query):
-    """A query given directly by a marked-alphabet DBTA^u."""
+    """A query given directly by a marked-alphabet DBTA^u.
+
+    ``engine``: ``"two_pass"`` re-runs the two-pass algorithm per call;
+    ``"fast"`` routes through the cached :mod:`repro.perf` engine.
+    """
 
     automaton: DeterministicUnrankedAutomaton
+    engine: str = "two_pass"
 
     def evaluate(self, tree: Tree) -> frozenset[Path]:
+        if self.engine == "fast":
+            from ..perf.trees import fast_evaluate_marked
+
+            return fast_evaluate_marked(self.automaton, tree)
         return evaluate_marked_query(
             self.automaton, tree, lambda label, bit: (label, bit)
         )

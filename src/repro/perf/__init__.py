@@ -1,0 +1,54 @@
+"""Behavior-composition fast paths for query evaluation.
+
+This package makes query evaluation single-sweep and cached end-to-end:
+
+* :class:`~repro.perf.table.BehaviorTable` — interned, memoized behavior
+  functions of a 2DFA with monoid-style composition (step, doubling and
+  prefix-product tables), shared across calls;
+* :func:`fast_evaluate` / :func:`fast_transduce` — linear two-pass
+  evaluation of string query automata and GSQAs (Theorem 3.9 / Lemma
+  3.10, executable);
+* :func:`fast_evaluate_unranked` / :func:`fast_evaluate_marked` — tree
+  evaluation with hashed subtree types, so identical subtrees and sibling
+  words are summarized once (Lemma 5.16 / Figure 5);
+* :func:`batch_evaluate` — one engine, many inputs.
+
+The naive simulators in :mod:`repro.strings`, :mod:`repro.ranked` and
+:mod:`repro.unranked` remain the reference oracles; the differential
+tests in ``tests/perf/`` enforce agreement.
+"""
+
+from .batch import batch_evaluate, evaluate_one
+from .strings import (
+    StringQueryEngine,
+    TransductionEngine,
+    fast_accepts,
+    fast_evaluate,
+    fast_final_state,
+    fast_transduce,
+)
+from .table import BehaviorTable
+from .trees import (
+    MarkedQueryEngine,
+    UnrankedQueryEngine,
+    fast_evaluate_marked,
+    fast_evaluate_unranked,
+    marked_engine,
+)
+
+__all__ = [
+    "BehaviorTable",
+    "MarkedQueryEngine",
+    "StringQueryEngine",
+    "TransductionEngine",
+    "UnrankedQueryEngine",
+    "batch_evaluate",
+    "evaluate_one",
+    "fast_accepts",
+    "fast_evaluate",
+    "fast_evaluate_marked",
+    "fast_evaluate_unranked",
+    "fast_final_state",
+    "fast_transduce",
+    "marked_engine",
+]

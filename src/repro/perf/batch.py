@@ -1,0 +1,73 @@
+"""Batched query evaluation: one engine, many inputs.
+
+``batch_evaluate`` dispatches any query-like object in this codebase to
+its fast cached engine and maps it over an input sequence, so table and
+type-index construction is amortized across the whole batch (and — since
+the engines live in identity-keyed registries — across batches too).
+
+Accepted query objects:
+
+* :class:`~repro.strings.twoway.StringQueryAutomaton` over words,
+* :class:`~repro.strings.twoway.GeneralizedStringQA` over words
+  (results are output tuples rather than position sets),
+* :class:`~repro.unranked.twoway.UnrankedQueryAutomaton` over trees,
+* compiled marked-alphabet DBTA^u
+  (:class:`~repro.unranked.dbta.DeterministicUnrankedAutomaton`) over trees,
+* any :class:`~repro.core.query.Query` — ``MSOQuery`` (compiled once,
+  then the cached marked engine), ``UnrankedAutomatonQuery``,
+  ``CompiledQuery``; other ``Query`` subclasses fall back to their own
+  ``evaluate``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..strings.twoway import GeneralizedStringQA, StringQueryAutomaton
+from ..unranked.dbta import DeterministicUnrankedAutomaton
+from ..unranked.twoway import UnrankedQueryAutomaton
+from .strings import _QUERY_ENGINES, _TRANSDUCERS
+from .trees import _MARKED_ENGINES, _UNRANKED_ENGINES
+
+
+def _engine_call(query):
+    """The per-input evaluation callable for a query-like object."""
+    if isinstance(query, StringQueryAutomaton):
+        return _QUERY_ENGINES.get(query).evaluate
+    if isinstance(query, GeneralizedStringQA):
+        return _TRANSDUCERS.get(query).transduce
+    if isinstance(query, UnrankedQueryAutomaton):
+        return _UNRANKED_ENGINES.get(query).evaluate
+    if isinstance(query, DeterministicUnrankedAutomaton):
+        return _MARKED_ENGINES.get(query).evaluate
+
+    # Core Query objects: imported lazily (core.query does not depend on
+    # this package at import time).
+    from ..core.query import CompiledQuery, MSOQuery, Query, UnrankedAutomatonQuery
+
+    if isinstance(query, MSOQuery):
+        if query.engine == "naive":
+            return query.evaluate
+        return _MARKED_ENGINES.get(query.compiled()).evaluate
+    if isinstance(query, CompiledQuery):
+        return _MARKED_ENGINES.get(query.automaton).evaluate
+    if isinstance(query, UnrankedAutomatonQuery):
+        return _UNRANKED_ENGINES.get(query.automaton).evaluate
+    if isinstance(query, Query):
+        return query.evaluate
+    raise TypeError(f"cannot batch-evaluate {type(query).__name__} objects")
+
+
+def batch_evaluate(query, inputs: Iterable) -> list:
+    """Evaluate ``query`` on every input, amortizing engine construction.
+
+    Returns one result per input, in order: position sets for string QAs,
+    output tuples for GSQAs, path sets for tree queries.
+    """
+    call = _engine_call(query)
+    return [call(item) for item in inputs]
+
+
+def evaluate_one(query, item):
+    """``batch_evaluate`` for a single input (shares the same engines)."""
+    return _engine_call(query)(item)

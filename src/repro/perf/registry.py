@@ -1,0 +1,51 @@
+"""A tiny LRU registry mapping live objects to lazily-built engines.
+
+Engines (behavior tables, tree-type indexes, …) are keyed by object
+*identity* — the automata they serve contain dicts and are therefore not
+hashable — with a weak finalizer evicting entries when the keyed object is
+collected, and an LRU bound as a backstop for long-running processes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Generic, TypeVar
+import weakref
+
+Engine = TypeVar("Engine")
+
+#: Default number of engines retained per registry.
+DEFAULT_CAPACITY = 128
+
+
+class EngineRegistry(Generic[Engine]):
+    """``get(obj)`` returns the engine built for ``obj``, caching by identity."""
+
+    def __init__(
+        self, factory: Callable[[object], Engine], capacity: int = DEFAULT_CAPACITY
+    ) -> None:
+        self._factory = factory
+        self._capacity = capacity
+        self._entries: OrderedDict[int, tuple[Callable[[], object], Engine]] = (
+            OrderedDict()
+        )
+
+    def get(self, obj: object) -> Engine:
+        key = id(obj)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0]() is obj:
+            self._entries.move_to_end(key)
+            return entry[1]
+        engine = self._factory(obj)
+        try:
+            ref: Callable[[], object] = weakref.ref(obj)
+            weakref.finalize(obj, self._entries.pop, key, None)
+        except TypeError:  # non-weakrefable: keep a strong reference
+            ref = lambda: obj  # noqa: E731
+        self._entries[key] = (ref, engine)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+        return engine
+
+    def __len__(self) -> int:
+        return len(self._entries)

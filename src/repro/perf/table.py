@@ -1,0 +1,357 @@
+"""Memoized behavior-function algebra of a two-way string automaton.
+
+The Theorem 3.9 evaluator in :mod:`repro.strings.behavior` recomputes the
+prefix behavior functions ``f⁻_0 .. f⁻_{n+1}`` — and every orbit inside
+them — from scratch on every call.  This module turns that machinery into
+a *table*: behavior functions, ``Assumed`` sets, and the per-position
+recurrences are interned once per automaton and reused across positions,
+words, and calls.
+
+The key observation is that every recurrence of Theorem 3.9 is *local*:
+
+* ``f⁻_i``       depends only on ``(f⁻_{i-1}, cell_{i-1}, cell_i)``;
+* ``first_i``    depends only on ``(f⁻_{i-1}, first_{i-1}, cell_{i-1})``;
+* ``Assumed_i``  depends only on ``(Assumed_{i+1}, cell_{i+1}, f⁻_i, first_i)``.
+
+Interning behavior functions and assumed sets as small integers makes each
+recurrence a single dictionary hit once warm, so evaluating a query
+automaton costs a handful of dict lookups per position — independent of
+how many sweeps the two-way head makes — and repeated substrings (across
+one word or across a whole batch of words) share their table entries.
+The per-symbol actions form a monoid under composition;
+:meth:`BehaviorTable.power_step` exposes binary-lifting (doubling) tables
+over it for jumping across ``σ^k`` runs, and
+:meth:`BehaviorTable.prefix_products` the corresponding prefix-product
+view of a word.
+
+Tables are obtained through :meth:`BehaviorTable.for_automaton`, an LRU
+registry keyed by automaton identity, so independent call sites (query
+evaluation, GSQA transduction, the unranked stay transitions) share one
+table per machine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from collections import OrderedDict
+import weakref
+
+from ..strings.twoway import (
+    LEFT_MARKER,
+    NonTerminatingRunError,
+    RIGHT_MARKER,
+    TwoWayDFA,
+)
+
+State = Hashable
+Symbol = Hashable
+Cell = Hashable
+
+#: Maximum number of automata whose tables are retained by the registry.
+REGISTRY_CAPACITY = 128
+
+
+class BehaviorTable:
+    """All Theorem 3.9 recurrences of one :class:`TwoWayDFA`, memoized.
+
+    Behavior functions and assumed sets are interned to integer ids; the
+    three recurrences become id-to-id maps filled lazily while sweeping
+    words.  One instance may serve any number of words and callers.
+    """
+
+    def __init__(self, automaton: TwoWayDFA) -> None:
+        self.automaton = automaton
+        self._functions: list[dict[State, State]] = []
+        self._function_ids: dict[tuple, int] = {}
+        self._sets: list[frozenset[State]] = []
+        self._set_ids: dict[frozenset, int] = {}
+        # The three recurrences (see the module docstring).
+        self._steps: dict[tuple[int, Cell, Cell], int] = {}
+        self._first_steps: dict[tuple[int, State | None, Cell], State | None] = {}
+        self._assumed_steps: dict[tuple[int, Cell, int, State | None], int] = {}
+        # Auxiliary caches.
+        self._orbits: dict[tuple[int, State], tuple[State, ...]] = {}
+        self._halting: dict[tuple[int, Cell], tuple[State, ...]] = {}
+        # Doubling tables: (cell, level) -> {function id: function id after
+        # reading cell 2**level more times}.
+        self._powers: dict[tuple[Cell, int], dict[int, int]] = {}
+        self.empty_set_id = self._intern_set(frozenset())
+        self.base_id = self._intern_function(
+            {
+                state: state
+                for state in automaton.states
+                if automaton.in_right(state, LEFT_MARKER)
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+
+    _registry: OrderedDict[int, "BehaviorTable"] = OrderedDict()
+
+    @classmethod
+    def for_automaton(cls, automaton: TwoWayDFA) -> "BehaviorTable":
+        """The shared (LRU-cached) table of this automaton."""
+        key = id(automaton)
+        table = cls._registry.get(key)
+        if table is not None and table.automaton is automaton:
+            cls._registry.move_to_end(key)
+            return table
+        table = cls(automaton)
+        cls._registry[key] = table
+        try:
+            weakref.finalize(automaton, cls._registry.pop, key, None)
+        except TypeError:  # pragma: no cover - non-weakrefable automaton
+            pass
+        while len(cls._registry) > REGISTRY_CAPACITY:
+            cls._registry.popitem(last=False)
+        return table
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+
+    def _intern_function(self, function: dict[State, State]) -> int:
+        key = tuple(sorted(function.items(), key=repr))
+        found = self._function_ids.get(key)
+        if found is not None:
+            return found
+        index = len(self._functions)
+        self._functions.append(function)
+        self._function_ids[key] = index
+        return index
+
+    def _intern_set(self, states: frozenset) -> int:
+        found = self._set_ids.get(states)
+        if found is not None:
+            return found
+        index = len(self._sets)
+        self._sets.append(states)
+        self._set_ids[states] = index
+        return index
+
+    def function(self, function_id: int) -> dict[State, State]:
+        """The behavior function interned under ``function_id``."""
+        return self._functions[function_id]
+
+    def assumed_set(self, set_id: int) -> frozenset:
+        """The assumed set interned under ``set_id``."""
+        return self._sets[set_id]
+
+    # ------------------------------------------------------------------
+    # Orbits
+    # ------------------------------------------------------------------
+
+    def orbit(self, function_id: int, state: State) -> tuple[State, ...]:
+        """``States(f, s)`` under the interned function (cached)."""
+        key = (function_id, state)
+        found = self._orbits.get(key)
+        if found is not None:
+            return found
+        function = self._functions[function_id]
+        trail = [state]
+        seen = {state}
+        current = state
+        while current in function:
+            nxt = function[current]
+            if nxt == current:
+                break
+            if nxt in seen:
+                raise NonTerminatingRunError(
+                    f"behavior function cycles on state {state!r}"
+                )
+            trail.append(nxt)
+            seen.add(nxt)
+            current = nxt
+        result = tuple(trail)
+        self._orbits[key] = result
+        return result
+
+    def settle(self, function_id: int, state: State, cell: Cell) -> State | None:
+        """``right(f, s, σ)``: the first orbit state with ``(s', σ) ∈ R``.
+
+        ``None`` when the head instead halts or the excursion never
+        returns.  (A fixed point of ``f⁻`` is *usually* a right-mover, but
+        an excursion may return in its own start state — that must not be
+        mistaken for one, so the membership test is explicit.)
+        """
+        in_right = self.automaton.in_right
+        for candidate in self.orbit(function_id, state):
+            if in_right(candidate, cell):
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # The three recurrences
+    # ------------------------------------------------------------------
+
+    def step(self, function_id: int, previous_cell: Cell, cell: Cell) -> int:
+        """``f⁻_i`` from ``f⁻_{i-1}`` (items 1–2 of Theorem 3.9)."""
+        key = (function_id, previous_cell, cell)
+        found = self._steps.get(key)
+        if found is not None:
+            return found
+        automaton = self.automaton
+        current: dict[State, State] = {}
+        for state in automaton.states:
+            if automaton.in_right(state, cell):
+                current[state] = state
+                continue
+            if not automaton.in_left(state, cell):
+                continue
+            entered = automaton.left_moves[(state, cell)]
+            returner = self.settle(function_id, entered, previous_cell)
+            if returner is None:
+                continue
+            current[state] = automaton.right_moves[(returner, previous_cell)]
+        result = self._intern_function(current)
+        self._steps[key] = result
+        return result
+
+    def first_step(
+        self, function_id: int, first: State | None, cell: Cell
+    ) -> State | None:
+        """``first_{i}`` from ``first_{i-1}`` and ``f⁻_{i-1}`` (item 2)."""
+        if first is None:
+            return None
+        key = (function_id, first, cell)
+        if key in self._first_steps:
+            return self._first_steps[key]
+        mover = self.settle(function_id, first, cell)
+        result = (
+            None
+            if mover is None
+            else self.automaton.right_moves[(mover, cell)]
+        )
+        self._first_steps[key] = result
+        return result
+
+    def assumed_step(
+        self,
+        next_set_id: int,
+        next_cell: Cell,
+        function_id: int,
+        first: State | None,
+    ) -> int:
+        """``Assumed_i`` from ``Assumed_{i+1}`` (items 3–4)."""
+        key = (next_set_id, next_cell, function_id, first)
+        found = self._assumed_steps.get(key)
+        if found is not None:
+            return found
+        automaton = self.automaton
+        bucket: set[State] = set()
+        if first is not None:
+            bucket.update(self.orbit(function_id, first))
+        for later in self._sets[next_set_id]:
+            if automaton.in_left(later, next_cell):
+                entered = automaton.left_moves[(later, next_cell)]
+                bucket.update(self.orbit(function_id, entered))
+        result = self._intern_set(frozenset(bucket))
+        self._assumed_steps[key] = result
+        return result
+
+    def halting_states(self, set_id: int, cell: Cell) -> tuple[State, ...]:
+        """The assumed states with no applicable transition on ``cell``."""
+        key = (set_id, cell)
+        found = self._halting.get(key)
+        if found is not None:
+            return found
+        result = tuple(
+            state
+            for state in sorted(self._sets[set_id], key=repr)
+            if self.automaton.move(state, cell) is None
+        )
+        self._halting[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+
+    def sweep(
+        self, word: Sequence[Symbol]
+    ) -> tuple[list[Cell], list[int], list[State | None]]:
+        """Left-to-right pass: marked cells, ``f⁻`` ids, ``first`` states."""
+        cells: list[Cell] = [LEFT_MARKER, *word, RIGHT_MARKER]
+        function_ids = [self.base_id]
+        firsts: list[State | None] = [self.automaton.initial]
+        step, first_step = self.step, self.first_step
+        for i in range(1, len(cells)):
+            function_ids.append(step(function_ids[i - 1], cells[i - 1], cells[i]))
+            firsts.append(first_step(function_ids[i - 1], firsts[i - 1], cells[i - 1]))
+        return cells, function_ids, firsts
+
+    def assumed_ids(
+        self,
+        cells: list[Cell],
+        function_ids: list[int],
+        firsts: list[State | None],
+        rightmost: int,
+    ) -> list[int]:
+        """Right-to-left pass: interned ``Assumed`` ids per marked position.
+
+        Positions beyond ``rightmost`` (never reached) get the empty set.
+        """
+        assumed = [self.empty_set_id] * len(cells)
+        seed: set[State] = set(self.orbit(function_ids[rightmost], firsts[rightmost]))
+        assumed[rightmost] = self._intern_set(frozenset(seed))
+        for i in range(rightmost - 1, -1, -1):
+            assumed[i] = self.assumed_step(
+                assumed[i + 1], cells[i + 1], function_ids[i], firsts[i]
+            )
+        return assumed
+
+    # ------------------------------------------------------------------
+    # Doubling / prefix products (monoid view)
+    # ------------------------------------------------------------------
+
+    def power_step(self, function_id: int, cell: Cell, count: int) -> int:
+        """``f⁻`` after reading ``count`` further copies of ``cell``.
+
+        ``function_id`` must already be the behavior *at* a ``cell``
+        position (so the symbol acts as an endomorphism); binary lifting
+        makes the jump O(log count) table hits.  Equivalent to iterating
+        :meth:`step` ``count`` times with both cells equal to ``cell``.
+        """
+        if count < 0:
+            raise ValueError("count must be nonnegative")
+        level = 0
+        while count:
+            if count & 1:
+                table = self._powers.setdefault((cell, level), {})
+                found = table.get(function_id)
+                if found is None:
+                    if level == 0:
+                        found = self.step(function_id, cell, cell)
+                    else:
+                        half = self.power_step(function_id, cell, 1 << (level - 1))
+                        found = self.power_step(half, cell, 1 << (level - 1))
+                    table[function_id] = found
+                function_id = found
+            count >>= 1
+            level += 1
+        return function_id
+
+    def prefix_products(self, word: Sequence[Symbol]) -> list[int]:
+        """Interned ``f⁻`` ids for every prefix of ``⊳ w`` (monoid products).
+
+        ``result[i]`` is the behavior at marked position ``i``; the last
+        entry is the behavior at ``⊲``.  Runs of repeated symbols are
+        filled through the doubling tables so their interior entries cost
+        one table hit each even on the first visit.
+        """
+        cells: list[Cell] = [LEFT_MARKER, *word, RIGHT_MARKER]
+        ids = [self.base_id]
+        i = 1
+        while i < len(cells):
+            run_end = i
+            while (
+                run_end + 1 < len(cells) and cells[run_end + 1] == cells[i]
+            ):
+                run_end += 1
+            ids.append(self.step(ids[-1], cells[i - 1], cells[i]))
+            for _ in range(i + 1, run_end + 1):
+                ids.append(self.power_step(ids[-1], cells[i], 1))
+            i = run_end + 1
+        return ids

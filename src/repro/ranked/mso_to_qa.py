@@ -435,3 +435,19 @@ def two_phase_evaluate(
                 )
                 contexts[path + (i,)] = child_context
     return frozenset(selected)
+
+
+def fast_two_phase_evaluate(
+    d: DeterministicUnrankedAutomaton, tree: Tree
+) -> frozenset[Path]:
+    """Figure 5 over cached subtree types (see :mod:`repro.perf`).
+
+    Same query as :func:`two_phase_evaluate`, but states, contexts and
+    selection decisions are computed once per *subtree type* — nodes whose
+    label and hashed child-type tuple repeat (common in document trees)
+    reuse the sibling-word summaries, and the caches persist across calls
+    on the same automaton.
+    """
+    from ..perf.trees import fast_evaluate_marked
+
+    return fast_evaluate_marked(d, tree)

@@ -146,3 +146,47 @@ def sweep_right_dfa_as_qa(
     return StringQueryAutomaton(
         automaton, frozenset(("go", symbol) for symbol in selecting_symbols)
     )
+
+
+def multi_sweep_query_automaton(passes: int = 4) -> StringQueryAutomaton:
+    """A QA^string making ``passes`` full head sweeps before selecting.
+
+    The machine bounces between the endmarkers ``passes`` times, then
+    walks right once more tracking the parity of ``1``\\ s read so far and
+    halts at ``⊲``; it selects every ``1`` preceded by an odd number of
+    ones.  Direct simulation costs about ``(2·passes + 1)·n`` head moves,
+    while the behavior-composition fast path (:mod:`repro.perf`) does two
+    passes regardless of ``passes`` — the benchmark workload for the
+    cached evaluator.
+    """
+    if passes < 1:
+        raise ValueError("need at least one pass")
+    alphabet = ("0", "1")
+    states: set = set()
+    right_moves: dict[tuple[Hashable, Symbol], Hashable] = {}
+    left_moves: dict[tuple[Hashable, Symbol], Hashable] = {}
+    even, odd = ("count", 0), ("count", 1)
+    for k in range(1, passes + 1):
+        rightward, leftward = ("sweep", k, "→"), ("sweep", k, "←")
+        states |= {rightward, leftward}
+        right_moves[(rightward, LEFT_MARKER)] = rightward
+        for symbol in alphabet:
+            right_moves[(rightward, symbol)] = rightward
+            left_moves[(leftward, symbol)] = leftward
+        left_moves[(rightward, RIGHT_MARKER)] = leftward
+        after = ("sweep", k + 1, "→") if k < passes else even
+        right_moves[(leftward, LEFT_MARKER)] = after
+    states |= {even, odd}
+    right_moves[(even, "0")] = even
+    right_moves[(even, "1")] = odd
+    right_moves[(odd, "0")] = odd
+    right_moves[(odd, "1")] = even
+    automaton = TwoWayDFA.build(
+        states,
+        alphabet,
+        ("sweep", 1, "→"),
+        {even, odd},
+        left_moves,
+        right_moves,
+    )
+    return StringQueryAutomaton(automaton, frozenset({(odd, "1")}))

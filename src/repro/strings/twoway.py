@@ -50,7 +50,19 @@ Cell = Symbol
 
 
 class NonTerminatingRunError(RuntimeError):
-    """A two-way run revisited a configuration (the automaton cycles)."""
+    """A two-way run revisited a configuration (the automaton cycles),
+    or exceeded its configurable step budget."""
+
+
+def as_symbol_sequence(word: Sequence[Symbol]) -> tuple[Symbol, ...]:
+    """Any ``Sequence[Symbol]`` — including a ``str`` — as a symbol tuple.
+
+    Strings are treated as sequences of their characters, so callers may
+    pass ``"0110"`` and ``["0", "1", "1", "0"]`` interchangeably.
+    """
+    if isinstance(word, tuple):
+        return word
+    return tuple(word)
 
 
 @dataclass(frozen=True)
@@ -165,17 +177,28 @@ class TwoWayDFA:
     # Simulation
     # ------------------------------------------------------------------
 
-    def run(self, word: Sequence[Symbol]) -> list[tuple[State, int]]:
+    def run(
+        self, word: Sequence[Symbol], max_steps: int | None = None
+    ) -> list[tuple[State, int]]:
         """The full run on ``word`` as a list of (state, position) pairs.
 
         Positions refer to the marked string (0 = ``⊳``).  Raises
-        :class:`NonTerminatingRunError` when a configuration repeats.
+        :class:`NonTerminatingRunError` when a configuration repeats, or —
+        when the configurable budget ``max_steps`` is given — when the run
+        takes more than that many steps (the error reports how many
+        configurations were visited).
         """
+        word = as_symbol_sequence(word)
         cells = self.cells(word)
         state, position = self.initial, 0
         trace = [(state, position)]
         seen = {(state, position)}
         while True:
+            if max_steps is not None and len(trace) > max_steps:
+                raise NonTerminatingRunError(
+                    f"run exceeded the step budget of {max_steps} after "
+                    f"visiting {len(seen)} configurations on input {word!r}"
+                )
             step = self.move(state, cells[position])
             if step is None:
                 return trace
@@ -184,18 +207,23 @@ class TwoWayDFA:
             configuration = (state, position)
             if configuration in seen:
                 raise NonTerminatingRunError(
-                    f"configuration {configuration!r} repeats on input {word!r}"
+                    f"configuration {configuration!r} repeats on input {word!r} "
+                    f"after visiting {len(seen)} configurations"
                 )
             seen.add(configuration)
             trace.append(configuration)
 
-    def final_configuration(self, word: Sequence[Symbol]) -> tuple[State, int]:
+    def final_configuration(
+        self, word: Sequence[Symbol], max_steps: int | None = None
+    ) -> tuple[State, int]:
         """The halting (state, position) of the run."""
-        return self.run(word)[-1]
+        return self.run(word, max_steps)[-1]
 
-    def accepts(self, word: Sequence[Symbol]) -> bool:
+    def accepts(
+        self, word: Sequence[Symbol], max_steps: int | None = None
+    ) -> bool:
         """True iff the run halts in an accepting state."""
-        state, _position = self.final_configuration(word)
+        state, _position = self.final_configuration(word, max_steps)
         return state in self.accepting
 
     def assumed_states(self, word: Sequence[Symbol]) -> list[set[State]]:
@@ -232,8 +260,11 @@ class StringQueryAutomaton:
     def evaluate(self, word: Sequence[Symbol]) -> frozenset[int]:
         """The selected positions of ``w`` (1-based), per Definition 3.2.
 
-        When the run is not accepting, no position is selected.
+        When the run is not accepting, no position is selected.  Any
+        ``Sequence[Symbol]`` is accepted uniformly; a ``str`` is treated as
+        a sequence of characters.
         """
+        word = as_symbol_sequence(word)
         trace = self.automaton.run(word)
         final_state, _ = trace[-1]
         if final_state not in self.automaton.accepting:
@@ -281,8 +312,11 @@ class GeneralizedStringQA:
         """Compute ``M(w) = M(w, 1) ... M(w, |w|)``.
 
         Raises :class:`AutomatonError` if some position receives zero or two
-        distinct output symbols (the well-formedness convention of §3).
+        distinct output symbols (the well-formedness convention of §3).  Any
+        ``Sequence[Symbol]`` is accepted uniformly; a ``str`` is treated as
+        a sequence of characters.
         """
+        word = as_symbol_sequence(word)
         trace = self.automaton.run(word)
         outputs: list[Hashable] = [BOTTOM] * len(word)
         for state, position in trace:

@@ -210,7 +210,10 @@ class TwoWayUnrankedAutomaton:
                     and stays.get(parent, 0) >= self.stay_limit
                 ):
                     raise StayLimitError(
-                        f"more than {self.stay_limit} stay transition(s) at {parent!r}"
+                        f"more than {self.stay_limit} stay transition(s) at "
+                        f"{parent!r} ({stays.get(parent, 0)} already taken, "
+                        f"{len(configuration)} pebbled nodes in the "
+                        f"current configuration)"
                     )
                 return ("stay", parent)
         return None
@@ -264,9 +267,11 @@ class TwoWayUnrankedAutomaton:
     ) -> list[Configuration]:
         """The canonical maximal run (a list of configurations).
 
-        The step budget scales with ``|Q| · |t|``; exceeding it raises
-        :class:`NonTerminatingRunError` (the paper only considers automata
-        that halt on every input).
+        The default step budget scales with ``|Q| · |t|`` and is
+        configurable via ``max_steps``; exceeding it raises
+        :class:`NonTerminatingRunError` reporting the number of visited
+        configurations (the paper only considers automata that halt on
+        every input).
         """
         if max_steps is None:
             max_steps = 6 * max(1, len(self.states)) * tree.size + 6
@@ -280,7 +285,8 @@ class TwoWayUnrankedAutomaton:
             configuration = self._fire(tree, configuration, stays, *enabled)
             trace.append(dict(configuration))
         raise NonTerminatingRunError(
-            f"run exceeded {max_steps} steps on a tree of size {tree.size}"
+            f"run exceeded the step budget of {max_steps} after visiting "
+            f"{len(trace)} configurations on a tree of size {tree.size}"
         )
 
     def accepts(self, tree: Tree) -> bool:

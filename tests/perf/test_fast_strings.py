@@ -1,0 +1,213 @@
+"""Differential tests: the fast string path ≡ the naive simulators.
+
+The Lemma 3.10 construction over random DFA pairs yields two-way machines
+that halt on every input by construction, so the fast path must agree
+with direct simulation *exactly* — no error tolerance.  Raw random 2DFAs
+may cycle; there the contract is "both sides raise, or both agree".
+"""
+
+import random
+
+import pytest
+
+from repro.perf import fast_accepts, fast_evaluate, fast_final_state, fast_transduce
+from repro.strings.behavior import BehaviorError
+from repro.strings.dfa import AutomatonError
+from repro.strings.examples import (
+    endpoints_if_contains,
+    multi_sweep_query_automaton,
+    odd_ones_gsqa,
+    odd_ones_query_automaton,
+)
+from repro.strings.hopcroft_ullman import hopcroft_ullman_gsqa, reference_pairs
+from repro.strings.twoway import (
+    LEFT_MARKER,
+    RIGHT_MARKER,
+    NonTerminatingRunError,
+    StringQueryAutomaton,
+    TwoWayDFA,
+)
+
+from ..conftest import all_words, random_total_dfa
+
+ALPHABET = ("a", "b")
+
+
+def _random_word(rng, alphabet=ALPHABET, max_length=10):
+    return [rng.choice(alphabet) for _ in range(rng.randrange(max_length + 1))]
+
+
+def _random_hu_gsqa(rng):
+    forward = random_total_dfa(rng, ALPHABET)
+    backward = random_total_dfa(rng, ALPHABET)
+    return hopcroft_ullman_gsqa(forward, backward), forward, backward
+
+
+class TestStringQueryAutomatonDifferential:
+    def test_random_halting_machines_agree(self):
+        """≥200 random (2DFA, selection, word) cases, fast ≡ naive."""
+        rng = random.Random(0xA1)
+        for case in range(220):
+            gsqa, _f, _b = _random_hu_gsqa(rng)
+            automaton = gsqa.automaton
+            states = sorted(automaton.states, key=repr)
+            selecting = frozenset(
+                (state, symbol)
+                for state in states
+                for symbol in ALPHABET
+                if rng.random() < 0.25
+            )
+            qa = StringQueryAutomaton(automaton, selecting)
+            word = _random_word(rng)
+            assert fast_evaluate(qa, word) == qa.evaluate(word), (case, word)
+
+    def test_examples_exhaustively(self):
+        for qa, alphabet in [
+            (odd_ones_query_automaton(), "01"),
+            (endpoints_if_contains("ab", "a"), "ab"),
+            (multi_sweep_query_automaton(3), "01"),
+        ]:
+            for word in all_words(list(alphabet), 6):
+                assert fast_evaluate(qa, word) == qa.evaluate(word), word
+
+    def test_multi_sweep_cost_is_sweep_count_dependent_only_for_naive(self):
+        """The workload machine really does O(passes·n) naive head moves."""
+        qa = multi_sweep_query_automaton(5)
+        word = "01" * 20
+        trace = qa.automaton.run(word)
+        assert len(trace) > 5 * len(word)
+        assert fast_evaluate(qa, word) == qa.evaluate(word)
+
+    def test_accepts_and_final_state_agree(self):
+        rng = random.Random(0xA2)
+        for _ in range(60):
+            gsqa, _f, _b = _random_hu_gsqa(rng)
+            word = _random_word(rng)
+            state, _pos = gsqa.automaton.final_configuration(word)
+            assert fast_final_state(gsqa.automaton, word) == state
+            assert fast_accepts(gsqa.automaton, word) == gsqa.automaton.accepts(word)
+
+
+class TestGSQATransductionDifferential:
+    def test_random_halting_machines_agree(self):
+        """≥200 random Lemma 3.10 machines: fast ≡ naive ≡ two-pass oracle."""
+        rng = random.Random(0xB1)
+        for case in range(220):
+            gsqa, forward, backward = _random_hu_gsqa(rng)
+            word = _random_word(rng)
+            expected = gsqa.transduce(word)
+            assert fast_transduce(gsqa, word) == expected, (case, word)
+            assert expected == reference_pairs(forward, backward, word)
+
+    def test_example_3_6_exhaustively(self):
+        gsqa = odd_ones_gsqa()
+        for word in all_words(["0", "1"], 6):
+            assert fast_transduce(gsqa, word) == gsqa.transduce(word)
+
+    def test_missing_output_raises_on_both_paths(self):
+        gsqa, _f, _b = _random_hu_gsqa(random.Random(0xB2))
+        broken = type(gsqa)(gsqa.automaton, {}, gsqa.gamma)
+        with pytest.raises(AutomatonError):
+            broken.transduce(["a", "b"])
+        with pytest.raises(AutomatonError):
+            fast_transduce(broken, ["a", "b"])
+
+
+def _random_raw_2dfa(rng, alphabet=ALPHABET, max_states=3):
+    n = rng.randint(1, max_states)
+    states = list(range(n))
+    left_moves = {}
+    right_moves = {}
+    for state in states:
+        for cell in [*alphabet, LEFT_MARKER, RIGHT_MARKER]:
+            roll = rng.random()
+            if cell != RIGHT_MARKER and roll < 0.45:
+                right_moves[(state, cell)] = rng.randrange(n)
+            elif cell != LEFT_MARKER and roll < 0.8:
+                left_moves[(state, cell)] = rng.randrange(n)
+    accepting = {state for state in states if rng.random() < 0.5}
+    return TwoWayDFA.build(states, alphabet, 0, accepting, left_moves, right_moves)
+
+
+class TestRawRandomTwoWayDFAs:
+    def test_agree_whenever_simulation_halts(self):
+        """Raw machines may break the paper's halting convention; the
+        contract mirrors :mod:`repro.strings.behavior`: on any input where
+        the *simulated run* halts, the fast path either agrees exactly or
+        aborts loudly (never a silently wrong answer).  Cycling inputs are
+        outside the convention for both evaluators."""
+        rng = random.Random(0xC1)
+        agreements = aborts = 0
+        for case in range(250):
+            automaton = _random_raw_2dfa(rng)
+            selecting = frozenset(
+                (state, symbol)
+                for state in automaton.states
+                for symbol in ALPHABET
+                if rng.random() < 0.3
+            )
+            qa = StringQueryAutomaton(automaton, selecting)
+            word = _random_word(rng, max_length=6)
+            try:
+                expected = qa.evaluate(word)
+            except NonTerminatingRunError:
+                continue  # outside the halting convention
+            try:
+                observed = fast_evaluate(qa, word)
+            except (NonTerminatingRunError, BehaviorError):
+                # The behavior analysis explores states the concrete run
+                # never enters; a cycle there aborts the fast path even
+                # though simulation halts.  That is the only divergence
+                # allowed.
+                aborts += 1
+                continue
+            assert observed == expected, (case, word)
+            agreements += 1
+        assert agreements >= 100  # the tolerance above must stay exceptional
+
+
+class TestStepBudgets:
+    def test_budget_overflow_reports_visited_count(self):
+        qa = multi_sweep_query_automaton(4)
+        word = "01" * 10
+        with pytest.raises(NonTerminatingRunError, match=r"visiting \d+ configurations"):
+            qa.automaton.run(word, max_steps=5)
+
+    def test_budget_large_enough_is_harmless(self):
+        qa = multi_sweep_query_automaton(2)
+        word = "0110"
+        bounded = qa.automaton.run(word, max_steps=10_000)
+        assert bounded == qa.automaton.run(word)
+
+    def test_cycle_detection_reports_visited_count(self):
+        automaton = TwoWayDFA.build(
+            {0},
+            {"a"},
+            0,
+            set(),
+            {(0, RIGHT_MARKER): 0, (0, "a"): 0},
+            {(0, LEFT_MARKER): 0},
+        )
+        with pytest.raises(NonTerminatingRunError, match=r"\d+ configurations"):
+            automaton.run(["a", "a"])
+
+
+class TestSequenceInputRegression:
+    """Satellite: str and list inputs are interchangeable everywhere."""
+
+    def test_query_automaton_accepts_str(self):
+        qa = odd_ones_query_automaton()
+        for text in ["", "1", "0110", "111101"]:
+            as_list = list(text)
+            assert qa.evaluate(text) == qa.evaluate(as_list)
+            assert fast_evaluate(qa, text) == qa.evaluate(as_list)
+
+    def test_gsqa_accepts_str(self):
+        gsqa = odd_ones_gsqa()
+        for text in ["", "1", "0110", "111101"]:
+            assert gsqa.transduce(text) == gsqa.transduce(list(text))
+            assert fast_transduce(gsqa, text) == gsqa.transduce(list(text))
+
+    def test_run_accepts_str(self):
+        qa = odd_ones_query_automaton()
+        assert qa.automaton.run("01") == qa.automaton.run(["0", "1"])

@@ -1,0 +1,143 @@
+"""Differential tests: the fast tree engines ≡ the naive evaluators.
+
+Covers both tree pipelines: QA^u evaluation through per-node behavior
+functions cached by hashed subtree type, and the marked-alphabet two-pass
+(Figure 5/6) evaluation through cached per-type context sweeps.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.patterns import compile_pattern
+from repro.perf import (
+    fast_evaluate_marked,
+    fast_evaluate_unranked,
+    marked_engine,
+)
+from repro.ranked.mso_to_qa import fast_two_phase_evaluate, two_phase_evaluate
+from repro.trees.generators import random_tree, random_unranked_circuit
+from repro.trees.tree import Tree
+from repro.unranked.dbta import evaluate_marked_query
+from repro.unranked.examples import circuit_query_automaton, first_one_sqa
+from repro.unranked.separation import flat_family_tree
+from repro.unranked.twoway import NonTerminatingRunError, StayLimitError
+
+
+class TestUnrankedQueryAutomatonDifferential:
+    def test_circuit_query_on_random_circuits(self):
+        """≥200 random circuit trees: fast ≡ cut-semantics simulation."""
+        qa = circuit_query_automaton()
+        rng = random.Random(0xD1)
+        for case in range(220):
+            depth = rng.randrange(0, 4)
+            tree = random_unranked_circuit(
+                depth, max_arity=4, seed_or_rng=rng.randrange(1 << 30)
+            )
+            assert fast_evaluate_unranked(qa, tree) == qa.evaluate(tree), (
+                case,
+                str(tree),
+            )
+
+    def test_stay_query_on_flat_family(self):
+        """Stay transitions (S2DTA^u) route through the cached GSQA."""
+        sqa = first_one_sqa()
+        for width in range(1, 8):
+            for zeros in range(width + 1):
+                tree = flat_family_tree(zeros, width)
+                assert fast_evaluate_unranked(sqa, tree) == sqa.evaluate(tree), str(
+                    tree
+                )
+
+    def test_stay_query_on_random_flat_trees(self):
+        sqa = first_one_sqa()
+        rng = random.Random(0xD2)
+        for _ in range(120):
+            leaves = tuple(
+                Tree(rng.choice("01")) for _ in range(rng.randrange(1, 7))
+            )
+            root = rng.choice("01")
+            tree = Tree(root, leaves)
+            assert fast_evaluate_unranked(sqa, tree) == sqa.evaluate(tree), str(tree)
+
+    def test_repeated_subtrees_share_cache_entries(self):
+        """Identical hashed subtree types are summarized once."""
+        from repro.perf.trees import _UNRANKED_ENGINES
+
+        qa = circuit_query_automaton()
+        unit = Tree("AND", (Tree("1"), Tree("0")))
+        wide = Tree("OR", tuple(unit for _ in range(30)))
+        engine = _UNRANKED_ENGINES.get(qa)
+        before = len(engine._behaviors)
+        assert fast_evaluate_unranked(qa, wide) == qa.evaluate(wide)
+        # 30 copies of `unit` intern at most a handful of new types
+        # (leaf 1, leaf 0, unit, root) — not one per occurrence.
+        assert len(engine._behaviors) - before <= 4
+
+
+class TestMarkedTwoPassDifferential:
+    def test_patterns_on_random_trees(self):
+        """≥200 random trees: cached engine ≡ evaluate_marked_query."""
+        labels = ("a", "b", "c")
+        rng = random.Random(0xD3)
+        queries = [
+            compile_pattern(pattern, labels)
+            for pattern in ("//a", "//b", "/a//c")
+        ]
+        compiled = [query.compiled() for query in queries]
+        for case in range(240):
+            tree = random_tree(
+                rng.randrange(1, 12),
+                list(labels),
+                max_arity=3,
+                seed_or_rng=rng.randrange(1 << 30),
+            )
+            query = rng.randrange(len(queries))
+            expected = evaluate_marked_query(
+                compiled[query], tree, lambda label, bit: (label, bit)
+            )
+            assert fast_evaluate_marked(compiled[query], tree) == expected, (
+                case,
+                str(tree),
+            )
+            assert queries[query].evaluate(tree) == expected
+
+    def test_fast_two_phase_matches_figure_5(self):
+        labels = ("a", "b")
+        d = compile_pattern("//a", labels).compiled()
+        rng = random.Random(0xD4)
+        for _ in range(80):
+            tree = random_tree(
+                rng.randrange(1, 10),
+                list(labels),
+                max_arity=3,
+                seed_or_rng=rng.randrange(1 << 30),
+            )
+            assert fast_two_phase_evaluate(d, tree) == two_phase_evaluate(d, tree)
+
+    def test_engine_is_shared_across_calls(self):
+        d = compile_pattern("//a", ("a", "b")).compiled()
+        assert marked_engine(d) is marked_engine(d)
+
+
+class TestUnrankedStepBudgets:
+    def test_budget_overflow_reports_visited_count(self):
+        qa = circuit_query_automaton()
+        tree = Tree.parse("AND(OR(1, 0, 1), 1, 0)")
+        with pytest.raises(
+            NonTerminatingRunError, match=r"visiting \d+ configurations"
+        ):
+            qa.automaton.run(tree, max_steps=3)
+
+    def test_default_budget_suffices_for_halting_machines(self):
+        qa = circuit_query_automaton()
+        tree = Tree.parse("AND(OR(1, 0, 1), 1, 0)")
+        assert qa.automaton.run(tree, max_steps=10_000) == qa.automaton.run(tree)
+
+    def test_stay_limit_violation_reports_counts(self):
+        sqa = first_one_sqa()
+        strict = dataclasses.replace(sqa.automaton, stay_limit=0)
+        tree = flat_family_tree(1, 3)
+        with pytest.raises(StayLimitError, match=r"0 already taken"):
+            strict.run(tree)

@@ -1,0 +1,122 @@
+"""Unit tests for the behavior-table algebra and the engine registries."""
+
+import random
+
+import pytest
+
+from repro.perf.registry import EngineRegistry
+from repro.perf.table import BehaviorTable
+from repro.strings.behavior import (
+    first_states,
+    left_behavior_functions,
+)
+from repro.strings.examples import (
+    multi_sweep_query_automaton,
+    odd_ones_query_automaton,
+)
+from repro.strings.twoway import LEFT_MARKER, RIGHT_MARKER
+
+
+def _fresh_table():
+    return BehaviorTable(odd_ones_query_automaton().automaton)
+
+
+class TestSweepMatchesReference:
+    def test_functions_and_firsts(self):
+        automaton = odd_ones_query_automaton().automaton
+        table = BehaviorTable(automaton)
+        rng = random.Random(1)
+        for _ in range(50):
+            word = [rng.choice("01") for _ in range(rng.randrange(10))]
+            _cells, function_ids, firsts = table.sweep(word)
+            reference_functions = left_behavior_functions(automaton, word)
+            reference_firsts = first_states(automaton, word)
+            assert [table.function(i) for i in function_ids] == reference_functions
+            assert firsts == reference_firsts
+
+    def test_interning_is_stable(self):
+        table = _fresh_table()
+        _c1, ids1, _f1 = table.sweep(list("0101"))
+        _c2, ids2, _f2 = table.sweep(list("0101"))
+        assert ids1 == ids2
+
+
+class TestMonoidTables:
+    def test_power_step_equals_iterated_step(self):
+        table = _fresh_table()
+        for symbol in "01":
+            _cells, ids, _firsts = table.sweep([symbol])
+            at_symbol = ids[1]  # behavior at the symbol position
+            for count in range(0, 12):
+                iterated = at_symbol
+                for _ in range(count):
+                    iterated = table.step(iterated, symbol, symbol)
+                assert table.power_step(at_symbol, symbol, count) == iterated
+
+    def test_power_step_rejects_negative_counts(self):
+        table = _fresh_table()
+        with pytest.raises(ValueError):
+            table.power_step(table.base_id, "0", -1)
+
+    def test_prefix_products_match_sweep(self):
+        table = _fresh_table()
+        rng = random.Random(2)
+        for _ in range(40):
+            # Run-heavy words exercise the doubling fill.
+            word = []
+            while len(word) < 12:
+                word.extend(rng.choice("01") * rng.randrange(1, 5))
+            word = word[:12]
+            _cells, ids, _firsts = table.sweep(word)
+            assert table.prefix_products(word) == ids
+
+    def test_multi_sweep_machine_prefix_products(self):
+        automaton = multi_sweep_query_automaton(3).automaton
+        table = BehaviorTable(automaton)
+        word = list("000111000")
+        _cells, ids, _firsts = table.sweep(word)
+        assert table.prefix_products(word) == ids
+
+
+class TestRegistry:
+    def test_tables_are_shared_per_automaton(self):
+        automaton = odd_ones_query_automaton().automaton
+        assert BehaviorTable.for_automaton(automaton) is BehaviorTable.for_automaton(
+            automaton
+        )
+
+    def test_distinct_automata_get_distinct_tables(self):
+        a = odd_ones_query_automaton().automaton
+        b = multi_sweep_query_automaton(2).automaton
+        assert BehaviorTable.for_automaton(a) is not BehaviorTable.for_automaton(b)
+
+    def test_engine_registry_identity_and_capacity(self):
+        built = []
+
+        class Probe:
+            def __init__(self, obj):
+                built.append(obj)
+                self.obj = obj
+
+        registry = EngineRegistry(Probe, capacity=2)
+        keys = [odd_ones_query_automaton() for _ in range(3)]
+        engines = [registry.get(key) for key in keys]
+        assert registry.get(keys[2]) is engines[2]  # still cached
+        assert len(built) == 3
+        registry.get(keys[0])  # evicted at capacity 2 → rebuilt
+        assert len(built) == 4
+
+    def test_halting_states_follow_assumed_sets(self):
+        table = _fresh_table()
+        word = list("011")
+        cells, function_ids, firsts = table.sweep(word)
+        rightmost = max(i for i, s in enumerate(firsts) if s is not None)
+        assumed = table.assumed_ids(cells, function_ids, firsts, rightmost)
+        automaton = table.automaton
+        for i in range(rightmost + 1):
+            expected = tuple(
+                state
+                for state in sorted(table.assumed_set(assumed[i]), key=repr)
+                if automaton.move(state, cells[i]) is None
+            )
+            assert table.halting_states(assumed[i], cells[i]) == expected
