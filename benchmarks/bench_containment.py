@@ -4,7 +4,14 @@ Workload: the circuit QA^u against its gates-only restriction (a strict
 containment each way) and the Example 5.14 SQA^u against itself.
 Measured: the joint-closure product scan — the two-automaton analogue of
 the T6.3 cost.
+
+Each workload runs under both closure engines — the bitset-packed
+worklist engine (the default) and the naive whole-closure rescan kept as
+the differential oracle — so one measuring run records the speedup.
+``REPRO_BENCH_SMOKE=1`` drops the slow naive rows.
 """
+
+import os
 
 import pytest
 
@@ -16,6 +23,9 @@ from repro.decision.closure import (
 from repro.unranked.examples import circuit_query_automaton, first_one_sqa
 from repro.unranked.twoway import UnrankedQueryAutomaton
 
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+ENGINES = ["packed"] if SMOKE else ["packed", "naive"]
+
 
 def _gates_only():
     full = circuit_query_automaton()
@@ -24,19 +34,34 @@ def _gates_only():
     )
 
 
-def test_containment_holds(benchmark):
-    result = benchmark(is_contained, _gates_only(), circuit_query_automaton())
+def _note_engine(benchmark, engine: str) -> None:
+    benchmark.extra_info["engine"] = engine
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_containment_holds(benchmark, engine):
+    _note_engine(benchmark, engine)
+    result = benchmark(
+        is_contained, _gates_only(), circuit_query_automaton(), engine=engine
+    )
     assert result
 
 
-def test_containment_counterexample(benchmark):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_containment_counterexample(benchmark, engine):
+    _note_engine(benchmark, engine)
     result = benchmark(
-        containment_counterexample, circuit_query_automaton(), _gates_only()
+        containment_counterexample,
+        circuit_query_automaton(),
+        _gates_only(),
+        engine=engine,
     )
     assert result is not None
 
 
-def test_equivalence_of_sqa_with_itself(benchmark):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_equivalence_of_sqa_with_itself(benchmark, engine):
     sqa = first_one_sqa()
-    result = benchmark(are_equivalent, sqa, sqa)
+    _note_engine(benchmark, engine)
+    result = benchmark(are_equivalent, sqa, sqa, engine=engine)
     assert result

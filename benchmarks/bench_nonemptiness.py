@@ -5,7 +5,14 @@ Example 5.14's SQA^u with its stay transition, Example 4.4's QA^r via the
 ranked embedding).  Measured: witness search time — contrast with the
 PTIME growth of bench_nbta_emptiness.py; the SQA^u case pays extra for
 the annotation-NFA (Proposition 6.2) machinery.
+
+Each workload runs under both closure engines — the bitset-packed
+worklist engine (the default) and the naive whole-closure rescan kept as
+the differential oracle — so one measuring run records the speedup.
+``REPRO_BENCH_SMOKE=1`` drops the slow naive rows.
 """
+
+import os
 
 import pytest
 
@@ -14,26 +21,41 @@ from repro.decision.convert import ranked_query_to_unranked
 from repro.ranked.examples import circuit_value_query
 from repro.unranked.examples import circuit_query_automaton, first_one_sqa
 
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+ENGINES = ["packed"] if SMOKE else ["packed", "naive"]
 
-def test_language_nonemptiness_circuit(benchmark):
+
+def _note_engine(benchmark, engine: str) -> None:
+    benchmark.extra_info["engine"] = engine
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_language_nonemptiness_circuit(benchmark, engine):
     qa = circuit_query_automaton()
-    witness = benchmark(language_witness, qa.automaton)
+    _note_engine(benchmark, engine)
+    witness = benchmark(language_witness, qa.automaton, engine=engine)
     assert witness is not None
 
 
-def test_query_nonemptiness_circuit_qa_u(benchmark):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_query_nonemptiness_circuit_qa_u(benchmark, engine):
     qa = circuit_query_automaton()
-    result = benchmark(query_witness, qa)
+    _note_engine(benchmark, engine)
+    result = benchmark(query_witness, qa, engine=engine)
     assert result is not None
 
 
-def test_query_nonemptiness_sqa_u_with_stay(benchmark):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_query_nonemptiness_sqa_u_with_stay(benchmark, engine):
     sqa = first_one_sqa()
-    result = benchmark(query_witness, sqa)
+    _note_engine(benchmark, engine)
+    result = benchmark(query_witness, sqa, engine=engine)
     assert result is not None
 
 
-def test_query_nonemptiness_ranked_embedding(benchmark):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_query_nonemptiness_ranked_embedding(benchmark, engine):
     qa = ranked_query_to_unranked(circuit_value_query())
-    result = benchmark(query_witness, qa)
+    _note_engine(benchmark, engine)
+    result = benchmark(query_witness, qa, engine=engine)
     assert result is not None

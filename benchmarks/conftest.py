@@ -8,8 +8,9 @@ costs grow) are the reproduction targets recorded in ``EXPERIMENTS.md``.
 
 Machine-readable results: after a measuring run, every benchmark module
 ``bench_<name>.py`` gets a ``BENCH_<name>.json`` at the repository root —
-one row per benchmark with the timing stats plus each row's
-``extra_info`` (input sizes, automaton sizes).  Runs with
+a top-level ``summary`` block (per-module mean/median over the row
+means/medians) plus one row per benchmark with the timing stats and each
+row's ``extra_info`` (input sizes, automaton sizes).  Runs with
 ``--benchmark-disable`` (e.g. CI smoke) produce no files.
 
 Setting ``REPRO_BENCH_SMOKE=1`` makes every module shrink its workloads
@@ -20,7 +21,19 @@ without paying measurement time.
 from __future__ import annotations
 
 import json
+import statistics
 from pathlib import Path
+
+
+def _summary(rows: list[dict]) -> dict:
+    """Per-module aggregate: mean of row means, median of row medians."""
+    means = [row["stats"]["mean"] for row in rows if row["stats"]["mean"]]
+    medians = [row["stats"]["median"] for row in rows if row["stats"]["median"]]
+    return {
+        "benchmarks": len(rows),
+        "mean": statistics.fmean(means) if means else None,
+        "median": statistics.median(medians) if medians else None,
+    }
 
 
 def pytest_configure(config):
@@ -57,7 +70,11 @@ def pytest_sessionfinish(session, exitstatus):
         )
     root = Path(str(session.config.rootpath))
     for name, rows in sorted(by_module.items()):
-        payload = {"module": f"benchmarks/bench_{name}.py", "benchmarks": rows}
+        payload = {
+            "module": f"benchmarks/bench_{name}.py",
+            "summary": _summary(rows),
+            "benchmarks": rows,
+        }
         (root / f"BENCH_{name}.json").write_text(
             json.dumps(payload, indent=2, sort_keys=True, default=repr) + "\n"
         )

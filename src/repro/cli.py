@@ -5,6 +5,8 @@ Usage::
     python -m repro.cli query DOCUMENT.xml "//author" [--dtd SCHEMA.dtd]
     python -m repro.cli validate DOCUMENT.xml SCHEMA.dtd
     python -m repro.cli tree DOCUMENT.xml            # show the abstraction
+    python -m repro.cli decide emptiness SCHEMA.dtd "//author"
+    python -m repro.cli decide containment SCHEMA.dtd "/book/author" "//author"
 
 The query subcommand parses the document (optionally validating it),
 compiles the pattern through MSO to a deterministic tree automaton, and
@@ -81,6 +83,58 @@ def cmd_tree(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_tree(tree) -> str:
+    if not tree.children:
+        return str(tree.label)
+    inner = ", ".join(_render_tree(child) for child in tree.children)
+    return f"{tree.label}({inner})"
+
+
+def cmd_decide(args: argparse.Namespace) -> int:
+    """Decide emptiness/containment of pattern queries over a DTD.
+
+    ``emptiness`` takes one pattern; ``containment`` takes two and asks
+    whether every node the first selects (on DTD-valid documents) is
+    selected by the second.  Exit codes: 0 = empty/contained, 1 = a
+    witness/counterexample was found (and printed), 2 = budget exceeded.
+    """
+    from .decision.closure import BudgetExceededError
+    from .decision.patterns import (
+        pattern_containment_counterexample,
+        pattern_query_witness,
+    )
+
+    dtd = parse_dtd(Path(args.dtd).read_text())
+    expected = 1 if args.mode == "emptiness" else 2
+    if len(args.patterns) != expected:
+        print(
+            f"{args.mode} takes exactly {expected} pattern(s)", file=sys.stderr
+        )
+        return 2
+    try:
+        if args.mode == "emptiness":
+            result = pattern_query_witness(
+                args.patterns[0], dtd, budget=args.budget
+            )
+            verdict = "empty"
+        else:
+            result = pattern_containment_counterexample(
+                args.patterns[0], args.patterns[1], dtd, budget=args.budget
+            )
+            verdict = "contained"
+    except BudgetExceededError as error:
+        print(f"budget exceeded: {error}", file=sys.stderr)
+        return 2
+    if result is None:
+        print(verdict)
+        return 0
+    tree, path = result
+    location = "/" + "/".join(map(str, path)) if path else "/"
+    print(f"witness: {_render_tree(tree)}")
+    print(f"marked node: {location}")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for the ``repro`` command-line tool."""
     parser = argparse.ArgumentParser(
@@ -102,6 +156,24 @@ def build_parser() -> argparse.ArgumentParser:
     tree = subparsers.add_parser("tree", help="print the tree abstraction")
     tree.add_argument("document")
     tree.set_defaults(func=cmd_tree)
+
+    decide = subparsers.add_parser(
+        "decide", help="decide pattern-query emptiness/containment over a DTD"
+    )
+    decide.add_argument("mode", choices=["emptiness", "containment"])
+    decide.add_argument("dtd", help="path to the DTD")
+    decide.add_argument(
+        "patterns",
+        nargs="+",
+        help="one pattern (emptiness) or two (containment: first ⊆ second)",
+    )
+    decide.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="cap on the decision product's size (exit 2 when exceeded)",
+    )
+    decide.set_defaults(func=cmd_decide)
 
     return parser
 

@@ -2,8 +2,10 @@
 
 from .annotation import AnnotationNFA
 from .closure import (
+    BudgetExceededError,
     ClosureBudgetExceeded,
     JointClosure,
+    PackedJointClosure,
     are_equivalent,
     containment_counterexample,
     is_contained,
@@ -13,6 +15,11 @@ from .closure import (
     query_witness,
 )
 from .convert import ranked_query_to_unranked, ranked_to_unranked
+from .patterns import (
+    pattern_containment_counterexample,
+    pattern_queries_contained,
+    pattern_query_witness,
+)
 from .strings import (
     selection_language,
     string_containment_counterexample,
@@ -28,8 +35,10 @@ from .tiling import (
 
 __all__ = [
     "AnnotationNFA",
+    "BudgetExceededError",
     "ClosureBudgetExceeded",
     "JointClosure",
+    "PackedJointClosure",
     "are_equivalent",
     "containment_counterexample",
     "is_contained",
@@ -37,6 +46,9 @@ __all__ = [
     "language_witness",
     "query_is_empty",
     "query_witness",
+    "pattern_containment_counterexample",
+    "pattern_queries_contained",
+    "pattern_query_witness",
     "ranked_query_to_unranked",
     "ranked_to_unranked",
     "selection_language",

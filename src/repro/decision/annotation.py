@@ -27,8 +27,8 @@ states are produced lazily via :meth:`step`, never materialized en masse.
 from __future__ import annotations
 
 from collections.abc import Hashable
-from itertools import chain, combinations
 
+from ..perf.bitset import Interner
 from ..strings.behavior import BehaviorFunction, states_closure
 from ..strings.twoway import (
     GeneralizedStringQA,
@@ -63,6 +63,7 @@ class AnnotationNFA:
     def __init__(self, gsqa: GeneralizedStringQA) -> None:
         self.gsqa = gsqa
         self.automaton: TwoWayDFA = gsqa.automaton
+        self._state_ids = Interner(sorted(gsqa.automaton.states, key=repr))
         self._orbit_cache: dict[tuple[FrozenBehavior, State], tuple] = {}
         self._candidates_cache: dict[tuple, list] = {}
         self._extend_cache: dict[tuple, FrozenBehavior] = {}
@@ -126,23 +127,34 @@ class AnnotationNFA:
         """All sets of the form ``States(f, first) ∪ ⋃ States(f, e)``.
 
         The entries ``e`` are the states future left moves may hand this
-        position; enumerating subsets of S is the (exponential) guess.
+        position; the guess ranges over subsets of S.  Computed on
+        bitsets: the distinct achievable unions of the orbit masks are
+        explored as a fixpoint over *masks*, so the work is proportional
+        to the number of distinct candidates rather than to the
+        :math:`2^{|Q|}` subset enumeration.
         """
         cache_key = (frozen, first)
         cached = self._candidates_cache.get(cache_key)
         if cached is not None:
             return cached
-        base = frozenset(self._orbit(frozen, first))
-        states = sorted(self.automaton.states, key=repr)
-        candidates: set[frozenset] = set()
-        for entries in chain.from_iterable(
-            combinations(states, size) for size in range(len(states) + 1)
-        ):
-            bucket = set(base)
-            for entry in entries:
-                bucket.update(self._orbit(frozen, entry))
-            candidates.add(frozenset(bucket))
-        result = sorted(candidates, key=repr)
+        ids = self._state_ids
+        base = ids.mask_of(self._orbit(frozen, first))
+        orbit_masks = {
+            ids.mask_of(self._orbit(frozen, entry))
+            for entry in self.automaton.states
+        }
+        candidates = {base}
+        frontier = [base]
+        while frontier:
+            mask = frontier.pop()
+            for orbit_mask in orbit_masks:
+                merged = mask | orbit_mask
+                if merged not in candidates:
+                    candidates.add(merged)
+                    frontier.append(merged)
+        result = sorted(
+            (frozenset(ids.unpack(mask)) for mask in candidates), key=repr
+        )
         self._candidates_cache[cache_key] = result
         return result
 

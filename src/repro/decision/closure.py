@@ -36,9 +36,11 @@ first automaton accepts-and-selects and the second does not.
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 
+from ..perf.bitset import Interner, iter_bits
 from ..strings.dfa import DFA
 from ..strings.regex import Star, concat_all, literal, to_nfa, union_all
 from ..strings.twoway import NonTerminatingRunError
@@ -63,8 +65,41 @@ DIES = "dies"
 FHat = tuple
 
 
-class ClosureBudgetExceeded(RuntimeError):
-    """The lazily-explored (exponential) scan space exceeded the budget."""
+class BudgetExceededError(RuntimeError):
+    """The lazily-explored (exponential) scan space exceeded the budget.
+
+    Carries the diagnostic counters of the moment the budget tripped:
+
+    * ``budget`` — the configured limit;
+    * ``work`` — scan-work units spent so far;
+    * ``closure_size`` — achieved elements (unmarked + marked);
+    * ``pending_scans`` — scan states still queued (``None`` for the
+      naive engine, which has no explicit worklist).
+    """
+
+    def __init__(
+        self,
+        budget: int,
+        work: int | None = None,
+        closure_size: int | None = None,
+        pending_scans: int | None = None,
+    ) -> None:
+        parts = [f"decision-procedure scan exceeded budget {budget}"]
+        if work is not None:
+            parts.append(f"work={work}")
+        if closure_size is not None:
+            parts.append(f"closure size={closure_size}")
+        if pending_scans is not None:
+            parts.append(f"pending scans={pending_scans}")
+        super().__init__("; ".join(parts))
+        self.budget = budget
+        self.work = work
+        self.closure_size = closure_size
+        self.pending_scans = pending_scans
+
+
+#: Backwards-compatible name for :class:`BudgetExceededError`.
+ClosureBudgetExceeded = BudgetExceededError
 
 
 def _freeze_fhat(mapping: dict[State, tuple]) -> FHat:
@@ -259,8 +294,10 @@ class JointClosure:
     def _spend(self, amount: int = 1) -> None:
         self._work += amount
         if self._work > self.budget:
-            raise ClosureBudgetExceeded(
-                f"decision-procedure scan exceeded budget {self.budget}"
+            raise BudgetExceededError(
+                self.budget,
+                work=self._work,
+                closure_size=len(self.unmarked) + len(self.marked),
             )
 
     # -- the fixpoint ------------------------------------------------------
@@ -575,16 +612,651 @@ class JointClosure:
 
 
 # ----------------------------------------------------------------------
+# The packed worklist engine
+# ----------------------------------------------------------------------
+#
+# Computes the same closure as :class:`JointClosure`, but on the bitset
+# kernel and incrementally:
+#
+# * regex-DFA, classifier-DFA, automaton and annotation states are
+#   interned to dense ids; a scan component becomes
+#   ``(r_mask, p1_mask, p2_frozenset-of-ints)`` where a p1 triple
+#   ``(r, c, bit)`` is the single index ``bit·|R|·|C| + r·|C| + c`` and a
+#   p2 quintuple packs analogously (annotation ids in the high digits);
+# * stepping is memoized *per packed element*, so child words shared
+#   between scan states — and between the automata of a joint closure —
+#   are resolved once;
+# * the fixpoint is a worklist: every scan state keeps a cursor into the
+#   global letter list, and each (scan state, letter) pair is applied
+#   exactly once, instead of restarting a whole-closure BFS per round;
+# * marked elements are subsumption-pruned: with polarity ``+1``
+#   (``-1``) for an automaton, a new element whose selection capability
+#   is ⊆ (⊇) an existing element's — at identical ``f̂``s and label — is
+#   dropped.  Capabilities only feed monotone selection *bits* (they
+#   never gate a transition), so every descendant of a dropped element
+#   is dominated by a descendant of its dominator, and the Theorem
+#   6.3/6.4 goal predicates are monotone in the same order.
+
+
+class _PackedContext:
+    """Interned/bitset view of one :class:`_AutomatonContext`."""
+
+    def __init__(self, ctx: _AutomatonContext) -> None:
+        self.ctx = ctx
+        automaton = ctx.automaton
+        self.state_ids = Interner(sorted(automaton.states, key=repr))
+        self.sorted_states = self.state_ids.values()
+        self.n_states = len(self.state_ids)
+        classifier = automaton.up_classifier.dfa
+        self.cls_ids = Interner(sorted(classifier.states, key=repr))
+        self.ncls = len(self.cls_ids)
+        self.cls_outcome = [
+            automaton.up_classifier.outcome.get(c) for c in self.cls_ids.values()
+        ]
+        self.cls_initial = self.cls_ids.id_of(classifier.initial)
+        self.ann_ids: Interner | None = (
+            Interner() if ctx.annotation is not None else None
+        )
+        self._cls_rows: dict[tuple, list[int]] = {}
+        self._settle_rows: dict[int, list[int]] = {}
+        self._ann_accept: dict[int, bool] = {}
+        self.fhat_ids = Interner()
+        self._machines: dict[Label, list] = {}
+
+    def machines(self, sigma: Label) -> list:
+        """Per sorted entry state: a :class:`_PackedMachine` or ``None``."""
+        machines = self._machines.get(sigma)
+        if machines is None:
+            machines = []
+            for q in self.sorted_states:
+                regex = (
+                    self.ctx.regex_dfas.get((q, sigma))
+                    if (q, sigma) in self.ctx.automaton.down_pairs
+                    else None
+                )
+                machines.append(
+                    None if regex is None else _PackedMachine(self, regex)
+                )
+            self._machines[sigma] = machines
+        return machines
+
+    def cls_row(self, u_id: int, child_sigma: Label) -> list[int]:
+        """Classifier transition row on ``(u, child_sigma)`` (id -> id/-1)."""
+        key = (u_id, child_sigma)
+        row = self._cls_rows.get(key)
+        if row is None:
+            classifier = self.ctx.automaton.up_classifier.dfa
+            symbol = (self.state_ids.value(u_id), child_sigma)
+            row = []
+            for c in self.cls_ids.values():
+                target = classifier.step(c, symbol)
+                row.append(-1 if target is None else self.cls_ids.id_of(target))
+            self._cls_rows[key] = row
+        return row
+
+    #: settle-row sentinels: -1 = no settle (run dies), -2 = cycles.
+    def settle_row(self, fhat_id: int) -> list[int]:
+        row = self._settle_rows.get(fhat_id)
+        if row is None:
+            fhat = self.fhat_ids.value(fhat_id)
+            row = []
+            for d in self.sorted_states:
+                try:
+                    u = settle(fhat, d)
+                except NonTerminatingRunError:
+                    row.append(-2)
+                    continue
+                row.append(-1 if u is None else self.state_ids.id_of(u))
+            self._settle_rows[fhat_id] = row
+        return row
+
+    def ann_accepting(self, ann_id: int) -> bool:
+        cached = self._ann_accept.get(ann_id)
+        if cached is None:
+            cached = self.ctx.annotation.accepting(self.ann_ids.value(ann_id))
+            self._ann_accept[ann_id] = cached
+        return cached
+
+
+class _PackedMachine:
+    """One entry state's scan machine: a regex DFA packed to ids."""
+
+    __slots__ = (
+        "pctx",
+        "regex",
+        "r_ids",
+        "nR",
+        "pairspace",
+        "rstep",
+        "any_row",
+        "accepting_r_mask",
+        "initial_r",
+        "_comp_cache",
+        "_p1_rows",
+        "_p2_cache",
+    )
+
+    def __init__(self, pctx: _PackedContext, regex: DFA) -> None:
+        self.pctx = pctx
+        self.regex = regex
+        self.r_ids = Interner(sorted(regex.states, key=repr))
+        self.nR = len(self.r_ids)
+        self.pairspace = self.nR * pctx.ncls
+        self.rstep = []
+        for d in pctx.sorted_states:
+            row = []
+            for r in self.r_ids.values():
+                target = regex.step(r, d)
+                row.append(-1 if target is None else self.r_ids.id_of(target))
+            self.rstep.append(row)
+        # r-set evolution is letter-independent (every child state is tried).
+        self.any_row = [0] * self.nR
+        for row in self.rstep:
+            for r_id, target in enumerate(row):
+                if target >= 0:
+                    self.any_row[r_id] |= 1 << target
+        self.accepting_r_mask = self.r_ids.mask_of(regex.accepting)
+        self.initial_r = self.r_ids.id_of(regex.initial)
+        self._comp_cache: dict[tuple, tuple] = {}
+        self._p1_rows: dict[tuple, list] = {}
+        self._p2_cache: dict[tuple, frozenset] = {}
+
+    # -- packing helpers ---------------------------------------------------
+
+    def initial_component(self) -> tuple:
+        pctx = self.pctx
+        c0 = pctx.cls_initial
+        p1 = 1 << (self.initial_r * pctx.ncls + c0)
+        if pctx.ctx.annotation is not None:
+            p2 = frozenset(
+                self._encode_p2(
+                    pctx.ann_ids.intern(ann), self.initial_r, c0, c0, 0
+                )
+                for ann in pctx.ctx.annotation.initial_states()
+            )
+        else:
+            p2 = frozenset()
+        return (1 << self.initial_r, p1, p2)
+
+    def _encode_p2(self, ann_id: int, r: int, c: int, c2: int, bit: int) -> int:
+        ncls = self.pctx.ncls
+        return (((ann_id * self.nR + r) * ncls + c) * ncls + c2) * 2 + bit
+
+    def _decode_p2(self, idx: int) -> tuple[int, int, int, int, int]:
+        ncls = self.pctx.ncls
+        bit = idx & 1
+        rest = idx >> 1
+        rest, c2 = divmod(rest, ncls)
+        rest, c = divmod(rest, ncls)
+        ann_id, r = divmod(rest, self.nR)
+        return ann_id, r, c, c2, bit
+
+    # -- stepping ----------------------------------------------------------
+
+    def step_component(
+        self, comp: tuple, fhat_id: int, child_sigma: Label, selcap_mask: int, spend
+    ) -> tuple:
+        key = (comp, fhat_id, child_sigma, selcap_mask)
+        cached = self._comp_cache.get(key)
+        if cached is not None:
+            return cached
+        r_mask, p1_mask, p2 = comp
+        new_r = 0
+        for r_id in iter_bits(r_mask):
+            new_r |= self.any_row[r_id]
+        # p1 steps are memoized in a dense row per letter: one dict probe
+        # per component step, list-indexed per set bit.
+        letter_key = (fhat_id, child_sigma, selcap_mask)
+        row = self._p1_rows.get(letter_key)
+        if row is None:
+            row = [None] * (2 * self.pairspace)
+            self._p1_rows[letter_key] = row
+        new_p1 = 0
+        for idx in iter_bits(p1_mask):
+            stepped = row[idx]
+            if stepped is None:
+                stepped = self._step_p1(
+                    idx, fhat_id, child_sigma, selcap_mask, spend
+                )
+                row[idx] = stepped
+            new_p1 |= stepped
+        new_p2: set[int] = set()
+        for idx in p2:
+            new_p2.update(
+                self._step_p2(idx, fhat_id, child_sigma, selcap_mask, spend)
+            )
+        result = (new_r, new_p1, frozenset(new_p2))
+        self._comp_cache[key] = result
+        return result
+
+    def _step_p1(
+        self, idx: int, fhat_id: int, child_sigma: Label, selcap_mask: int, spend
+    ) -> int:
+        spend(1)
+        pctx = self.pctx
+        bit, rem = divmod(idx, self.pairspace)
+        r, c = divmod(rem, pctx.ncls)
+        settle_row = pctx.settle_row(fhat_id)
+        out = 0
+        for d_id in range(pctx.n_states):
+            r_next = self.rstep[d_id][r]
+            if r_next < 0:
+                continue
+            u = settle_row[d_id]
+            if u == -1:
+                continue
+            if u == -2:
+                raise NonTerminatingRunError("behavior cycles while settling")
+            c_next = pctx.cls_row(u, child_sigma)[c]
+            if c_next < 0:
+                continue
+            new_bit = 1 if (bit or (selcap_mask >> d_id) & 1) else 0
+            out |= 1 << (new_bit * self.pairspace + r_next * pctx.ncls + c_next)
+        return out
+
+    def _step_p2(
+        self, idx: int, fhat_id: int, child_sigma: Label, selcap_mask: int, spend
+    ) -> frozenset:
+        key = (idx, fhat_id, child_sigma, selcap_mask)
+        cached = self._p2_cache.get(key)
+        if cached is not None:
+            return cached
+        spend(1)
+        pctx = self.pctx
+        annotation = pctx.ctx.annotation
+        ann_id, r, c, c2, bit = self._decode_p2(idx)
+        ann = pctx.ann_ids.value(ann_id)
+        settle_row = pctx.settle_row(fhat_id)
+        out: set[int] = set()
+        for d_id in range(pctx.n_states):
+            r_next = self.rstep[d_id][r]
+            if r_next < 0:
+                continue
+            u = settle_row[d_id]
+            if u == -1:
+                continue
+            if u == -2:
+                raise NonTerminatingRunError("behavior cycles while settling")
+            c_next = pctx.cls_row(u, child_sigma)[c]
+            if c_next < 0:
+                continue
+            base_bit = 1 if (bit or (selcap_mask >> d_id) & 1) else 0
+            symbol = (pctx.state_ids.value(u), child_sigma)
+            for s_id in range(pctx.n_states):
+                s = pctx.sorted_states[s_id]
+                ann_targets = annotation.step(ann, symbol, s)
+                if not ann_targets:
+                    continue
+                u2 = settle_row[s_id]
+                if u2 == -1:
+                    continue
+                if u2 == -2:
+                    raise NonTerminatingRunError("behavior cycles while settling")
+                c2_next = pctx.cls_row(u2, child_sigma)[c2]
+                if c2_next < 0:
+                    continue
+                stay_bit = base_bit or (selcap_mask >> s_id) & 1
+                for ann_next in ann_targets:
+                    out.add(
+                        self._encode_p2(
+                            pctx.ann_ids.intern(ann_next),
+                            r_next,
+                            c_next,
+                            c2_next,
+                            1 if stay_bit else 0,
+                        )
+                    )
+        result = frozenset(out)
+        self._p2_cache[key] = result
+        return result
+
+    # -- end-of-word resolution --------------------------------------------
+
+    def resolve(self, comp: tuple) -> tuple[tuple, bool]:
+        """(outcome, child-selection bit) — packed ``_resolve_component``."""
+        pctx = self.pctx
+        r_mask, p1_mask, p2 = comp
+        if not r_mask & self.accepting_r_mask:
+            return (HALT,), False
+        survivors = []
+        for idx in iter_bits(p1_mask):
+            bit, rem = divmod(idx, self.pairspace)
+            r, c = divmod(rem, pctx.ncls)
+            if (self.accepting_r_mask >> r) & 1:
+                survivors.append((c, bit))
+        if not survivors:
+            return (DIES,), False
+        outcomes = {pctx.cls_outcome[c] for (c, _bit) in survivors}
+        outcomes.discard(None)
+        if not outcomes:
+            return (DIES,), False
+        if len(outcomes) > 1:  # pragma: no cover - determinism guarantee
+            raise AssertionError(f"ambiguous classifier outcomes {outcomes!r}")
+        outcome = next(iter(outcomes))
+        bit = any(b for (_c, b) in survivors)
+        if outcome[0] == UP:
+            return (RET, outcome[1]), bit
+        assert outcome[0] == STAY
+        stay_survivors = []
+        for idx in p2:
+            ann_id, r, _c, c2, b2 = self._decode_p2(idx)
+            if (self.accepting_r_mask >> r) & 1 and pctx.ann_accepting(ann_id):
+                stay_survivors.append((c2, b2))
+        if not stay_survivors:
+            return (DIES,), bit
+        outcomes2 = {pctx.cls_outcome[c2] for (c2, _b) in stay_survivors}
+        outcomes2.discard(None)
+        if not outcomes2:
+            return (DIES,), bit
+        if len(outcomes2) > 1:  # pragma: no cover - transduction is a function
+            raise AssertionError(f"ambiguous stay outcomes {outcomes2!r}")
+        outcome2 = next(iter(outcomes2))
+        bit2 = bit or any(b for (_c2, b) in stay_survivors)
+        if outcome2[0] == STAY:
+            limit = pctx.ctx.automaton.stay_limit
+            if limit is not None and limit <= 1:
+                raise StayLimitError("a second stay transition would fire")
+            raise NotImplementedError("closure supports at most one stay per node")
+        return (RET, outcome2[1]), bit2
+
+
+class _Letter:
+    """One letter of the children word, with packed per-automaton parts."""
+
+    __slots__ = ("fhats", "label", "selcaps", "fhat_ids", "selcap_masks",
+                 "witness", "path")
+
+    def __init__(self, fhats, label, selcaps, fhat_ids, selcap_masks,
+                 witness, path) -> None:
+        self.fhats = fhats
+        self.label = label
+        self.selcaps = selcaps
+        self.fhat_ids = fhat_ids
+        self.selcap_masks = selcap_masks
+        self.witness = witness
+        self.path = path
+
+
+class _ScanRec:
+    """A live scan state: packed core + the word that first reached it."""
+
+    __slots__ = ("sigma", "core", "marked_pos", "word", "cursor")
+
+    def __init__(self, sigma, core, marked_pos, word) -> None:
+        self.sigma = sigma
+        self.core = core
+        self.marked_pos = marked_pos
+        self.word = word
+        self.cursor = 0
+
+
+class PackedJointClosure:
+    """Bitset worklist engine computing the Theorem 6.3/6.4 closure.
+
+    Drop-in replacement for :class:`JointClosure` (same ``unmarked`` /
+    ``marked`` result maps), with three extra knobs:
+
+    * ``polarities`` — per-automaton ``+1``/``-1`` governing the
+      subsumption order on marked elements (``+1``: larger selection
+      capabilities dominate; ``-1``: smaller).  Use ``(+1, -1)`` for
+      containment of the first query in the second; the default is all
+      ``+1`` (non-emptiness goals).
+    * ``track_marked`` — ``False`` skips marked elements entirely
+      (language emptiness only inspects unmarked elements).
+    * The budget raises :class:`BudgetExceededError` carrying work,
+      closure-size, and pending-scan counters.
+    """
+
+    def __init__(
+        self,
+        query_automata: Sequence[UnrankedQueryAutomaton],
+        budget: int = 5_000_000,
+        polarities: Sequence[int] | None = None,
+        track_marked: bool = True,
+    ) -> None:
+        self.contexts = [
+            _AutomatonContext.build(qa.automaton, qa.selecting)
+            for qa in query_automata
+        ]
+        alphabets = {ctx.automaton.alphabet for ctx in self.contexts}
+        if len(alphabets) != 1:
+            raise ValueError("joint closure requires a common alphabet")
+        self.alphabet = sorted(next(iter(alphabets)), key=repr)
+        self.budget = budget
+        self.track_marked = track_marked
+        if polarities is None:
+            self.polarities = tuple(1 for _ in self.contexts)
+        else:
+            self.polarities = tuple(polarities)
+        self._work = 0
+        self.packed = [_PackedContext(ctx) for ctx in self.contexts]
+        self.unmarked: dict[tuple, Tree] = {}
+        self.marked: dict[tuple, tuple[Tree, Path]] = {}
+        self._letter_list: list[_Letter] = []
+        self._marked_groups: dict[tuple, list[tuple]] = {}
+        self._records: dict[tuple, _ScanRec] = {}
+        self._queue: deque[_ScanRec] = deque()
+        self._run()
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _spend(self, amount: int = 1) -> None:
+        self._work += amount
+        if self._work > self.budget:
+            raise BudgetExceededError(
+                self.budget,
+                work=self._work,
+                closure_size=len(self.unmarked) + len(self.marked),
+                pending_scans=len(self._queue),
+            )
+
+    # -- element recording -------------------------------------------------
+
+    def _add_letter(self, fhats, label, selcaps, witness, path) -> None:
+        fhat_ids = tuple(
+            pctx.fhat_ids.intern(fhat)
+            for pctx, fhat in zip(self.packed, fhats)
+        )
+        if selcaps is None:
+            selcap_masks = tuple(0 for _ in self.packed)
+        else:
+            selcap_masks = tuple(
+                pctx.state_ids.mask_of(selcap)
+                for pctx, selcap in zip(self.packed, selcaps)
+            )
+        self._letter_list.append(
+            _Letter(fhats, label, selcaps, fhat_ids, selcap_masks, witness, path)
+        )
+
+    def _dominates(self, dominator: tuple, caps: tuple) -> bool:
+        for polarity, strong, weak in zip(self.polarities, dominator, caps):
+            if polarity > 0:
+                if not weak <= strong:
+                    return False
+            else:
+                if not strong <= weak:
+                    return False
+        return True
+
+    def _add_marked(self, fhats, sigma, selcaps, witness, path) -> None:
+        key = (fhats, sigma, selcaps)
+        if key in self.marked:
+            return
+        group = self._marked_groups.setdefault((fhats, sigma), [])
+        if any(self._dominates(existing, selcaps) for existing in group):
+            return  # subsumed — a dominating element already spawned scans
+        group.append(selcaps)
+        self.marked[key] = (witness, path)
+        self._add_letter(fhats, sigma, selcaps, witness, path)
+
+    def _add_unmarked(self, fhats, sigma, witness) -> None:
+        if (fhats, sigma) in self.unmarked:
+            return
+        self.unmarked[(fhats, sigma)] = witness
+        self._add_letter(fhats, sigma, None, witness, None)
+        if self.track_marked:
+            selcaps = tuple(
+                ctx.self_selcap(fhat, sigma)
+                for ctx, fhat in zip(self.contexts, fhats)
+            )
+            self._add_marked(fhats, sigma, selcaps, witness, ())
+
+    # -- the worklist fixpoint ---------------------------------------------
+
+    def _run(self) -> None:
+        for sigma in self.alphabet:
+            fhats = tuple(ctx.leaf_fhat(sigma) for ctx in self.contexts)
+            self._add_unmarked(fhats, sigma, Tree(sigma))
+        for sigma in self.alphabet:
+            self._visit(sigma, self._initial_core(sigma), None, ())
+        while True:
+            queue = self._queue
+            while queue:
+                rec = queue.popleft()
+                end = len(self._letter_list)
+                for letter_index in range(rec.cursor, end):
+                    self._apply(rec, letter_index)
+                rec.cursor = end
+            stale = [
+                rec
+                for rec in self._records.values()
+                if rec.cursor < len(self._letter_list)
+            ]
+            if not stale:
+                return
+            queue.extend(stale)
+
+    def _initial_core(self, sigma: Label) -> tuple:
+        parts = []
+        for pctx in self.packed:
+            parts.append(
+                tuple(
+                    None if machine is None else machine.initial_component()
+                    for machine in pctx.machines(sigma)
+                )
+            )
+        return tuple(parts)
+
+    def _visit(self, sigma, core, marked_pos, word) -> None:
+        key = (sigma, core, marked_pos is not None)
+        if key in self._records:
+            return
+        rec = _ScanRec(sigma, core, marked_pos, word)
+        self._records[key] = rec
+        self._queue.append(rec)
+        if word:
+            self._emit(rec)
+
+    def _apply(self, rec: _ScanRec, letter_index: int) -> None:
+        letter = self._letter_list[letter_index]
+        if letter.selcaps is not None and rec.marked_pos is not None:
+            return  # at most one marked child
+        self._spend(1)
+        next_parts = []
+        for k, pctx in enumerate(self.packed):
+            fhat_id = letter.fhat_ids[k]
+            selcap_mask = letter.selcap_masks[k]
+            per_q = []
+            for comp, machine in zip(rec.core[k], pctx.machines(rec.sigma)):
+                if comp is None:
+                    per_q.append(None)
+                    continue
+                per_q.append(
+                    machine.step_component(
+                        comp, fhat_id, letter.label, selcap_mask, self._spend
+                    )
+                )
+            next_parts.append(tuple(per_q))
+        if letter.selcaps is None:
+            marked_pos = rec.marked_pos
+        else:
+            marked_pos = len(rec.word)
+        self._visit(
+            rec.sigma, tuple(next_parts), marked_pos, rec.word + (letter_index,)
+        )
+
+    # -- emission ----------------------------------------------------------
+
+    def _emit(self, rec: _ScanRec) -> None:
+        sigma = rec.sigma
+        fhats = []
+        childsels = []
+        for k, (ctx, pctx) in enumerate(zip(self.contexts, self.packed)):
+            automaton = ctx.automaton
+            machines = pctx.machines(sigma)
+            table: dict[State, tuple] = {}
+            childsel: dict[State, bool] = {}
+            for index, q in enumerate(pctx.sorted_states):
+                if (q, sigma) in automaton.up_pairs:
+                    table[q] = (RET, q)
+                    childsel[q] = False
+                    continue
+                comp = rec.core[k][index]
+                if comp is None:
+                    table[q] = (HALT,)
+                    childsel[q] = False
+                    continue
+                outcome, bit = machines[index].resolve(comp)
+                table[q] = outcome
+                childsel[q] = bit
+            fhats.append(_freeze_fhat(table))
+            childsels.append(childsel)
+        fhats = tuple(fhats)
+
+        letters = [self._letter_list[i] for i in rec.word]
+        witness = Tree(sigma, [letter.witness for letter in letters])
+        if rec.marked_pos is None:
+            self._add_unmarked(fhats, sigma, witness)
+        else:
+            selcaps = []
+            for k, ctx in enumerate(self.contexts):
+                capable = set()
+                for q in ctx.automaton.states:
+                    try:
+                        states_here = orbit(fhats[k], q)
+                    except NonTerminatingRunError:
+                        continue
+                    if any(childsels[k].get(s, False) for s in states_here):
+                        capable.add(q)
+                selcaps.append(frozenset(capable))
+            marked_letter = letters[rec.marked_pos]
+            child_path = (rec.marked_pos,) + marked_letter.path
+            self._add_marked(fhats, sigma, tuple(selcaps), witness, child_path)
+
+
+def _closure_for(
+    query_automata: Sequence[UnrankedQueryAutomaton],
+    budget: int,
+    engine: str,
+    polarities: Sequence[int] | None = None,
+    track_marked: bool = True,
+):
+    """Instantiate the requested closure engine."""
+    if engine == "naive":
+        return JointClosure(query_automata, budget=budget)
+    if engine == "packed":
+        return PackedJointClosure(
+            query_automata,
+            budget=budget,
+            polarities=polarities,
+            track_marked=track_marked,
+        )
+    raise ValueError(f"unknown closure engine {engine!r}")
+
+
+# ----------------------------------------------------------------------
 # Public decision procedures
 # ----------------------------------------------------------------------
 
 
 def language_witness(
-    automaton: TwoWayUnrankedAutomaton, budget: int = 5_000_000
+    automaton: TwoWayUnrankedAutomaton,
+    budget: int = 5_000_000,
+    engine: str = "packed",
 ) -> Tree | None:
     """Some accepted tree, or ``None`` — 2DTA^u emptiness (Theorem 6.3)."""
     qa = UnrankedQueryAutomaton(automaton, frozenset())
-    closure = JointClosure([qa], budget=budget)
+    closure = _closure_for([qa], budget, engine, track_marked=False)
     ctx = closure.contexts[0]
     for (fhats, sigma), witness in closure.unmarked.items():
         if ctx.accepts_element(fhats[0], sigma):
@@ -593,17 +1265,21 @@ def language_witness(
 
 
 def language_is_empty(
-    automaton: TwoWayUnrankedAutomaton, budget: int = 5_000_000
+    automaton: TwoWayUnrankedAutomaton,
+    budget: int = 5_000_000,
+    engine: str = "packed",
 ) -> bool:
     """Is the accepted tree language empty?"""
-    return language_witness(automaton, budget=budget) is None
+    return language_witness(automaton, budget=budget, engine=engine) is None
 
 
 def query_witness(
-    qa: UnrankedQueryAutomaton, budget: int = 5_000_000
+    qa: UnrankedQueryAutomaton,
+    budget: int = 5_000_000,
+    engine: str = "packed",
 ) -> tuple[Tree, Path] | None:
     """A tree and node the query selects — non-emptiness (Theorem 6.3)."""
-    closure = JointClosure([qa], budget=budget)
+    closure = _closure_for([qa], budget, engine, polarities=(1,))
     ctx = closure.contexts[0]
     for (fhats, sigma, selcaps), (witness, path) in closure.marked.items():
         if ctx.selects_marked(fhats[0], sigma, selcaps[0]):
@@ -611,21 +1287,26 @@ def query_witness(
     return None
 
 
-def query_is_empty(qa: UnrankedQueryAutomaton, budget: int = 5_000_000) -> bool:
+def query_is_empty(
+    qa: UnrankedQueryAutomaton,
+    budget: int = 5_000_000,
+    engine: str = "packed",
+) -> bool:
     """Is ``A(t) = ∅`` for every tree ``t``?"""
-    return query_witness(qa, budget=budget) is None
+    return query_witness(qa, budget=budget, engine=engine) is None
 
 
 def containment_counterexample(
     first: UnrankedQueryAutomaton,
     second: UnrankedQueryAutomaton,
     budget: int = 5_000_000,
+    engine: str = "packed",
 ) -> tuple[Tree, Path] | None:
     """A (tree, node) selected by ``first`` but not ``second`` (Thm 6.4).
 
     ``None`` means the query of ``first`` is contained in ``second``'s.
     """
-    closure = JointClosure([first, second], budget=budget)
+    closure = _closure_for([first, second], budget, engine, polarities=(1, -1))
     ctx1, ctx2 = closure.contexts
     for (fhats, sigma, selcaps), (witness, path) in closure.marked.items():
         if ctx1.selects_marked(fhats[0], sigma, selcaps[0]) and not (
@@ -639,17 +1320,22 @@ def is_contained(
     first: UnrankedQueryAutomaton,
     second: UnrankedQueryAutomaton,
     budget: int = 5_000_000,
+    engine: str = "packed",
 ) -> bool:
     """``first(t) ⊆ second(t)`` for all trees?"""
-    return containment_counterexample(first, second, budget=budget) is None
+    return (
+        containment_counterexample(first, second, budget=budget, engine=engine)
+        is None
+    )
 
 
 def are_equivalent(
     first: UnrankedQueryAutomaton,
     second: UnrankedQueryAutomaton,
     budget: int = 5_000_000,
+    engine: str = "packed",
 ) -> bool:
     """Do the two query automata compute the same query? (Theorem 6.4)"""
-    return is_contained(first, second, budget=budget) and is_contained(
-        second, first, budget=budget
-    )
+    return is_contained(
+        first, second, budget=budget, engine=engine
+    ) and is_contained(second, first, budget=budget, engine=engine)

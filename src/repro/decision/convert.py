@@ -48,6 +48,79 @@ def _trie_classifier(automaton: TwoWayRankedAutomaton) -> UpClassifier:
     return UpClassifier(dfa, outcome)
 
 
+def _minimized_classifier(classifier: UpClassifier) -> UpClassifier:
+    """Moore-minimize a partial classifier DFA respecting its outcomes.
+
+    Two states merge only when they carry the same outcome (or both
+    none), and their transition structure — including *missing*
+    transitions, which kill a scan path — is equivalent.  The sink used
+    to complete the DFA gets a private color, so partiality is preserved
+    exactly: a path dies in the quotient at the same step it dies in the
+    trie, keeping the closure's survivor bits bit-for-bit identical.
+    """
+    dfa = classifier.dfa
+    sink = ("__classifier_sink__",)
+    total = dfa.completed(sink)
+    symbols = sorted(total.alphabet, key=repr)
+    dead_color = ("__dead__",)
+
+    def color(state) -> tuple:
+        if state == sink:
+            return dead_color
+        outcome = classifier.outcome.get(state)
+        return ("__plain__",) if outcome is None else ("__outcome__", outcome)
+
+    groups: dict[tuple, list] = {}
+    for state in sorted(total.states, key=repr):
+        groups.setdefault(color(state), []).append(state)
+    block_of: dict = {}
+    for index, key in enumerate(sorted(groups, key=repr)):
+        for state in groups[key]:
+            block_of[state] = index
+    while True:
+        signatures: dict = {}
+        for state in sorted(total.states, key=repr):
+            signature = (
+                block_of[state],
+                tuple(
+                    block_of[total.transitions[(state, symbol)]]
+                    for symbol in symbols
+                ),
+            )
+            signatures.setdefault(signature, []).append(state)
+        if len(signatures) == len(set(block_of.values())):
+            break
+        block_of = {}
+        for index, signature in enumerate(sorted(signatures)):
+            for state in signatures[signature]:
+                block_of[state] = index
+
+    representative: dict[int, tuple] = {}
+    for state in sorted(total.states, key=repr):
+        representative.setdefault(block_of[state], state)
+    dead_block = block_of[sink]
+    states = {
+        rep for block, rep in representative.items() if block != dead_block
+    }
+    transitions: dict[tuple, tuple] = {}
+    outcome: dict[tuple, tuple] = {}
+    for block, rep in representative.items():
+        if block == dead_block:
+            continue
+        value = classifier.outcome.get(rep)
+        if value is not None:
+            outcome[rep] = value
+        for symbol in symbols:
+            target_block = block_of[total.transitions[(rep, symbol)]]
+            if target_block == dead_block:
+                continue
+            transitions[(rep, symbol)] = representative[target_block]
+    initial = representative[block_of[dfa.initial]]
+    states.add(initial)
+    minimized = DFA.build(states, total.alphabet, transitions, initial, set())
+    return UpClassifier(minimized, outcome)
+
+
 def _down_languages(
     automaton: TwoWayRankedAutomaton,
 ) -> dict[tuple, SimpleRegex]:
@@ -86,7 +159,7 @@ def ranked_to_unranked(
         down_pairs=automaton.down_pairs,
         delta_leaf=dict(automaton.delta_leaf),
         delta_root=dict(automaton.delta_root),
-        up_classifier=_trie_classifier(automaton),
+        up_classifier=_minimized_classifier(_trie_classifier(automaton)),
         down=_down_languages(automaton),
         stay_gsqa=None,
         stay_limit=0,

@@ -198,15 +198,62 @@ def _decode_witness(word) -> tuple[list, int]:
     return plain, position
 
 
+def _marked_letters(alphabet: Sequence) -> list[tuple]:
+    return [(symbol, bit) for symbol in alphabet for bit in (0, 1)]
+
+
+def _frontier_step(snfa: StringSelectionNFA, frontier: frozenset, letter) -> frozenset:
+    moved: set = set()
+    for state in frontier:
+        moved |= snfa.step(state, letter)
+    return frozenset(moved)
+
+
+def _frontier_accepts(snfa: StringSelectionNFA, frontier: frozenset) -> bool:
+    for state in frontier:
+        status = snfa.accepting_status(state)
+        if status is None:
+            continue
+        marked, halt = status
+        if marked == SELECTED and halt in snfa.automaton.accepting:
+            return True
+    return False
+
+
 def string_query_witness(
     qa: StringQueryAutomaton, alphabet: Sequence
 ) -> tuple[list, int] | None:
-    """Non-emptiness: some ``(w, i)`` with ``i ∈ A(w)``, or ``None``."""
-    dfa = selection_language(qa, alphabet)
-    shortest = dfa.shortest_accepted()
-    if shortest is None:
-        return None
-    return _decode_witness(shortest)
+    """Non-emptiness: some ``(w, i)`` with ``i ∈ A(w)``, or ``None``.
+
+    Level-order BFS on the lazy selection NFA's subset frontiers with
+    antichain pruning (a frontier contained in an explored frontier can
+    reach acceptance no sooner), never materializing or determinizing the
+    exponential NFA.
+    """
+    snfa = StringSelectionNFA(qa)
+    letters = _marked_letters(alphabet)
+    start = snfa.initial_states()
+    antichain: list[frozenset] = [start]
+    frontier: list[tuple[frozenset, tuple]] = [(start, ())]
+    while frontier:
+        next_frontier: list[tuple[frozenset, tuple]] = []
+        for states, word in frontier:
+            for letter in letters:
+                target = _frontier_step(snfa, states, letter)
+                if not target:
+                    continue
+                new_word = word + (letter,)
+                if _frontier_accepts(snfa, target):
+                    return _decode_witness(new_word)
+                if any(target <= seen for seen in antichain):
+                    continue
+                antichain = [
+                    seen for seen in antichain if not seen <= target
+                ]
+                antichain.append(target)
+                next_frontier.append((target, new_word))
+        frontier = next_frontier
+    return None
 
 
 def string_containment_counterexample(
@@ -214,14 +261,46 @@ def string_containment_counterexample(
     second: StringQueryAutomaton,
     alphabet: Sequence,
 ) -> tuple[list, int] | None:
-    """A ``(w, i)`` selected by ``first`` but not ``second`` (Thm 6.4 on strings)."""
-    left = selection_language(first, alphabet)
-    right = selection_language(second, alphabet)
-    difference = left.intersection(right.complement())
-    shortest = difference.shortest_accepted()
-    if shortest is None:
-        return None
-    return _decode_witness(shortest)
+    """A ``(w, i)`` selected by ``first`` but not ``second`` (Thm 6.4 on strings).
+
+    Antichain product search (De Wulf–Doyen–Raskin style): pairs
+    ``(S₁, S₂)`` of subset frontiers, accepting when ``S₁`` accepts and
+    ``S₂`` does not; a pair with smaller ``S₁`` and larger ``S₂`` than an
+    explored pair is dominated and pruned.  Avoids determinizing and
+    complementing the second query's exponential selection NFA.
+    """
+    left = StringSelectionNFA(first)
+    right = StringSelectionNFA(second)
+    letters = _marked_letters(alphabet)
+    start = (left.initial_states(), right.initial_states())
+    antichain: list[tuple[frozenset, frozenset]] = [start]
+    frontier: list[tuple[tuple, tuple]] = [(start, ())]
+    while frontier:
+        next_frontier: list[tuple[tuple, tuple]] = []
+        for (s1, s2), word in frontier:
+            for letter in letters:
+                t1 = _frontier_step(left, s1, letter)
+                if not t1:
+                    continue  # the first query can never select this word
+                t2 = _frontier_step(right, s2, letter)
+                new_word = word + (letter,)
+                if _frontier_accepts(left, t1) and not _frontier_accepts(
+                    right, t2
+                ):
+                    return _decode_witness(new_word)
+                if any(
+                    t1 <= a1 and a2 <= t2 for (a1, a2) in antichain
+                ):
+                    continue
+                antichain = [
+                    (a1, a2)
+                    for (a1, a2) in antichain
+                    if not (a1 <= t1 and t2 <= a2)
+                ]
+                antichain.append((t1, t2))
+                next_frontier.append(((t1, t2), new_word))
+        frontier = next_frontier
+    return None
 
 
 def string_queries_equivalent(
@@ -229,7 +308,8 @@ def string_queries_equivalent(
     second: StringQueryAutomaton,
     alphabet: Sequence,
 ) -> bool:
-    """Do two QA^string compute the same query?"""
-    return selection_language(first, alphabet).equivalent(
-        selection_language(second, alphabet)
+    """Do two QA^string compute the same query?  Two antichain containments."""
+    return (
+        string_containment_counterexample(first, second, alphabet) is None
+        and string_containment_counterexample(second, first, alphabet) is None
     )

@@ -11,7 +11,11 @@ This package makes query evaluation single-sweep and cached end-to-end:
 * :func:`fast_evaluate_unranked` / :func:`fast_evaluate_marked` — tree
   evaluation with hashed subtree types, so identical subtrees and sibling
   words are summarized once (Lemma 5.16 / Figure 5);
-* :func:`batch_evaluate` — one engine, many inputs.
+* :func:`batch_evaluate` — one engine, many inputs;
+* :mod:`~repro.perf.bitset` — the bitset kernel (interned ids,
+  Python-int state sets, :class:`PackedNFA`) powering the subset
+  construction, NBTA emptiness, and the packed worklist closure of
+  :mod:`repro.decision.closure`.
 
 The naive simulators in :mod:`repro.strings`, :mod:`repro.ranked` and
 :mod:`repro.unranked` remain the reference oracles; the differential
@@ -19,6 +23,8 @@ tests in ``tests/perf/`` enforce agreement.
 """
 
 from .batch import batch_evaluate, evaluate_one
+from .bitset import Interner, PackedNFA, is_subset, iter_bits, mask_of
+from .registry import EngineRegistry
 from .strings import (
     StringQueryEngine,
     TransductionEngine,
@@ -38,7 +44,10 @@ from .trees import (
 
 __all__ = [
     "BehaviorTable",
+    "EngineRegistry",
+    "Interner",
     "MarkedQueryEngine",
+    "PackedNFA",
     "StringQueryEngine",
     "TransductionEngine",
     "UnrankedQueryEngine",
@@ -50,5 +59,8 @@ __all__ = [
     "fast_evaluate_unranked",
     "fast_final_state",
     "fast_transduce",
+    "is_subset",
+    "iter_bits",
+    "mask_of",
     "marked_engine",
 ]

@@ -1,0 +1,178 @@
+"""The bitset kernel: interned ids and Python-int state sets.
+
+Every EXPTIME procedure in :mod:`repro.decision` manipulates *sets* —
+Assumed sets, NFA frontiers, subset-construction states, the scan states
+of the Theorem 6.3 closure.  This module gives them one packed
+representation: objects are interned to dense integer ids and sets of
+ids are single Python ints (bit ``i`` set iff id ``i`` is a member).
+Union/intersection/subset tests then run word-parallel in C, and the
+packed values hash as small ints — the difference between tuple-of-
+frozenset scan states and the worklist engine of
+:mod:`repro.decision.closure`.
+
+Contents:
+
+* :class:`Interner` — bidirectional object ↔ dense-id map;
+* :func:`iter_bits` / :func:`mask_of` — bitset ↔ id-iterable glue;
+* :class:`PackedNFA` — an :class:`~repro.strings.nfa.NFA` with interned
+  states and precomputed per-symbol successor masks (ε-closure folded
+  in), the workhorse of the bitset subset construction and of the
+  antichain frontiers in :mod:`repro.unranked.nbta`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import Iterator
+
+
+class Interner:
+    """A bidirectional map between hashable objects and dense ids."""
+
+    __slots__ = ("_ids", "_values")
+
+    def __init__(self, values: Iterable[Hashable] = ()) -> None:
+        self._ids: dict[Hashable, int] = {}
+        self._values: list[Hashable] = []
+        for value in values:
+            self.intern(value)
+
+    def intern(self, value: Hashable) -> int:
+        """The id of ``value``, assigning the next free id if new."""
+        idx = self._ids.get(value)
+        if idx is None:
+            idx = len(self._values)
+            self._ids[value] = idx
+            self._values.append(value)
+        return idx
+
+    def id_of(self, value: Hashable) -> int | None:
+        """The id of ``value`` if already interned, else ``None``."""
+        return self._ids.get(value)
+
+    def value(self, idx: int) -> Hashable:
+        """The object with id ``idx``."""
+        return self._values[idx]
+
+    def values(self) -> list[Hashable]:
+        """All interned objects, in id order (a fresh list)."""
+        return list(self._values)
+
+    def mask_of(self, values: Iterable[Hashable]) -> int:
+        """The bitset of the (interned-on-demand) ids of ``values``."""
+        mask = 0
+        for value in values:
+            mask |= 1 << self.intern(value)
+        return mask
+
+    def unpack(self, mask: int) -> list[Hashable]:
+        """The objects whose ids are set in ``mask``, in id order."""
+        return [self._values[i] for i in iter_bits(mask)]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._ids
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_of(ids: Iterable[int]) -> int:
+    """The bitset with exactly the given bit indices set."""
+    mask = 0
+    for idx in ids:
+        mask |= 1 << idx
+    return mask
+
+
+def is_subset(inner: int, outer: int) -> bool:
+    """``inner ⊆ outer`` on bitsets."""
+    return inner & ~outer == 0
+
+
+class PackedNFA:
+    """An NFA packed to dense ids with per-symbol successor masks.
+
+    ``succ[symbol][state_id]`` is the ε-closed bitset of successors, so
+    advancing a whole frontier is an OR-loop over its set bits.  The
+    symbol axis stays a dict (alphabets are arbitrary hashables); the
+    state axis is dense.
+    """
+
+    __slots__ = (
+        "nfa",
+        "states",
+        "symbols",
+        "initial_mask",
+        "accepting_mask",
+        "succ",
+    )
+
+    def __init__(self, nfa) -> None:
+        from ..strings.nfa import EPSILON
+
+        self.nfa = nfa
+        self.states = Interner(sorted(nfa.states, key=repr))
+        self.symbols = sorted(nfa.alphabet, key=repr)
+        n = len(self.states)
+
+        # ε-edges, then closures by fixpoint doubling.
+        eps = [0] * n
+        for (source, symbol), targets in nfa.transitions.items():
+            if symbol is EPSILON:
+                eps[self.states.intern(source)] |= self.states.mask_of(targets)
+        closure = [eps[i] | (1 << i) for i in range(n)]
+        changed = True
+        while changed:
+            changed = False
+            for i in range(n):
+                expanded = closure[i]
+                for j in iter_bits(closure[i]):
+                    expanded |= closure[j]
+                if expanded != closure[i]:
+                    closure[i] = expanded
+                    changed = True
+
+        def close(mask: int) -> int:
+            out = 0
+            for i in iter_bits(mask):
+                out |= closure[i]
+            return out
+
+        self.succ: dict[Hashable, list[int]] = {}
+        raw: dict[Hashable, list[int]] = {}
+        for (source, symbol), targets in nfa.transitions.items():
+            if symbol is EPSILON:
+                continue
+            rows = raw.setdefault(symbol, [0] * n)
+            rows[self.states.intern(source)] |= self.states.mask_of(targets)
+        for symbol, rows in raw.items():
+            self.succ[symbol] = [close(mask) for mask in rows]
+
+        self.initial_mask = close(self.states.mask_of(nfa.initials))
+        self.accepting_mask = self.states.mask_of(nfa.accepting)
+
+    def step_mask(self, frontier: int, symbol: Hashable) -> int:
+        """The ε-closed successor frontier after reading one symbol."""
+        rows = self.succ.get(symbol)
+        if rows is None:
+            return 0
+        out = 0
+        for i in iter_bits(frontier):
+            out |= rows[i]
+        return out
+
+    def accepts_mask(self, frontier: int) -> bool:
+        """Does the frontier contain an accepting state?"""
+        return bool(frontier & self.accepting_mask)
+
+    def subset_of(self, mask: int) -> frozenset:
+        """The frontier as a frozenset of original NFA states."""
+        return frozenset(self.states.unpack(mask))

@@ -263,8 +263,57 @@ class DFA:
         return self.intersection(other).is_empty()
 
     def equivalent(self, other: "DFA") -> bool:
-        """Language equality via emptiness of the symmetric difference."""
-        return self._product(other, accept_both=False, accept_either=False).is_empty()
+        """Language equality, by Hopcroft–Karp union-find.
+
+        Merges states that must be language-equal, starting from the two
+        initial states, and fails as soon as an accepting state is merged
+        with a rejecting one — near-linear in the reachable product,
+        without materializing the symmetric-difference automaton.
+        """
+        if self.alphabet != other.alphabet:
+            raise AutomatonError("equivalence requires identical alphabets")
+        left = self.completed()
+        right = other.completed()
+        symbols = sorted(self.alphabet, key=repr)
+
+        parent: dict[tuple[int, State], tuple[int, State]] = {}
+
+        def find(node: tuple[int, State]) -> tuple[int, State]:
+            root = node
+            while parent.get(root, root) != root:
+                root = parent[root]
+            while parent.get(node, node) != node:
+                parent[node], node = root, parent[node]
+            return root
+
+        def accepts(node: tuple[int, State]) -> bool:
+            side, state = node
+            return state in (left.accepting if side == 0 else right.accepting)
+
+        pending = [((0, left.initial), (1, right.initial))]
+        while pending:
+            a, b = pending.pop()
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                continue
+            if accepts(a) != accepts(b):
+                return False
+            parent[ra] = rb
+            for symbol in symbols:
+                side_a, state_a = a
+                side_b, state_b = b
+                next_a = (
+                    (0, left.transitions[(state_a, symbol)])
+                    if side_a == 0
+                    else (1, right.transitions[(state_a, symbol)])
+                )
+                next_b = (
+                    (0, left.transitions[(state_b, symbol)])
+                    if side_b == 0
+                    else (1, right.transitions[(state_b, symbol)])
+                )
+                pending.append((next_a, next_b))
+        return True
 
     # ------------------------------------------------------------------
     # Minimization (Hopcroft's partition refinement)

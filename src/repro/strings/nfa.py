@@ -111,24 +111,47 @@ class NFA:
 
         Only reachable subsets are materialized, so the output is often far
         smaller than :math:`2^{|Q|}` in practice (the benchmarks in
-        ``bench_twoway_conversion`` measure the actual blowup).
+        ``bench_twoway_conversion`` measure the actual blowup).  The search
+        runs on the bitset kernel (:mod:`repro.perf.bitset`): subsets are
+        Python-int masks advanced by precomputed per-symbol successor
+        tables, and are thawed to frozensets only once, at the end.
         """
-        initial = self.epsilon_closure(self.initials)
-        states: set[frozenset[State]] = {initial}
+        from ..perf.bitset import PackedNFA, iter_bits
+
+        packed = PackedNFA(self)
+        initial = packed.initial_mask
+        seen: dict[int, frozenset[State]] = {initial: packed.subset_of(initial)}
         transitions: dict[tuple[State, Symbol], State] = {}
         frontier = [initial]
+        symbols = sorted(self.alphabet, key=repr)
+        rows = [packed.succ.get(symbol) for symbol in symbols]
         while frontier:
-            subset = frontier.pop()
-            for symbol in self.alphabet:
-                target = self.step(subset, symbol)
-                transitions[(subset, symbol)] = target
-                if target not in states:
-                    states.add(target)
-                    frontier.append(target)
+            mask = frontier.pop()
+            source = seen[mask]
+            for symbol, row in zip(symbols, rows):
+                if row is None:
+                    target_mask = 0
+                else:
+                    target_mask = 0
+                    for i in iter_bits(mask):
+                        target_mask |= row[i]
+                subset = seen.get(target_mask)
+                if subset is None:
+                    subset = packed.subset_of(target_mask)
+                    seen[target_mask] = subset
+                    frontier.append(target_mask)
+                transitions[(source, symbol)] = subset
+        states = frozenset(seen.values())
         accepting = frozenset(
             subset for subset in states if subset & self.accepting
         )
-        return DFA(frozenset(states), self.alphabet, transitions, initial, accepting)
+        return DFA(
+            states,
+            self.alphabet,
+            transitions,
+            seen[initial],
+            accepting,
+        )
 
     def is_empty(self) -> bool:
         """True iff no word is accepted (reachability check)."""

@@ -30,6 +30,21 @@ from ..trees.tree import Path, Tree
 State = Hashable
 Label = Hashable
 
+#: Lazily-created identity-keyed cache of :class:`~repro.perf.bitset.PackedNFA`
+#: wrappers for horizontal NFAs, shared by ``run``/emptiness/witness search.
+#: Created on first use to keep ``repro.perf`` out of the import cycle.
+_PACKED_NFAS = None
+
+
+def _packed_nfa(nfa: NFA):
+    global _PACKED_NFAS
+    if _PACKED_NFAS is None:
+        from ..perf.bitset import PackedNFA
+        from ..perf.registry import EngineRegistry
+
+        _PACKED_NFAS = EngineRegistry(PackedNFA, capacity=512)
+    return _PACKED_NFAS.get(nfa)
+
 
 def empty_word_nfa(alphabet: Iterable[State]) -> NFA:
     """An NFA accepting only the empty word (leaf transitions)."""
@@ -365,39 +380,72 @@ def _restrict_nfa(nfa: NFA, allowed: frozenset[State]) -> NFA | None:
 
 
 def _word_of_sets_intersects(nfa: NFA, child_sets: list[frozenset[State]]) -> bool:
-    """Is some word ``q_1..q_n`` with ``q_i ∈ child_sets[i]`` accepted?"""
-    current = nfa.epsilon_closure(nfa.initials)
+    """Is some word ``q_1..q_n`` with ``q_i ∈ child_sets[i]`` accepted?
+
+    Runs on the bitset kernel: the frontier is a Python-int mask advanced
+    by the precomputed (ε-closed) per-symbol successor rows of the cached
+    :class:`~repro.perf.bitset.PackedNFA`.
+    """
+    from ..perf.bitset import iter_bits
+
+    packed = _packed_nfa(nfa)
+    current = packed.initial_mask
     for options in child_sets:
-        moved: set[State] = set()
+        moved = 0
         for symbol in options:
-            moved.update(nfa.step(current, symbol))
-        current = frozenset(moved)
+            rows = packed.succ.get(symbol)
+            if rows is None:
+                continue
+            for i in iter_bits(current):
+                moved |= rows[i]
+        current = moved
         if not current:
             return False
-    return bool(current & nfa.accepting)
+    return bool(current & packed.accepting_mask)
 
 
 def _shortest_word_over(
     nfa: NFA, allowed: Iterable[State]
 ) -> tuple[State, ...] | None:
-    """A shortest accepted word using only ``allowed`` symbols (BFS)."""
-    allowed = [symbol for symbol in nfa.alphabet if symbol in set(allowed)]
-    start = nfa.epsilon_closure(nfa.initials)
-    if start & nfa.accepting:
+    """A shortest accepted word using only ``allowed`` symbols.
+
+    Level-order BFS over bitset frontiers with *antichain* pruning: a
+    frontier contained in an already-explored frontier can reach
+    acceptance no sooner (reachability is monotone in the state set), so
+    only ⊆-maximal frontiers are kept.  Level order preserves minimality
+    of the returned word's length.
+    """
+    from ..perf.bitset import iter_bits
+
+    packed = _packed_nfa(nfa)
+    allowed_set = set(allowed)
+    symbols = [
+        symbol
+        for symbol in packed.symbols
+        if symbol in allowed_set and symbol in packed.succ
+    ]
+    rows = [packed.succ[symbol] for symbol in symbols]
+    start = packed.initial_mask
+    accepting = packed.accepting_mask
+    if start & accepting:
         return ()
-    frontier: list[tuple[frozenset, tuple]] = [(start, ())]
-    seen = {start, frozenset()}
+    antichain = [start]
+    frontier: list[tuple[int, tuple]] = [(start, ())]
     while frontier:
-        next_frontier: list[tuple[frozenset, tuple]] = []
-        for subset, word in frontier:
-            for symbol in allowed:
-                target = nfa.step(subset, symbol)
-                if not target or target in seen:
+        next_frontier: list[tuple[int, tuple]] = []
+        for mask, word in frontier:
+            for symbol, row in zip(symbols, rows):
+                target = 0
+                for i in iter_bits(mask):
+                    target |= row[i]
+                if not target:
                     continue
-                new_word = word + (symbol,)
-                if target & nfa.accepting:
-                    return new_word
-                seen.add(target)
-                next_frontier.append((target, new_word))
+                if target & accepting:
+                    return word + (symbol,)
+                if any(target & ~seen == 0 for seen in antichain):
+                    continue
+                antichain = [seen for seen in antichain if seen & ~target != 0]
+                antichain.append(target)
+                next_frontier.append((target, word + (symbol,)))
         frontier = next_frontier
     return None

@@ -51,3 +51,40 @@ class TestCLI:
         assert main(["tree", document_file]) == 0
         out = capsys.readouterr().out
         assert "bibliography" in out.splitlines()[0]
+
+
+class TestDecideCLI:
+    def test_emptiness_with_witness(self, dtd_file, capsys):
+        assert main(["decide", "emptiness", dtd_file, "//author"]) == 1
+        out = capsys.readouterr().out
+        assert "witness:" in out and "marked node:" in out
+
+    def test_emptiness_empty(self, dtd_file, capsys):
+        # No DTD-valid document has an author with a book child.
+        assert main(["decide", "emptiness", dtd_file, "/author/book"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_containment_holds(self, dtd_file, capsys):
+        assert (
+            main(["decide", "containment", dtd_file, "/book/author", "//author"])
+            == 0
+        )
+        assert "contained" in capsys.readouterr().out
+
+    def test_containment_counterexample(self, dtd_file, capsys):
+        assert (
+            main(["decide", "containment", dtd_file, "//author", "/book/author"])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "witness:" in out and "marked node:" in out
+
+    def test_budget_exceeded(self, dtd_file, capsys):
+        assert (
+            main(["decide", "emptiness", dtd_file, "//author", "--budget", "1"])
+            == 2
+        )
+        assert "budget exceeded" in capsys.readouterr().err
+
+    def test_wrong_pattern_count(self, dtd_file, capsys):
+        assert main(["decide", "containment", dtd_file, "//author"]) == 2

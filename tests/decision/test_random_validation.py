@@ -13,7 +13,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.decision.closure import (
+    BudgetExceededError,
     containment_counterexample,
+    language_witness,
     query_witness,
 )
 from repro.strings.dfa import DFA
@@ -102,6 +104,80 @@ class TestQueryNonEmptinessAgainstBruteForce:
         qa = random_sweep_qa(seed)
         for tree in SMALL_TREES[:50]:
             assert evaluate_query_via_behavior(qa, tree) == qa.evaluate(tree)
+
+
+class TestPackedAgainstNaive:
+    """Differential suite: the bitset-packed worklist engine against the
+    retained naive closure, witness for witness, across 200 seeded cases.
+
+    Verdicts (empty / non-empty, contained / not) must agree exactly;
+    each engine's witness must additionally validate against direct
+    evaluation, and claimed containments against brute-force enumeration.
+    """
+
+    @pytest.mark.parametrize("seed", range(140))
+    def test_nonemptiness_agrees(self, seed):
+        qa = random_sweep_qa(seed + 1000, up_states=2 + seed % 2)
+        naive = query_witness(qa, engine="naive")
+        packed = query_witness(qa, engine="packed")
+        assert (naive is None) == (packed is None), f"verdicts split on {seed}"
+        for verdict in (naive, packed):
+            if verdict is not None:
+                tree, path = verdict
+                assert path in qa.evaluate(tree), "witness does not check out"
+        naive_lang = language_witness(qa.automaton, engine="naive")
+        packed_lang = language_witness(qa.automaton, engine="packed")
+        assert (naive_lang is None) == (packed_lang is None)
+        for tree in (naive_lang, packed_lang):
+            if tree is not None:
+                assert qa.automaton.accepts(tree)
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_containment_agrees(self, seed):
+        first = random_sweep_qa(seed * 2 + 2000)
+        second = random_sweep_qa(seed * 2 + 2001)
+        naive = containment_counterexample(first, second, engine="naive")
+        packed = containment_counterexample(first, second, engine="packed")
+        assert (naive is None) == (packed is None), f"verdicts split on {seed}"
+        for result in (naive, packed):
+            if result is not None:
+                tree, path = result
+                assert path in first.evaluate(tree)
+                assert path not in second.evaluate(tree)
+        if naive is None:
+            for tree in SMALL_TREES:
+                assert first.evaluate(tree) <= second.evaluate(tree), str(tree)
+
+
+class TestBudgetExceeded:
+    """The budget error carries diagnostic counters on both engines."""
+
+    def test_packed_budget_fields(self):
+        qa = random_sweep_qa(3)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            query_witness(qa, budget=1, engine="packed")
+        error = excinfo.value
+        assert error.budget == 1
+        assert error.work is not None and error.work > 1
+        assert error.closure_size is not None and error.closure_size >= 0
+        assert error.pending_scans is not None and error.pending_scans >= 0
+        assert "budget 1" in str(error)
+        assert "pending scans" in str(error)
+
+    def test_naive_budget_fields(self):
+        qa = random_sweep_qa(3)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            query_witness(qa, budget=1, engine="naive")
+        error = excinfo.value
+        assert error.budget == 1
+        assert error.work is not None and error.work > 1
+        assert error.closure_size is not None and error.closure_size >= 0
+
+    def test_budget_allows_completion_when_generous(self):
+        qa = random_sweep_qa(3)
+        generous = query_witness(qa, budget=10_000_000, engine="packed")
+        default = query_witness(qa, engine="packed")
+        assert (generous is None) == (default is None)
 
 
 class TestContainmentAgainstBruteForce:

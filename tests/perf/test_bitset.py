@@ -1,0 +1,106 @@
+"""The bitset kernel: interning, bit iteration, packed NFAs."""
+
+import random
+
+import pytest
+
+from repro.perf.bitset import Interner, PackedNFA, is_subset, iter_bits, mask_of
+from repro.strings.nfa import EPSILON, NFA
+
+
+class TestInterner:
+    def test_dense_ids_in_insertion_order(self):
+        ids = Interner(["a", "b"])
+        assert ids.intern("a") == 0
+        assert ids.intern("c") == 2
+        assert ids.values() == ["a", "b", "c"]
+        assert len(ids) == 3
+        assert "b" in ids and "z" not in ids
+
+    def test_id_of_does_not_intern(self):
+        ids = Interner()
+        assert ids.id_of("x") is None
+        assert "x" not in ids
+
+    def test_mask_roundtrip(self):
+        ids = Interner(["a", "b", "c", "d"])
+        mask = ids.mask_of(["d", "b"])
+        assert mask == (1 << 3) | (1 << 1)
+        assert ids.unpack(mask) == ["b", "d"]
+
+    def test_value_inverts_intern(self):
+        ids = Interner()
+        for value in [("q", 1), frozenset({2}), "s"]:
+            assert ids.value(ids.intern(value)) == value
+
+
+class TestBitHelpers:
+    def test_iter_bits_ascending(self):
+        assert list(iter_bits(0)) == []
+        assert list(iter_bits(0b101001)) == [0, 3, 5]
+
+    def test_mask_of_inverts_iter_bits(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            mask = rng.getrandbits(200)
+            assert mask_of(iter_bits(mask)) == mask
+
+    def test_is_subset(self):
+        assert is_subset(0, 0)
+        assert is_subset(0b0101, 0b1101)
+        assert not is_subset(0b0101, 0b1001)
+
+
+def _random_nfa(seed: int, n_states: int = 5) -> NFA:
+    rng = random.Random(seed)
+    states = [f"q{i}" for i in range(n_states)]
+    alphabet = ["a", "b"]
+    transitions: dict = {}
+    for source in states:
+        for symbol in alphabet + [EPSILON]:
+            if rng.random() < 0.4:
+                targets = {s for s in states if rng.random() < 0.4}
+                if targets:
+                    transitions[(source, symbol)] = targets
+    return NFA.build(
+        states,
+        frozenset(alphabet),
+        transitions,
+        {states[0]},
+        {s for s in states if rng.random() < 0.3},
+    )
+
+
+class TestPackedNFA:
+    def test_matches_naive_nfa_on_random_words(self):
+        rng = random.Random(11)
+        for seed in range(30):
+            nfa = _random_nfa(seed)
+            packed = PackedNFA(nfa)
+            for _ in range(20):
+                word = [rng.choice("ab") for _ in range(rng.randrange(8))]
+                frontier = packed.initial_mask
+                naive = nfa.epsilon_closure(nfa.initials)
+                for symbol in word:
+                    frontier = packed.step_mask(frontier, symbol)
+                    naive = nfa.step(naive, symbol)
+                assert packed.subset_of(frontier) == naive, (seed, word)
+                assert packed.accepts_mask(frontier) == bool(
+                    naive & nfa.accepting
+                )
+
+    def test_initial_mask_is_epsilon_closed(self):
+        nfa = NFA.build(
+            {"p", "q", "r"},
+            frozenset({"a"}),
+            {("p", EPSILON): {"q"}, ("q", EPSILON): {"r"}},
+            {"p"},
+            {"r"},
+        )
+        packed = PackedNFA(nfa)
+        assert packed.subset_of(packed.initial_mask) == {"p", "q", "r"}
+        assert packed.accepts_mask(packed.initial_mask)
+
+    def test_step_on_unknown_symbol_is_empty(self):
+        packed = PackedNFA(_random_nfa(1))
+        assert packed.step_mask(packed.initial_mask, "nope") == 0
