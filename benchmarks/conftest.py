@@ -9,9 +9,15 @@ costs grow) are the reproduction targets recorded in ``EXPERIMENTS.md``.
 Machine-readable results: after a measuring run, every benchmark module
 ``bench_<name>.py`` gets a ``BENCH_<name>.json`` at the repository root —
 a top-level ``summary`` block (per-module mean/median over the row
-means/medians) plus one row per benchmark with the timing stats and each
-row's ``extra_info`` (input sizes, automaton sizes).  Runs with
-``--benchmark-disable`` (e.g. CI smoke) produce no files.
+means/medians, aggregated through :class:`repro.obs.Stats`, plus the
+module's engine counters) and one row per benchmark with the timing
+stats and each row's ``extra_info`` (input sizes, automaton sizes).
+Runs with ``--benchmark-disable`` (e.g. CI smoke) produce no files.
+
+Every test in this directory runs under a per-module recording
+:mod:`repro.obs` sink, so the ``summary.counters`` block shows what the
+engines actually did (sweeps, interning hits, closure scans, prunes) —
+the glossary in ``DESIGN.md`` defines each name.
 
 Setting ``REPRO_BENCH_SMOKE=1`` makes every module shrink its workloads
 to trivial sizes — used by CI to exercise the benchmark code paths
@@ -21,23 +27,62 @@ without paying measurement time.
 from __future__ import annotations
 
 import json
-import statistics
 from pathlib import Path
 
+import pytest
 
-def _summary(rows: list[dict]) -> dict:
-    """Per-module aggregate: mean of row means, median of row medians."""
-    means = [row["stats"]["mean"] for row in rows if row["stats"]["mean"]]
-    medians = [row["stats"]["median"] for row in rows if row["stats"]["median"]]
+from repro import obs
+
+#: Per-module recording sinks, keyed by the stripped module name
+#: (``bench_strings`` → ``strings``); populated by the autouse fixture
+#: and drained into ``summary.counters`` at session finish.
+_MODULE_STATS: dict[str, obs.Stats] = {}
+
+
+def _module_key(path: str) -> str:
+    module = Path(path).stem
+    return module[len("bench_"):] if module.startswith("bench_") else module
+
+
+def _summary(name: str, rows: list[dict]) -> dict:
+    """Per-module aggregate, computed through an ``obs.Stats`` instance.
+
+    ``mean``/``median`` keep their historical meaning (mean of row means,
+    median of row medians); ``counters`` adds the module's accumulated
+    engine counters from the recording sink the tests ran under.
+    """
+    stats = obs.Stats()
+    for row in rows:
+        if row["stats"]["mean"]:
+            stats.observe("bench.mean", row["stats"]["mean"])
+        if row["stats"]["median"]:
+            stats.observe("bench.median", row["stats"]["median"])
+    means = stats.sample_stats("bench.mean")
+    medians = stats.sample_stats("bench.median")
+    collected = _MODULE_STATS.get(name)
     return {
         "benchmarks": len(rows),
-        "mean": statistics.fmean(means) if means else None,
-        "median": statistics.median(medians) if medians else None,
+        "mean": means["mean"] if means["count"] else None,
+        "median": medians["median"] if medians["count"] else None,
+        "counters": dict(sorted(collected.counters.items())) if collected else {},
     }
 
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "scaling: growth-curve measurements")
+
+
+@pytest.fixture(autouse=True)
+def _collect_engine_stats(request):
+    """Accumulate obs counters per benchmark module for the summary block."""
+    stats = _MODULE_STATS.setdefault(
+        _module_key(str(request.path)), obs.Stats()
+    )
+    previous = obs.set_sink(stats)
+    try:
+        yield
+    finally:
+        obs.set_sink(previous)
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -54,8 +99,7 @@ def pytest_sessionfinish(session, exitstatus):
             row = bench.as_dict(include_data=False)
         except Exception:  # pragma: no cover - stats missing (interrupted run)
             continue
-        module = Path(bench.fullname.split("::", 1)[0]).stem
-        name = module[len("bench_"):] if module.startswith("bench_") else module
+        name = _module_key(bench.fullname.split("::", 1)[0])
         by_module.setdefault(name, []).append(
             {
                 "name": row.get("name"),
@@ -72,7 +116,7 @@ def pytest_sessionfinish(session, exitstatus):
     for name, rows in sorted(by_module.items()):
         payload = {
             "module": f"benchmarks/bench_{name}.py",
-            "summary": _summary(rows),
+            "summary": _summary(name, rows),
             "benchmarks": rows,
         }
         (root / f"BENCH_{name}.json").write_text(

@@ -7,19 +7,29 @@ Usage::
     python -m repro.cli tree DOCUMENT.xml            # show the abstraction
     python -m repro.cli decide emptiness SCHEMA.dtd "//author"
     python -m repro.cli decide containment SCHEMA.dtd "/book/author" "//author"
+    python -m repro.cli profile                      # instrumented workload
 
 The query subcommand parses the document (optionally validating it),
 compiles the pattern through MSO to a deterministic tree automaton, and
 prints each matched node's path and serialized subtree — the paper's
 "locating subtrees satisfying some pattern" as a shell tool.
+
+``query`` and ``decide`` accept ``--stats``: the run executes under a
+recording :mod:`repro.obs` sink and the report (counters, gauges, spans,
+cache snapshots) is printed as JSON on stderr, leaving stdout untouched.
+``profile`` runs a workload — a document/pattern of your choosing, or
+the built-in suite spanning every engine — and emits the report as JSON
+on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from . import obs
 from .core.pipeline import Document, ValidationError
 from .trees.dtd import parse_dtd
 from .trees.xml import serialize
@@ -31,8 +41,31 @@ def _load_document(path: str, dtd_path: str | None) -> Document:
     return Document.from_text(text, dtd)
 
 
+def _with_stats(args: argparse.Namespace, run) -> int:
+    """Run ``run()``, honoring the subcommand's ``--stats`` flag.
+
+    With ``--stats`` the call executes under a recording sink and the
+    report lands on stderr as JSON — even when ``run()`` raises, so a
+    failed decision procedure still shows how far it got.
+    """
+    if not getattr(args, "stats", False):
+        return run()
+    stats = obs.Stats()
+    try:
+        with obs.collecting(stats):
+            with stats.span(f"cli.{args.command}"):
+                return run()
+    finally:
+        json.dump(stats.report(), sys.stderr, indent=2, default=repr)
+        print(file=sys.stderr)
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """Run a pattern query and print the matched subdocuments."""
+    return _with_stats(args, lambda: _run_query(args))
+
+
+def _run_query(args: argparse.Namespace) -> int:
     try:
         document = _load_document(args.document, args.dtd)
     except ValidationError as error:
@@ -98,6 +131,10 @@ def cmd_decide(args: argparse.Namespace) -> int:
     selected by the second.  Exit codes: 0 = empty/contained, 1 = a
     witness/counterexample was found (and printed), 2 = budget exceeded.
     """
+    return _with_stats(args, lambda: _run_decide(args))
+
+
+def _run_decide(args: argparse.Namespace) -> int:
     from .decision.closure import BudgetExceededError
     from .decision.patterns import (
         pattern_containment_counterexample,
@@ -135,6 +172,108 @@ def cmd_decide(args: argparse.Namespace) -> int:
     return 1
 
 
+def _profile_strings(stats: "obs.Stats") -> None:
+    """Exercise the Theorem 3.9 fast path: sweeps and table interning."""
+    import random
+
+    from .perf import fast_evaluate
+    from .strings.examples import (
+        multi_sweep_query_automaton,
+        odd_ones_query_automaton,
+    )
+
+    rng = random.Random(1999)
+    words = ["".join(rng.choice("01") for _ in range(64)) for _ in range(8)]
+    with stats.span("profile.strings"):
+        for qa in (odd_ones_query_automaton(), multi_sweep_query_automaton(4)):
+            for word in words:
+                fast_evaluate(qa, word)
+
+
+def _profile_pipeline(stats: "obs.Stats") -> None:
+    """Exercise the XML pipeline: repeated selects hit the pattern LRU."""
+    from .core.pipeline import pattern_cache_clear
+    from .trees.dtd import BIBLIOGRAPHY_DTD
+    from .trees.xml import BIBLIOGRAPHY_EXAMPLE
+
+    with stats.span("profile.pipeline"):
+        pattern_cache_clear()
+        document = Document.from_text(
+            BIBLIOGRAPHY_EXAMPLE, parse_dtd(BIBLIOGRAPHY_DTD)
+        )
+        for _ in range(3):
+            document.select("//author")
+            document.select("/book/title")
+
+
+def _profile_decision(stats: "obs.Stats", budget: int | None) -> None:
+    """Exercise the Theorem 6.3/6.4 closure: scans and subsumption prunes."""
+    from .decision.closure import containment_counterexample, query_witness
+    from .unranked.examples import circuit_query_automaton
+    from .unranked.twoway import UnrankedQueryAutomaton
+
+    kwargs = {} if budget is None else {"budget": budget}
+    full = circuit_query_automaton()
+    gates_only = UnrankedQueryAutomaton(
+        full.automaton,
+        frozenset(pair for pair in full.selecting if pair[0] != "u"),
+    )
+    with stats.span("profile.decision"):
+        query_witness(full, **kwargs)
+        containment_counterexample(full, gates_only, **kwargs)
+
+
+def _profile_document(stats: "obs.Stats", args: argparse.Namespace) -> None:
+    """Profile a user-supplied document/pattern workload."""
+    with stats.span("profile.pipeline"):
+        document = _load_document(args.document, args.dtd)
+        for _ in range(args.repeat):
+            document.select(args.pattern)
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run an instrumented workload; print the obs report as JSON.
+
+    With ``--document``/``--pattern``, profiles that query (``--repeat``
+    times, so cache behavior across repeated selects is visible).
+    Without arguments, runs the built-in suite: string sweeps, the XML
+    pipeline, and the packed decision procedures — every counter family
+    of the metrics glossary shows up nonzero.
+    """
+    from .decision.closure import BudgetExceededError
+
+    if bool(args.document) != bool(args.pattern):
+        print("--document and --pattern go together", file=sys.stderr)
+        return 2
+    stats = obs.Stats()
+    code = 0
+    try:
+        with obs.collecting(stats), stats.span("profile.total"):
+            if args.document:
+                _profile_document(stats, args)
+            else:
+                _profile_strings(stats)
+                _profile_pipeline(stats)
+                _profile_decision(stats, args.budget)
+    except BudgetExceededError as error:
+        print(f"budget exceeded: {error}", file=sys.stderr)
+        code = 2
+    workload = (
+        {"kind": "document", "document": args.document,
+         "pattern": args.pattern, "repeat": args.repeat}
+        if args.document
+        else {"kind": "builtin"}
+    )
+    json.dump(
+        {"workload": workload, **stats.report()},
+        sys.stdout,
+        indent=2,
+        default=repr,
+    )
+    print()
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for the ``repro`` command-line tool."""
     parser = argparse.ArgumentParser(
@@ -146,6 +285,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("document", help="path to the XML document")
     query.add_argument("pattern", help='pattern, e.g. "//author" or "/book/title"')
     query.add_argument("--dtd", help="optional DTD to validate against")
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="print an obs metrics report (JSON) on stderr",
+    )
     query.set_defaults(func=cmd_query)
 
     validate = subparsers.add_parser("validate", help="validate against a DTD")
@@ -173,7 +317,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cap on the decision product's size (exit 2 when exceeded)",
     )
+    decide.add_argument(
+        "--stats",
+        action="store_true",
+        help="print an obs metrics report (JSON) on stderr",
+    )
     decide.set_defaults(func=cmd_decide)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="run an instrumented workload and print its obs report as JSON",
+    )
+    profile.add_argument(
+        "--document", help="XML document to profile (default: built-in suite)"
+    )
+    profile.add_argument(
+        "--pattern", help="pattern to select repeatedly (with --document)"
+    )
+    profile.add_argument("--dtd", help="optional DTD for --document")
+    profile.add_argument(
+        "--repeat",
+        type=int,
+        default=10,
+        help="times to repeat the --document select (default: 10)",
+    )
+    profile.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="step budget for the built-in decision workload",
+    )
+    profile.set_defaults(func=cmd_profile)
 
     return parser
 

@@ -11,6 +11,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from functools import lru_cache
 
+from .. import obs
 from ..trees.dtd import DTD
 from ..trees.tree import Path, Tree
 from ..trees.xml import XMLElement, parse_document, to_tree
@@ -30,8 +31,44 @@ def cached_pattern(pattern: str, alphabet: tuple) -> Query:
     automaton — and the :mod:`repro.perf` engine keyed on it — survive
     across :meth:`Document.select` calls and across documents with the
     same label alphabet.
+
+    Inspect the cache with :func:`pattern_cache_info` and reset it with
+    :func:`pattern_cache_clear`; the same snapshot appears under
+    ``caches["pipeline.cached_pattern"]`` in every ``obs`` report.
     """
     return compile_pattern(pattern, alphabet)
+
+
+def pattern_cache_info() -> dict:
+    """hits/misses/maxsize/currsize of the shared pattern LRU, as a dict."""
+    info = cached_pattern.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "maxsize": info.maxsize,
+        "currsize": info.currsize,
+    }
+
+
+def pattern_cache_clear() -> None:
+    """Drop every compiled (pattern, alphabet) entry."""
+    cached_pattern.cache_clear()
+
+
+obs.register_cache("pipeline.cached_pattern", pattern_cache_info)
+
+
+def _pattern_for(pattern: str, alphabet: tuple) -> Query:
+    """``cached_pattern`` with per-call hit/miss counters when enabled."""
+    sink = obs.SINK
+    if not sink.enabled:
+        return cached_pattern(pattern, alphabet)
+    before = cached_pattern.cache_info()
+    query = cached_pattern(pattern, alphabet)
+    after = cached_pattern.cache_info()
+    sink.incr("pipeline.pattern_cache_hits", after.hits - before.hits)
+    sink.incr("pipeline.pattern_cache_misses", after.misses - before.misses)
+    return query
 
 
 @dataclass
@@ -68,8 +105,9 @@ class Document:
         evaluated through the cached :mod:`repro.perf` engines, so
         repeated selections over similar documents stay cheap.
         """
+        obs.SINK.incr("pipeline.selects")
         if isinstance(query, str):
-            query = cached_pattern(query, self.alphabet)
+            query = _pattern_for(query, self.alphabet)
         from ..perf.batch import evaluate_one
 
         return sorted(evaluate_one(query, self.tree))
@@ -107,11 +145,12 @@ def batch_select(
     Returns one document-ordered path list per document.
     """
     documents = list(documents)
+    obs.SINK.incr("pipeline.batch_selects")
     if isinstance(query, str):
         labels: set = set()
         for document in documents:
             labels.update(document.alphabet)
-        query = cached_pattern(query, tuple(sorted(labels)))
+        query = _pattern_for(query, tuple(sorted(labels)))
     from ..perf.batch import batch_evaluate
 
     results = batch_evaluate(query, [document.tree for document in documents])

@@ -91,6 +91,7 @@ class RankedAutomatonQuery(Query):
     engine: str = "behavior"
 
     def evaluate(self, tree: Tree) -> frozenset[Path]:
+        """Selected node paths of the tree."""
         if self.engine == "simulate":
             return self.automaton.evaluate(tree)
         return ranked_behavior_eval(self.automaton, tree)
@@ -110,6 +111,7 @@ class UnrankedAutomatonQuery(Query):
     engine: str = "behavior"
 
     def evaluate(self, tree: Tree) -> frozenset[Path]:
+        """Selected node paths of the tree."""
         if self.engine == "simulate":
             return self.automaton.evaluate(tree)
         if self.engine == "fast":
@@ -131,6 +133,7 @@ class CompiledQuery(Query):
     engine: str = "two_pass"
 
     def evaluate(self, tree: Tree) -> frozenset[Path]:
+        """Selected node paths of the tree."""
         if self.engine == "fast":
             from ..perf.trees import fast_evaluate_marked
 

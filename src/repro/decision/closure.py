@@ -40,6 +40,7 @@ from collections import deque
 from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 
+from .. import obs
 from ..perf.bitset import Interner, iter_bits
 from ..strings.dfa import DFA
 from ..strings.regex import Star, concat_all, literal, to_nfa, union_all
@@ -74,7 +75,10 @@ class BudgetExceededError(RuntimeError):
     * ``work`` — scan-work units spent so far;
     * ``closure_size`` — achieved elements (unmarked + marked);
     * ``pending_scans`` — scan states still queued (``None`` for the
-      naive engine, which has no explicit worklist).
+      naive engine, which has no explicit worklist);
+    * ``counters`` — the engine's full ``obs``-style snapshot at the
+      moment of failure (scan states, scan steps, letters, subsumption
+      prunes, …), when the raising engine provides one.
     """
 
     def __init__(
@@ -83,6 +87,7 @@ class BudgetExceededError(RuntimeError):
         work: int | None = None,
         closure_size: int | None = None,
         pending_scans: int | None = None,
+        counters: dict | None = None,
     ) -> None:
         parts = [f"decision-procedure scan exceeded budget {budget}"]
         if work is not None:
@@ -91,11 +96,16 @@ class BudgetExceededError(RuntimeError):
             parts.append(f"closure size={closure_size}")
         if pending_scans is not None:
             parts.append(f"pending scans={pending_scans}")
+        if counters:
+            parts.append(
+                ", ".join(f"{key}={counters[key]}" for key in sorted(counters))
+            )
         super().__init__("; ".join(parts))
         self.budget = budget
         self.work = work
         self.closure_size = closure_size
         self.pending_scans = pending_scans
+        self.counters = dict(counters) if counters else {}
 
 
 #: Backwards-compatible name for :class:`BudgetExceededError`.
@@ -284,10 +294,14 @@ class JointClosure:
         self.alphabet = sorted(next(iter(alphabets)), key=repr)
         self.budget = budget
         self._work = 0
+        self._n_scans = 0
         self._component_cache: dict[tuple, tuple] = {}
         self.unmarked: dict[tuple, Tree] = {}
         self.marked: dict[tuple, tuple[Tree, Path]] = {}
-        self._run()
+        try:
+            self._run()
+        finally:
+            self._flush_stats()
 
     # -- bookkeeping -----------------------------------------------------
 
@@ -298,7 +312,25 @@ class JointClosure:
                 self.budget,
                 work=self._work,
                 closure_size=len(self.unmarked) + len(self.marked),
+                counters=self.stats_snapshot(),
             )
+
+    def stats_snapshot(self) -> dict:
+        """The engine's progress counters, ``obs``-glossary names."""
+        return {
+            "closure.scans": self._n_scans,
+            "closure.elements_unmarked": len(self.unmarked),
+            "closure.elements_marked": len(self.marked),
+            "closure.work": self._work,
+        }
+
+    def _flush_stats(self) -> None:
+        sink = obs.SINK
+        if not sink.enabled:
+            return
+        sink.incr("closure.runs")
+        for name, value in self.stats_snapshot().items():
+            sink.incr(name, value)
 
     # -- the fixpoint ------------------------------------------------------
 
@@ -339,6 +371,7 @@ class JointClosure:
             key = (core, marked is not None)
             if key in seen:
                 return
+            self._n_scans += 1
             seen[key] = (core, marked, word)
             frontier.append((core, marked, word))
 
@@ -1029,6 +1062,8 @@ class PackedJointClosure:
         else:
             self.polarities = tuple(polarities)
         self._work = 0
+        self._n_applied = 0
+        self._n_prunes = 0
         self.packed = [_PackedContext(ctx) for ctx in self.contexts]
         self.unmarked: dict[tuple, Tree] = {}
         self.marked: dict[tuple, tuple[Tree, Path]] = {}
@@ -1036,7 +1071,10 @@ class PackedJointClosure:
         self._marked_groups: dict[tuple, list[tuple]] = {}
         self._records: dict[tuple, _ScanRec] = {}
         self._queue: deque[_ScanRec] = deque()
-        self._run()
+        try:
+            self._run()
+        finally:
+            self._flush_stats()
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -1048,7 +1086,28 @@ class PackedJointClosure:
                 work=self._work,
                 closure_size=len(self.unmarked) + len(self.marked),
                 pending_scans=len(self._queue),
+                counters=self.stats_snapshot(),
             )
+
+    def stats_snapshot(self) -> dict:
+        """The engine's progress counters, ``obs``-glossary names."""
+        return {
+            "closure.scans": len(self._records),
+            "closure.scan_steps": self._n_applied,
+            "closure.letters": len(self._letter_list),
+            "closure.prunes": self._n_prunes,
+            "closure.elements_unmarked": len(self.unmarked),
+            "closure.elements_marked": len(self.marked),
+            "closure.work": self._work,
+        }
+
+    def _flush_stats(self) -> None:
+        sink = obs.SINK
+        if not sink.enabled:
+            return
+        sink.incr("closure.runs")
+        for name, value in self.stats_snapshot().items():
+            sink.incr(name, value)
 
     # -- element recording -------------------------------------------------
 
@@ -1084,6 +1143,7 @@ class PackedJointClosure:
             return
         group = self._marked_groups.setdefault((fhats, sigma), [])
         if any(self._dominates(existing, selcaps) for existing in group):
+            self._n_prunes += 1
             return  # subsumed — a dominating element already spawned scans
         group.append(selcaps)
         self.marked[key] = (witness, path)
@@ -1151,6 +1211,7 @@ class PackedJointClosure:
         letter = self._letter_list[letter_index]
         if letter.selcaps is not None and rec.marked_pos is not None:
             return  # at most one marked child
+        self._n_applied += 1
         self._spend(1)
         next_parts = []
         for k, pctx in enumerate(self.packed):

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Sequence
 
+from .. import obs
 from ..strings.dfa import DFA
 from ..strings.nfa import NFA
 from ..strings.twoway import (
@@ -230,6 +231,8 @@ def string_query_witness(
     reach acceptance no sooner), never materializing or determinizing the
     exponential NFA.
     """
+    sink = obs.SINK
+    sink.incr("antichain.searches")
     snfa = StringSelectionNFA(qa)
     letters = _marked_letters(alphabet)
     start = snfa.initial_states()
@@ -246,11 +249,15 @@ def string_query_witness(
                 if _frontier_accepts(snfa, target):
                     return _decode_witness(new_word)
                 if any(target <= seen for seen in antichain):
+                    sink.incr("antichain.prunes")
                     continue
                 antichain = [
                     seen for seen in antichain if not seen <= target
                 ]
                 antichain.append(target)
+                if sink.enabled:
+                    sink.incr("antichain.expansions")
+                    sink.gauge_max("antichain.max_size", len(antichain))
                 next_frontier.append((target, new_word))
         frontier = next_frontier
     return None
@@ -269,6 +276,8 @@ def string_containment_counterexample(
     explored pair is dominated and pruned.  Avoids determinizing and
     complementing the second query's exponential selection NFA.
     """
+    sink = obs.SINK
+    sink.incr("antichain.searches")
     left = StringSelectionNFA(first)
     right = StringSelectionNFA(second)
     letters = _marked_letters(alphabet)
@@ -291,6 +300,7 @@ def string_containment_counterexample(
                 if any(
                     t1 <= a1 and a2 <= t2 for (a1, a2) in antichain
                 ):
+                    sink.incr("antichain.prunes")
                     continue
                 antichain = [
                     (a1, a2)
@@ -298,6 +308,9 @@ def string_containment_counterexample(
                     if not (a1 <= t1 and t2 <= a2)
                 ]
                 antichain.append((t1, t2))
+                if sink.enabled:
+                    sink.incr("antichain.expansions")
+                    sink.gauge_max("antichain.max_size", len(antichain))
                 next_frontier.append(((t1, t2), new_word))
         frontier = next_frontier
     return None

@@ -1,0 +1,94 @@
+"""Observability for the engines and decision procedures.
+
+The package holds one process-wide :class:`StatsSink` (module attribute
+:data:`SINK`), defaulting to the no-op :data:`NULL_SINK`.  Instrumented
+code reads the attribute through the module (``obs.SINK``) so rebinding
+is visible everywhere, and guards any non-trivial bookkeeping behind
+``sink.enabled``:
+
+    from repro import obs
+
+    def hot_call(self, ...):
+        sink = obs.SINK
+        before = len(self._cache) if sink.enabled else 0
+        ...                                # the untouched hot loop
+        if sink.enabled:
+            sink.incr("engine.calls")
+            sink.incr("engine.misses", len(self._cache) - before)
+
+Enable collection for a workload with :func:`collecting`::
+
+    with obs.collecting() as stats:
+        run_workload()
+    print(stats.report())
+
+The CLI exposes the same machinery as ``repro --stats`` (on ``query``
+and ``decide``) and as the ``repro profile`` subcommand; counter
+semantics are documented in the ``DESIGN.md`` metrics glossary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from .stats import (
+    NULL_SINK,
+    NullSink,
+    Stats,
+    StatsSink,
+    cache_providers,
+    register_cache,
+)
+
+__all__ = [
+    "NULL_SINK",
+    "NullSink",
+    "SINK",
+    "Stats",
+    "StatsSink",
+    "cache_providers",
+    "collecting",
+    "enabled",
+    "register_cache",
+    "set_sink",
+    "sink",
+]
+
+#: The installed sink.  Read via ``obs.SINK`` (not ``from obs import``)
+#: so that :func:`set_sink` rebinds are observed.
+SINK: StatsSink = NULL_SINK
+
+
+def sink() -> StatsSink:
+    """The currently installed sink."""
+    return SINK
+
+
+def enabled() -> bool:
+    """Is a recording sink installed?"""
+    return SINK.enabled
+
+
+def set_sink(new_sink: StatsSink) -> StatsSink:
+    """Install ``new_sink`` process-wide; returns the previous sink."""
+    global SINK
+    previous = SINK
+    SINK = new_sink
+    return previous
+
+
+@contextmanager
+def collecting(stats: Stats | None = None) -> Iterator[Stats]:
+    """Install a recording sink for the dynamic extent of the block.
+
+    Yields the :class:`Stats` instance (a fresh one unless provided);
+    the previously installed sink is restored on exit, even on error —
+    so a failing workload still leaves its partial counters readable.
+    """
+    stats = stats if stats is not None else Stats()
+    previous = set_sink(stats)
+    try:
+        yield stats
+    finally:
+        set_sink(previous)

@@ -1,0 +1,197 @@
+"""Named counters, high-water gauges, and timing spans for the engines.
+
+Everything observable in this codebase flows through one small protocol,
+:class:`StatsSink`:
+
+* ``incr(name, amount)``    — a monotone event counter;
+* ``gauge_max(name, value)`` — a high-water mark (e.g. the largest
+  antichain ever held);
+* ``observe(name, value)``  — one sample of a distribution (span
+  durations, benchmark row statistics); aggregated on demand.
+
+Two implementations exist.  :class:`NullSink` does nothing and is the
+installed default, so the instrumented hot paths pay at most one
+attribute check (``sink.enabled``) — and the hottest loops pay nothing at
+all, because the engines count with plain local integers (or cache-size
+deltas) and flush to the sink once per call.  :class:`Stats` records
+everything in dictionaries and renders a machine-readable report.
+
+Cache transparency: long-lived caches (the pipeline's pattern LRU, the
+engine registries) register a *provider* via :func:`register_cache`; a
+report snapshots every provider, so cache occupancy and hit rates are
+inspectable without touching the caches themselves.
+
+The counter and span names emitted by the engines — and the invariant
+each one tracks — are documented in the metrics glossary of
+``DESIGN.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+
+
+class StatsSink:
+    """The instrumentation protocol: counters, gauges, sample streams.
+
+    Subclasses override the three recording methods; ``enabled`` lets
+    call sites skip delta computations entirely when instrumentation is
+    off.  The base class doubles as the no-op implementation.
+    """
+
+    #: Whether recording has any effect (checked by the hot paths).
+    enabled = False
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the counter ``name``."""
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise the high-water gauge ``name`` to ``value`` if larger."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of the distribution ``name``."""
+
+
+class NullSink(StatsSink):
+    """The disabled sink: every recording method is inherited as a no-op."""
+
+    __slots__ = ()
+
+
+#: The process-wide disabled sink (shared, stateless).
+NULL_SINK = NullSink()
+
+
+def _percentile_free_median(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+class Stats(StatsSink):
+    """A recording sink: dictionaries of counters, gauges, and samples.
+
+    Not thread-safe by design — install one per workload (the engines
+    never share a ``Stats`` across threads in this codebase) and read the
+    result via :meth:`report`.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.samples: dict[str, list[float]] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise the high-water gauge ``name`` to ``value`` if larger."""
+        if value > self.gauges.get(name, float("-inf")):
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of the distribution ``name``."""
+        self.samples.setdefault(name, []).append(value)
+
+    # -- timing spans ----------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a block; the duration lands in the sample stream ``name``.
+
+        Span durations are wall-clock seconds (``time.perf_counter``);
+        nested and repeated spans of the same name accumulate as separate
+        samples, so ``sample_stats(name)["total"]`` is the time spent in
+        the block across the workload.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    # -- aggregation -----------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """The current value of a counter (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def sample_stats(self, name: str) -> dict:
+        """count/total/mean/median/min/max of one sample stream.
+
+        An empty (or absent) stream yields ``count == 0`` with ``None``
+        aggregates, so callers can always subscript the result.
+        """
+        samples = self.samples.get(name)
+        if not samples:
+            return {
+                "count": 0,
+                "total": 0.0,
+                "mean": None,
+                "median": None,
+                "min": None,
+                "max": None,
+            }
+        return {
+            "count": len(samples),
+            "total": sum(samples),
+            "mean": sum(samples) / len(samples),
+            "median": _percentile_free_median(samples),
+            "min": min(samples),
+            "max": max(samples),
+        }
+
+    def report(self) -> dict:
+        """The machine-readable snapshot: counters, gauges, spans, caches.
+
+        ``spans`` aggregates every sample stream; ``caches`` snapshots
+        each provider registered through :func:`register_cache` (a
+        provider that raises is reported as an ``error`` entry rather
+        than poisoning the report).
+        """
+        caches: dict[str, dict] = {}
+        for name, provider in sorted(_CACHE_PROVIDERS.items()):
+            try:
+                caches[name] = provider()
+            except Exception as error:  # pragma: no cover - defensive
+                caches[name] = {"error": repr(error)}
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "spans": {
+                name: self.sample_stats(name)
+                for name in sorted(self.samples)
+            },
+            "caches": caches,
+        }
+
+
+# ----------------------------------------------------------------------
+# Cache providers
+# ----------------------------------------------------------------------
+
+_CACHE_PROVIDERS: dict[str, Callable[[], dict]] = {}
+
+
+def register_cache(name: str, provider: Callable[[], dict]) -> None:
+    """Register a named cache snapshot for inclusion in every report.
+
+    ``provider`` is called at report time and must return a JSON-ready
+    dict (e.g. hits/misses/currsize from an ``lru_cache``'s
+    ``cache_info()``).  Re-registering a name replaces the provider.
+    """
+    _CACHE_PROVIDERS[name] = provider
+
+
+def cache_providers() -> dict[str, Callable[[], dict]]:
+    """The registered providers (name → callable), a live view."""
+    return _CACHE_PROVIDERS

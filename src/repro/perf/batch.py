@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from .. import obs
 from ..strings.twoway import GeneralizedStringQA, StringQueryAutomaton
 from ..unranked.dbta import DeterministicUnrankedAutomaton
 from ..unranked.twoway import UnrankedQueryAutomaton
@@ -65,7 +66,12 @@ def batch_evaluate(query, inputs: Iterable) -> list:
     output tuples for GSQAs, path sets for tree queries.
     """
     call = _engine_call(query)
-    return [call(item) for item in inputs]
+    results = [call(item) for item in inputs]
+    sink = obs.SINK
+    if sink.enabled:
+        sink.incr("batch.calls")
+        sink.incr("batch.inputs", len(results))
+    return results
 
 
 def evaluate_one(query, item):

@@ -25,6 +25,8 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable
 from typing import Iterator
 
+from .. import obs
+
 
 class Interner:
     """A bidirectional map between hashable objects and dense ids."""
@@ -158,6 +160,11 @@ class PackedNFA:
 
         self.initial_mask = close(self.states.mask_of(nfa.initials))
         self.accepting_mask = self.states.mask_of(nfa.accepting)
+
+        sink = obs.SINK
+        if sink.enabled:
+            sink.incr("bitset.packed_nfas")
+            sink.incr("bitset.packed_states", n)
 
     def step_mask(self, frontier: int, symbol: Hashable) -> int:
         """The ε-closed successor frontier after reading one symbol."""

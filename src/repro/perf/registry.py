@@ -12,6 +12,8 @@ from collections import OrderedDict
 from typing import Callable, Generic, TypeVar
 import weakref
 
+from .. import obs
+
 Engine = TypeVar("Engine")
 
 #: Default number of engines retained per registry.
@@ -31,11 +33,14 @@ class EngineRegistry(Generic[Engine]):
         )
 
     def get(self, obj: object) -> Engine:
+        """The cached engine for ``obj`` (built on first use, LRU-evicted)."""
         key = id(obj)
         entry = self._entries.get(key)
         if entry is not None and entry[0]() is obj:
             self._entries.move_to_end(key)
+            obs.SINK.incr("engine.registry_hits")
             return entry[1]
+        obs.SINK.incr("engine.registry_misses")
         engine = self._factory(obj)
         try:
             ref: Callable[[], object] = weakref.ref(obj)

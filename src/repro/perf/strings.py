@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Sequence
 
+from .. import obs
 from ..strings.behavior import BehaviorError
 from ..strings.twoway import (
     BOTTOM,
@@ -85,7 +86,12 @@ class StringQueryEngine:
         self._selects: dict[tuple[int, Symbol], bool] = {}
 
     def evaluate(self, word: Sequence[Symbol]) -> frozenset[int]:
+        """All selected positions of the word, in two table sweeps."""
         word = as_symbol_sequence(word)
+        sink = obs.SINK
+        if sink.enabled:
+            sink.incr("strings.evaluations")
+            select_cache_before = len(self._selects)
         table = self.table
         cells, assumed, rightmost, halting = _swept(table, word)
         if halting not in self.qa.automaton.accepting:
@@ -104,6 +110,11 @@ class StringQueryEngine:
                 selects[key] = hit
             if hit:
                 selected.add(position)
+        if sink.enabled:
+            decided = min(rightmost, len(word))
+            misses = len(self._selects) - select_cache_before
+            sink.incr("strings.select_cache_misses", misses)
+            sink.incr("strings.select_cache_hits", decided - misses)
         return frozenset(selected)
 
 
@@ -138,7 +149,9 @@ class TransductionEngine:
         return value
 
     def transduce(self, word: Sequence[Symbol]) -> tuple[Hashable, ...]:
+        """The GSQA's output at every position, in two table sweeps."""
         word = as_symbol_sequence(word)
+        obs.SINK.incr("strings.transductions")
         _cells, assumed, rightmost, _halting = _swept(self.table, word)
         outputs: list[Hashable] = [BOTTOM] * len(word)
         for position in range(1, min(rightmost, len(word)) + 1):

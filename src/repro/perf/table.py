@@ -36,6 +36,7 @@ from collections.abc import Hashable, Sequence
 from collections import OrderedDict
 import weakref
 
+from .. import obs
 from ..strings.twoway import (
     LEFT_MARKER,
     NonTerminatingRunError,
@@ -97,7 +98,9 @@ class BehaviorTable:
         table = cls._registry.get(key)
         if table is not None and table.automaton is automaton:
             cls._registry.move_to_end(key)
+            obs.SINK.incr("table.registry_hits")
             return table
+        obs.SINK.incr("table.registry_misses")
         table = cls(automaton)
         cls._registry[key] = table
         try:
@@ -273,6 +276,8 @@ class BehaviorTable:
         self, word: Sequence[Symbol]
     ) -> tuple[list[Cell], list[int], list[State | None]]:
         """Left-to-right pass: marked cells, ``f⁻`` ids, ``first`` states."""
+        sink = obs.SINK
+        functions_before = len(self._functions) if sink.enabled else 0
         cells: list[Cell] = [LEFT_MARKER, *word, RIGHT_MARKER]
         function_ids = [self.base_id]
         firsts: list[State | None] = [self.automaton.initial]
@@ -280,6 +285,13 @@ class BehaviorTable:
         for i in range(1, len(cells)):
             function_ids.append(step(function_ids[i - 1], cells[i - 1], cells[i]))
             firsts.append(first_step(function_ids[i - 1], firsts[i - 1], cells[i - 1]))
+        if sink.enabled:
+            positions = len(cells) - 1
+            misses = len(self._functions) - functions_before
+            sink.incr("table.sweeps")
+            sink.incr("table.positions", positions)
+            sink.incr("table.intern_misses", misses)
+            sink.incr("table.intern_hits", positions - misses)
         return cells, function_ids, firsts
 
     def assumed_ids(

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable
 
+from .. import obs
 from ..strings.twoway import NonTerminatingRunError
 from ..trees.tree import Path, Tree
 from ..unranked.dbta import DeterministicUnrankedAutomaton
@@ -134,6 +135,7 @@ class UnrankedQueryEngine:
         return found
 
     def orbit(self, type_id: int, state: State) -> tuple[State, ...]:
+        """States visited from ``state`` under the type's behavior (memoized)."""
         key = (type_id, state)
         found = self._orbits.get(key)
         if found is not None:
@@ -310,7 +312,15 @@ class UnrankedQueryEngine:
 
     def evaluate(self, tree: Tree) -> frozenset[Path]:
         """The computed query ``A(t)``; ≡ the cut-simulation ``evaluate``."""
+        sink = obs.SINK
+        types_before = len(self.types.labels) if sink.enabled else 0
         types, pairs = self.types.type_tree(tree, self._build_behavior)
+        if sink.enabled:
+            misses = len(self.types.labels) - types_before
+            sink.incr("trees.evaluations")
+            sink.incr("trees.nodes", len(pairs))
+            sink.incr("trees.type_misses", misses)
+            sink.incr("trees.type_hits", len(pairs) - misses)
         root_states, halting = self._root_trajectory(types[()])
         if halting is None or halting not in self.automaton.accepting:
             return frozenset()
@@ -406,7 +416,15 @@ class MarkedQueryEngine:
 
     def evaluate(self, tree: Tree) -> frozenset[Path]:
         """Selected paths; ≡ :func:`repro.unranked.dbta.evaluate_marked_query`."""
+        sink = obs.SINK
+        types_before = len(self.types.labels) if sink.enabled else 0
         types, pairs = self.types.type_tree(tree, self._build_states)
+        if sink.enabled:
+            misses = len(self.types.labels) - types_before
+            sink.incr("trees.evaluations")
+            sink.incr("trees.nodes", len(pairs))
+            sink.incr("trees.type_misses", misses)
+            sink.incr("trees.type_hits", len(pairs) - misses)
         contexts: dict[Path, frozenset] = {
             (): frozenset(self.automaton.accepting)
         }

@@ -188,6 +188,8 @@ class TwoWayDFA:
         takes more than that many steps (the error reports how many
         configurations were visited).
         """
+        from .. import obs
+
         word = as_symbol_sequence(word)
         cells = self.cells(word)
         state, position = self.initial, 0
@@ -195,12 +197,20 @@ class TwoWayDFA:
         seen = {(state, position)}
         while True:
             if max_steps is not None and len(trace) > max_steps:
+                sink = obs.SINK
+                if sink.enabled:
+                    sink.incr("twoway.budget_trips")
+                    sink.incr("twoway.steps", len(trace) - 1)
                 raise NonTerminatingRunError(
                     f"run exceeded the step budget of {max_steps} after "
                     f"visiting {len(seen)} configurations on input {word!r}"
                 )
             step = self.move(state, cells[position])
             if step is None:
+                sink = obs.SINK
+                if sink.enabled:
+                    sink.incr("twoway.runs")
+                    sink.incr("twoway.steps", len(trace) - 1)
                 return trace
             direction, state = step
             position += direction

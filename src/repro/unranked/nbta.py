@@ -415,8 +415,11 @@ def _shortest_word_over(
     only ⊆-maximal frontiers are kept.  Level order preserves minimality
     of the returned word's length.
     """
+    from .. import obs
     from ..perf.bitset import iter_bits
 
+    sink = obs.SINK
+    sink.incr("antichain.searches")
     packed = _packed_nfa(nfa)
     allowed_set = set(allowed)
     symbols = [
@@ -443,9 +446,13 @@ def _shortest_word_over(
                 if target & accepting:
                     return word + (symbol,)
                 if any(target & ~seen == 0 for seen in antichain):
+                    sink.incr("antichain.prunes")
                     continue
                 antichain = [seen for seen in antichain if seen & ~target != 0]
                 antichain.append(target)
+                if sink.enabled:
+                    sink.incr("antichain.expansions")
+                    sink.gauge_max("antichain.max_size", len(antichain))
                 next_frontier.append((target, word + (symbol,)))
         frontier = next_frontier
     return None

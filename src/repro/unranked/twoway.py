@@ -273,6 +273,8 @@ class TwoWayUnrankedAutomaton:
         configurations (the paper only considers automata that halt on
         every input).
         """
+        from .. import obs
+
         if max_steps is None:
             max_steps = 6 * max(1, len(self.states)) * tree.size + 6
         configuration: Configuration = {(): self.initial}
@@ -281,9 +283,17 @@ class TwoWayUnrankedAutomaton:
         for _ in range(max_steps):
             enabled = self._enabled(tree, configuration, stays)
             if enabled is None:
+                sink = obs.SINK
+                if sink.enabled:
+                    sink.incr("twoway.tree_runs")
+                    sink.incr("twoway.tree_steps", len(trace) - 1)
                 return trace
             configuration = self._fire(tree, configuration, stays, *enabled)
             trace.append(dict(configuration))
+        sink = obs.SINK
+        if sink.enabled:
+            sink.incr("twoway.budget_trips")
+            sink.incr("twoway.tree_steps", len(trace) - 1)
         raise NonTerminatingRunError(
             f"run exceeded the step budget of {max_steps} after visiting "
             f"{len(trace)} configurations on a tree of size {tree.size}"

@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -88,3 +90,77 @@ class TestDecideCLI:
 
     def test_wrong_pattern_count(self, dtd_file, capsys):
         assert main(["decide", "containment", dtd_file, "//author"]) == 2
+
+
+class TestStatsFlag:
+    def _stderr_report(self, err: str) -> dict:
+        return json.loads(err[err.index("{"):])
+
+    def test_query_stats_report_on_stderr(self, document_file, capsys):
+        assert main(["query", document_file, "//author", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("<author>") == 4  # stdout untouched
+        report = self._stderr_report(captured.err)
+        assert report["counters"]["pipeline.selects"] == 1
+        assert report["counters"]["trees.evaluations"] == 1
+        assert "cli.query" in report["spans"]
+        assert "pipeline.cached_pattern" in report["caches"]
+
+    def test_query_without_stats_is_silent(self, document_file, capsys):
+        assert main(["query", document_file, "//author"]) == 0
+        assert "{" not in capsys.readouterr().err
+
+    def test_decide_stats_report_on_stderr(self, dtd_file, capsys):
+        assert main(["decide", "emptiness", dtd_file, "//author", "--stats"]) == 1
+        captured = capsys.readouterr()
+        report = self._stderr_report(captured.err)
+        assert report["counters"]["antichain.searches"] > 0
+        assert "cli.decide" in report["spans"]
+
+    def test_decide_stats_survives_budget_trip(self, dtd_file, capsys):
+        code = main(
+            ["decide", "emptiness", dtd_file, "//author", "--budget", "1", "--stats"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "budget exceeded" in captured.err
+        report = self._stderr_report(captured.err[captured.err.index("{"):])
+        assert "counters" in report
+
+
+class TestProfileCLI:
+    #: The counters ISSUE acceptance requires nonzero from the built-in suite.
+    REQUIRED = (
+        "table.intern_hits",
+        "table.sweeps",
+        "closure.scans",
+        "closure.prunes",
+        "pipeline.pattern_cache_hits",
+    )
+
+    def test_builtin_suite(self, capsys):
+        assert main(["profile"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["workload"] == {"kind": "builtin"}
+        for name in self.REQUIRED:
+            assert report["counters"][name] > 0, name
+        assert set(report["spans"]) >= {
+            "profile.total",
+            "profile.strings",
+            "profile.pipeline",
+            "profile.decision",
+        }
+
+    def test_document_workload(self, document_file, capsys):
+        code = main(
+            ["profile", "--document", document_file, "--pattern", "//author",
+             "--repeat", "4"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["workload"]["kind"] == "document"
+        assert report["counters"]["pipeline.selects"] == 4
+        assert report["counters"]["pipeline.pattern_cache_hits"] >= 3
+
+    def test_document_requires_pattern(self, document_file, capsys):
+        assert main(["profile", "--document", document_file]) == 2

@@ -1,0 +1,131 @@
+"""Instrumentation must be observationally inert: on vs off, same results.
+
+Every engine is run twice — once under the null sink, once under a
+recording :class:`repro.obs.Stats` — and the outputs are compared for
+equality.  The recording runs double as coverage that the counters named
+in the ``DESIGN.md`` glossary actually fire on the committed example
+workloads.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.pipeline import Document, pattern_cache_clear
+from repro.decision.closure import containment_counterexample, query_witness
+from repro.decision.strings import string_query_witness
+from repro.perf import fast_evaluate
+from repro.strings.examples import (
+    multi_sweep_query_automaton,
+    odd_ones_query_automaton,
+)
+from repro.trees.dtd import BIBLIOGRAPHY_DTD, parse_dtd
+from repro.trees.xml import BIBLIOGRAPHY_EXAMPLE
+from repro.unranked.examples import circuit_query_automaton, first_one_sqa
+from repro.unranked.twoway import UnrankedQueryAutomaton
+
+WORDS = ["", "0", "1", "0110", "111010", "0101101", "1" * 9, "01" * 8]
+
+
+def with_and_without_stats(run):
+    """(plain result, instrumented result, the Stats that recorded it)."""
+    plain = run()
+    stats = obs.Stats()
+    with obs.collecting(stats):
+        instrumented = run()
+    return plain, instrumented, stats
+
+
+class TestStringEngineDifferential:
+    @pytest.mark.parametrize(
+        "make_qa", [odd_ones_query_automaton, lambda: multi_sweep_query_automaton(3)]
+    )
+    def test_fast_evaluate_identical(self, make_qa):
+        qa = make_qa()
+
+        def run():
+            return [fast_evaluate(qa, word) for word in WORDS]
+
+        plain, instrumented, stats = with_and_without_stats(run)
+        assert plain == instrumented
+        assert stats.counter("strings.evaluations") == len(WORDS)
+        assert stats.counter("table.sweeps") > 0
+        # per sweep: hits + misses == positions.
+        assert (
+            stats.counter("table.intern_hits")
+            + stats.counter("table.intern_misses")
+            == stats.counter("table.positions")
+        )
+
+    def test_string_decision_identical(self):
+        qa = odd_ones_query_automaton()
+
+        def run():
+            return string_query_witness(qa, "01")
+
+        plain, instrumented, stats = with_and_without_stats(run)
+        assert plain == instrumented
+        assert stats.counter("antichain.searches") == 1
+
+
+class TestPipelineDifferential:
+    def test_select_identical_and_caches_hit(self):
+        dtd = parse_dtd(BIBLIOGRAPHY_DTD)
+
+        def run():
+            document = Document.from_text(BIBLIOGRAPHY_EXAMPLE, dtd)
+            return [document.select("//author") for _ in range(3)]
+
+        plain, instrumented, stats = with_and_without_stats(run)
+        assert plain == instrumented
+        assert plain[0]  # the pattern actually matches something
+        assert stats.counter("pipeline.selects") == 3
+        # A warm cache: repeats of the same (pattern, alphabet) must hit.
+        assert stats.counter("pipeline.pattern_cache_hits") > 0
+
+    def test_cold_cache_counts_a_miss(self):
+        pattern_cache_clear()
+        document = Document.from_text(BIBLIOGRAPHY_EXAMPLE)
+        with obs.collecting() as stats:
+            document.select("//title")
+            document.select("//title")
+        assert stats.counter("pipeline.pattern_cache_misses") == 1
+        assert stats.counter("pipeline.pattern_cache_hits") == 1
+
+
+class TestDecisionDifferential:
+    def test_query_witness_identical_and_prunes(self):
+        qa = circuit_query_automaton()
+
+        def run():
+            return query_witness(qa)
+
+        plain, instrumented, stats = with_and_without_stats(run)
+        assert plain == instrumented
+        assert stats.counter("closure.runs") == 1
+        assert stats.counter("closure.scans") > 0
+        # The packed engine's subsumption pruning fires on this workload.
+        assert stats.counter("closure.prunes") > 0
+
+    def test_containment_identical(self):
+        full = circuit_query_automaton()
+        gates_only = UnrankedQueryAutomaton(
+            full.automaton,
+            frozenset(pair for pair in full.selecting if pair[0] != "u"),
+        )
+
+        def run():
+            return containment_counterexample(full, gates_only)
+
+        plain, instrumented, stats = with_and_without_stats(run)
+        assert plain == instrumented
+        assert stats.counter("closure.prunes") > 0
+
+    def test_sqa_witness_identical(self):
+        qa = first_one_sqa()
+
+        def run():
+            return query_witness(qa)
+
+        plain, instrumented, stats = with_and_without_stats(run)
+        assert plain == instrumented
+        assert stats.counter("closure.prunes") > 0

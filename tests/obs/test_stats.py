@@ -1,0 +1,143 @@
+"""The stats sink machinery: sinks, reports, and the module-level switch."""
+
+import pytest
+
+from repro import obs
+from repro.obs import NULL_SINK, NullSink, Stats, StatsSink
+
+
+class TestNullSink:
+    def test_disabled(self):
+        assert NullSink().enabled is False
+        assert NULL_SINK.enabled is False
+
+    def test_all_operations_are_noops(self):
+        sink = NullSink()
+        sink.incr("a")
+        sink.incr("a", 5)
+        sink.gauge_max("g", 3)
+        sink.observe("s", 1.5)  # nothing raised, nothing stored
+
+    def test_base_class_is_a_null_sink(self):
+        sink = StatsSink()
+        assert sink.enabled is False
+        sink.incr("x")
+
+
+class TestStats:
+    def test_counters(self):
+        stats = Stats()
+        stats.incr("hits")
+        stats.incr("hits", 2)
+        assert stats.counter("hits") == 3
+        assert stats.counter("absent") == 0
+
+    def test_enabled(self):
+        assert Stats().enabled is True
+
+    def test_gauge_max_keeps_the_maximum(self):
+        stats = Stats()
+        stats.gauge_max("size", 3)
+        stats.gauge_max("size", 7)
+        stats.gauge_max("size", 5)
+        assert stats.gauges["size"] == 7
+
+    def test_observe_and_sample_stats(self):
+        stats = Stats()
+        for value in (1.0, 2.0, 6.0):
+            stats.observe("lat", value)
+        summary = stats.sample_stats("lat")
+        assert summary["count"] == 3
+        assert summary["total"] == pytest.approx(9.0)
+        assert summary["mean"] == pytest.approx(3.0)
+        assert summary["median"] == pytest.approx(2.0)
+        assert summary["min"] == pytest.approx(1.0)
+        assert summary["max"] == pytest.approx(6.0)
+
+    def test_sample_stats_empty(self):
+        assert Stats().sample_stats("none")["count"] == 0
+
+    def test_span_records_a_sample(self):
+        stats = Stats()
+        with stats.span("work"):
+            pass
+        assert len(stats.samples["work"]) == 1
+        assert stats.samples["work"][0] >= 0
+
+    def test_span_records_on_exception(self):
+        stats = Stats()
+        with pytest.raises(ValueError):
+            with stats.span("work"):
+                raise ValueError("boom")
+        assert len(stats.samples["work"]) == 1
+
+    def test_report_shape(self):
+        stats = Stats()
+        stats.incr("c")
+        stats.gauge_max("g", 1)
+        with stats.span("s"):
+            pass
+        report = stats.report()
+        assert set(report) == {"counters", "gauges", "spans", "caches"}
+        assert report["counters"] == {"c": 1}
+        assert report["gauges"] == {"g": 1}
+        assert report["spans"]["s"]["count"] == 1
+
+
+class TestModuleSwitch:
+    def test_default_sink_is_null(self):
+        assert obs.sink() is NULL_SINK or not obs.enabled()
+
+    def test_set_sink_returns_previous(self):
+        stats = Stats()
+        previous = obs.set_sink(stats)
+        try:
+            assert obs.sink() is stats
+            assert obs.enabled() is True
+        finally:
+            obs.set_sink(previous)
+        assert obs.sink() is previous
+
+    def test_collecting_installs_and_restores(self):
+        before = obs.sink()
+        with obs.collecting() as stats:
+            assert obs.sink() is stats
+            obs.SINK.incr("inside")
+        assert obs.sink() is before
+        assert stats.counter("inside") == 1
+
+    def test_collecting_restores_on_exception(self):
+        before = obs.sink()
+        with pytest.raises(RuntimeError):
+            with obs.collecting():
+                raise RuntimeError("boom")
+        assert obs.sink() is before
+
+    def test_collecting_accepts_an_existing_stats(self):
+        mine = Stats()
+        with obs.collecting(mine) as stats:
+            assert stats is mine
+
+
+class TestCacheRegistry:
+    def test_registered_caches_appear_in_reports(self):
+        calls = []
+
+        def provider():
+            calls.append(1)
+            return {"hits": 9}
+
+        obs.register_cache("test.temp_cache", provider)
+        try:
+            report = Stats().report()
+            assert report["caches"]["test.temp_cache"] == {"hits": 9}
+            assert calls
+        finally:
+            obs.cache_providers().pop("test.temp_cache", None)
+
+    def test_pipeline_pattern_cache_is_registered(self):
+        import repro.core.pipeline  # noqa: F401 - registers its cache
+
+        report = Stats().report()
+        snapshot = report["caches"]["pipeline.cached_pattern"]
+        assert set(snapshot) >= {"hits", "misses", "maxsize", "currsize"}

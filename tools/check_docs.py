@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Documentation lints, run by the CI ``docs`` job.
+
+Two checks, both dependency-free:
+
+1. **Docstring coverage** over ``src/repro``: every module, public
+   class, and public function/method should carry a docstring.  The
+   floor is a ratchet — raise ``COVERAGE_FLOOR`` as coverage improves,
+   never lower it.
+2. **README/CLI sync**: every ``repro ...`` invocation inside the
+   README's fenced code blocks must parse against the real
+   :func:`repro.cli.build_parser`, so the documented flags can never
+   drift from the implementation.
+
+Exit code 0 when both pass; 1 with a report otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import shlex
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+COVERAGE_FLOOR = 0.97
+
+#: A fenced code block; group 1 is the body.
+_FENCE = re.compile(r"```[a-z]*\n(.*?)```", re.DOTALL)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _documented(node: ast.AST) -> bool:
+    return ast.get_docstring(node) is not None
+
+
+def docstring_coverage(root: Path) -> tuple[int, int, list[str]]:
+    """(documented, total, missing) over modules/classes/functions."""
+    documented = total = 0
+    missing: list[str] = []
+
+    def tally(node: ast.AST, where: str) -> None:
+        nonlocal documented, total
+        total += 1
+        if _documented(node):
+            documented += 1
+        else:
+            missing.append(where)
+
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(REPO)
+        tree = ast.parse(path.read_text())
+        if path.name != "__init__.py" or tree.body:
+            tally(tree, str(rel))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and _is_public(node.name):
+                tally(node, f"{rel}::{node.name}")
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and _is_public(item.name):
+                        tally(item, f"{rel}::{node.name}.{item.name}")
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and _is_public(node.name):
+                parents = [
+                    p
+                    for p in ast.walk(tree)
+                    if isinstance(p, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node in ast.walk(p)
+                    and p is not node
+                ]
+                if parents:
+                    continue  # methods handled under their class; skip nested
+                tally(node, f"{rel}::{node.name}")
+    return documented, total, missing
+
+
+def readme_cli_lines(readme: Path) -> list[str]:
+    """Every ``repro ...`` command line inside the README's code fences."""
+    lines: list[str] = []
+    for block in _FENCE.findall(readme.read_text()):
+        for line in block.splitlines():
+            stripped = line.strip()
+            if stripped.startswith("repro "):
+                lines.append(stripped)
+    return lines
+
+
+def check_cli_sync(readme: Path) -> list[str]:
+    """README ``repro`` invocations that the real parser rejects."""
+    from repro.cli import build_parser
+
+    problems: list[str] = []
+    lines = readme_cli_lines(readme)
+    if not lines:
+        return [f"no `repro ...` lines found in {readme.name} code blocks"]
+    for line in lines:
+        argv = shlex.split(line)[1:]
+        parser = build_parser()
+        try:
+            parser.parse_args(argv)
+        except SystemExit:
+            problems.append(line)
+    return problems
+
+
+def main() -> int:
+    """Run both checks and print a report."""
+    failures = 0
+
+    documented, total, missing = docstring_coverage(REPO / "src" / "repro")
+    coverage = documented / total if total else 1.0
+    print(f"docstring coverage: {documented}/{total} = {coverage:.1%} "
+          f"(floor {COVERAGE_FLOOR:.0%})")
+    if coverage < COVERAGE_FLOOR:
+        failures += 1
+        print("missing docstrings:")
+        for where in missing:
+            print(f"  {where}")
+
+    problems = check_cli_sync(REPO / "README.md")
+    checked = len(readme_cli_lines(REPO / "README.md"))
+    print(f"README CLI sync: {checked - len(problems)}/{checked} "
+          "invocations parse")
+    if problems:
+        failures += 1
+        for line in problems:
+            print(f"  rejected by the parser: {line}")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
