@@ -3,16 +3,20 @@
 Usage::
 
     python -m repro.cli query DOCUMENT.xml "//author" [--dtd SCHEMA.dtd]
+    python -m repro.cli query A.xml B.xml C.xml "//author" --jobs 4
     python -m repro.cli validate DOCUMENT.xml SCHEMA.dtd
     python -m repro.cli tree DOCUMENT.xml            # show the abstraction
     python -m repro.cli decide emptiness SCHEMA.dtd "//author"
     python -m repro.cli decide containment SCHEMA.dtd "/book/author" "//author"
     python -m repro.cli profile                      # instrumented workload
 
-The query subcommand parses the document (optionally validating it),
-compiles the pattern through MSO to a deterministic tree automaton, and
-prints each matched node's path and serialized subtree — the paper's
-"locating subtrees satisfying some pattern" as a shell tool.
+The query subcommand parses the document(s) (optionally validating
+them), compiles the pattern through MSO to a deterministic tree
+automaton, and prints each matched node's path and serialized subtree —
+the paper's "locating subtrees satisfying some pattern" as a shell
+tool.  With several documents, ``--jobs N`` shards them across ``N``
+worker processes (``--jobs 1`` stays entirely in-process); results are
+identical to the serial run.
 
 ``query`` and ``decide`` accept ``--stats``: the run executes under a
 recording :mod:`repro.obs` sink and the report (counters, gauges, spans,
@@ -66,22 +70,40 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def _run_query(args: argparse.Namespace) -> int:
-    try:
-        document = _load_document(args.document, args.dtd)
-    except ValidationError as error:
-        print(f"validation failed: {error}", file=sys.stderr)
+    if args.jobs is not None and args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
-    paths = document.select(args.pattern)
-    for path in paths:
-        element = document.element_at(path)
-        rendered = (
-            serialize(element) if not isinstance(element, str) else repr(element)
-        )
-        location = "/" + "/".join(map(str, path)) if path else "/"
-        print(f"{location}:")
-        for line in rendered.splitlines():
-            print(f"  {line}")
-    print(f"-- {len(paths)} match(es)", file=sys.stderr)
+    documents = []
+    for name in args.documents:
+        try:
+            documents.append(_load_document(name, args.dtd))
+        except ValidationError as error:
+            print(f"validation failed: {name}: {error}", file=sys.stderr)
+            return 2
+    if len(documents) == 1 and args.jobs in (None, 1):
+        # The historical single-document path (pipeline.selects counter).
+        results = [documents[0].select(args.pattern)]
+    else:
+        from .core.pipeline import batch_select
+
+        results = batch_select(documents, args.pattern, jobs=args.jobs)
+    total = 0
+    for name, document, paths in zip(args.documents, documents, results):
+        if len(documents) > 1:
+            print(f"== {name}")
+        for path in paths:
+            element = document.element_at(path)
+            rendered = (
+                serialize(element)
+                if not isinstance(element, str)
+                else repr(element)
+            )
+            location = "/" + "/".join(map(str, path)) if path else "/"
+            print(f"{location}:")
+            for line in rendered.splitlines():
+                print(f"  {line}")
+        total += len(paths)
+    print(f"-- {total} match(es)", file=sys.stderr)
     return 0
 
 
@@ -223,12 +245,36 @@ def _profile_decision(stats: "obs.Stats", budget: int | None) -> None:
         containment_counterexample(full, gates_only, **kwargs)
 
 
+def _profile_parallel(stats: "obs.Stats", jobs: int) -> None:
+    """Exercise the sharded executor over a small bibliography corpus.
+
+    ``jobs=1`` runs the serial fast path (no pool, no ``parallel.*``
+    counters); ``jobs>1`` spawns workers and merges their snapshots.
+    """
+    from .core.pipeline import Corpus
+    from .trees.xml import make_bibliography
+
+    with stats.span("profile.parallel"):
+        corpus = Corpus.from_texts(
+            make_bibliography(4, 4 + offset) for offset in range(6)
+        )
+        corpus.select("//author", jobs=jobs)
+
+
 def _profile_document(stats: "obs.Stats", args: argparse.Namespace) -> None:
     """Profile a user-supplied document/pattern workload."""
     with stats.span("profile.pipeline"):
         document = _load_document(args.document, args.dtd)
-        for _ in range(args.repeat):
-            document.select(args.pattern)
+        if args.jobs is not None and args.jobs != 1:
+            from .core.pipeline import Corpus
+
+            corpus = Corpus([document] * args.repeat)
+            corpus.select(
+                args.pattern, jobs=args.jobs, alphabet=document.alphabet
+            )
+        else:
+            for _ in range(args.repeat):
+                document.select(args.pattern)
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -245,6 +291,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if bool(args.document) != bool(args.pattern):
         print("--document and --pattern go together", file=sys.stderr)
         return 2
+    if args.jobs is not None and args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
     stats = obs.Stats()
     code = 0
     try:
@@ -255,6 +304,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 _profile_strings(stats)
                 _profile_pipeline(stats)
                 _profile_decision(stats, args.budget)
+                if args.jobs is not None:
+                    _profile_parallel(stats, args.jobs)
     except BudgetExceededError as error:
         print(f"budget exceeded: {error}", file=sys.stderr)
         code = 2
@@ -264,6 +315,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
         if args.document
         else {"kind": "builtin"}
     )
+    if args.jobs is not None:
+        workload["jobs"] = args.jobs
     json.dump(
         {"workload": workload, **stats.report()},
         sys.stdout,
@@ -282,9 +335,21 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     query = subparsers.add_parser("query", help="run a pattern query")
-    query.add_argument("document", help="path to the XML document")
+    query.add_argument(
+        "documents",
+        nargs="+",
+        metavar="document",
+        help="path(s) to the XML document(s)",
+    )
     query.add_argument("pattern", help='pattern, e.g. "//author" or "/book/title"')
     query.add_argument("--dtd", help="optional DTD to validate against")
+    query.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="shard documents across N worker processes "
+        "(1 = serial, bypasses the pool; default: serial)",
+    )
     query.add_argument(
         "--stats",
         action="store_true",
@@ -346,6 +411,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="step budget for the built-in decision workload",
+    )
+    profile.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="also profile the sharded executor with N worker processes "
+        "(1 = serial fast path)",
     )
     profile.set_defaults(func=cmd_profile)
 

@@ -7,14 +7,15 @@ DTD, run unary queries over it, and extract the matched subdocuments.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from functools import lru_cache
+from pathlib import Path as FilePath
 
 from .. import obs
 from ..trees.dtd import DTD
 from ..trees.tree import Path, Tree
-from ..trees.xml import XMLElement, parse_document, to_tree
+from ..trees.xml import XMLElement, iter_corpus, parse_document, to_tree
 from .patterns import compile_pattern
 from .query import Query
 
@@ -81,7 +82,11 @@ class Document:
     @staticmethod
     def from_text(text: str, dtd: DTD | None = None) -> "Document":
         """Parse (and optionally validate) an XML document."""
-        element = parse_document(text)
+        return Document.from_element(parse_document(text), dtd)
+
+    @staticmethod
+    def from_element(element: XMLElement, dtd: DTD | None = None) -> "Document":
+        """Abstract an already-parsed element (and optionally validate)."""
         tree = to_tree(element)
         if dtd is not None:
             problems = dtd.violations(tree)
@@ -116,6 +121,19 @@ class Document:
         """The matched subtrees, in document order."""
         return [self.tree.subtree(path) for path in self.select(query)]
 
+    @staticmethod
+    def batch_select(
+        documents: Sequence["Document"],
+        query: Query | str,
+        jobs: int | None = None,
+    ) -> list[list[Path]]:
+        """One query over many documents (module :func:`batch_select`).
+
+        ``jobs`` > 1 shards the documents across worker processes; see
+        :class:`repro.perf.parallel.ParallelExecutor`.
+        """
+        return batch_select(documents, query, jobs=jobs)
+
     def element_at(self, path: Path) -> XMLElement | str:
         """The XML element (or text chunk) at a tree path."""
         node: XMLElement | str = self.element
@@ -135,14 +153,20 @@ def run_pattern(
 
 
 def batch_select(
-    documents: Sequence[Document], query: Query | str
+    documents: Sequence[Document], query: Query | str, jobs: int | None = None
 ) -> list[list[Path]]:
-    """Run one query over many documents via :func:`repro.perf.batch_evaluate`.
+    """Run one query over many documents; optionally sharded across workers.
 
     Compiles a pattern string once (against the union of the documents'
     alphabets) and evaluates every tree through a single cached engine, so
     automaton and table construction is amortized over the whole batch.
     Returns one document-ordered path list per document.
+
+    ``jobs`` > 1 shards the corpus across worker processes via
+    :class:`repro.perf.parallel.ParallelExecutor` — results are merged in
+    submission order and are byte-identical to the serial path; worker
+    counters land in the installed :mod:`repro.obs` sink.  ``jobs`` of
+    ``None`` or 1 stays entirely in-process.
     """
     documents = list(documents)
     obs.SINK.incr("pipeline.batch_selects")
@@ -151,7 +175,149 @@ def batch_select(
         for document in documents:
             labels.update(document.alphabet)
         query = _pattern_for(query, tuple(sorted(labels)))
-    from ..perf.batch import batch_evaluate
+    trees = [document.tree for document in documents]
+    if jobs is not None and jobs != 1:
+        from ..perf.parallel import parallel_map
 
-    results = batch_evaluate(query, [document.tree for document in documents])
+        results = parallel_map(query, trees, jobs=jobs)
+    else:
+        from ..perf.batch import batch_evaluate
+
+        results = batch_evaluate(query, trees)
     return [sorted(paths) for paths in results]
+
+
+class Corpus:
+    """An ordered collection of documents served by one query at a time.
+
+    The serving shape of the paper's motivation at scale: one compiled
+    query, many documents.  A corpus is either *materialized* (a list of
+    :class:`Document`, indexable and reusable) or *streaming* (a one-shot
+    document iterator fed by :func:`repro.trees.xml.iter_corpus`, so
+    million-node corpora never fully materialize — they are consumed one
+    parallel chunk at a time).
+    """
+
+    def __init__(self, documents: Iterable[Document]) -> None:
+        if isinstance(documents, (list, tuple)):
+            self._documents: list[Document] | None = list(documents)
+            self._stream: Iterator[Document] | None = None
+        else:
+            self._documents = None
+            self._stream = iter(documents)
+
+    # -- construction ----------------------------------------------------
+
+    @staticmethod
+    def from_texts(
+        texts: Iterable[str], dtd: DTD | None = None
+    ) -> "Corpus":
+        """A materialized corpus parsed from document strings."""
+        return Corpus([Document.from_text(text, dtd) for text in texts])
+
+    @staticmethod
+    def from_paths(
+        paths: Iterable[str | FilePath], dtd: DTD | None = None
+    ) -> "Corpus":
+        """A materialized corpus read from one XML file per document."""
+        return Corpus(
+            [
+                Document.from_text(FilePath(path).read_text(), dtd)
+                for path in paths
+            ]
+        )
+
+    @staticmethod
+    def stream(source, dtd: DTD | None = None) -> "Corpus":
+        """A streaming corpus over a corpus file (root's children = documents).
+
+        Ingestion is ``iterparse``-based: each document element is
+        abstracted and released before the next is parsed, so the corpus
+        is never resident in memory as a whole.  The resulting corpus is
+        one-shot — :meth:`select` (or iteration) consumes it.
+        """
+        return Corpus(
+            Document.from_element(element, dtd)
+            for element in iter_corpus(source)
+        )
+
+    # -- container protocol (materialized corpora) -----------------------
+
+    @property
+    def streaming(self) -> bool:
+        """Whether this corpus is a one-shot document stream."""
+        return self._documents is None
+
+    def __iter__(self) -> Iterator[Document]:
+        if self._documents is not None:
+            return iter(self._documents)
+        stream, self._stream = self._stream, None
+        if stream is None:
+            raise ValueError("streaming corpus already consumed")
+        return stream
+
+    def __len__(self) -> int:
+        if self._documents is None:
+            raise TypeError("streaming corpora have no length until materialized")
+        return len(self._documents)
+
+    def __getitem__(self, index: int) -> Document:
+        if self._documents is None:
+            raise TypeError("streaming corpora are not indexable")
+        return self._documents[index]
+
+    def materialize(self) -> "Corpus":
+        """This corpus with every document resident (no-op if already)."""
+        if self._documents is not None:
+            return self
+        return Corpus(list(self))
+
+    @property
+    def alphabet(self) -> tuple:
+        """Union of the documents' label alphabets (materialized only)."""
+        if self._documents is None:
+            raise TypeError("streaming corpora have no precomputed alphabet")
+        labels: set = set()
+        for document in self._documents:
+            labels.update(document.alphabet)
+        return tuple(sorted(labels))
+
+    # -- querying --------------------------------------------------------
+
+    def select(
+        self,
+        query: Query | str,
+        jobs: int | None = None,
+        alphabet: Sequence[str] | None = None,
+    ) -> list[list[Path]]:
+        """One document-ordered path list per document, in corpus order.
+
+        ``jobs`` > 1 shards the documents across worker processes
+        (submission-order merge; byte-identical to serial).  A pattern
+        string compiles against the corpus alphabet — for a streaming
+        corpus pass ``alphabet=`` explicitly (or a compiled query), since
+        the stream cannot be scanned twice.
+        """
+        obs.SINK.incr("pipeline.corpus_selects")
+        if isinstance(query, str):
+            if alphabet is None:
+                if self.streaming:
+                    raise ValueError(
+                        "a streaming corpus cannot infer the pattern "
+                        "alphabet; pass alphabet= or a compiled query"
+                    )
+                alphabet = self.alphabet
+            query = _pattern_for(query, tuple(alphabet))
+        trees: Iterable[Tree] = (document.tree for document in self)
+        if not self.streaming:
+            trees = [document.tree for document in self._documents or []]
+        if jobs is not None and jobs != 1:
+            from ..perf.parallel import parallel_map
+
+            results = parallel_map(query, trees, jobs=jobs)
+        else:
+            from ..perf.batch import _engine_call
+
+            call = _engine_call(query)
+            results = [call(tree) for tree in trees]
+        return [sorted(paths) for paths in results]

@@ -119,6 +119,53 @@ class Stats(StatsSink):
         finally:
             self.observe(name, time.perf_counter() - start)
 
+    # -- merging (parallel workers, sharded runs) ------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict, picklable copy of the recorded state.
+
+        The payload crosses process boundaries (each parallel worker
+        ships one per chunk) and feeds :meth:`merge` /
+        :meth:`from_snapshot` on the other side.
+        """
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "samples": {name: list(values) for name, values in self.samples.items()},
+        }
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "Stats":
+        """Rebuild a :class:`Stats` from a :meth:`snapshot` payload."""
+        stats = cls()
+        stats.merge(payload)
+        return stats
+
+    def merge(self, other: "Stats | dict") -> "Stats":
+        """Fold another sink's state into this one; returns ``self``.
+
+        The merge contract (relied on by the parallel executor, and
+        associative by construction):
+
+        * counters are *summed* — they count events, and events from two
+          workers simply add;
+        * high-water gauges are *maxed* — the fleet's high-water mark is
+          the largest any worker saw;
+        * sample streams are *concatenated* — every span duration and
+          observation survives, so aggregate statistics over the merged
+          stream equal statistics over the union of the workers' streams.
+
+        ``other`` may be a :class:`Stats` or a :meth:`snapshot` payload.
+        """
+        payload = other.snapshot() if isinstance(other, Stats) else other
+        for name, amount in payload.get("counters", {}).items():
+            self.incr(name, amount)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge_max(name, value)
+        for name, values in payload.get("samples", {}).items():
+            self.samples.setdefault(name, []).extend(values)
+        return self
+
     # -- aggregation -----------------------------------------------------
 
     def counter(self, name: str) -> int:

@@ -12,6 +12,11 @@ This package makes query evaluation single-sweep and cached end-to-end:
   evaluation with hashed subtree types, so identical subtrees and sibling
   words are summarized once (Lemma 5.16 / Figure 5);
 * :func:`batch_evaluate` — one engine, many inputs;
+* :class:`~repro.perf.parallel.ParallelExecutor` /
+  :func:`parallel_map` — one query, many documents, many *processes*:
+  spawn-safe sharded execution with worker-local engine registries,
+  adaptive chunking (:mod:`~repro.perf.shard`), submission-order merge,
+  and structured :class:`~repro.perf.shard.ShardError` failures;
 * :mod:`~repro.perf.bitset` — the bitset kernel (interned ids,
   Python-int state sets, :class:`PackedNFA`) powering the subset
   construction, NBTA emptiness, and the packed worklist closure of
@@ -24,7 +29,9 @@ tests in ``tests/perf/`` enforce agreement.
 
 from .batch import batch_evaluate, evaluate_one
 from .bitset import Interner, PackedNFA, is_subset, iter_bits, mask_of
+from .parallel import ParallelExecutor, default_jobs, parallel_map
 from .registry import EngineRegistry
+from .shard import ShardError
 from .strings import (
     StringQueryEngine,
     TransductionEngine,
@@ -48,10 +55,13 @@ __all__ = [
     "Interner",
     "MarkedQueryEngine",
     "PackedNFA",
+    "ParallelExecutor",
+    "ShardError",
     "StringQueryEngine",
     "TransductionEngine",
     "UnrankedQueryEngine",
     "batch_evaluate",
+    "default_jobs",
     "evaluate_one",
     "fast_accepts",
     "fast_evaluate",
@@ -63,4 +73,5 @@ __all__ = [
     "iter_bits",
     "mask_of",
     "marked_engine",
+    "parallel_map",
 ]

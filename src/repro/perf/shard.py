@@ -1,0 +1,143 @@
+"""Corpus sharding: adaptive chunk planning and structured worker failures.
+
+A parallel run splits its inputs into contiguous *chunks* — index ranges
+in submission order — sized by estimated evaluation cost (node count for
+trees and documents, length for words) so that one huge document does
+not ride in the same chunk as fifty small ones.  Chunks are the unit of
+dispatch, result merging, and failure attribution: whatever order
+workers finish in, results are reassembled by chunk index, and a failure
+is reported as a :class:`ShardError` naming the *input* index that
+failed together with the worker's counter snapshot at that moment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+#: Estimated-cost target per chunk when the total corpus cost is unknown
+#: (streaming ingestion): roughly "a few thousand tree nodes per task".
+DEFAULT_CHUNK_COST = 4096
+
+#: Hard cap on items per chunk, so huge corpora of tiny documents still
+#: spread across workers.
+MAX_CHUNK_ITEMS = 256
+
+#: Chunks planned per worker when the total cost is known — mild
+#: oversubscription lets fast workers absorb straggler chunks.
+OVERSUBSCRIBE = 4
+
+
+class ShardError(RuntimeError):
+    """A worker failed while evaluating one input of a parallel run.
+
+    Raised in the *parent* process in place of the worker's bare pickled
+    traceback.  Attributes:
+
+    * ``index`` — the failing input's position in submission order;
+    * ``worker`` — the worker's process id;
+    * ``kind`` — the original exception's type name (e.g.
+      ``"BudgetExceededError"``);
+    * ``detail`` — the original exception's message;
+    * ``counters`` — the worker's ``obs`` counter snapshot accumulated up
+      to (and including) the failing evaluation;
+    * ``exc_counters`` — the counter snapshot *carried by the exception
+      itself* when it has one (``BudgetExceededError.counters``),
+      preserved intact across the process boundary;
+    * ``budget`` — the tripped budget for budget-style failures, else
+      ``None``;
+    * ``worker_traceback`` — the worker-side formatted traceback, for
+      debugging.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        kind: str,
+        detail: str,
+        *,
+        worker: int | None = None,
+        counters: dict | None = None,
+        exc_counters: dict | None = None,
+        budget: int | None = None,
+        worker_traceback: str | None = None,
+    ) -> None:
+        parts = [f"shard failed at input {index}: {kind}: {detail}"]
+        if worker is not None:
+            parts.append(f"worker={worker}")
+        if budget is not None:
+            parts.append(f"budget={budget}")
+        if counters:
+            parts.append(
+                "counters: "
+                + ", ".join(f"{key}={counters[key]}" for key in sorted(counters))
+            )
+        super().__init__("; ".join(parts))
+        self.index = index
+        self.kind = kind
+        self.detail = detail
+        self.worker = worker
+        self.counters = dict(counters) if counters else {}
+        self.exc_counters = dict(exc_counters) if exc_counters else {}
+        self.budget = budget
+        self.worker_traceback = worker_traceback
+
+
+def estimate_cost(item: object) -> int:
+    """Estimated evaluation cost of one input, in "node" units.
+
+    Trees report their ``size``; documents report their tree's size;
+    words report their length; anything else costs 1.  The estimate only
+    steers chunk balance — it never changes results.
+    """
+    size = getattr(item, "size", None)
+    if isinstance(size, int):
+        return max(1, size)
+    tree = getattr(item, "tree", None)
+    if tree is not None:
+        size = getattr(tree, "size", None)
+        if isinstance(size, int):
+            return max(1, size)
+    try:
+        return max(1, len(item))  # type: ignore[arg-type]
+    except TypeError:
+        return 1
+
+
+def chunk_cost_target(items: Sequence | None, jobs: int) -> int:
+    """The per-chunk cost target for a corpus.
+
+    With a materialized corpus the total cost is known: divide it over
+    ``jobs * OVERSUBSCRIBE`` chunks.  For streaming corpora (``items is
+    None``) fall back to :data:`DEFAULT_CHUNK_COST`.
+    """
+    if items is None:
+        return DEFAULT_CHUNK_COST
+    total = sum(estimate_cost(item) for item in items)
+    return max(1, -(-total // max(1, jobs * OVERSUBSCRIBE)))
+
+
+def iter_chunks(
+    items: Iterable,
+    target_cost: int,
+    max_items: int = MAX_CHUNK_ITEMS,
+) -> Iterator[tuple[int, list, int]]:
+    """Split ``items`` into ``(start_index, chunk, estimated_cost)`` triples.
+
+    Chunks are contiguous in submission order; a chunk closes when its
+    accumulated estimated cost reaches ``target_cost`` or it holds
+    ``max_items`` items.  Consumes the iterable lazily, so a streaming
+    corpus is only ever materialized one chunk at a time.
+    """
+    buffer: list = []
+    cost = 0
+    start = 0
+    for index, item in enumerate(items):
+        buffer.append(item)
+        cost += estimate_cost(item)
+        if cost >= target_cost or len(buffer) >= max_items:
+            yield start, buffer, cost
+            start = index + 1
+            buffer = []
+            cost = 0
+    if buffer:
+        yield start, buffer, cost

@@ -18,6 +18,7 @@ Two abstraction levels are offered, mirroring Figures 3 and 4:
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from .tree import Tree
@@ -215,6 +216,46 @@ def parse_to_tree(text: str) -> Tree:
 def parse_to_structure_tree(text: str) -> Tree:
     """Parse a document and abstract it in one step (text dropped)."""
     return to_structure_tree(parse_document(text))
+
+
+def from_etree(element) -> XMLElement:
+    """Convert an :mod:`xml.etree.ElementTree` element to :class:`XMLElement`.
+
+    Mirrors the hand parser's text handling — chunks are stripped and
+    whitespace-only chunks dropped — so a document ingested through
+    ``ElementTree`` abstracts to the same Σ-tree as one parsed by
+    :func:`parse_document`.
+    """
+    converted = XMLElement(element.tag, dict(element.attrib))
+    if element.text and element.text.strip():
+        converted.content.append(element.text.strip())
+    for child in element:
+        converted.content.append(from_etree(child))
+        if child.tail and child.tail.strip():
+            converted.content.append(child.tail.strip())
+    return converted
+
+
+def iter_corpus(source) -> Iterator[XMLElement]:
+    """Stream the documents of a corpus file, one at a time.
+
+    A *corpus file* is an XML file whose root element's children are the
+    individual documents.  Parsing uses ``ElementTree.iterparse``, and
+    each document element is cleared as soon as it has been yielded —
+    million-node corpora never materialize in memory.  ``source`` is a
+    filename or a binary file object.
+    """
+    import xml.etree.ElementTree as ElementTree
+
+    depth = 0
+    for event, element in ElementTree.iterparse(source, events=("start", "end")):
+        if event == "start":
+            depth += 1
+        else:
+            depth -= 1
+            if depth == 1:
+                yield from_etree(element)
+                element.clear()
 
 
 def serialize(element: XMLElement, indent: int = 0) -> str:

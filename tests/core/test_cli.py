@@ -128,6 +128,86 @@ class TestStatsFlag:
         assert "counters" in report
 
 
+class TestJobsFlag:
+    """``--jobs`` on query/profile: sharded runs and the serial bypass."""
+
+    @pytest.fixture()
+    def corpus_files(self, tmp_path):
+        from repro.trees.xml import make_bibliography
+
+        paths = []
+        for index in range(3):
+            path = tmp_path / f"bib{index}.xml"
+            path.write_text(make_bibliography(2, 3 + index))
+            paths.append(str(path))
+        return paths
+
+    def test_query_multi_document_serial(self, corpus_files, capsys):
+        assert main(["query", *corpus_files, "//author"]) == 0
+        out = capsys.readouterr().out
+        for path in corpus_files:
+            assert f"== {path}" in out
+
+    def test_query_jobs_matches_serial_output(self, corpus_files, capsys):
+        assert main(["query", *corpus_files, "//author"]) == 0
+        serial = capsys.readouterr()
+        assert main(["query", *corpus_files, "//author", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr()
+        assert parallel.out == serial.out
+        assert "match(es)" in parallel.err
+
+    def test_query_jobs_1_bypasses_the_pool(self, document_file, capsys):
+        assert main(
+            ["query", document_file, "//author", "--jobs", "1", "--stats"]
+        ) == 0
+        captured = capsys.readouterr()
+        report = json.loads(captured.err[captured.err.index("{"):])
+        assert not any(name.startswith("parallel.") for name in report["counters"])
+        # The serial single-document path is the historical one.
+        assert report["counters"]["pipeline.selects"] == 1
+
+    def test_query_jobs_emits_parallel_counters(self, corpus_files, capsys):
+        assert main(
+            ["query", *corpus_files, "//author", "--jobs", "2", "--stats"]
+        ) == 0
+        captured = capsys.readouterr()
+        report = json.loads(captured.err[captured.err.index("{"):])
+        assert report["counters"]["parallel.chunks"] >= 1
+        assert report["counters"]["parallel.items"] == len(corpus_files)
+        assert report["counters"]["parallel.workers"] >= 1
+        assert report["gauges"]["parallel.worker_items_max"] >= 1
+
+    def test_profile_jobs_1_serial_fast_path(self, capsys):
+        assert main(["profile", "--jobs", "1"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["workload"] == {"kind": "builtin", "jobs": 1}
+        assert "profile.parallel" in report["spans"]
+        assert not any(name.startswith("parallel.") for name in report["counters"])
+        assert report["counters"]["pipeline.corpus_selects"] == 1
+
+    def test_profile_jobs_2_shards(self, capsys):
+        assert main(["profile", "--jobs", "2"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["workload"]["jobs"] == 2
+        assert report["counters"]["parallel.chunks"] >= 2
+        assert report["counters"]["parallel.items"] == 6
+
+    def test_query_rejects_nonpositive_jobs(self, document_file, capsys):
+        assert main(["query", document_file, "//author", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+        assert main(["profile", "--jobs", "-2"]) == 2
+
+    def test_profile_document_with_jobs(self, document_file, capsys):
+        code = main(
+            ["profile", "--document", document_file, "--pattern", "//author",
+             "--repeat", "4", "--jobs", "2"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["workload"]["jobs"] == 2
+        assert report["counters"]["parallel.items"] == 4
+
+
 class TestProfileCLI:
     #: The counters ISSUE acceptance requires nonzero from the built-in suite.
     REQUIRED = (

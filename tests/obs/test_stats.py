@@ -84,6 +84,83 @@ class TestStats:
         assert report["spans"]["s"]["count"] == 1
 
 
+def _random_stats(seed: int) -> Stats:
+    import random
+
+    rng = random.Random(seed)
+    stats = Stats()
+    for _ in range(rng.randrange(12)):
+        stats.incr(rng.choice("abcd"), rng.randrange(1, 9))
+    for _ in range(rng.randrange(6)):
+        stats.gauge_max(rng.choice("gh"), rng.uniform(0, 10))
+    for _ in range(rng.randrange(6)):
+        stats.observe(rng.choice("st"), rng.uniform(0, 1))
+    return stats
+
+
+class TestMerge:
+    def test_counters_sum(self):
+        left, right = Stats(), Stats()
+        left.incr("c", 2)
+        right.incr("c", 3)
+        right.incr("only_right")
+        left.merge(right)
+        assert left.counter("c") == 5
+        assert left.counter("only_right") == 1
+
+    def test_gauges_max(self):
+        left, right = Stats(), Stats()
+        left.gauge_max("g", 7)
+        right.gauge_max("g", 3)
+        right.gauge_max("h", 9)
+        left.merge(right)
+        assert left.gauges == {"g": 7, "h": 9}
+
+    def test_samples_concatenate(self):
+        left, right = Stats(), Stats()
+        left.observe("s", 1.0)
+        right.observe("s", 2.0)
+        right.observe("s", 3.0)
+        left.merge(right)
+        assert left.samples["s"] == [1.0, 2.0, 3.0]
+        assert left.sample_stats("s")["count"] == 3
+
+    def test_merge_accepts_snapshots(self):
+        source = _random_stats(5)
+        via_stats = Stats().merge(source)
+        via_snapshot = Stats().merge(source.snapshot())
+        assert via_stats.snapshot() == via_snapshot.snapshot()
+
+    def test_snapshot_round_trip(self):
+        source = _random_stats(11)
+        rebuilt = Stats.from_snapshot(source.snapshot())
+        assert rebuilt.snapshot() == source.snapshot()
+
+    def test_snapshot_is_a_copy(self):
+        stats = Stats()
+        stats.incr("c")
+        snap = stats.snapshot()
+        stats.incr("c")
+        assert snap["counters"]["c"] == 1
+
+    def test_merge_is_associative(self):
+        for seed in range(20):
+            a, b, c = (
+                _random_stats(3 * seed),
+                _random_stats(3 * seed + 1),
+                _random_stats(3 * seed + 2),
+            )
+            left = Stats().merge(a).merge(Stats().merge(b).merge(c))
+            right = Stats().merge(Stats().merge(a).merge(b)).merge(c)
+            # Counters and gauges are order-free; concatenated samples
+            # keep their per-stream order under either association.
+            assert left.snapshot() == right.snapshot()
+
+    def test_merge_returns_self(self):
+        stats = Stats()
+        assert stats.merge(Stats()) is stats
+
+
 class TestModuleSwitch:
     def test_default_sink_is_null(self):
         assert obs.sink() is NULL_SINK or not obs.enabled()

@@ -1,0 +1,158 @@
+"""Worker failures surface as structured :class:`ShardError`.
+
+Three failure families: a selection function that raises mid-corpus, a
+worker tripping the decision-procedure step budget
+(:class:`BudgetExceededError` — its carried counter snapshot must
+survive the process boundary intact), and a non-picklable selection
+function, which must be rejected at submit time with a clear message
+rather than crashing inside the pool.
+"""
+
+import os
+
+import pytest
+
+from repro.decision.closure import BudgetExceededError, query_witness
+from repro.perf.parallel import ParallelExecutor, parallel_map
+from repro.perf.shard import ShardError
+from repro.unranked.examples import circuit_query_automaton
+
+JOBS = int(os.environ.get("REPRO_PARALLEL_JOBS", "2"))
+
+
+# Selection functions must be module-level so the spawn pickle can find
+# them in the worker's reimport of this module.
+
+def _double(item: int) -> int:
+    return item * 2
+
+
+def _boom_on_seven(item: int) -> int:
+    if item == 7:
+        raise ValueError("item seven is cursed")
+    return item
+
+
+def _trip_budget(item: int):
+    # One unit of budget cannot fit the Example 5.9 closure scan.
+    return query_witness(circuit_query_automaton(), budget=1)
+
+
+class TestWorkerRaises:
+    def test_shard_error_names_the_failing_index(self):
+        items = list(range(12))
+        with ParallelExecutor(_boom_on_seven, jobs=JOBS) as executor:
+            with pytest.raises(ShardError) as info:
+                executor.map(items)
+        error = info.value
+        assert error.index == items.index(7)
+        assert error.kind == "ValueError"
+        assert "item seven is cursed" in error.detail
+        assert isinstance(error.worker, int) and error.worker > 0
+        assert error.worker != os.getpid()
+        assert isinstance(error.counters, dict)
+        assert error.worker_traceback and "ValueError" in error.worker_traceback
+
+    def test_message_carries_index_kind_and_worker(self):
+        with ParallelExecutor(_boom_on_seven, jobs=JOBS) as executor:
+            with pytest.raises(
+                ShardError, match=r"shard failed at input 7: ValueError"
+            ) as info:
+                executor.map(range(9))
+        assert "worker=" in str(info.value)
+
+    def test_executor_survives_a_failed_map(self):
+        with ParallelExecutor(_boom_on_seven, jobs=JOBS) as executor:
+            with pytest.raises(ShardError):
+                executor.map(range(9))
+            # The pool is still healthy: a clean corpus maps fine.
+            assert executor.map([1, 2, 3]) == [1, 2, 3]
+
+
+class TestBudgetExceeded:
+    def test_serial_reference_raises_budget_error(self):
+        with pytest.raises(BudgetExceededError) as info:
+            _trip_budget(0)
+        assert info.value.budget == 1
+        assert info.value.counters  # the snapshot the worker must preserve
+
+    def test_budget_failure_crosses_the_process_boundary(self):
+        with ParallelExecutor(_trip_budget, jobs=JOBS) as executor:
+            with pytest.raises(ShardError) as info:
+                executor.map([0, 1])
+        error = info.value
+        assert error.kind == "BudgetExceededError"
+        assert error.index == 0
+        assert error.budget == 1
+        # The exception-carried counter snapshot arrives intact and
+        # matches what the same failure produces in-process.
+        with pytest.raises(BudgetExceededError) as serial:
+            _trip_budget(0)
+        assert error.exc_counters == serial.value.counters
+        assert "budget=1" in str(error)
+
+
+class TestSubmitTimeRejection:
+    def test_lambda_rejected_before_any_pool_exists(self):
+        with pytest.raises(TypeError, match="picklable") as info:
+            ParallelExecutor(lambda item: item, jobs=JOBS)
+        assert "jobs=1" in str(info.value)  # the suggested fallback
+
+    def test_lambda_fine_when_serial(self):
+        with ParallelExecutor(lambda item: item + 1, jobs=1) as executor:
+            assert executor.map([1, 2]) == [2, 3]
+
+    def test_parallel_map_rejects_lambdas_too(self):
+        with pytest.raises(TypeError, match="picklable"):
+            parallel_map(lambda item: item, [1], jobs=JOBS)
+
+    def test_non_callable_rejected_with_type_name(self):
+        with pytest.raises(TypeError, match="cannot evaluate int"):
+            ParallelExecutor(42, jobs=JOBS)
+
+
+class TestSpawnMainGuard:
+    """An unimportable ``__main__`` (stdin scripts) fails fast, not hangs."""
+
+    def test_stdin_main_rejected(self, monkeypatch):
+        import sys
+        import types
+
+        from repro.perf.parallel import _check_spawn_main
+
+        fake = types.ModuleType("__main__")
+        fake.__spec__ = None
+        fake.__file__ = "<stdin>"
+        monkeypatch.setitem(sys.modules, "__main__", fake)
+        with pytest.raises(RuntimeError, match="jobs=1"):
+            _check_spawn_main()
+
+    def test_importable_mains_pass(self, monkeypatch):
+        import sys
+        import types
+
+        from repro.perf.parallel import _check_spawn_main
+
+        _check_spawn_main()  # the pytest launcher itself
+        interactive = types.ModuleType("__main__")
+        interactive.__spec__ = None
+        monkeypatch.setitem(sys.modules, "__main__", interactive)
+        _check_spawn_main()  # no __file__: interactive interpreter
+
+
+class TestLifecycle:
+    def test_closed_executor_refuses_parallel_work(self):
+        executor = ParallelExecutor(_double, jobs=JOBS)
+        executor.map([1])  # spin the pool up
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map([2])
+
+    def test_close_is_idempotent(self):
+        executor = ParallelExecutor(_double, jobs=JOBS)
+        executor.close()
+        executor.close()
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            ParallelExecutor(_double, jobs=0)
