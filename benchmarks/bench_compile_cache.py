@@ -1,0 +1,105 @@
+"""Experiment: the compilation optimizer (minimization + compile cache).
+
+Workload: the Proposition 5.10 query formula and a quantifier-alternating
+string sentence, compiled through every stage of the optimizer.
+Measured: the naive construction vs the per-connective-minimized one
+(``engine=``), a cold compile (content-addressed cache cleared each
+round) vs a warm one (memory hit), and a simulated cold *process* that
+reloads the artifact from an on-disk cache directory.
+
+Each row's ``extra_info`` records the variant; the module summary's
+``counters`` block shows the ``compile.*`` and ``minimize.*`` activity
+(see the ``DESIGN.md`` glossary).  ``REPRO_BENCH_SMOKE=1`` drops the
+slow naive rows.
+"""
+
+import os
+
+import pytest
+
+from repro.logic.compile_strings import compile_sentence
+from repro.logic.compile_trees import compile_tree_query
+from repro.logic.syntax import (
+    And,
+    Exists,
+    Forall,
+    Implies,
+    Label,
+    Less,
+    Not,
+    Var,
+)
+from repro.perf.compile import CACHE, compile_cache_clear
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+ENGINES = ["optimized"] if SMOKE else ["optimized", "naive"]
+
+x, y = Var("x"), Var("y")
+
+#: The Proposition 5.10 query: a-nodes with no earlier a-sibling.
+TREE_PHI = And(Label(x, "a"), Not(Exists(y, And(Less(y, x), Label(y, "a")))))
+
+#: A quantifier-alternating string sentence (one alternation deep).
+STRING_PHI = Exists(
+    x, Forall(y, And(Label(x, "a"), Implies(Less(y, x), Label(y, "b"))))
+)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_string_sentence_engines(benchmark, engine):
+    """Naive vs optimized Büchi compilation of the string sentence."""
+    benchmark.extra_info["engine"] = engine
+    dfa = benchmark.pedantic(
+        compile_sentence,
+        args=(STRING_PHI, ["a", "b"]),
+        kwargs={"engine": engine},
+        setup=compile_cache_clear,
+        rounds=3,
+    )
+    assert dfa.states
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_tree_query_engines(benchmark, engine):
+    """Naive vs optimized DTW compilation of the Prop. 5.10 query."""
+    benchmark.extra_info["engine"] = engine
+    automaton = benchmark.pedantic(
+        compile_tree_query,
+        args=(TREE_PHI, x, ["a", "b"]),
+        kwargs={"engine": engine},
+        setup=compile_cache_clear,
+        rounds=3,
+    )
+    assert automaton.states
+
+
+def test_tree_query_warm_memory(benchmark):
+    """A warm compile is one digest lookup in the in-memory cache."""
+    benchmark.extra_info["variant"] = "warm-memory"
+    compile_cache_clear()
+    compile_tree_query(TREE_PHI, x, ["a", "b"])
+    automaton = benchmark(compile_tree_query, TREE_PHI, x, ["a", "b"])
+    assert automaton.states
+
+
+def test_tree_query_warm_disk(benchmark, tmp_path):
+    """A cold process pointed at an artifact directory loads from disk."""
+    benchmark.extra_info["variant"] = "warm-disk"
+    previous = CACHE.directory
+    CACHE.set_directory(tmp_path)
+    try:
+        compile_cache_clear()
+        compile_tree_query(TREE_PHI, x, ["a", "b"])  # writes the artifact
+
+        def cold_memory():
+            CACHE.clear()  # keep the directory: simulates a fresh process
+
+        automaton = benchmark.pedantic(
+            compile_tree_query,
+            args=(TREE_PHI, x, ["a", "b"]),
+            setup=cold_memory,
+            rounds=3,
+        )
+        assert automaton.states
+    finally:
+        CACHE.directory = previous

@@ -45,6 +45,21 @@ def _load_document(path: str, dtd_path: str | None) -> Document:
     return Document.from_text(text, dtd)
 
 
+def _apply_compile_cache(args: argparse.Namespace) -> None:
+    """Honor a subcommand's ``--compile-cache DIR`` flag.
+
+    Points the content-addressed compile cache's on-disk layer
+    (:func:`repro.perf.compile.set_disk_cache`) at the directory, so
+    formula compilations persist across process runs; hits/misses appear
+    under the ``compile.*`` counters in ``--stats`` reports.
+    """
+    directory = getattr(args, "compile_cache", None)
+    if directory is not None:
+        from .perf.compile import set_disk_cache
+
+        set_disk_cache(directory)
+
+
 def _with_stats(args: argparse.Namespace, run) -> int:
     """Run ``run()``, honoring the subcommand's ``--stats`` flag.
 
@@ -70,6 +85,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def _run_query(args: argparse.Namespace) -> int:
+    _apply_compile_cache(args)
     if args.jobs is not None and args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
@@ -157,6 +173,7 @@ def cmd_decide(args: argparse.Namespace) -> int:
 
 
 def _run_decide(args: argparse.Namespace) -> int:
+    _apply_compile_cache(args)
     from .decision.closure import BudgetExceededError
     from .decision.patterns import (
         pattern_containment_counterexample,
@@ -294,6 +311,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if args.jobs is not None and args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    _apply_compile_cache(args)
     stats = obs.Stats()
     code = 0
     try:
@@ -355,6 +373,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print an obs metrics report (JSON) on stderr",
     )
+    query.add_argument(
+        "--compile-cache",
+        metavar="DIR",
+        default=None,
+        help="persist compiled automata in DIR (content-addressed)",
+    )
     query.set_defaults(func=cmd_query)
 
     validate = subparsers.add_parser("validate", help="validate against a DTD")
@@ -387,6 +411,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print an obs metrics report (JSON) on stderr",
     )
+    decide.add_argument(
+        "--compile-cache",
+        metavar="DIR",
+        default=None,
+        help="persist compiled automata in DIR (content-addressed)",
+    )
     decide.set_defaults(func=cmd_decide)
 
     profile = subparsers.add_parser(
@@ -418,6 +448,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also profile the sharded executor with N worker processes "
         "(1 = serial fast path)",
+    )
+    profile.add_argument(
+        "--compile-cache",
+        metavar="DIR",
+        default=None,
+        help="persist compiled automata in DIR (content-addressed)",
     )
     profile.set_defaults(func=cmd_profile)
 

@@ -33,9 +33,17 @@ def cached_pattern(pattern: str, alphabet: tuple) -> Query:
     across :meth:`Document.select` calls and across documents with the
     same label alphabet.
 
+    This LRU keys on the raw pattern *string*; underneath it, the
+    MSO→automaton step goes through the content-addressed compile cache
+    of :mod:`repro.perf.compile`, which keys on the *canonical formula
+    digest* — so distinct patterns that desugar to α-equivalent formulas
+    (and cold processes pointed at a ``--compile-cache`` directory) still
+    reuse one compiled automaton.
+
     Inspect the cache with :func:`pattern_cache_info` and reset it with
     :func:`pattern_cache_clear`; the same snapshot appears under
-    ``caches["pipeline.cached_pattern"]`` in every ``obs`` report.
+    ``caches["pipeline.cached_pattern"]`` in every ``obs`` report
+    (alongside ``caches["perf.compile_cache"]``).
     """
     return compile_pattern(pattern, alphabet)
 
@@ -106,9 +114,11 @@ class Document:
     def select(self, query: Query | str) -> list[Path]:
         """Run a query (object or pattern string); document-ordered paths.
 
-        Pattern strings are compiled once per (pattern, alphabet) pair and
-        evaluated through the cached :mod:`repro.perf` engines, so
-        repeated selections over similar documents stay cheap.
+        Pattern strings are compiled once per (pattern, alphabet) pair —
+        with the formula-level work deduplicated by the content-addressed
+        compile cache of :mod:`repro.perf.compile` — and evaluated
+        through the cached :mod:`repro.perf` engines, so repeated
+        selections over similar documents stay cheap.
         """
         obs.SINK.incr("pipeline.selects")
         if isinstance(query, str):

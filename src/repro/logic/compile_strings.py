@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import Hashable
 
+from .. import obs
 from ..strings.dfa import DFA
 from ..strings.nfa import NFA, intersection_nfa, union_nfa
 from .syntax import (
@@ -89,8 +90,30 @@ def _singleton_track_dfa(
     return DFA.build({0, 1, 2}, alphabet, transitions, 0, {1})
 
 
+#: Interned validity automata, keyed by (extended alphabet, FO-track mask).
+#: The same validity NFA is intersected in at every atom and negation of a
+#: compilation, so rebuilding it per connective dominated small compiles;
+#: hits/misses surface as ``compile.validity_hits`` / ``_misses``.
+_VALIDITY_CACHE: dict[tuple, NFA] = {}
+_VALIDITY_CACHE_LIMIT = 512
+
+
 def _validity_nfa(alphabet: frozenset[tuple], tracks: Tracks) -> NFA:
-    """Validity of every first-order track in scope."""
+    """Validity of every first-order track in scope.
+
+    Interned per (alphabet, FO-track mask): the automaton depends only on
+    which track positions are first-order, not on the variables' names.
+    """
+    fo_mask = tuple(isinstance(variable, Var) for variable in tracks)
+    key = (alphabet, fo_mask)
+    sink = obs.SINK
+    interned = _VALIDITY_CACHE.get(key)
+    if interned is not None:
+        if sink.enabled:
+            sink.incr("compile.validity_hits")
+        return interned
+    if sink.enabled:
+        sink.incr("compile.validity_misses")
     result: DFA | None = None
     for index, variable in enumerate(tracks):
         if not isinstance(variable, Var):
@@ -101,15 +124,48 @@ def _validity_nfa(alphabet: frozenset[tuple], tracks: Tracks) -> NFA:
         all_accept = DFA.build(
             {0}, alphabet, {(0, letter): 0 for letter in alphabet}, 0, {0}
         )
-        return NFA.from_dfa(all_accept)
-    return NFA.from_dfa(result.minimized())
+        built = NFA.from_dfa(all_accept)
+    else:
+        from ..perf.minimize import canonical_relabeled
+
+        built = NFA.from_dfa(canonical_relabeled(result.minimized()))
+    if len(_VALIDITY_CACHE) >= _VALIDITY_CACHE_LIMIT:
+        _VALIDITY_CACHE.clear()
+    _VALIDITY_CACHE[key] = built
+    return built
 
 
 class _Compiler:
-    """Recursive compilation; one instance per (alphabet, outer tracks)."""
+    """Recursive compilation; one instance per (alphabet, outer tracks).
 
-    def __init__(self, alphabet: frozenset[Symbol]) -> None:
+    With ``optimize`` (the default), every connective's automaton is
+    reduced — determinized and Hopcroft-minimized — before feeding the
+    next construction step, and subformulas are hash-consed: structurally
+    equal (α-equivalent, commutativity-normalized) subformulas compile
+    once per track shape, via :func:`repro.perf.compile.canonical_key`.
+    ``optimize=False`` is the naive reference pipeline the differential
+    suite compares against.
+    """
+
+    def __init__(self, alphabet: frozenset[Symbol], optimize: bool = True) -> None:
         self.alphabet = alphabet
+        self.optimize = optimize
+        self._memo: dict[tuple, NFA] = {}
+
+    def _reduce(self, nfa: NFA) -> NFA:
+        """Minimal deterministic form of an intermediate automaton.
+
+        Relabeled to small integer states after minimization — the
+        quotient's frozenset state names would otherwise nest deeper at
+        every pipeline stage, and their hashing/ordering cost dominates
+        deep compilations (see
+        :func:`repro.perf.minimize.canonical_relabeled`).
+        """
+        if not self.optimize:
+            return nfa
+        from ..perf.minimize import canonical_relabeled
+
+        return NFA.from_dfa(canonical_relabeled(nfa.determinized().minimized()))
 
     # -- atoms ---------------------------------------------------------
 
@@ -183,7 +239,41 @@ class _Compiler:
 
         Accepts exactly the valid-encoded words satisfying the formula;
         validity of *all* first-order tracks in ``tracks`` is enforced.
+        When optimizing, results are hash-consed per (canonical formula
+        key, track shape) and reduced after every connective.
         """
+        if isinstance(formula, Implies):
+            return self.compile(Or(Not(formula.left), formula.right), tracks)
+        if isinstance(formula, Forall):
+            return self.compile(
+                Not(Exists(formula.var, Not(formula.inner))), tracks
+            )
+        if isinstance(formula, ForallSet):
+            return self.compile(
+                Not(ExistsSet(formula.set_var, Not(formula.inner))), tracks
+            )
+        if not self.optimize:
+            return self._compile(formula, tracks)
+        from ..perf.compile import canonical_key
+
+        key = (
+            canonical_key(formula, tracks),
+            tuple(isinstance(variable, Var) for variable in tracks),
+        )
+        sink = obs.SINK
+        memoized = self._memo.get(key)
+        if memoized is not None:
+            if sink.enabled:
+                sink.incr("compile.subformula_hits")
+            return memoized
+        if sink.enabled:
+            sink.incr("compile.subformula_misses")
+        result = self._reduce(self._compile(formula, tracks))
+        self._memo[key] = result
+        return result
+
+    def _compile(self, formula: Formula, tracks: Tracks) -> NFA:
+        """One connective's construction (recursion re-enters ``compile``)."""
         alphabet = extended_alphabet(self.alphabet, tracks)
 
         if isinstance(formula, (Label, Less, Equal, Member, Edge, Descendant)):
@@ -247,19 +337,18 @@ class _Compiler:
         )
 
 
-def compile_sentence(sentence: Formula, alphabet: Sequence[Symbol]) -> DFA:
-    """A minimal DFA over Σ for the language defined by the sentence.
+def _check_engine(engine: str) -> bool:
+    """True for the optimized pipeline, False for naive; else raise."""
+    if engine not in ("optimized", "naive"):
+        raise CompilationError(f"unknown compile engine {engine!r}")
+    return engine == "optimized"
 
-    >>> from repro.logic.syntax import *
-    >>> x = Var("x")
-    >>> contains_a = Exists(x, Label(x, "a"))
-    >>> dfa = compile_sentence(contains_a, ["a", "b"])
-    >>> dfa.accepts("bba"), dfa.accepts("bbb")
-    (True, False)
-    """
-    if sentence.free_vars() or sentence.free_set_vars():
-        raise CompilationError("a sentence may not have free variables")
-    compiler = _Compiler(frozenset(alphabet))
+
+def _build_sentence_dfa(
+    sentence: Formula, alphabet: Sequence[Symbol], optimize: bool
+) -> DFA:
+    """The uncached sentence compilation (strip tracks, minimize)."""
+    compiler = _Compiler(frozenset(alphabet), optimize=optimize)
     extended = compiler.compile(sentence, ())
     # Strip the now-trivial bits component from letters.
     dfa = extended.determinized()
@@ -270,7 +359,44 @@ def compile_sentence(sentence: Formula, alphabet: Sequence[Symbol]) -> DFA:
     plain = DFA.build(
         dfa.states, frozenset(alphabet), transitions, dfa.initial, dfa.accepting
     )
-    return plain.minimized()
+    if not optimize:
+        return plain.minimized()
+    from ..perf.minimize import canonical_relabeled
+
+    return canonical_relabeled(plain.minimized())
+
+
+def compile_sentence(
+    sentence: Formula, alphabet: Sequence[Symbol], engine: str = "optimized"
+) -> DFA:
+    """A minimal DFA over Σ for the language defined by the sentence.
+
+    ``engine="optimized"`` (default) hash-conses subformulas, reduces
+    after every connective, and serves repeats from the content-addressed
+    cache of :mod:`repro.perf.compile`; ``engine="naive"`` is the
+    unoptimized reference construction the differential suite compares
+    against.
+
+    >>> from repro.logic.syntax import *
+    >>> x = Var("x")
+    >>> contains_a = Exists(x, Label(x, "a"))
+    >>> dfa = compile_sentence(contains_a, ["a", "b"])
+    >>> dfa.accepts("bba"), dfa.accepts("bbb")
+    (True, False)
+    """
+    if sentence.free_vars() or sentence.free_set_vars():
+        raise CompilationError("a sentence may not have free variables")
+    if not _check_engine(engine):
+        return _build_sentence_dfa(sentence, alphabet, optimize=False)
+    from ..perf.compile import cached
+
+    return cached(
+        "string-sentence",
+        sentence,
+        (),
+        frozenset(alphabet),
+        lambda: _build_sentence_dfa(sentence, alphabet, optimize=True),
+    )
 
 
 #: Marked-alphabet letters are ``(σ, 0)`` / ``(σ, 1)`` pairs.
@@ -282,16 +408,40 @@ def mark_word(word: Sequence[Symbol], position: int) -> list[tuple]:
     ]
 
 
-def compile_query(formula: Formula, var: Var, alphabet: Sequence[Symbol]) -> DFA:
+def compile_query(
+    formula: Formula,
+    var: Var,
+    alphabet: Sequence[Symbol],
+    engine: str = "optimized",
+) -> DFA:
     """A minimal DFA over ``Σ × {0,1}`` for the unary query ``φ(x)``.
 
     Accepts a marked word iff exactly one position is marked and the
-    formula holds of it.
+    formula holds of it.  ``engine`` selects the optimized (hash-consed,
+    per-connective-minimized, cached) or naive pipeline, as in
+    :func:`compile_sentence`.
     """
     free = formula.free_vars()
     if not free <= {var} or formula.free_set_vars():
         raise CompilationError(f"free variables {free!r} must be exactly {{{var!r}}}")
-    compiler = _Compiler(frozenset(alphabet))
+    if _check_engine(engine):
+        from ..perf.compile import cached
+
+        return cached(
+            "string-query",
+            formula,
+            (var,),
+            frozenset(alphabet),
+            lambda: _build_query_dfa(formula, var, alphabet, optimize=True),
+        )
+    return _build_query_dfa(formula, var, alphabet, optimize=False)
+
+
+def _build_query_dfa(
+    formula: Formula, var: Var, alphabet: Sequence[Symbol], optimize: bool
+) -> DFA:
+    """The uncached marked-alphabet query compilation."""
+    compiler = _Compiler(frozenset(alphabet), optimize=optimize)
     extended = compiler.compile(formula, (var,))
     dfa = extended.determinized()
     transitions = {
@@ -304,7 +454,11 @@ def compile_query(formula: Formula, var: Var, alphabet: Sequence[Symbol]) -> DFA
     plain = DFA.build(
         dfa.states, marked_alphabet, transitions, dfa.initial, dfa.accepting
     )
-    return plain.minimized()
+    if not optimize:
+        return plain.minimized()
+    from ..perf.minimize import canonical_relabeled
+
+    return canonical_relabeled(plain.minimized())
 
 
 def evaluate_marked_query(query_dfa: DFA, word: Sequence[Symbol]) -> frozenset[int]:

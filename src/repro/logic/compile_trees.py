@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import Hashable
 
+from .. import obs
 from ..strings.nfa import NFA
 from ..strings.regex import Atom, Regex, Star, concat_all, to_nfa, union_all
 from ..unranked.dbta import DeterministicUnrankedAutomaton, determinize
@@ -76,12 +77,54 @@ def _language(states: Sequence, expr: Regex) -> NFA:
 
 
 class _TreeCompiler:
-    """Recursive MSO→NBTA^u compilation over the tree vocabulary."""
+    """Recursive MSO→NBTA^u compilation over the tree vocabulary.
 
-    def __init__(self, alphabet: frozenset[Symbol]) -> None:
+    With ``optimize`` (the default), subformulas are hash-consed per
+    (canonical key, track shape), validity automata are interned per
+    track shape, and every determinization — the exponential step — is
+    followed by the DBTA^u congruence-refinement minimizer of
+    :mod:`repro.perf.minimize`.  ``optimize=False`` is the naive
+    reference pipeline for the differential suite.
+    """
+
+    def __init__(self, alphabet: frozenset[Symbol], optimize: bool = True) -> None:
         self.alphabet = alphabet
+        self.optimize = optimize
+        self._memo: dict[tuple, UnrankedTreeAutomaton] = {}
+        self._validity_memo: dict[tuple, UnrankedTreeAutomaton] = {}
+
+    def _determinize(self, nbta: UnrankedTreeAutomaton):
+        """BMW determinization, minimized when optimizing.
+
+        The minimized quotient is relabeled to small integer states so
+        chained stages never compound frozenset state-name depth (see
+        :func:`repro.perf.minimize.canonical_relabeled_dbta`).
+        """
+        automaton = determinize(nbta)
+        if not self.optimize:
+            return automaton
+        from ..perf.minimize import canonical_relabeled_dbta, minimize_dbta
+
+        return canonical_relabeled_dbta(minimize_dbta(automaton))
 
     # -- validity -------------------------------------------------------
+
+    def _validity_interned(self, tracks: Tracks) -> UnrankedTreeAutomaton:
+        """``_validity`` interned per FO-track mask (cf. the string
+        compiler's ``_validity_nfa`` cache), counted under
+        ``compile.validity_hits`` / ``_misses``."""
+        key = tuple(isinstance(variable, Var) for variable in tracks)
+        sink = obs.SINK
+        interned = self._validity_memo.get(key)
+        if interned is not None:
+            if sink.enabled:
+                sink.incr("compile.validity_hits")
+            return interned
+        if sink.enabled:
+            sink.incr("compile.validity_misses")
+        built = self._validity(tracks)
+        self._validity_memo[key] = built
+        return built
 
     def _validity(self, tracks: Tracks) -> UnrankedTreeAutomaton:
         """Exactly one marked node per first-order track.
@@ -283,20 +326,56 @@ class _TreeCompiler:
     # -- recursion -------------------------------------------------------
 
     def compile(self, formula: Formula, tracks: Tracks) -> UnrankedTreeAutomaton:
-        """NBTA^u over the extended alphabet; FO-track validity enforced."""
+        """NBTA^u over the extended alphabet; FO-track validity enforced.
+
+        When optimizing, results are hash-consed per (canonical formula
+        key, track shape), so α-equivalent subformulas compile once.
+        """
+        if isinstance(formula, Implies):
+            return self.compile(Or(Not(formula.left), formula.right), tracks)
+        if isinstance(formula, Forall):
+            return self.compile(
+                Not(Exists(formula.var, Not(formula.inner))), tracks
+            )
+        if isinstance(formula, ForallSet):
+            return self.compile(
+                Not(ExistsSet(formula.set_var, Not(formula.inner))), tracks
+            )
+        if not self.optimize:
+            return self._compile(formula, tracks)
+        from ..perf.compile import canonical_key
+
+        key = (
+            canonical_key(formula, tracks),
+            tuple(isinstance(variable, Var) for variable in tracks),
+        )
+        sink = obs.SINK
+        memoized = self._memo.get(key)
+        if memoized is not None:
+            if sink.enabled:
+                sink.incr("compile.subformula_hits")
+            return memoized
+        if sink.enabled:
+            sink.incr("compile.subformula_misses")
+        result = self._compile(formula, tracks)
+        self._memo[key] = result
+        return result
+
+    def _compile(self, formula: Formula, tracks: Tracks) -> UnrankedTreeAutomaton:
+        """One connective's construction (recursion re-enters ``compile``)."""
         if isinstance(formula, (Label, Edge, Descendant, Less, Equal, Member)):
             return (
                 self._atom(formula, tracks)
-                .intersection(self._validity(tracks))
+                .intersection(self._validity_interned(tracks))
                 .trimmed()
             )
 
         if isinstance(formula, Not):
-            inner = determinize(self.compile(formula.inner, tracks))
+            inner = self._determinize(self.compile(formula.inner, tracks))
             return (
                 inner.complement()
                 .to_nbta()
-                .intersection(self._validity(tracks))
+                .intersection(self._validity_interned(tracks))
                 .trimmed()
             )
 
@@ -382,23 +461,59 @@ def _counting_language(states: frozenset, needed: tuple) -> NFA:
     return NFA.build(dfa_states, states, transitions, {needed}, {zero})
 
 
+def _check_tree_engine(engine: str) -> bool:
+    """True for the optimized pipeline, False for naive; else raise."""
+    if engine not in ("optimized", "naive"):
+        raise CompilationError(f"unknown compile engine {engine!r}")
+    return engine == "optimized"
+
+
 def compile_tree_nbta(
-    formula: Formula, tracks: Tracks, alphabet: Sequence[Symbol]
+    formula: Formula,
+    tracks: Tracks,
+    alphabet: Sequence[Symbol],
+    engine: str = "optimized",
 ) -> UnrankedTreeAutomaton:
     """Compile with explicit tracks (advanced use; see the two wrappers)."""
-    return _TreeCompiler(frozenset(alphabet)).compile(formula, tracks)
+    optimize = _check_tree_engine(engine)
+    return _TreeCompiler(frozenset(alphabet), optimize=optimize).compile(
+        formula, tracks
+    )
 
 
-def compile_tree_sentence(
-    sentence: Formula, alphabet: Sequence[Symbol]
+def _build_tree_sentence(
+    sentence: Formula, alphabet: Sequence[Symbol], optimize: bool
 ) -> UnrankedTreeAutomaton:
-    """NBTA^u over Σ accepting exactly the trees satisfying the sentence."""
-    if sentence.free_vars() or sentence.free_set_vars():
-        raise CompilationError("a sentence may not have free variables")
-    compiler = _TreeCompiler(frozenset(alphabet))
+    """The uncached sentence compilation (strip the empty bits track)."""
+    compiler = _TreeCompiler(frozenset(alphabet), optimize=optimize)
     extended = compiler.compile(sentence, ())
     mapping = {(sigma, bits): sigma for (sigma, bits) in extended.alphabet}
     return extended.relabel(mapping)
+
+
+def compile_tree_sentence(
+    sentence: Formula, alphabet: Sequence[Symbol], engine: str = "optimized"
+) -> UnrankedTreeAutomaton:
+    """NBTA^u over Σ accepting exactly the trees satisfying the sentence.
+
+    ``engine="optimized"`` (default) hash-conses subformulas, minimizes
+    every determinization, and serves repeats from the content-addressed
+    cache of :mod:`repro.perf.compile`; ``engine="naive"`` is the
+    reference construction.
+    """
+    if sentence.free_vars() or sentence.free_set_vars():
+        raise CompilationError("a sentence may not have free variables")
+    if not _check_tree_engine(engine):
+        return _build_tree_sentence(sentence, alphabet, optimize=False)
+    from ..perf.compile import cached
+
+    return cached(
+        "tree-sentence",
+        sentence,
+        (),
+        frozenset(alphabet),
+        lambda: _build_tree_sentence(sentence, alphabet, optimize=True),
+    )
 
 
 def mark(label: Symbol, bit: int):
@@ -407,21 +522,44 @@ def mark(label: Symbol, bit: int):
 
 
 def compile_tree_query(
-    formula: Formula, var: Var, alphabet: Sequence[Symbol]
+    formula: Formula,
+    var: Var,
+    alphabet: Sequence[Symbol],
+    engine: str = "optimized",
 ) -> DeterministicUnrankedAutomaton:
     """Deterministic marked-alphabet automaton for the unary query φ(x).
 
     The result runs over labels ``(σ, 0) / (σ, 1)`` and accepts a tree iff
     exactly one node is marked and the formula holds of it — the canonical
     query representation fed to the Theorem 4.8 / 5.17 constructions and
-    to :func:`repro.unranked.dbta.evaluate_marked_query`.
+    to :func:`repro.unranked.dbta.evaluate_marked_query`.  With the
+    default ``engine="optimized"`` the result is congruence-minimized
+    (:func:`repro.perf.minimize.minimize_dbta`) and cached by canonical
+    formula digest; ``engine="naive"`` is the reference construction.
     """
     free = formula.free_vars()
     if not free <= {var} or formula.free_set_vars():
         raise CompilationError(f"free variables {free!r} must be exactly {{{var!r}}}")
-    compiler = _TreeCompiler(frozenset(alphabet))
+    if not _check_tree_engine(engine):
+        return _build_tree_query(formula, var, alphabet, optimize=False)
+    from ..perf.compile import cached
+
+    return cached(
+        "tree-query",
+        formula,
+        (var,),
+        frozenset(alphabet),
+        lambda: _build_tree_query(formula, var, alphabet, optimize=True),
+    )
+
+
+def _build_tree_query(
+    formula: Formula, var: Var, alphabet: Sequence[Symbol], optimize: bool
+) -> DeterministicUnrankedAutomaton:
+    """The uncached marked-alphabet query compilation."""
+    compiler = _TreeCompiler(frozenset(alphabet), optimize=optimize)
     extended = compiler.compile(formula, (var,))
     mapping = {
         (sigma, bits): (sigma, bits[0]) for (sigma, bits) in extended.alphabet
     }
-    return determinize(extended.relabel(mapping))
+    return compiler._determinize(extended.relabel(mapping))

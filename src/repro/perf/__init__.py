@@ -29,6 +29,22 @@ tests in ``tests/perf/`` enforce agreement.
 
 from .batch import batch_evaluate, evaluate_one
 from .bitset import Interner, PackedNFA, is_subset, iter_bits, mask_of
+from .compile import (
+    CompileCache,
+    cached,
+    canonical_key,
+    compile_cache_clear,
+    compile_cache_info,
+    set_disk_cache,
+)
+from .minimize import (
+    canonical_relabeled,
+    canonical_relabeled_dbta,
+    dbta_equivalent,
+    hopcroft_minimized,
+    minimize_dbta,
+    moore_minimized,
+)
 from .parallel import ParallelExecutor, default_jobs, parallel_map
 from .registry import EngineRegistry
 from .shard import ShardError
@@ -51,6 +67,7 @@ from .trees import (
 
 __all__ = [
     "BehaviorTable",
+    "CompileCache",
     "EngineRegistry",
     "Interner",
     "MarkedQueryEngine",
@@ -61,6 +78,13 @@ __all__ = [
     "TransductionEngine",
     "UnrankedQueryEngine",
     "batch_evaluate",
+    "cached",
+    "canonical_key",
+    "compile_cache_clear",
+    "compile_cache_info",
+    "canonical_relabeled",
+    "canonical_relabeled_dbta",
+    "dbta_equivalent",
     "default_jobs",
     "evaluate_one",
     "fast_accepts",
@@ -69,9 +93,13 @@ __all__ = [
     "fast_evaluate_unranked",
     "fast_final_state",
     "fast_transduce",
+    "hopcroft_minimized",
     "is_subset",
     "iter_bits",
     "mask_of",
     "marked_engine",
+    "minimize_dbta",
+    "moore_minimized",
     "parallel_map",
+    "set_disk_cache",
 ]

@@ -1,0 +1,356 @@
+"""Formula hash-consing and the content-addressed compile cache.
+
+The MSO→automaton compilers (Theorems 2.5/3.9 for strings, 5.4/4.8/5.17
+for trees) are doubly-exponential in quantifier depth, so recompiling a
+formula — or any α-equivalent variant of it, which the ``fresh_var``-based
+pattern helpers produce on every call — is the single most expensive
+avoidable cost in the pipeline.  This module removes it in two layers:
+
+* **Hash-consing keys** — :func:`canonical_key` maps a formula to a
+  nested tuple that is invariant under bound-variable renaming
+  (de-Bruijn-style indices into the binder scope), commutative-connective
+  order (``And``/``Or`` chains are flattened and sorted), ``Implies``
+  /``Forall``/``ForallSet`` sugar (normalized exactly as the compilers
+  expand them) and double negation.  Formulas with equal keys define the
+  same language per track assignment, so compiled automata may be shared.
+* **Content-addressed cache** — :func:`cached` wraps an entry point's
+  build function with a lookup keyed by the SHA-256 digest of
+  ``(kind, canonical key, sorted alphabet, extras)``.  Hits come from an
+  in-process LRU first and then, when :func:`set_disk_cache` enabled one,
+  from an on-disk artifact directory (``repro ... --compile-cache DIR``).
+  Disk artifacts store the *full* key payload next to the pickled value
+  and are rejected on mismatch, so a digest collision (or a poisoned
+  file) degrades to a miss, never to a wrong automaton.  Values that
+  cannot be pickled (e.g. SQAs holding closures) silently stay
+  memory-only.
+
+Every operation is counted under the ``compile.*`` families of the
+:mod:`repro.obs` metrics contract (see the DESIGN.md glossary), and the
+cache snapshot is registered as ``perf.compile_cache`` in ``obs``
+reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
+from collections.abc import Callable, Iterable
+from pathlib import Path
+from typing import Any
+
+from .. import obs
+from ..logic.syntax import (
+    And,
+    Descendant,
+    Edge,
+    Equal,
+    Exists,
+    ExistsSet,
+    Forall,
+    ForallSet,
+    Formula,
+    Implies,
+    Label,
+    Less,
+    Member,
+    Not,
+    Or,
+    Var,
+)
+
+Key = tuple
+
+
+def _scope_index(variable, scope: tuple) -> tuple:
+    """A variable's de-Bruijn-style key: its innermost binding position.
+
+    ``scope`` lists the outer tracks followed by the binders crossed so
+    far, so α-equivalent formulas compiled over the same track shape get
+    identical keys.  Unbound variables (not expected from the compilers'
+    entry points) fall back to their name.
+    """
+    for position in range(len(scope) - 1, -1, -1):
+        if scope[position] == variable:
+            return ("v", position)
+    return ("free", type(variable).__name__, variable.name)
+
+
+def canonical_key(formula: Formula, scope: tuple = ()) -> Key:
+    """The hash-consing key of a formula relative to a binder scope.
+
+    Nested tuples of strings and ints; equal keys imply equal languages
+    over any alphabet (per track assignment given by ``scope``'s prefix).
+    Normalizations applied: de-Bruijn variable indices, sorted flattened
+    ``And``/``Or`` chains, symmetric ``Equal`` arguments, ``Implies`` →
+    ``¬l ∨ r``, ``Forall`` → ``¬∃¬`` (matching the compilers' expansion),
+    and ``¬¬φ`` → ``φ``.
+    """
+    if isinstance(formula, Not):
+        inner = formula.inner
+        if isinstance(inner, Not):
+            return canonical_key(inner.inner, scope)
+        return ("not", canonical_key(inner, scope))
+    if isinstance(formula, (And, Or)):
+        tag = "and" if isinstance(formula, And) else "or"
+        kind = type(formula)
+        parts: list[Key] = []
+        stack = [formula]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, kind):
+                stack.append(node.left)
+                stack.append(node.right)
+            else:
+                parts.append(canonical_key(node, scope))
+        parts.sort(key=repr)
+        return (tag, tuple(parts))
+    if isinstance(formula, Implies):
+        return canonical_key(Or(Not(formula.left), formula.right), scope)
+    if isinstance(formula, Exists):
+        return ("exists", canonical_key(formula.inner, scope + (formula.var,)))
+    if isinstance(formula, ExistsSet):
+        return (
+            "exists-set",
+            canonical_key(formula.inner, scope + (formula.set_var,)),
+        )
+    if isinstance(formula, Forall):
+        return canonical_key(
+            Not(Exists(formula.var, Not(formula.inner))), scope
+        )
+    if isinstance(formula, ForallSet):
+        return canonical_key(
+            Not(ExistsSet(formula.set_var, Not(formula.inner))), scope
+        )
+    if isinstance(formula, Label):
+        return ("label", _scope_index(formula.var, scope), repr(formula.label))
+    if isinstance(formula, Less):
+        return (
+            "less",
+            _scope_index(formula.left, scope),
+            _scope_index(formula.right, scope),
+        )
+    if isinstance(formula, Equal):
+        sides = sorted(
+            (
+                _scope_index(formula.left, scope),
+                _scope_index(formula.right, scope),
+            ),
+            key=repr,
+        )
+        return ("equal", sides[0], sides[1])
+    if isinstance(formula, Member):
+        return (
+            "member",
+            _scope_index(formula.var, scope),
+            _scope_index(formula.set_var, scope),
+        )
+    if isinstance(formula, Edge):
+        return (
+            "edge",
+            _scope_index(formula.parent, scope),
+            _scope_index(formula.child, scope),
+        )
+    if isinstance(formula, Descendant):
+        return (
+            "descendant",
+            _scope_index(formula.ancestor, scope),
+            _scope_index(formula.descendant, scope),
+        )
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def cache_payload(
+    kind: str, formula: Formula, scope: tuple, alphabet: Iterable, extra: tuple = ()
+) -> str:
+    """The full (pre-digest) content key of a compilation artifact.
+
+    A stable ``repr`` of ``(kind, canonical key, sorted alphabet,
+    extras)`` — this exact string is stored inside every on-disk artifact
+    and re-verified on load, which is what makes digest collisions safe.
+    """
+    return repr(
+        (
+            kind,
+            canonical_key(formula, scope),
+            tuple(sorted(repr(symbol) for symbol in alphabet)),
+            extra,
+        )
+    )
+
+
+def formula_digest(payload: str) -> str:
+    """SHA-256 hex digest of a :func:`cache_payload` string."""
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class CompileCache:
+    """In-memory LRU + optional on-disk artifact store for compilations.
+
+    Keys are content digests; the disk layer verifies the stored payload
+    against the requested one before trusting an artifact.  Thread-unsafe
+    by design (the compilers are single-threaded; worker processes get
+    their own instance).
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self.directory: Path | None = None
+        self._memory: OrderedDict[str, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.disk_writes = 0
+        self.disk_rejects = 0
+
+    # -- lookup/store ----------------------------------------------------
+
+    def lookup(self, digest: str, payload: str) -> tuple[bool, Any]:
+        """``(True, value)`` on a memory or verified disk hit, else miss."""
+        sink = obs.SINK
+        if digest in self._memory:
+            self._memory.move_to_end(digest)
+            self.hits += 1
+            if sink.enabled:
+                sink.incr("compile.cache_hits")
+            return True, self._memory[digest]
+        value = self._disk_lookup(digest, payload)
+        if value is not None:
+            self.hits += 1
+            self.disk_hits += 1
+            if sink.enabled:
+                sink.incr("compile.cache_hits")
+                sink.incr("compile.disk_hits")
+            self._remember(digest, value[0])
+            return True, value[0]
+        self.misses += 1
+        if sink.enabled:
+            sink.incr("compile.cache_misses")
+        return False, None
+
+    def store(self, digest: str, payload: str, value: Any) -> None:
+        """Remember a freshly built artifact (and persist it if enabled)."""
+        self._remember(digest, value)
+        if self.directory is None:
+            return
+        sink = obs.SINK
+        path = self.directory / f"{digest}.pkl"
+        try:
+            blob = pickle.dumps({"payload": payload, "value": value})
+        except Exception:
+            # SQAs and QARs hold rendering closures; they stay memory-only.
+            if sink.enabled:
+                sink.incr("compile.disk_unpicklable")
+            return
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+        self.disk_writes += 1
+        if sink.enabled:
+            sink.incr("compile.disk_writes")
+
+    def _remember(self, digest: str, value: Any) -> None:
+        self._memory[digest] = value
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.maxsize:
+            self._memory.popitem(last=False)
+
+    def _disk_lookup(self, digest: str, payload: str) -> tuple[Any] | None:
+        if self.directory is None:
+            return None
+        path = self.directory / f"{digest}.pkl"
+        if not path.exists():
+            return None
+        try:
+            artifact = pickle.loads(path.read_bytes())
+        except Exception:
+            artifact = None
+        if (
+            not isinstance(artifact, dict)
+            or artifact.get("payload") != payload
+        ):
+            # Poisoned/colliding artifact: reject, treat as a miss.
+            self.disk_rejects += 1
+            if obs.SINK.enabled:
+                obs.SINK.incr("compile.disk_rejects")
+            return None
+        return (artifact["value"],)
+
+    # -- management ------------------------------------------------------
+
+    def set_directory(self, directory: str | Path | None) -> None:
+        """Enable (creating it if needed) or disable the on-disk layer."""
+        if directory is None:
+            self.directory = None
+            return
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        self.directory = path
+
+    def clear(self) -> None:
+        """Drop the in-memory layer and reset counters (disk untouched)."""
+        self._memory.clear()
+        self.hits = self.misses = 0
+        self.disk_hits = self.disk_writes = self.disk_rejects = 0
+
+    def info(self) -> dict:
+        """A cache snapshot for ``obs`` reports (mirrors ``lru_cache``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "maxsize": self.maxsize,
+            "currsize": len(self._memory),
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
+            "disk_rejects": self.disk_rejects,
+            "directory": str(self.directory) if self.directory else None,
+        }
+
+
+#: The process-wide compile cache shared by every entry point.
+CACHE = CompileCache()
+
+
+def set_disk_cache(directory: str | Path | None) -> None:
+    """Point the shared cache's on-disk layer at a directory (or disable)."""
+    CACHE.set_directory(directory)
+
+
+def compile_cache_info() -> dict:
+    """Snapshot of the shared compile cache, as a dict."""
+    return CACHE.info()
+
+
+def compile_cache_clear() -> None:
+    """Drop the shared in-memory compile cache (on-disk artifacts remain)."""
+    CACHE.clear()
+
+
+obs.register_cache("perf.compile_cache", compile_cache_info)
+
+
+def cached(
+    kind: str,
+    formula: Formula,
+    scope: tuple,
+    alphabet: Iterable,
+    build: Callable[[], Any],
+    extra: tuple = (),
+) -> Any:
+    """``build()`` memoized under the artifact's content digest.
+
+    The entry-point wrapper used by ``compile_sentence``/``compile_query``
+    (strings), ``compile_tree_sentence``/``compile_tree_query`` (trees)
+    and the Theorem 4.8/5.17 constructions: ``kind`` namespaces the
+    artifact type, ``scope`` fixes the free-variable tracks, ``extra``
+    carries non-formula parameters (e.g. ``max_rank``).
+    """
+    payload = cache_payload(kind, formula, scope, alphabet, extra)
+    digest = formula_digest(payload)
+    hit, value = CACHE.lookup(digest, payload)
+    if hit:
+        return value
+    value = build()
+    CACHE.store(digest, payload, value)
+    return value

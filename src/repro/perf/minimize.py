@@ -1,0 +1,496 @@
+"""Minimization engines for the compile-time automata.
+
+Two DFA minimizers plus a DBTA^u minimizer, all consumed by the MSO
+compilers (:mod:`repro.logic.compile_strings`,
+:mod:`repro.logic.compile_trees`) so that every intermediate automaton
+stays small before the next — potentially exponential — construction step:
+
+* :func:`hopcroft_minimized` — Hopcroft's n·log n partition refinement
+  over integer-indexed states, the default engine behind
+  :meth:`repro.strings.dfa.DFA.minimized`;
+* :func:`moore_minimized` — the quadratic Moore signature refinement,
+  retained as the differential oracle (``engine="moore"``, mirroring the
+  ``engine="naive"`` convention of :mod:`repro.decision.closure`);
+* :func:`minimize_dbta` — congruence refinement for deterministic
+  unranked tree automata in classifier form: reachability trimming of the
+  vertical state set, per-label trimming of the horizontal DFAs, then a
+  joint Moore-style refinement that merges language-equivalent vertical
+  states *and* minimizes the horizontal DFAs of the regular child
+  languages simultaneously;
+* :func:`dbta_equivalent` — language equality of two DBTA^u via
+  emptiness of the symmetric difference (Lemma 5.2 reachability on the
+  NBTA view), the tree analogue of
+  :meth:`repro.strings.dfa.DFA.equivalent`.
+
+Every call records its effect under the ``minimize.*`` counters of the
+:mod:`repro.obs` metrics contract (see DESIGN.md): ``minimize.calls`` /
+``minimize.dbta_calls`` count invocations, ``minimize.states_before`` and
+``minimize.states_after`` accumulate state counts on either side, so
+``states_before - states_after`` is the total number of states removed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable
+
+from .. import obs
+from ..strings.dfa import DFA, AutomatonError
+from ..unranked.dbta import DeterministicUnrankedAutomaton, HorizontalClassifier
+from ..unranked.nbta import UnrankedTreeAutomaton
+
+State = Hashable
+Symbol = Hashable
+
+
+def _record(counter: str, before: int, after: int) -> None:
+    """Accumulate one minimization's state delta under ``minimize.*``."""
+    sink = obs.SINK
+    if not sink.enabled:
+        return
+    sink.incr(counter)
+    sink.incr("minimize.states_before", before)
+    sink.incr("minimize.states_after", after)
+
+
+def _quotient_dfa(total: DFA, block_of: dict) -> DFA:
+    """The quotient DFA of a total automaton by an acceptance-respecting
+    congruence, with frozenset equivalence blocks as states."""
+    states = frozenset(block_of.values())
+    transitions = {
+        (block_of[source], symbol): block_of[target]
+        for (source, symbol), target in total.transitions.items()
+    }
+    return DFA(
+        states,
+        total.alphabet,
+        transitions,
+        block_of[total.initial],
+        frozenset(block_of[state] for state in total.accepting),
+    ).trimmed()
+
+
+def canonical_relabeled(dfa: DFA) -> DFA:
+    """An isomorphic DFA over small integer states (BFS numbering).
+
+    The quotient constructions above name result states as frozensets of
+    originals; chained through a compilation pipeline those names nest
+    ever deeper, making every later hash, sort and subset construction
+    pay for exponentially growing state objects.  Relabeling after each
+    reduction keeps them O(1).  The numbering is deterministic —
+    breadth-first from the initial state with symbols in sorted order,
+    unreachable states following in sorted order — so equal inputs yield
+    byte-identical (cacheable) automata.
+    """
+    symbols = sorted(dfa.alphabet, key=repr)
+    index: dict = {dfa.initial: 0}
+    queue = deque([dfa.initial])
+    while queue:
+        here = queue.popleft()
+        for symbol in symbols:
+            target = dfa.transitions.get((here, symbol))
+            if target is not None and target not in index:
+                index[target] = len(index)
+                queue.append(target)
+    for state in sorted(
+        (state for state in dfa.states if state not in index), key=repr
+    ):
+        index[state] = len(index)
+    return DFA(
+        frozenset(index.values()),
+        dfa.alphabet,
+        {
+            (index[source], symbol): index[target]
+            for (source, symbol), target in dfa.transitions.items()
+        },
+        index[dfa.initial],
+        frozenset(index[state] for state in dfa.accepting),
+    )
+
+
+def canonical_relabeled_dbta(
+    automaton: DeterministicUnrankedAutomaton,
+) -> DeterministicUnrankedAutomaton:
+    """An isomorphic DBTA^u over small integer states.
+
+    The tree analogue of :func:`canonical_relabeled`: vertical states are
+    numbered in sorted order (they double as the classifier DFAs' letters,
+    so one numbering serves both roles), each label's horizontal DFA is
+    BFS-renumbered over them.  Applied by the tree compiler after every
+    :func:`minimize_dbta` so chained determinize/minimize stages never
+    compound state-name size.
+    """
+    vertical = sorted(automaton.states, key=repr)
+    vindex = {state: i for i, state in enumerate(vertical)}
+    classifiers: dict = {}
+    for label, classifier in automaton.classifiers.items():
+        dfa = classifier.dfa
+        hindex: dict = {dfa.initial: 0}
+        queue = deque([dfa.initial])
+        while queue:
+            here = queue.popleft()
+            for state in vertical:
+                target = dfa.transitions.get((here, state))
+                if target is not None and target not in hindex:
+                    hindex[target] = len(hindex)
+                    queue.append(target)
+        for state in sorted(
+            (state for state in dfa.states if state not in hindex), key=repr
+        ):
+            hindex[state] = len(hindex)
+        quotient = DFA(
+            frozenset(hindex.values()),
+            frozenset(vindex.values()),
+            {
+                (hindex[source], vindex[letter]): hindex[target]
+                for (source, letter), target in dfa.transitions.items()
+            },
+            hindex[dfa.initial],
+            frozenset(hindex[state] for state in dfa.accepting),
+        )
+        classify = {
+            hindex[state]: vindex[target]
+            for state, target in classifier.classify.items()
+        }
+        classifiers[label] = HorizontalClassifier(quotient, classify)
+    return DeterministicUnrankedAutomaton(
+        frozenset(vindex.values()),
+        automaton.alphabet,
+        frozenset(vindex[state] for state in automaton.accepting),
+        classifiers,
+    )
+
+
+def hopcroft_minimized(dfa: DFA) -> DFA:
+    """The canonical minimal DFA, by Hopcroft's partition refinement.
+
+    States are mapped to integers, inverse transitions are grouped per
+    symbol, and the worklist holds (block, symbol) splitter pairs with the
+    classic "replace if queued, else enqueue the smaller half" rule — the
+    n·log n algorithm, in contrast to the quadratic Moore oracle
+    (:func:`moore_minimized`) it is differentially tested against.
+    States of the result are frozensets of original states.
+    """
+    total = dfa.completed().trimmed()
+    originals = sorted(total.states, key=repr)
+    count = len(originals)
+    index = {state: i for i, state in enumerate(originals)}
+    symbols = sorted(total.alphabet, key=repr)
+    symbol_index = {symbol: i for i, symbol in enumerate(symbols)}
+
+    inverse: list[list[list[int]]] = [
+        [[] for _ in range(count)] for _ in symbols
+    ]
+    for (source, symbol), target in total.transitions.items():
+        inverse[symbol_index[symbol]][index[target]].append(index[source])
+
+    accepting = {index[state] for state in total.accepting}
+    rejecting = set(range(count)) - accepting
+    blocks: list[set[int]] = []
+    block_id = [0] * count
+    for members in (accepting, rejecting):
+        if members:
+            for member in members:
+                block_id[member] = len(blocks)
+            blocks.append(set(members))
+
+    worklist: set[tuple[int, int]] = set()
+    if len(blocks) == 2:
+        smaller = 0 if len(blocks[0]) <= len(blocks[1]) else 1
+        worklist = {(smaller, a) for a in range(len(symbols))}
+    elif blocks:
+        worklist = {(0, a) for a in range(len(symbols))}
+
+    while worklist:
+        splitter_id, a = worklist.pop()
+        predecessors: set[int] = set()
+        for member in blocks[splitter_id]:
+            predecessors.update(inverse[a][member])
+        touched: dict[int, set[int]] = {}
+        for source in predecessors:
+            touched.setdefault(block_id[source], set()).add(source)
+        for bid, inside in touched.items():
+            block = blocks[bid]
+            if len(inside) == len(block):
+                continue
+            block -= inside
+            new_id = len(blocks)
+            blocks.append(inside)
+            for member in inside:
+                block_id[member] = new_id
+            for b in range(len(symbols)):
+                if (bid, b) in worklist:
+                    worklist.add((new_id, b))
+                else:
+                    smaller_id = new_id if len(inside) <= len(block) else bid
+                    worklist.add((smaller_id, b))
+
+    frozen = [frozenset(originals[m] for m in block) for block in blocks]
+    block_of = {
+        originals[m]: frozen[bid] for m, bid in enumerate(block_id)
+    }
+    result = _quotient_dfa(total, block_of)
+    _record("minimize.calls", len(dfa.states), len(result.states))
+    return result
+
+
+def moore_minimized(dfa: DFA) -> DFA:
+    """The minimal DFA by Moore's quadratic signature refinement.
+
+    The differential oracle for :func:`hopcroft_minimized`: iterate
+    "split by (current block, tuple of successor blocks)" until the
+    partition is stable.  Slower but transparently correct.
+    """
+    total = dfa.completed().trimmed()
+    symbols = sorted(total.alphabet, key=repr)
+    block_index = {
+        state: (1 if state in total.accepting else 0) for state in total.states
+    }
+    block_count = len(set(block_index.values()))
+    while True:
+        signatures = {
+            state: (
+                block_index[state],
+                tuple(
+                    block_index[total.transitions[(state, symbol)]]
+                    for symbol in symbols
+                ),
+            )
+            for state in total.states
+        }
+        numbering: dict[tuple, int] = {}
+        for state in sorted(total.states, key=repr):
+            numbering.setdefault(signatures[state], len(numbering))
+        block_index = {
+            state: numbering[signatures[state]] for state in total.states
+        }
+        if len(numbering) == block_count:
+            break
+        block_count = len(numbering)
+
+    members: dict[int, set] = {}
+    for state, bid in block_index.items():
+        members.setdefault(bid, set()).add(state)
+    frozen = {bid: frozenset(group) for bid, group in members.items()}
+    block_of = {state: frozen[bid] for state, bid in block_index.items()}
+    result = _quotient_dfa(total, block_of)
+    _record("minimize.calls", len(dfa.states), len(result.states))
+    return result
+
+
+# ----------------------------------------------------------------------
+# DBTA^u minimization (congruence refinement in classifier form)
+# ----------------------------------------------------------------------
+
+
+def _reachable_vertical(automaton: DeterministicUnrankedAutomaton) -> set:
+    """Vertical states realized by some tree (Lemma 5.2 fixpoint).
+
+    A state is reached when some label's horizontal DFA, reading a word of
+    already-reached states, classifies into it; the base case is the empty
+    children word (leaves).
+    """
+    reached: set = set()
+    changed = True
+    while changed:
+        changed = False
+        for classifier in automaton.classifiers.values():
+            dfa = classifier.dfa
+            seen = {dfa.initial}
+            frontier = [dfa.initial]
+            letters = list(reached)
+            while frontier:
+                here = frontier.pop()
+                vertical = classifier.classify[here]
+                if vertical not in reached:
+                    reached.add(vertical)
+                    changed = True
+                for letter in letters:
+                    target = dfa.transitions.get((here, letter))
+                    if target is not None and target not in seen:
+                        seen.add(target)
+                        frontier.append(target)
+    return reached
+
+
+def minimize_dbta(
+    automaton: DeterministicUnrankedAutomaton,
+) -> DeterministicUnrankedAutomaton:
+    """A language-equivalent DBTA^u with merged states and minimal classifiers.
+
+    Three phases, preserving the classifier-form invariants (per-label
+    horizontal DFAs total over the vertical state set, every tree assigned
+    exactly one state):
+
+    1. *Vertical trimming* — drop vertical states no tree realizes
+       (fixpoint over all labels' classifiers, the Lemma 5.2 argument).
+    2. *Horizontal trimming* — restrict each label's DFA to the states
+       reachable from its initial state over reachable vertical letters.
+    3. *Joint congruence refinement* — Moore-style: the vertical partition
+       starts at {accepting, rejecting}; each horizontal partition starts
+       by the vertical block of its classification.  Horizontal blocks
+       split on (classification block, successor blocks per vertical
+       letter); vertical blocks split on their successor blocks as a
+       *letter* of every horizontal DFA.  At the fixpoint the quotient is
+       well defined and the horizontal DFAs are the minimal recognizers of
+       the (merged) regular child languages.
+
+    States of the result are frozensets of merged original states; the
+    language — and hence every marked-query selection computed by
+    :func:`repro.unranked.dbta.evaluate_marked_query` — is unchanged,
+    which the differential suite checks via :func:`dbta_equivalent`.
+    """
+    before = len(automaton.states) + sum(
+        len(c.dfa.states) for c in automaton.classifiers.values()
+    )
+    reached = _reachable_vertical(automaton)
+    letters = sorted(reached, key=repr)
+    labels = sorted(automaton.classifiers, key=repr)
+
+    # Phase 2: per-label horizontal sub-DFA over reachable letters.
+    horizontal_states: dict = {}
+    for label in labels:
+        dfa = automaton.classifiers[label].dfa
+        seen = {dfa.initial}
+        frontier = [dfa.initial]
+        while frontier:
+            here = frontier.pop()
+            for letter in letters:
+                target = dfa.transitions[(here, letter)]
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        horizontal_states[label] = sorted(seen, key=repr)
+
+    # Phase 3: joint refinement.
+    vblock = {q: (1 if q in automaton.accepting else 0) for q in reached}
+    hblock: dict = {}
+    for label in labels:
+        classify = automaton.classifiers[label].classify
+        hblock[label] = {
+            h: vblock[classify[h]] for h in horizontal_states[label]
+        }
+
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            classifier = automaton.classifiers[label]
+            blocks = hblock[label]
+            signatures = {
+                h: (
+                    blocks[h],
+                    vblock[classifier.classify[h]],
+                    tuple(
+                        blocks[classifier.dfa.transitions[(h, q)]]
+                        for q in letters
+                    ),
+                )
+                for h in horizontal_states[label]
+            }
+            numbering: dict[tuple, int] = {}
+            for h in horizontal_states[label]:
+                numbering.setdefault(signatures[h], len(numbering))
+            if len(numbering) != len(set(blocks.values())):
+                changed = True
+            hblock[label] = {
+                h: numbering[signatures[h]] for h in horizontal_states[label]
+            }
+        vertical_signatures = {
+            q: (
+                vblock[q],
+                tuple(
+                    tuple(
+                        hblock[label][
+                            automaton.classifiers[label].dfa.transitions[(h, q)]
+                        ]
+                        for h in horizontal_states[label]
+                    )
+                    for label in labels
+                ),
+            )
+            for q in letters
+        }
+        vertical_numbering: dict[tuple, int] = {}
+        for q in letters:
+            vertical_numbering.setdefault(
+                vertical_signatures[q], len(vertical_numbering)
+            )
+        if len(vertical_numbering) != len(set(vblock.values())):
+            changed = True
+        vblock = {q: vertical_numbering[vertical_signatures[q]] for q in letters}
+
+    vertical_members: dict[int, set] = {}
+    for q in letters:
+        vertical_members.setdefault(vblock[q], set()).add(q)
+    vertical_frozen = {
+        bid: frozenset(group) for bid, group in vertical_members.items()
+    }
+    vertical_of = {q: vertical_frozen[vblock[q]] for q in letters}
+
+    classifiers: dict = {}
+    for label in labels:
+        classifier = automaton.classifiers[label]
+        blocks = hblock[label]
+        members: dict[int, set] = {}
+        for h in horizontal_states[label]:
+            members.setdefault(blocks[h], set()).add(h)
+        frozen = {bid: frozenset(group) for bid, group in members.items()}
+        horizontal_of = {h: frozen[blocks[h]] for h in horizontal_states[label]}
+        transitions = {}
+        for h in horizontal_states[label]:
+            for q in letters:
+                transitions[(horizontal_of[h], vertical_of[q])] = horizontal_of[
+                    classifier.dfa.transitions[(h, q)]
+                ]
+        quotient = DFA(
+            frozenset(frozen.values()),
+            frozenset(vertical_frozen.values()),
+            transitions,
+            horizontal_of[classifier.dfa.initial],
+            frozenset(),
+        )
+        classify = {
+            horizontal_of[h]: vertical_of[classifier.classify[h]]
+            for h in horizontal_states[label]
+        }
+        classifiers[label] = HorizontalClassifier(quotient, classify)
+
+    result = DeterministicUnrankedAutomaton(
+        frozenset(vertical_frozen.values()),
+        automaton.alphabet,
+        frozenset(
+            block
+            for block in vertical_frozen.values()
+            if block & automaton.accepting
+        ),
+        classifiers,
+    )
+    after = len(result.states) + sum(
+        len(c.dfa.states) for c in result.classifiers.values()
+    )
+    _record("minimize.dbta_calls", before, after)
+    return result
+
+
+def dbta_equivalent(
+    first: DeterministicUnrankedAutomaton,
+    second: DeterministicUnrankedAutomaton,
+) -> bool:
+    """Language equality of two DBTA^u over the same alphabet.
+
+    Decided by emptiness of the symmetric difference on the NBTA view:
+    ``(L1 ∩ ¬L2) ∪ (L2 ∩ ¬L1)`` is built with the product and union
+    constructions of :mod:`repro.unranked.nbta` and tested empty with the
+    Lemma 5.2 reachability fixpoint — the tree analogue of
+    :meth:`repro.strings.dfa.DFA.equivalent`, used by the differential
+    suite to certify every minimized/cached compilation.
+    """
+    if first.alphabet != second.alphabet:
+        raise AutomatonError("equivalence requires identical alphabets")
+    left = first.to_nbta()
+    right = second.to_nbta()
+    left_only = left.intersection(second.complement().to_nbta())
+    right_only = right.intersection(first.complement().to_nbta())
+    symmetric: UnrankedTreeAutomaton = left_only.union(right_only)
+    return symmetric.is_empty()

@@ -377,9 +377,19 @@ class QueryAutomatonBuilder:
 
 
 def build_query_qar(
-    formula: Formula, var: Var, alphabet: Sequence[Label], max_rank: int = 2
+    formula: Formula,
+    var: Var,
+    alphabet: Sequence[Label],
+    max_rank: int = 2,
+    engine: str = "optimized",
 ) -> RankedQueryAutomaton:
     """MSO unary query φ(x) → QA^r over rank-``max_rank`` trees (Thm 4.8).
+
+    With the default ``engine="optimized"`` the intermediate DBTA^u is
+    congruence-minimized before the builder's closures enumerate its
+    state set, and the finished QA^r is cached by canonical formula
+    digest (:mod:`repro.perf.compile`); ``engine="naive"`` is the
+    unoptimized reference.
 
     >>> from repro.logic.syntax import Var, Label
     >>> qa = build_query_qar(Label(Var("x"), "a"), Var("x"), ["a", "b"])
@@ -389,8 +399,23 @@ def build_query_qar(
     """
     from ..logic.compile_trees import compile_tree_query
 
-    d = compile_tree_query(formula, var, alphabet)
-    return QueryAutomatonBuilder(d, alphabet, max_rank).build()
+    if engine == "naive":
+        d = compile_tree_query(formula, var, alphabet, engine="naive")
+        return QueryAutomatonBuilder(d, alphabet, max_rank).build()
+    from ..perf.compile import cached
+
+    def _build() -> RankedQueryAutomaton:
+        d = compile_tree_query(formula, var, alphabet)
+        return QueryAutomatonBuilder(d, alphabet, max_rank).build()
+
+    return cached(
+        "qar",
+        formula,
+        (var,),
+        frozenset(alphabet),
+        _build,
+        extra=("max_rank", max_rank),
+    )
 
 
 def two_phase_evaluate(

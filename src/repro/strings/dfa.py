@@ -316,69 +316,28 @@ class DFA:
         return True
 
     # ------------------------------------------------------------------
-    # Minimization (Hopcroft's partition refinement)
+    # Minimization (partition refinement)
     # ------------------------------------------------------------------
 
-    def minimized(self) -> "DFA":
+    def minimized(self, engine: str = "hopcroft") -> "DFA":
         """The canonical minimal DFA for this language.
 
-        Uses Hopcroft's partition-refinement algorithm on the completed,
-        trimmed automaton.  States of the result are frozensets of original
-        states (the equivalence blocks).
+        ``engine`` selects the partition-refinement implementation in
+        :mod:`repro.perf.minimize` — ``"hopcroft"`` (default, the n·log n
+        splitter-worklist algorithm over integer-indexed states) or
+        ``"moore"`` (the quadratic signature refinement, retained as the
+        differential oracle; same convention as ``engine="naive"`` in
+        :mod:`repro.decision.closure`).  Both complete and trim first and
+        return identical automata up to state naming: states of the result
+        are frozensets of original states (the equivalence blocks).
         """
-        total = self.completed().trimmed()
-        partition: list[set[State]] = []
-        accepting = set(total.accepting)
-        rejecting = set(total.states) - accepting
-        for block in (accepting, rejecting):
-            if block:
-                partition.append(block)
-        work = [set(block) for block in partition]
+        from ..perf.minimize import hopcroft_minimized, moore_minimized
 
-        # Pre-compute inverse transitions for speed.
-        inverse: dict[tuple[State, Symbol], set[State]] = {}
-        for (source, symbol), target in total.transitions.items():
-            inverse.setdefault((target, symbol), set()).add(source)
-
-        while work:
-            splitter = work.pop()
-            for symbol in total.alphabet:
-                predecessors: set[State] = set()
-                for state in splitter:
-                    predecessors |= inverse.get((state, symbol), set())
-                new_partition: list[set[State]] = []
-                for block in partition:
-                    inside = block & predecessors
-                    outside = block - predecessors
-                    if inside and outside:
-                        new_partition.extend((inside, outside))
-                        if block in work:
-                            work.remove(block)
-                            work.extend((inside, outside))
-                        else:
-                            work.append(inside if len(inside) <= len(outside) else outside)
-                    else:
-                        new_partition.append(block)
-                partition = new_partition
-
-        block_of: dict[State, frozenset[State]] = {}
-        for block in partition:
-            frozen = frozenset(block)
-            for state in block:
-                block_of[state] = frozen
-
-        states = frozenset(block_of.values())
-        transitions = {
-            (block_of[source], symbol): block_of[target]
-            for (source, symbol), target in total.transitions.items()
-        }
-        return DFA(
-            states,
-            total.alphabet,
-            transitions,
-            block_of[total.initial],
-            frozenset(block_of[state] for state in total.accepting),
-        ).trimmed()
+        if engine == "hopcroft":
+            return hopcroft_minimized(self)
+        if engine == "moore":
+            return moore_minimized(self)
+        raise AutomatonError(f"unknown minimization engine {engine!r}")
 
     # ------------------------------------------------------------------
     # Enumeration

@@ -113,6 +113,14 @@ class DeterministicUnrankedAutomaton:
             self.classifiers,
         )
 
+    def minimized(self) -> "DeterministicUnrankedAutomaton":
+        """A language-equivalent automaton with merged vertical states and
+        minimal horizontal classifier DFAs, by the joint congruence
+        refinement of :func:`repro.perf.minimize.minimize_dbta`."""
+        from ..perf.minimize import minimize_dbta
+
+        return minimize_dbta(self)
+
     def to_nbta(self) -> UnrankedTreeAutomaton:
         """View as an NBTA^u (horizontal NFAs with disjoint languages)."""
         horizontal: dict[tuple[State, Label], NFA] = {}

@@ -603,7 +603,10 @@ def _bfs_dfa(initial, alphabet, step, sink) -> DFA:
 
 
 def build_query_sqa(
-    formula: Formula, var: Var, alphabet: Sequence[Label]
+    formula: Formula,
+    var: Var,
+    alphabet: Sequence[Label],
+    engine: str = "optimized",
 ) -> UnrankedQueryAutomaton:
     """MSO unary query φ(x) → SQA^u (Theorem 5.17).
 
@@ -611,11 +614,25 @@ def build_query_sqa(
     least two children (the case the paper's Figure 6 flow covers; monadic
     chains are handled by the Lemma 3.10 string treatment, implemented in
     :mod:`repro.strings.hopcroft_ullman`).
+
+    With the default ``engine="optimized"`` the intermediate DBTA^u is
+    congruence-minimized before the builder's exponential closures run
+    over its state set, and the finished SQA is cached by canonical
+    formula digest (:mod:`repro.perf.compile`) so repeated constructions
+    are near-free; ``engine="naive"`` is the unoptimized reference.
     """
     from ..logic.compile_trees import compile_tree_query
 
-    d = compile_tree_query(formula, var, alphabet)
-    return StrongQueryAutomatonBuilder(d, alphabet).build()
+    if engine == "naive":
+        d = compile_tree_query(formula, var, alphabet, engine="naive")
+        return StrongQueryAutomatonBuilder(d, alphabet).build()
+    from ..perf.compile import cached
+
+    def _build() -> UnrankedQueryAutomaton:
+        d = compile_tree_query(formula, var, alphabet)
+        return StrongQueryAutomatonBuilder(d, alphabet).build()
+
+    return cached("sqa", formula, (var,), frozenset(alphabet), _build)
 
 
 def figure6_evaluate(

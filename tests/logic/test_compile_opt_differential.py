@@ -1,0 +1,191 @@
+"""Seeded differential suite: optimized vs naive compilation pipelines.
+
+Every entry point of the compilation optimizer (per-connective
+minimization, hash-consing, content-addressed caching) is proved
+language- and query-equivalent to the ``engine="naive"`` reference
+construction: string sentences/queries via Hopcroft–Karp DFA equivalence
+(:meth:`repro.strings.dfa.DFA.equivalent`), tree queries via DBTA
+symmetric-difference emptiness (:func:`repro.perf.minimize.dbta_equivalent`)
+plus marked-query evaluation over seeded trees.
+"""
+
+import random
+
+import pytest
+
+from repro.logic.compile_strings import (
+    compile_query,
+    compile_sentence,
+    evaluate_marked_query,
+)
+from repro.logic.compile_trees import (
+    compile_tree_query,
+    compile_tree_sentence,
+    mark,
+)
+from repro.logic.syntax import (
+    And,
+    Descendant,
+    Edge,
+    Equal,
+    Exists,
+    Forall,
+    Implies,
+    Label,
+    Less,
+    Member,
+    Not,
+    Or,
+    SetVar,
+    Var,
+)
+from repro.perf.compile import compile_cache_clear
+from repro.perf.minimize import dbta_equivalent
+from repro.trees.tree import Tree
+from repro.unranked.dbta import evaluate_marked_query as evaluate_marked_tree
+
+ALPHABET = ["a", "b"]
+X, Y, Z = Var("x"), Var("y"), Var("z")
+S = SetVar("S")
+
+
+def random_string_formula(rng: random.Random, depth: int, scope: tuple):
+    """A random formula over the string vocabulary with variables in scope."""
+    first_order = [v for v in scope if isinstance(v, Var)]
+    atoms = []
+    if first_order:
+        atoms.append(lambda: Label(rng.choice(first_order), rng.choice(ALPHABET)))
+    if len(first_order) >= 2:
+        atoms.append(lambda: Less(*rng.sample(first_order, 2)))
+        atoms.append(lambda: Equal(*rng.sample(first_order, 2)))
+    set_vars = [v for v in scope if isinstance(v, SetVar)]
+    if first_order and set_vars:
+        atoms.append(
+            lambda: Member(rng.choice(first_order), rng.choice(set_vars))
+        )
+    if depth == 0 or not atoms or rng.random() < 0.25:
+        if not atoms:
+            fresh = Var(f"v{len(scope)}")
+            return Exists(
+                fresh, random_string_formula(rng, depth, scope + (fresh,))
+            )
+        return rng.choice(atoms)()
+    choice = rng.random()
+    if choice < 0.2:
+        return Not(random_string_formula(rng, depth - 1, scope))
+    if choice < 0.4:
+        return And(
+            random_string_formula(rng, depth - 1, scope),
+            random_string_formula(rng, depth - 1, scope),
+        )
+    if choice < 0.6:
+        return Or(
+            random_string_formula(rng, depth - 1, scope),
+            random_string_formula(rng, depth - 1, scope),
+        )
+    if choice < 0.75:
+        return Implies(
+            random_string_formula(rng, depth - 1, scope),
+            random_string_formula(rng, depth - 1, scope),
+        )
+    fresh = Var(f"v{len(scope)}")
+    wrapper = Exists if rng.random() < 0.7 else Forall
+    return wrapper(fresh, random_string_formula(rng, depth - 1, scope + (fresh,)))
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_string_sentences_equivalent(seed):
+    rng = random.Random(seed)
+    sentence = random_string_formula(rng, rng.randint(1, 3), ())
+    compile_cache_clear()
+    optimized = compile_sentence(sentence, ALPHABET)
+    naive = compile_sentence(sentence, ALPHABET, engine="naive")
+    assert optimized.equivalent(naive), sentence
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_string_queries_equivalent(seed):
+    rng = random.Random(100 + seed)
+    formula = random_string_formula(rng, rng.randint(1, 3), (X,))
+    compile_cache_clear()
+    optimized = compile_query(formula, X, ALPHABET)
+    naive = compile_query(formula, X, ALPHABET, engine="naive")
+    assert optimized.equivalent(naive), formula
+    for length in range(4):
+        for trial in range(3):
+            word = [rng.choice(ALPHABET) for _ in range(length)]
+            assert evaluate_marked_query(optimized, word) == (
+                evaluate_marked_query(naive, word)
+            ), (formula, word)
+
+
+TREE_QUERY_FORMULAS = [
+    Label(X, "a"),
+    And(Label(X, "a"), Exists(Y, And(Edge(X, Y), Label(Y, "b")))),
+    Not(Exists(Y, Descendant(Y, X))),
+    Or(
+        Exists(Y, And(Edge(Y, X), Label(Y, "b"))),
+        Not(Label(X, "a")),
+    ),
+    Implies(Label(X, "b"), Exists(Y, Descendant(X, Y))),
+    Forall(Y, Implies(Edge(X, Y), Label(Y, "a"))),
+    Exists(Y, And(Less(Y, X), Label(Y, "a"))),
+]
+
+TREE_TEXTS = [
+    "a",
+    "b",
+    "a(b)",
+    "b(a, a)",
+    "a(a(b), b)",
+    "b(a(a, b), a)",
+    "a(b(b), a(a), b)",
+]
+
+
+@pytest.mark.parametrize("index", range(len(TREE_QUERY_FORMULAS)))
+def test_tree_queries_equivalent(index):
+    formula = TREE_QUERY_FORMULAS[index]
+    compile_cache_clear()
+    optimized = compile_tree_query(formula, X, ALPHABET)
+    naive = compile_tree_query(formula, X, ALPHABET, engine="naive")
+    assert dbta_equivalent(optimized, naive), formula
+    for text in TREE_TEXTS:
+        tree = Tree.parse(text)
+        assert evaluate_marked_tree(optimized, tree, mark) == (
+            evaluate_marked_tree(naive, tree, mark)
+        ), (formula, text)
+
+
+TREE_SENTENCES = [
+    Exists(X, Label(X, "a")),
+    Forall(X, Implies(Label(X, "a"), Exists(Y, Edge(X, Y)))),
+    Not(Exists(X, Exists(Y, And(Edge(X, Y), Label(Y, "b"))))),
+    Exists(X, Forall(Y, Implies(Descendant(X, Y), Label(Y, "a")))),
+]
+
+
+@pytest.mark.parametrize("index", range(len(TREE_SENTENCES)))
+def test_tree_sentences_equivalent(index):
+    sentence = TREE_SENTENCES[index]
+    compile_cache_clear()
+    optimized = compile_tree_sentence(sentence, ALPHABET)
+    naive = compile_tree_sentence(sentence, ALPHABET, engine="naive")
+    for text in TREE_TEXTS:
+        tree = Tree.parse(text)
+        assert optimized.accepts(tree) == naive.accepts(tree), (sentence, text)
+
+
+def test_cached_artifact_still_query_correct():
+    """A warm cache hit returns the same (correct) automaton object."""
+    formula = TREE_QUERY_FORMULAS[1]
+    compile_cache_clear()
+    first = compile_tree_query(formula, X, ALPHABET)
+    second = compile_tree_query(formula, X, ALPHABET)
+    assert second is first
+    naive = compile_tree_query(formula, X, ALPHABET, engine="naive")
+    for text in TREE_TEXTS:
+        tree = Tree.parse(text)
+        assert evaluate_marked_tree(second, tree, mark) == (
+            evaluate_marked_tree(naive, tree, mark)
+        )

@@ -1,0 +1,244 @@
+"""Tests for formula hash-consing and the content-addressed compile cache.
+
+Canonical-key invariances (α-equivalence, commutativity, sugar
+normalization), memory/disk cache behavior including cold-vs-warm
+round-trips in a temp dir, and the poisoning defense: a forced digest
+collision between differing alphabets must be rejected as a miss.
+"""
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.logic.compile_strings import compile_sentence
+from repro.logic.compile_trees import compile_tree_query
+from repro.logic.syntax import (
+    And,
+    Equal,
+    Exists,
+    Forall,
+    Implies,
+    Label,
+    Less,
+    Not,
+    Or,
+    Var,
+)
+from repro.perf.compile import (
+    CACHE,
+    CompileCache,
+    cache_payload,
+    canonical_key,
+    compile_cache_clear,
+    compile_cache_info,
+    formula_digest,
+)
+
+X, Y, Z, W = Var("x"), Var("y"), Var("z"), Var("w")
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Isolate every test from the process-global cache (and restore it)."""
+    compile_cache_clear()
+    directory = CACHE.directory
+    CACHE.directory = None
+    yield
+    CACHE.directory = directory
+    compile_cache_clear()
+
+
+# ----------------------------------------------------------------------
+# Canonical keys
+# ----------------------------------------------------------------------
+
+
+def test_alpha_equivalent_formulas_share_keys():
+    first = Exists(X, And(Label(X, "a"), Exists(Y, Less(X, Y))))
+    second = Exists(Z, And(Label(Z, "a"), Exists(W, Less(Z, W))))
+    assert canonical_key(first) == canonical_key(second)
+
+
+def test_commutative_connectives_sorted():
+    left = And(Label(X, "a"), Label(X, "b"))
+    right = And(Label(X, "b"), Label(X, "a"))
+    assert canonical_key(left, (X,)) == canonical_key(right, (X,))
+    nested = And(And(Label(X, "a"), Label(X, "b")), Label(X, "c"))
+    flat = And(Label(X, "c"), And(Label(X, "b"), Label(X, "a")))
+    assert canonical_key(nested, (X,)) == canonical_key(flat, (X,))
+
+
+def test_sugar_normalization():
+    assert canonical_key(Implies(Label(X, "a"), Label(X, "b")), (X,)) == (
+        canonical_key(Or(Not(Label(X, "a")), Label(X, "b")), (X,))
+    )
+    assert canonical_key(Forall(Y, Less(X, Y)), (X,)) == canonical_key(
+        Not(Exists(Y, Not(Less(X, Y)))), (X,)
+    )
+    assert canonical_key(Not(Not(Label(X, "a"))), (X,)) == canonical_key(
+        Label(X, "a"), (X,)
+    )
+    assert canonical_key(Equal(X, Y), (X, Y)) == canonical_key(
+        Equal(Y, X), (X, Y)
+    )
+
+
+def test_distinct_formulas_distinct_keys():
+    assert canonical_key(Label(X, "a"), (X,)) != canonical_key(
+        Label(X, "b"), (X,)
+    )
+    assert canonical_key(Less(X, Y), (X, Y)) != canonical_key(
+        Less(Y, X), (X, Y)
+    )
+
+
+def test_digest_separates_alphabets():
+    formula = Exists(X, Label(X, "a"))
+    one = formula_digest(cache_payload("k", formula, (), ["a", "b"]))
+    two = formula_digest(cache_payload("k", formula, (), ["a", "b", "c"]))
+    assert one != two
+
+
+# ----------------------------------------------------------------------
+# Cache behavior through the compilers
+# ----------------------------------------------------------------------
+
+
+def test_repeat_compile_hits_memory_cache():
+    phi = Exists(X, Label(X, "a"))
+    with obs.collecting() as stats:
+        first = compile_sentence(phi, ["a", "b"])
+        second = compile_sentence(phi, ["a", "b"])
+    assert first is second
+    counters = stats.report()["counters"]
+    assert counters["compile.cache_hits"] >= 1
+    assert counters["compile.cache_misses"] >= 1
+    info = compile_cache_info()
+    assert info["hits"] >= 1 and info["currsize"] >= 1
+
+
+def test_alpha_equivalent_subformulas_compile_once():
+    """Hash-consing: a repeated (α-renamed) subformula is one compile."""
+    from repro.logic.compile_trees import compile_tree_sentence
+
+    phi = Or(
+        Exists(X, Label(X, "a")),
+        And(Exists(Y, Label(Y, "a")), Exists(X, Label(X, "b"))),
+    )
+    with obs.collecting() as stats:
+        compile_sentence(phi, ["a", "b"])
+    assert stats.report()["counters"]["compile.subformula_hits"] >= 1
+
+    with obs.collecting() as stats:
+        compile_tree_sentence(phi, ["a", "b"])
+    assert stats.report()["counters"]["compile.subformula_hits"] >= 1
+
+
+def test_validity_nfa_interned_across_subformulas():
+    """One validity NFA per (alphabet, track mask), reused across atoms."""
+    from repro.logic import compile_strings
+
+    compile_strings._VALIDITY_CACHE.clear()
+    phi = Exists(
+        X, Exists(Y, And(Label(X, "a"), And(Label(Y, "b"), Less(X, Y))))
+    )
+    with obs.collecting() as stats:
+        compile_sentence(phi, ["a", "b"])
+    counters = stats.report()["counters"]
+    assert counters["compile.validity_misses"] >= 1
+    assert counters["compile.validity_hits"] >= 1
+
+    # A different sentence with the same (alphabet, track-mask) shape
+    # only hits the interned validity automaton.
+    with obs.collecting() as stats:
+        compile_sentence(
+            Exists(Z, Exists(W, And(Label(Z, "b"), Less(W, Z)))), ["a", "b"]
+        )
+    counters = stats.report()["counters"]
+    assert counters.get("compile.validity_misses", 0) == 0
+    assert counters["compile.validity_hits"] >= 1
+
+
+def test_alpha_equivalent_compile_shares_artifact():
+    first = compile_tree_query(Exists(Y, Less(X, Y)), X, ["a", "b"])
+    renamed = compile_tree_query(Exists(W, Less(Z, W)), Z, ["a", "b"])
+    assert renamed is first
+
+
+def test_disk_cache_cold_vs_warm(tmp_path):
+    """A second cold process (simulated by clearing memory) loads from disk."""
+    CACHE.set_directory(tmp_path)
+    phi = Forall(X, Implies(Label(X, "a"), Exists(Y, Less(X, Y))))
+    with obs.collecting() as stats:
+        built = compile_sentence(phi, ["a", "b"])
+    assert stats.report()["counters"]["compile.disk_writes"] >= 1
+    assert list(tmp_path.glob("*.pkl"))
+
+    compile_cache_clear()  # cold start: memory gone, disk remains
+    with obs.collecting() as stats:
+        reloaded = compile_sentence(phi, ["a", "b"])
+    counters = stats.report()["counters"]
+    assert counters["compile.disk_hits"] == 1
+    assert counters["compile.cache_hits"] == 1
+    assert reloaded.equivalent(built)
+
+
+def test_poisoned_artifact_rejected(tmp_path):
+    """A digest collision between differing alphabets must miss.
+
+    We force the collision by copying the artifact written for one
+    alphabet onto the digest path of another; the stored payload no
+    longer matches the requested one, so the loader rejects it.
+    """
+    CACHE.set_directory(tmp_path)
+    phi = Exists(X, Label(X, "a"))
+    compile_sentence(phi, ["a", "b"])
+    source = cache_payload(
+        "string-sentence", phi, (), frozenset(["a", "b"])
+    )
+    target = cache_payload(
+        "string-sentence", phi, (), frozenset(["a", "b", "c"])
+    )
+    blob = (tmp_path / f"{formula_digest(source)}.pkl").read_bytes()
+    (tmp_path / f"{formula_digest(target)}.pkl").write_bytes(blob)
+
+    compile_cache_clear()
+    with obs.collecting() as stats:
+        bigger = compile_sentence(phi, ["a", "b", "c"])
+    counters = stats.report()["counters"]
+    assert counters["compile.disk_rejects"] == 1
+    assert counters.get("compile.disk_hits", 0) == 0
+    # The freshly built artifact is correct for the bigger alphabet.
+    assert bigger.accepts(["c", "a"]) and not bigger.accepts(["c", "b"])
+
+
+def test_corrupt_artifact_degrades_to_miss(tmp_path):
+    cache = CompileCache()
+    cache.set_directory(tmp_path)
+    payload = "p"
+    digest = formula_digest(payload)
+    (tmp_path / f"{digest}.pkl").write_bytes(b"not a pickle")
+    hit, _value = cache.lookup(digest, payload)
+    assert not hit
+    assert cache.disk_rejects == 1
+
+
+def test_unpicklable_values_stay_memory_only(tmp_path):
+    cache = CompileCache()
+    cache.set_directory(tmp_path)
+    value = lambda: None  # noqa: E731 — deliberately unpicklable-by-content
+    with pytest.raises(Exception):
+        pickle.dumps(value)
+    cache.store("d", "p", value)
+    assert not list(tmp_path.glob("*.pkl"))
+    hit, got = cache.lookup("d", "p")
+    assert hit and got is value
+
+
+def test_lru_eviction():
+    cache = CompileCache(maxsize=2)
+    for digest in ("one", "two", "three"):
+        cache.store(digest, digest, digest)
+    assert cache.lookup("one", "one")[0] is False
+    assert cache.lookup("three", "three")[0] is True

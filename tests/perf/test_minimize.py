@@ -1,0 +1,163 @@
+"""Differential tests for the minimization engines.
+
+Hopcroft vs the Moore oracle on seeded random DFAs, and the DBTA^u
+congruence-refinement minimizer against the naive compilation pipeline
+(language equivalence via symmetric-difference emptiness, query
+equivalence via the marked-query evaluators).
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.logic.compile_trees import compile_tree_query, mark
+from repro.logic.syntax import And, Descendant, Edge, Exists, Label, Not, Or, Var
+from repro.perf.minimize import (
+    dbta_equivalent,
+    hopcroft_minimized,
+    minimize_dbta,
+    moore_minimized,
+)
+from repro.strings.dfa import AutomatonError, DFA
+from repro.trees.tree import Tree
+from repro.unranked.dbta import (
+    brute_force_marked_query,
+    evaluate_marked_query,
+)
+
+
+def random_dfa(rng: random.Random) -> DFA:
+    """A random (possibly partial) DFA over a small alphabet."""
+    size = rng.randint(1, 14)
+    symbols = ["a", "b", "c"][: rng.randint(1, 3)]
+    states = list(range(size))
+    transitions = {}
+    for state in states:
+        for symbol in symbols:
+            if rng.random() < 0.85:
+                transitions[(state, symbol)] = rng.choice(states)
+    accepting = {state for state in states if rng.random() < 0.4}
+    return DFA.build(states, symbols, transitions, 0, accepting)
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_hopcroft_matches_moore(seed):
+    """Both engines yield equivalent automata of identical size."""
+    dfa = random_dfa(random.Random(seed))
+    fast = hopcroft_minimized(dfa)
+    oracle = moore_minimized(dfa)
+    assert fast.equivalent(dfa)
+    assert oracle.equivalent(dfa)
+    assert len(fast.states) == len(oracle.states)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_hopcroft_idempotent(seed):
+    dfa = random_dfa(random.Random(1000 + seed))
+    once = hopcroft_minimized(dfa)
+    twice = hopcroft_minimized(once)
+    assert len(twice.states) == len(once.states)
+
+
+def test_minimized_engine_parameter():
+    """``DFA.minimized`` dispatches on engine and rejects unknown ones."""
+    dfa = random_dfa(random.Random(5))
+    assert dfa.minimized().equivalent(dfa.minimized(engine="moore"))
+    with pytest.raises(AutomatonError):
+        dfa.minimized(engine="bogus")
+
+
+def test_minimize_counters():
+    """A lossy minimization records a positive states_before − states_after."""
+    dfa = DFA.build(
+        {0, 1, 2, 3},
+        {"a"},
+        {(0, "a"): 1, (1, "a"): 2, (2, "a"): 3, (3, "a"): 0},
+        0,
+        {0, 1, 2, 3},
+    )
+    with obs.collecting() as stats:
+        result = dfa.minimized()
+    assert len(result.states) == 1
+    counters = stats.report()["counters"]
+    assert counters["minimize.calls"] == 1
+    assert counters["minimize.states_before"] > counters["minimize.states_after"]
+
+
+# ----------------------------------------------------------------------
+# DBTA^u minimization
+# ----------------------------------------------------------------------
+
+X, Y = Var("x"), Var("y")
+
+QUERY_FORMULAS = [
+    Label(X, "a"),
+    And(Label(X, "a"), Not(Exists(Y, And(Descendant(X, Y), Label(Y, "b"))))),
+    Or(Label(X, "b"), Exists(Y, And(Edge(Y, X), Label(Y, "a")))),
+    Exists(Y, Descendant(Y, X)),
+    Not(Exists(Y, Edge(X, Y))),
+]
+
+TREE_TEXTS = [
+    "a",
+    "b",
+    "a(b)",
+    "a(a, b)",
+    "b(a(a), b)",
+    "a(b(a, b), a(a))",
+    "b(a(b(a), a), b, a)",
+]
+
+
+@pytest.mark.parametrize("index", range(len(QUERY_FORMULAS)))
+def test_minimize_dbta_language_equivalent(index):
+    """The minimized DBTA accepts exactly the same marked trees."""
+    naive = compile_tree_query(QUERY_FORMULAS[index], X, ["a", "b"], engine="naive")
+    minimized = minimize_dbta(naive)
+    assert dbta_equivalent(naive, minimized)
+    assert len(minimized.states) <= len(naive.states)
+    horizontal_before = sum(len(c.dfa.states) for c in naive.classifiers.values())
+    horizontal_after = sum(
+        len(c.dfa.states) for c in minimized.classifiers.values()
+    )
+    assert horizontal_after <= horizontal_before
+
+
+@pytest.mark.parametrize("index", range(len(QUERY_FORMULAS)))
+def test_minimize_dbta_query_equivalent(index):
+    """Two-pass evaluation on the minimized automaton matches brute force."""
+    naive = compile_tree_query(QUERY_FORMULAS[index], X, ["a", "b"], engine="naive")
+    minimized = naive.minimized()
+    for text in TREE_TEXTS:
+        tree = Tree.parse(text)
+        expected = brute_force_marked_query(naive, tree, mark)
+        assert evaluate_marked_query(minimized, tree, mark) == expected, text
+
+
+def test_minimize_dbta_shrinks_and_counts():
+    """The compiled query DBTA really loses states, visibly in counters."""
+    formula = QUERY_FORMULAS[1]
+    naive = compile_tree_query(formula, X, ["a", "b"], engine="naive")
+    with obs.collecting() as stats:
+        minimized = minimize_dbta(naive)
+    horizontal_before = sum(len(c.dfa.states) for c in naive.classifiers.values())
+    horizontal_after = sum(
+        len(c.dfa.states) for c in minimized.classifiers.values()
+    )
+    assert horizontal_after < horizontal_before
+    counters = stats.report()["counters"]
+    assert counters["minimize.dbta_calls"] == 1
+    assert counters["minimize.states_before"] > counters["minimize.states_after"]
+
+
+def test_minimize_dbta_classifiers_stay_total():
+    """Quotient classifiers stay total over the minimized state set —
+    the invariant ``evaluate_marked_query`` indexes on directly."""
+    naive = compile_tree_query(QUERY_FORMULAS[0], X, ["a", "b"], engine="naive")
+    minimized = minimize_dbta(naive)
+    for classifier in minimized.classifiers.values():
+        assert classifier.dfa.alphabet == minimized.states
+        for state in classifier.dfa.states:
+            for letter in minimized.states:
+                assert (state, letter) in classifier.dfa.transitions
