@@ -3,17 +3,31 @@
 Workload: random NBTA^u with a growing number of vertical states (the
 horizontal languages are random letterwise NFAs).  Measured: the
 reachability fixpoint — polynomial growth, in contrast to the EXPTIME
-procedures of bench_nonemptiness.py.
+procedures of bench_nonemptiness.py — once per engine: the default
+frontier sets vs the ``numpy`` successor-mask kernel (skipped when
+numpy is absent).
 """
 
 import random
 
 import pytest
 
+from repro.perf import npkernel
 from repro.strings.nfa import NFA
 from repro.unranked.nbta import UnrankedTreeAutomaton
 
 SIZES = [4, 8, 16]
+
+ENGINES = [
+    pytest.param(None, id="bitset"),
+    pytest.param(
+        "numpy",
+        id="numpy",
+        marks=pytest.mark.skipif(
+            not npkernel.available(), reason="numpy not installed"
+        ),
+    ),
+]
 
 
 def random_nbta(states_count: int, seed: int) -> UnrankedTreeAutomaton:
@@ -42,15 +56,19 @@ def random_nbta(states_count: int, seed: int) -> UnrankedTreeAutomaton:
     )
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("size", SIZES)
-def test_emptiness_fixpoint(benchmark, size):
+def test_emptiness_fixpoint(benchmark, size, engine):
     nbta = random_nbta(size, size)
-    benchmark(nbta.is_empty)
+    benchmark.extra_info["engine"] = engine or "bitset"
+    benchmark(nbta.is_empty, engine=engine)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("size", SIZES)
-def test_witness_extraction(benchmark, size):
+def test_witness_extraction(benchmark, size, engine):
     nbta = random_nbta(size, size + 1)
-    witness = benchmark(nbta.witness)
+    benchmark.extra_info["engine"] = engine or "bitset"
+    witness = benchmark(nbta.witness, engine=engine)
     if witness is not None:
         assert nbta.accepts(witness)

@@ -12,22 +12,44 @@ stamps one wall-clock measurement per worker count (and the machine's
 CPU count — scaling beyond the physical core count is not expected) into
 ``extra_info``, and every parallel result is asserted byte-identical to
 the serial one before it may be timed.
+
+``test_transport_setup_cost`` rows time the *cold* path per transport —
+spawn workers, ship the query, map one small corpus — contrasting the
+pickle channel against the shared-memory segment (spec-in-segment, and
+the dense numpy program when numpy is installed).
 """
 
 import os
+import random
 import time
 
 import pytest
 
 from repro.core.patterns import compile_pattern
 from repro.core.pipeline import Corpus
+from repro.perf import npkernel
 from repro.perf.parallel import ParallelExecutor
+from repro.strings.examples import multi_sweep_query_automaton
 from repro.trees.xml import make_bibliography
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 DOCUMENTS = 6 if SMOKE else 24
 ENTRIES = 2 if SMOKE else 12
 JOBS_CURVE = [1, 2] if SMOKE else [1, 2, 4]
+SETUP_JOBS = 2
+SETUP_PASSES = 2 if SMOKE else 6
+
+_needs_numpy = pytest.mark.skipif(
+    not npkernel.available(), reason="numpy not installed"
+)
+TRANSPORTS = [
+    pytest.param(("pickle", None), id="pickle"),
+    pytest.param(("pickle", "numpy"), id="pickle-numpy", marks=_needs_numpy),
+    pytest.param(("shared_memory", None), id="shm-spec"),
+    pytest.param(
+        ("shared_memory", "numpy"), id="shm-program", marks=_needs_numpy
+    ),
+]
 
 
 @pytest.fixture(scope="module")
@@ -99,6 +121,61 @@ def test_scaling_curve(benchmark, query, trees, serial_results):
     }
     with ParallelExecutor(query, jobs=1) as executor:
         assert benchmark(executor.map, trees) == serial_results
+
+
+@pytest.mark.parametrize("transport_engine", TRANSPORTS)
+def test_transport_setup_cost(benchmark, transport_engine):
+    """Cold start per transport: spawn, ship the query, map one corpus.
+
+    Wall clock is dominated by process spawn (identical across
+    transports), so the transport-specific numbers land in
+    ``extra_info``: ``worker_init_ms`` (the ``parallel.worker_init_ns``
+    gauge — time a worker spent receiving the query and building or
+    attaching its engine) and ``worker_closure_steps`` /
+    ``worker_rebuilds`` (behavior-closure work the workers performed
+    themselves — the pickle transport makes *every* worker re-derive
+    the closure, the shared-memory program transport ships it
+    pre-computed and the workers do none).
+    """
+    from repro import obs
+
+    transport, engine = transport_engine
+    qa = multi_sweep_query_automaton(SETUP_PASSES)
+    rng = random.Random(0x5E7)
+    words = [
+        "".join(rng.choice("01") for _ in range(32)) for _ in range(8)
+    ]
+    expected = [qa.evaluate(word) for word in words]
+
+    def cold_run():
+        with ParallelExecutor(
+            qa, jobs=SETUP_JOBS, transport=transport, engine=engine
+        ) as executor:
+            return executor.map(words)
+
+    assert cold_run() == expected  # warm the parent-side export cache
+    with obs.collecting() as stats:
+        assert cold_run() == expected
+    report = stats.report()
+    counters = report["counters"]
+    benchmark.extra_info["transport"] = transport
+    benchmark.extra_info["engine"] = engine or "default"
+    benchmark.extra_info["jobs"] = SETUP_JOBS
+    benchmark.extra_info["documents"] = len(words)
+    benchmark.extra_info["automaton_states"] = len(qa.automaton.states)
+    benchmark.extra_info["worker_init_ms"] = (
+        report["gauges"]["parallel.worker_init_ns"] / 1e6
+    )
+    benchmark.extra_info["worker_closure_steps"] = counters.get(
+        "npkernel.closure_steps", 0
+    )
+    benchmark.extra_info["worker_rebuilds"] = counters.get(
+        "npkernel.rebuilds", 0
+    )
+    results = benchmark.pedantic(
+        cold_run, rounds=2 if SMOKE else 3, iterations=1
+    )
+    assert results == expected
 
 
 def test_corpus_select_parallel(benchmark, corpus, serial_results):

@@ -7,7 +7,9 @@ reversals:
 (a) direct two-way simulation (cost grows with the number of sweeps),
 (b) the per-call Theorem 3.9 behavior evaluation, and
 (c) the :mod:`repro.perf` fast path — the same two passes, but over
-    interned behavior tables shared across positions and calls.
+    interned behavior tables shared across positions and calls — once
+    per evaluation engine (``table`` dict sweeps vs the ``numpy``
+    vectorized kernel; the numpy rows skip when numpy is absent).
 
 The multi-sweep naive/fast pair is the headline contrast: simulation does
 ``(2·PASSES+1)·n`` head moves while the fast path stays two passes.
@@ -18,7 +20,7 @@ import random
 
 import pytest
 
-from repro.perf import fast_evaluate, fast_transduce
+from repro.perf import batch_evaluate, fast_evaluate, fast_transduce, npkernel
 from repro.strings.behavior import evaluate_query_via_behavior
 from repro.strings.examples import (
     multi_sweep_query_automaton,
@@ -29,6 +31,18 @@ from repro.strings.examples import (
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 LENGTHS = [8, 16] if SMOKE else [100, 400, 1600]
 PASSES = 2 if SMOKE else 8
+BATCH = 4 if SMOKE else 64
+
+ENGINES = [
+    pytest.param("table", id="table"),
+    pytest.param(
+        "numpy",
+        id="numpy",
+        marks=pytest.mark.skipif(
+            not npkernel.available(), reason="numpy not installed"
+        ),
+    ),
+]
 
 
 def _word(length: int) -> list[str]:
@@ -60,12 +74,14 @@ def test_behavior_evaluation(benchmark, length):
     assert selected == qa.evaluate(word)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("length", LENGTHS)
-def test_fast_evaluation(benchmark, length):
+def test_fast_evaluation(benchmark, length, engine):
     qa = odd_ones_query_automaton()
     word = _word(length)
     _note_sizes(benchmark, qa.automaton, length)
-    selected = benchmark(fast_evaluate, qa, word)
+    benchmark.extra_info["engine"] = engine
+    selected = benchmark(fast_evaluate, qa, word, engine=engine)
     assert selected == qa.evaluate(word)
 
 
@@ -79,14 +95,28 @@ def test_multi_sweep_direct_simulation(benchmark, length):
     assert all(word[i - 1] == "1" for i in selected)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("length", LENGTHS)
-def test_multi_sweep_fast_evaluation(benchmark, length):
+def test_multi_sweep_fast_evaluation(benchmark, length, engine):
     qa = multi_sweep_query_automaton(PASSES)
     word = _word(length)
     _note_sizes(benchmark, qa.automaton, length)
     benchmark.extra_info["passes"] = PASSES
-    selected = benchmark(fast_evaluate, qa, word)
+    benchmark.extra_info["engine"] = engine
+    selected = benchmark(fast_evaluate, qa, word, engine=engine)
     assert selected == qa.evaluate(word)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_batch_evaluation(benchmark, engine):
+    """One engine, BATCH words: the numpy path runs one flat ragged scan."""
+    qa = multi_sweep_query_automaton(PASSES)
+    words = [_word(length) for length in range(64, 64 + BATCH)]
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["batch_size"] = BATCH
+    benchmark.extra_info["passes"] = PASSES
+    selected = benchmark(batch_evaluate, qa, words, engine=engine)
+    assert selected == [qa.evaluate(word) for word in words]
 
 
 @pytest.mark.parametrize("length", LENGTHS)
@@ -98,10 +128,12 @@ def test_gsqa_transduction(benchmark, length):
     assert len(outputs) == length
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("length", LENGTHS)
-def test_gsqa_fast_transduction(benchmark, length):
+def test_gsqa_fast_transduction(benchmark, length, engine):
     gsqa = odd_ones_gsqa()
     word = _word(length)
     _note_sizes(benchmark, gsqa.automaton, length)
-    outputs = benchmark(fast_transduce, gsqa, word)
+    benchmark.extra_info["engine"] = engine
+    outputs = benchmark(fast_transduce, gsqa, word, engine=engine)
     assert outputs == gsqa.transduce(word)

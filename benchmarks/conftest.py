@@ -44,12 +44,27 @@ def _module_key(path: str) -> str:
     return module[len("bench_"):] if module.startswith("bench_") else module
 
 
+def _engines(rows: list[dict]) -> str:
+    """The ``summary.engine`` field: which engines the rows measured.
+
+    Rows annotate themselves via ``extra_info["engine"]``; unannotated
+    rows count as ``"default"``.  A uniform module reports the single
+    engine name, a mixed one the sorted ``+``-join (``"numpy+table"``).
+    """
+    names = {
+        (row.get("extra_info") or {}).get("engine") or "default"
+        for row in rows
+    }
+    return "+".join(sorted(names))
+
+
 def _summary(name: str, rows: list[dict]) -> dict:
     """Per-module aggregate, computed through an ``obs.Stats`` instance.
 
     ``mean``/``median`` keep their historical meaning (mean of row means,
     median of row medians); ``counters`` adds the module's accumulated
-    engine counters from the recording sink the tests ran under.
+    engine counters from the recording sink the tests ran under, and
+    ``engine`` records which evaluation engines the rows exercised.
     """
     stats = obs.Stats()
     for row in rows:
@@ -62,6 +77,7 @@ def _summary(name: str, rows: list[dict]) -> dict:
     collected = _MODULE_STATS.get(name)
     return {
         "benchmarks": len(rows),
+        "engine": _engines(rows),
         "mean": means["mean"] if means["count"] else None,
         "median": medians["median"] if medians["count"] else None,
         "counters": dict(sorted(collected.counters.items())) if collected else {},

@@ -136,13 +136,14 @@ class Document:
         documents: Sequence["Document"],
         query: Query | str,
         jobs: int | None = None,
+        engine: str | None = None,
     ) -> list[list[Path]]:
         """One query over many documents (module :func:`batch_select`).
 
         ``jobs`` > 1 shards the documents across worker processes; see
         :class:`repro.perf.parallel.ParallelExecutor`.
         """
-        return batch_select(documents, query, jobs=jobs)
+        return batch_select(documents, query, jobs=jobs, engine=engine)
 
     def element_at(self, path: Path) -> XMLElement | str:
         """The XML element (or text chunk) at a tree path."""
@@ -163,7 +164,10 @@ def run_pattern(
 
 
 def batch_select(
-    documents: Sequence[Document], query: Query | str, jobs: int | None = None
+    documents: Sequence[Document],
+    query: Query | str,
+    jobs: int | None = None,
+    engine: str | None = None,
 ) -> list[list[Path]]:
     """Run one query over many documents; optionally sharded across workers.
 
@@ -189,11 +193,11 @@ def batch_select(
     if jobs is not None and jobs != 1:
         from ..perf.parallel import parallel_map
 
-        results = parallel_map(query, trees, jobs=jobs)
+        results = parallel_map(query, trees, jobs=jobs, engine=engine)
     else:
         from ..perf.batch import batch_evaluate
 
-        results = batch_evaluate(query, trees)
+        results = batch_evaluate(query, trees, engine=engine)
     return [sorted(paths) for paths in results]
 
 

@@ -20,7 +20,15 @@ This package makes query evaluation single-sweep and cached end-to-end:
 * :mod:`~repro.perf.bitset` — the bitset kernel (interned ids,
   Python-int state sets, :class:`PackedNFA`) powering the subset
   construction, NBTA emptiness, and the packed worklist closure of
-  :mod:`repro.decision.closure`.
+  :mod:`repro.decision.closure`;
+* :mod:`~repro.perf.npkernel` — the optional numpy kernel behind
+  ``engine="numpy"``: dense two-sweep scans for string QAs/GSQAs (whole
+  words and batches as array gathers plus a logarithmic prefix-composition
+  scan), packbits successor masks and vectorized antichains for the
+  NBTA-emptiness and decision searches, and the exported dense programs
+  the shared-memory parallel transport maps into workers.  Falls back to
+  the table/bitset engines — counted in ``npkernel.fallbacks`` — whenever
+  numpy is missing.
 
 The naive simulators in :mod:`repro.strings`, :mod:`repro.ranked` and
 :mod:`repro.unranked` remain the reference oracles; the differential
@@ -45,7 +53,12 @@ from .minimize import (
     minimize_dbta,
     moore_minimized,
 )
-from .parallel import ParallelExecutor, default_jobs, parallel_map
+from .parallel import (
+    ParallelExecutor,
+    default_jobs,
+    default_transport,
+    parallel_map,
+)
 from .registry import EngineRegistry
 from .shard import ShardError
 from .strings import (
@@ -55,6 +68,7 @@ from .strings import (
     fast_evaluate,
     fast_final_state,
     fast_transduce,
+    numpy_kernel,
 )
 from .table import BehaviorTable
 from .trees import (
@@ -86,6 +100,7 @@ __all__ = [
     "canonical_relabeled_dbta",
     "dbta_equivalent",
     "default_jobs",
+    "default_transport",
     "evaluate_one",
     "fast_accepts",
     "fast_evaluate",
@@ -100,6 +115,7 @@ __all__ = [
     "marked_engine",
     "minimize_dbta",
     "moore_minimized",
+    "numpy_kernel",
     "parallel_map",
     "set_disk_cache",
 ]

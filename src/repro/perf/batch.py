@@ -27,15 +27,26 @@ from .. import obs
 from ..strings.twoway import GeneralizedStringQA, StringQueryAutomaton
 from ..unranked.dbta import DeterministicUnrankedAutomaton
 from ..unranked.twoway import UnrankedQueryAutomaton
-from .strings import _QUERY_ENGINES, _TRANSDUCERS
+from .strings import _QUERY_ENGINES, _TRANSDUCERS, numpy_kernel
 from .trees import _MARKED_ENGINES, _UNRANKED_ENGINES
 
 
-def _engine_call(query):
-    """The per-input evaluation callable for a query-like object."""
+def _engine_call(query, engine: str | None = None):
+    """The per-input evaluation callable for a query-like object.
+
+    ``engine="numpy"`` selects the vectorized kernel for the string query
+    types (trees have no numpy engine yet and use their default path);
+    without numpy installed the choice degrades to the table engines.
+    """
     if isinstance(query, StringQueryAutomaton):
+        kernel = numpy_kernel(engine)
+        if kernel is not None:
+            return kernel.query_engine(query).evaluate
         return _QUERY_ENGINES.get(query).evaluate
     if isinstance(query, GeneralizedStringQA):
+        kernel = numpy_kernel(engine)
+        if kernel is not None:
+            return kernel.transducer_engine(query).transduce
         return _TRANSDUCERS.get(query).transduce
     if isinstance(query, UnrankedQueryAutomaton):
         return _UNRANKED_ENGINES.get(query).evaluate
@@ -59,14 +70,29 @@ def _engine_call(query):
     raise TypeError(f"cannot batch-evaluate {type(query).__name__} objects")
 
 
-def batch_evaluate(query, inputs: Iterable) -> list:
+def batch_evaluate(query, inputs: Iterable, engine: str | None = None) -> list:
     """Evaluate ``query`` on every input, amortizing engine construction.
 
     Returns one result per input, in order: position sets for string QAs,
     output tuples for GSQAs, path sets for tree queries.
+
+    With ``engine="numpy"`` and a string query, the whole batch is
+    evaluated in one flat vectorized scan (offset-indexed ragged layout —
+    see :mod:`repro.perf.npkernel`) rather than word by word.
     """
-    call = _engine_call(query)
-    results = [call(item) for item in inputs]
+    kernel = numpy_kernel(engine) if engine is not None else None
+    if kernel is not None:
+        if isinstance(query, StringQueryAutomaton):
+            return _count_batch(kernel.query_engine(query).evaluate_batch(list(inputs)))
+        if isinstance(query, GeneralizedStringQA):
+            return _count_batch(
+                kernel.transducer_engine(query).transduce_batch(list(inputs))
+            )
+    call = _engine_call(query, engine=engine)
+    return _count_batch([call(item) for item in inputs])
+
+
+def _count_batch(results: list) -> list:
     sink = obs.SINK
     if sink.enabled:
         sink.incr("batch.calls")
@@ -74,6 +100,6 @@ def batch_evaluate(query, inputs: Iterable) -> list:
     return results
 
 
-def evaluate_one(query, item):
+def evaluate_one(query, item, engine: str | None = None):
     """``batch_evaluate`` for a single input (shares the same engines)."""
-    return _engine_call(query)(item)
+    return _engine_call(query, engine=engine)(item)

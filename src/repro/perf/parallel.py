@@ -22,7 +22,8 @@ exactly that:
   counters — ``parallel.chunks``, ``parallel.workers``,
   ``parallel.items``, ``parallel.merge_wait_ns`` — and per-worker
   high-water gauges ``parallel.worker_items_max`` /
-  ``parallel.worker_cost_max``;
+  ``parallel.worker_cost_max`` / ``parallel.worker_init_ns`` (initializer
+  time: what each transport actually costs per worker);
 * a failure inside a worker surfaces as a structured
   :class:`~repro.perf.shard.ShardError` carrying the failing input's
   submission index and the worker's counter snapshot (including the
@@ -61,8 +62,38 @@ _INFLIGHT_PER_WORKER = 2
 _SPAWN_PING_TIMEOUT = float(os.environ.get("REPRO_PARALLEL_SPAWN_TIMEOUT", "120"))
 
 
+#: Transport selection: how the compiled query reaches the workers.
+#: ``pickle`` ships pickled bytes through the pool initializer (every
+#: worker re-derives its engines); ``shared_memory`` maps one
+#: :class:`multiprocessing.shared_memory.SharedMemory` segment that all
+#: workers attach — carrying either a fully-closed dense numpy program
+#: (:func:`repro.perf.npkernel.export_program`, attach is O(1)) or, for
+#: queries the dense exporter cannot freeze, the pickled spec itself.
+_TRANSPORTS = ("pickle", "shared_memory")
+
+
+def default_transport() -> str:
+    """The transport selected by ``REPRO_PARALLEL_TRANSPORT`` (or pickle)."""
+    choice = os.environ.get("REPRO_PARALLEL_TRANSPORT", "pickle")
+    return "shared_memory" if choice == "shm" else choice
+
+
 def default_jobs() -> int:
-    """The default worker count: ``os.cpu_count()`` (at least 1)."""
+    """The default worker count: the CPUs *this process may run on*.
+
+    Respects CPU affinity (cgroup/cpuset limits, ``taskset``) via
+    ``os.sched_getaffinity`` where available, then
+    ``os.process_cpu_count()`` (Python 3.13+), then ``os.cpu_count()``;
+    at least 1.  Raw ``cpu_count()`` oversubscribes affinity-restricted
+    containers with workers that time-share a fraction of the machine.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        pass
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:
+        return process_cpu_count() or 1
     return os.cpu_count() or 1
 
 
@@ -92,36 +123,37 @@ def _check_spawn_main() -> None:
 
 
 def _resolve_call(spec):
-    """The per-input evaluation callable for a shipped (kind, payload) spec."""
-    kind, payload = spec
+    """The per-input evaluation callable for a shipped (kind, payload, engine) spec."""
+    kind, payload, engine = spec
     if kind == "call":
         return payload
     from .batch import _engine_call
 
-    return _engine_call(payload)
+    return _engine_call(payload, engine=engine)
 
 
-def _prepare_spec(query) -> tuple:
-    """Classify ``query`` into a shippable (kind, payload) spec.
+def _prepare_spec(query, engine: str | None = None) -> tuple:
+    """Classify ``query`` into a shippable (kind, payload, engine) spec.
 
     Known query-automaton types go through the engine dispatch of
     :mod:`repro.perf.batch` (``MSOQuery`` is compiled *now*, so workers
     receive the finished automaton rather than recompiling the formula);
-    any other callable is treated as a custom selection function.
+    any other callable is treated as a custom selection function.  The
+    ``engine`` choice rides along so workers build the same engine kind.
     """
     from ..core.query import MSOQuery
 
     if isinstance(query, MSOQuery):
         query.compiled()
-        return ("query", query)
+        return ("query", query, engine)
     try:
         from .batch import _engine_call
 
-        _engine_call(query)
-        return ("query", query)
+        _engine_call(query, engine=engine)
+        return ("query", query, engine)
     except TypeError:
         if callable(query):
-            return ("call", query)
+            return ("call", query, engine)
         raise TypeError(
             f"cannot evaluate {type(query).__name__} objects in parallel: "
             "expected a query automaton, a core Query, or a callable"
@@ -135,18 +167,75 @@ def _prepare_spec(query) -> tuple:
 #: Worker-local evaluation callable, set once by the pool initializer.
 _WORKER_CALL = None
 
+#: Worker-local shared-memory segment; kept referenced for the process
+#: lifetime so attached array views stay valid.
+_WORKER_SHM = None
 
-def _initialize_worker(spec_bytes: bytes) -> None:
-    """Pool initializer: unpickle the query and warm the local engines.
+#: Nanoseconds this worker spent in its initializer — receiving the
+#: query and building (or attaching) its engine.  Shipped home with
+#: every chunk record and surfaced as the ``parallel.worker_init_ns``
+#: gauge, so transports can be compared on per-worker setup cost
+#: without process-spawn noise.
+_WORKER_INIT_NS = 0
 
-    Runs once per worker process.  Resolving the evaluation callable
-    builds the engine through the worker-local
-    :class:`~repro.perf.registry.EngineRegistry`, so the behavior tables
-    and subtree-type caches exist before the first chunk arrives and are
-    shared by every chunk this worker ever processes.
+
+def _attach_shared_memory(name: str):
+    """Attach the parent's segment in a worker.
+
+    Attaching re-registers the name with the resource tracker (3.11/3.12
+    lack ``track=False``), but spawn children share the parent's tracker
+    process and its cache is a set, so the parent's create-time
+    registration and every worker's attach-time one collapse into a
+    single entry — which the parent's ``unlink`` at close retires.
+    Workers must NOT unregister themselves: extra unregisters would race
+    each other emptying that single entry.
     """
-    global _WORKER_CALL
-    _WORKER_CALL = _resolve_call(pickle.loads(spec_bytes))
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+def _initialize_worker(mode: str, *args) -> None:
+    """Pool initializer: receive the query and warm the local engines.
+
+    Runs once per worker process.  ``mode`` selects the transport:
+
+    * ``"spec"`` — pickled (kind, payload, engine) bytes in ``args``;
+    * ``"spec_shm"`` — the same bytes, but read out of a shared-memory
+      segment the parent filled once (``args`` is its name and length);
+    * ``"program"`` — a dense numpy program exported by
+      :func:`repro.perf.npkernel.export_program`: ``args`` is the pickled
+      header plus the segment name; the worker builds an
+      :class:`~repro.perf.npkernel.AttachedStringEngine` whose arrays are
+      views straight into the mapped segment — nothing is unpickled or
+      re-derived per worker.
+
+    Resolving the evaluation callable builds the engine through the
+    worker-local :class:`~repro.perf.registry.EngineRegistry`, so the
+    behavior tables and subtree-type caches exist before the first chunk
+    arrives and are shared by every chunk this worker ever processes.
+    """
+    global _WORKER_CALL, _WORKER_SHM, _WORKER_INIT_NS
+    started = time.perf_counter_ns()
+    if mode == "spec":
+        (spec_bytes,) = args
+        _WORKER_CALL = _resolve_call(pickle.loads(spec_bytes))
+    elif mode == "spec_shm":
+        name, length = args
+        _WORKER_SHM = _attach_shared_memory(name)
+        spec_bytes = bytes(_WORKER_SHM.buf[:length])
+        _WORKER_CALL = _resolve_call(pickle.loads(spec_bytes))
+    elif mode == "program":
+        header, name, length = args
+        from .npkernel import AttachedStringEngine
+
+        _WORKER_SHM = _attach_shared_memory(name)
+        _WORKER_CALL = AttachedStringEngine(
+            header, _WORKER_SHM.buf[:length]
+        )
+    else:  # pragma: no cover - parent/worker version skew only
+        raise RuntimeError(f"unknown worker transport mode {mode!r}")
+    _WORKER_INIT_NS = time.perf_counter_ns() - started
 
 
 def _worker_ping() -> int:
@@ -186,6 +275,7 @@ def _run_chunk(task: tuple) -> dict:
         "worker": os.getpid(),
         "items": len(items),
         "cost": cost,
+        "init_ns": _WORKER_INIT_NS,
         "results": results,
         "stats": stats.snapshot(),
         "error": error,
@@ -206,20 +296,47 @@ class ParallelExecutor:
         A query automaton / core ``Query`` (evaluated through the cached
         engines) or any picklable callable ``item -> result``.
     jobs:
-        Worker count; defaults to ``os.cpu_count()``.  ``jobs=1`` is the
-        serial fast path: no pool, no pickling, identical results.
+        Worker count; defaults to :func:`default_jobs` (affinity-aware).
+        ``jobs=1`` is the serial fast path: no pool, no pickling,
+        identical results.
+    transport:
+        ``"pickle"`` (the oracle path: pickled spec through the pool
+        initializer) or ``"shared_memory"`` (one shared segment all
+        workers attach; dense numpy programs where exportable, the
+        pickled spec otherwise).  Defaults to the
+        ``REPRO_PARALLEL_TRANSPORT`` environment variable, then pickle.
+    engine:
+        Per-item engine choice shipped to the workers (e.g. ``"numpy"``
+        for the vectorized string kernel); ``None`` keeps each query
+        type's default engine.
 
     Picklability of the query is checked here, at submit time, so a
     closure that cannot cross a process boundary fails with a clear
     message instead of a mid-pool crash.
     """
 
-    def __init__(self, query, jobs: int | None = None) -> None:
+    def __init__(
+        self,
+        query,
+        jobs: int | None = None,
+        transport: str | None = None,
+        engine: str | None = None,
+    ) -> None:
         self.jobs = default_jobs() if jobs is None else jobs
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
-        self._spec = _prepare_spec(query)
+        self.transport = default_transport() if transport is None else (
+            "shared_memory" if transport == "shm" else transport
+        )
+        if self.transport not in _TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; expected one of "
+                f"{_TRANSPORTS}"
+            )
+        self.engine = engine
+        self._spec = _prepare_spec(query, engine)
         self._pool = None
+        self._shm = None
         self._closed = False
         if self.jobs > 1:
             try:
@@ -241,12 +358,57 @@ class ParallelExecutor:
         self.close()
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down and release the shared segment (idempotent)."""
         self._closed = True
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+            self._shm = None
+
+    def _worker_initargs(self) -> tuple:
+        """Build the (mode, *args) tuple for the pool initializer.
+
+        Shared-memory transport fills one segment here, in the parent,
+        once: with the dense exported program of a string query when the
+        numpy kernel can freeze it, otherwise with the pickled spec.  The
+        pickle transport — the differential oracle — ships bytes through
+        the initializer arguments as before.
+        """
+        sink = obs.SINK
+        if self.transport == "pickle":
+            sink.incr("parallel.transport_pickle")
+            return ("spec", self._payload)
+        from multiprocessing import shared_memory
+
+        kind, payload, engine = self._spec
+        program = None
+        if kind == "query" and engine == "numpy":
+            from .npkernel import export_program
+
+            program = export_program(payload)
+        sink.incr("parallel.transport_shm")
+        if program is not None:
+            header, body = program
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=max(1, len(body))
+            )
+            self._shm.buf[: len(body)] = body
+            sink.incr("parallel.shm_programs")
+            sink.gauge_max("parallel.shm_bytes", len(body))
+            return ("program", header, self._shm.name, len(body))
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, len(self._payload))
+        )
+        self._shm.buf[: len(self._payload)] = self._payload
+        sink.gauge_max("parallel.shm_bytes", len(self._payload))
+        return ("spec_shm", self._shm.name, len(self._payload))
 
     def _ensure_pool(self):
         if self._closed:
@@ -264,7 +426,7 @@ class ParallelExecutor:
             self._pool = context.Pool(
                 processes=self.jobs,
                 initializer=_initialize_worker,
-                initargs=(self._payload,),
+                initargs=self._worker_initargs(),
             )
             # Workers that die during bootstrap (unguarded __main__,
             # initializer failure) are respawned forever by Pool; a
@@ -320,6 +482,7 @@ class ParallelExecutor:
         merge_wait_ns = 0
         worker_items: dict[int, int] = {}
         worker_cost: dict[int, int] = {}
+        worker_init: dict[int, int] = {}
         chunk_count = 0
         item_count = 0
 
@@ -346,6 +509,7 @@ class ParallelExecutor:
             worker = record["worker"]
             worker_items[worker] = worker_items.get(worker, 0) + record["items"]
             worker_cost[worker] = worker_cost.get(worker, 0) + record["cost"]
+            worker_init[worker] = record.get("init_ns", 0)
             if record["error"] is not None and (
                 failure is None or record["error"]["index"] < failure["index"]
             ):
@@ -368,6 +532,9 @@ class ParallelExecutor:
                 )
                 sink.gauge_max(
                     "parallel.worker_cost_max", max(worker_cost.values())
+                )
+                sink.gauge_max(
+                    "parallel.worker_init_ns", max(worker_init.values())
                 )
 
         if failure is not None:
@@ -404,12 +571,20 @@ class ParallelExecutor:
                 sink.observe(name, value)
 
 
-def parallel_map(query, items: Iterable, jobs: int | None = None) -> list:
+def parallel_map(
+    query,
+    items: Iterable,
+    jobs: int | None = None,
+    transport: str | None = None,
+    engine: str | None = None,
+) -> list:
     """One-shot :class:`ParallelExecutor` convenience.
 
     Spawns a pool, maps, and tears the pool down.  For repeated corpora
     against the same query, keep a :class:`ParallelExecutor` instead —
     its workers' warmed engines survive across ``map`` calls.
     """
-    with ParallelExecutor(query, jobs=jobs) as executor:
+    with ParallelExecutor(
+        query, jobs=jobs, transport=transport, engine=engine
+    ) as executor:
         return executor.map(items)

@@ -4,6 +4,13 @@ Engines (behavior tables, tree-type indexes, …) are keyed by object
 *identity* — the automata they serve contain dicts and are therefore not
 hashable — with a weak finalizer evicting entries when the keyed object is
 collected, and an LRU bound as a backstop for long-running processes.
+
+A registry constructed with a ``name`` additionally registers a cache
+snapshot provider with :func:`repro.obs.register_cache`, so every
+:meth:`repro.obs.Stats.report` shows the registry's occupancy, hit/miss
+counts, and evictions — the per-instance counters survive LRU eviction
+(they count *events*, not live entries), which is what the eviction
+differential tests assert.
 """
 
 from __future__ import annotations
@@ -24,13 +31,22 @@ class EngineRegistry(Generic[Engine]):
     """``get(obj)`` returns the engine built for ``obj``, caching by identity."""
 
     def __init__(
-        self, factory: Callable[[object], Engine], capacity: int = DEFAULT_CAPACITY
+        self,
+        factory: Callable[[object], Engine],
+        capacity: int = DEFAULT_CAPACITY,
+        name: str | None = None,
     ) -> None:
         self._factory = factory
         self._capacity = capacity
         self._entries: OrderedDict[int, tuple[Callable[[], object], Engine]] = (
             OrderedDict()
         )
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        if name is not None:
+            obs.register_cache(name, self.snapshot)
 
     def get(self, obj: object) -> Engine:
         """The cached engine for ``obj`` (built on first use, LRU-evicted)."""
@@ -38,19 +54,38 @@ class EngineRegistry(Generic[Engine]):
         entry = self._entries.get(key)
         if entry is not None and entry[0]() is obj:
             self._entries.move_to_end(key)
+            self.hits += 1
             obs.SINK.incr("engine.registry_hits")
             return entry[1]
+        self.misses += 1
         obs.SINK.incr("engine.registry_misses")
         engine = self._factory(obj)
         try:
             ref: Callable[[], object] = weakref.ref(obj)
-            weakref.finalize(obj, self._entries.pop, key, None)
+            weakref.finalize(obj, self._evict, key)
         except TypeError:  # non-weakrefable: keep a strong reference
             ref = lambda: obj  # noqa: E731
         self._entries[key] = (ref, engine)
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            obs.SINK.incr("engine.registry_evictions")
         return engine
+
+    def _evict(self, key: int) -> None:
+        """Finalizer hook: drop the entry of a collected keyed object."""
+        if self._entries.pop(key, None) is not None:
+            self.evictions += 1
+
+    def snapshot(self) -> dict:
+        """Occupancy and event counters, JSON-ready (a cache provider)."""
+        return {
+            "size": len(self._entries),
+            "capacity": self._capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -165,21 +165,62 @@ class TransductionEngine:
         return tuple(outputs)
 
 
-_QUERY_ENGINES: EngineRegistry[StringQueryEngine] = EngineRegistry(StringQueryEngine)
-_TRANSDUCERS: EngineRegistry[TransductionEngine] = EngineRegistry(TransductionEngine)
+_QUERY_ENGINES: EngineRegistry[StringQueryEngine] = EngineRegistry(
+    StringQueryEngine, name="perf.query_engines"
+)
+_TRANSDUCERS: EngineRegistry[TransductionEngine] = EngineRegistry(
+    TransductionEngine, name="perf.transducers"
+)
 
 
-def fast_evaluate(qa: StringQueryAutomaton, word: Sequence[Symbol]) -> frozenset[int]:
+def numpy_kernel(engine: str | None):
+    """Resolve an ``engine=`` choice to the numpy kernel module, or ``None``.
+
+    ``None`` / ``"table"`` (the interned-dict default) and ``"numpy"``
+    are accepted; asking for numpy without numpy installed degrades to
+    the table engine and counts an ``npkernel.fallbacks`` event — callers
+    never have to guard the import themselves.
+    """
+    if engine is None or engine == "table":
+        return None
+    if engine != "numpy":
+        raise ValueError(f"unknown string engine {engine!r}")
+    from . import npkernel
+
+    if npkernel.available():
+        return npkernel
+    obs.SINK.incr("npkernel.fallbacks")
+    return None
+
+
+def fast_evaluate(
+    qa: StringQueryAutomaton,
+    word: Sequence[Symbol],
+    engine: str | None = None,
+) -> frozenset[int]:
     """Selected positions of ``word``; ≡ :meth:`StringQueryAutomaton.evaluate`.
 
     One forward and one backward sweep over cached behavior tables —
     O(n·|Q|) worst case, a few dict hits per position once warm.
+    ``engine="numpy"`` runs the sweeps as vectorized array scans
+    (:mod:`repro.perf.npkernel`), falling back here when numpy is absent.
     """
+    kernel = numpy_kernel(engine)
+    if kernel is not None:
+        return kernel.query_engine(qa).evaluate(word)
     return _QUERY_ENGINES.get(qa).evaluate(word)
 
 
 def fast_transduce(
-    gsqa: GeneralizedStringQA, word: Sequence[Symbol]
+    gsqa: GeneralizedStringQA,
+    word: Sequence[Symbol],
+    engine: str | None = None,
 ) -> tuple[Hashable, ...]:
-    """``M(w)`` per Definition 3.5; ≡ :meth:`GeneralizedStringQA.transduce`."""
+    """``M(w)`` per Definition 3.5; ≡ :meth:`GeneralizedStringQA.transduce`.
+
+    ``engine="numpy"`` selects the vectorized kernel, when available.
+    """
+    kernel = numpy_kernel(engine)
+    if kernel is not None:
+        return kernel.transducer_engine(gsqa).transduce(word)
     return _TRANSDUCERS.get(gsqa).transduce(word)

@@ -73,6 +73,7 @@ class BehaviorTable:
         # Auxiliary caches.
         self._orbits: dict[tuple[int, State], tuple[State, ...]] = {}
         self._halting: dict[tuple[int, Cell], tuple[State, ...]] = {}
+        self._seed_ids: dict[tuple[int, State], int] = {}
         # Doubling tables: (cell, level) -> {function id: function id after
         # reading cell 2**level more times}.
         self._powers: dict[tuple[Cell, int], dict[int, int]] = {}
@@ -141,6 +142,25 @@ class BehaviorTable:
     def assumed_set(self, set_id: int) -> frozenset:
         """The assumed set interned under ``set_id``."""
         return self._sets[set_id]
+
+    def set_count(self) -> int:
+        """How many distinct assumed sets have been interned so far.
+
+        Dense engines (:mod:`repro.perf.npkernel`) size their
+        assumed-space arrays by this count; it only ever grows.
+        """
+        return len(self._sets)
+
+    def seed_id(self, function_id: int, first: State) -> int:
+        """The interned id of ``States(f⁻_r, first_r)`` at the rightmost
+        position — the seed of the right-to-left ``Assumed`` pass."""
+        key = (function_id, first)
+        found = self._seed_ids.get(key)
+        if found is not None:
+            return found
+        result = self._intern_set(frozenset(self.orbit(function_id, first)))
+        self._seed_ids[key] = result
+        return result
 
     # ------------------------------------------------------------------
     # Orbits

@@ -1,0 +1,164 @@
+"""Differential suite: numpy-antichain string decisions ≡ frozenset oracle.
+
+The Section 6 string procedures search lazily determinized selection
+languages; ``engine="numpy"`` replaces the frozenset antichains with
+packbits mask matrices.  Witness words, counterexample positions,
+equivalence verdicts and the ``antichain.*`` counters must all match the
+default engine exactly.
+
+Random machines are one-way sweeps through random total DFAs (the
+Hopcroft–Ullman two-way machines make the determinized search space
+explode — fine for one decision, too slow for hundreds); the fixed
+two-way examples cover the behavior-composed branch.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.decision.strings import (
+    string_containment_counterexample,
+    string_queries_equivalent,
+    string_query_witness,
+)
+from repro.perf import npkernel
+from repro.strings.examples import (
+    endpoints_if_contains,
+    multi_sweep_query_automaton,
+    odd_ones_query_automaton,
+    sweep_right_dfa_as_qa,
+)
+from repro.strings.twoway import LEFT_MARKER, StringQueryAutomaton, TwoWayDFA
+
+from ..conftest import random_total_dfa
+
+needs_numpy = pytest.mark.skipif(
+    not npkernel.available(), reason="numpy not installed"
+)
+
+ALPHABET = ("a", "b")
+
+
+def _random_qa(rng, rate=0.3):
+    """A one-way QA sweeping right through a random total DFA."""
+    dfa = random_total_dfa(rng, ALPHABET)
+    right = {(state, LEFT_MARKER): dfa.initial for state in dfa.states}
+    for (state, symbol), target in dfa.transitions.items():
+        right[(state, symbol)] = target
+    automaton = TwoWayDFA.build(
+        dfa.states, ALPHABET, dfa.initial, dfa.accepting, {}, right
+    )
+    selecting = frozenset(
+        (state, symbol)
+        for state in sorted(dfa.states, key=repr)
+        for symbol in ALPHABET
+        if rng.random() < rate
+    )
+    return StringQueryAutomaton(automaton, selecting)
+
+
+@needs_numpy
+class TestWitnessDifferential:
+    def test_random_queries_agree(self):
+        """≥200 random QAs: identical witness words and positions (the
+        BFS explores in the same order, so ties break identically)."""
+        rng = random.Random(0xF1)
+        nonempty = 0
+        for case in range(220):
+            qa = _random_qa(rng)
+            expected = string_query_witness(qa, ALPHABET)
+            observed = string_query_witness(qa, ALPHABET, engine="numpy")
+            assert observed == expected, case
+            if expected is not None:
+                nonempty += 1
+                word, position = expected
+                assert position in qa.evaluate(word)
+        assert 5 <= nonempty <= 215
+
+    def test_two_way_examples_agree(self):
+        for qa in [
+            odd_ones_query_automaton(),
+            multi_sweep_query_automaton(3),
+        ]:
+            expected = string_query_witness(qa, ["0", "1"])
+            assert (
+                string_query_witness(qa, ["0", "1"], engine="numpy")
+                == expected
+            )
+        qa = endpoints_if_contains("01", "1")
+        assert string_query_witness(
+            qa, ["0", "1"], engine="numpy"
+        ) == string_query_witness(qa, ["0", "1"])
+
+    def test_counters_match(self):
+        qa = endpoints_if_contains("01", "1")
+
+        def counters(engine):
+            with obs.collecting() as stats:
+                string_query_witness(qa, ["0", "1"], engine=engine)
+            return {
+                key: value
+                for key, value in stats.report()["counters"].items()
+                if key.startswith("antichain.")
+            }
+
+        expected = counters(None)
+        assert counters("numpy") == expected
+        assert expected["antichain.searches"] == 1
+
+
+@needs_numpy
+class TestContainmentDifferential:
+    def test_random_pairs_agree(self):
+        rng = random.Random(0xF2)
+        found = 0
+        for case in range(80):
+            first, second = _random_qa(rng), _random_qa(rng)
+            expected = string_containment_counterexample(
+                first, second, ALPHABET
+            )
+            observed = string_containment_counterexample(
+                first, second, ALPHABET, engine="numpy"
+            )
+            assert observed == expected, case
+            if expected is not None:
+                found += 1
+                word, position = expected
+                assert position in first.evaluate(word)
+                assert position not in second.evaluate(word)
+        assert found >= 5
+
+    def test_equivalence_verdicts_agree(self):
+        rng = random.Random(0xF3)
+        for case in range(40):
+            first, second = _random_qa(rng), _random_qa(rng)
+            assert string_queries_equivalent(
+                first, second, ALPHABET, engine="numpy"
+            ) == string_queries_equivalent(first, second, ALPHABET), case
+        qa = odd_ones_query_automaton()
+        assert string_queries_equivalent(qa, qa, ["0", "1"], engine="numpy")
+
+    def test_known_containment_pair(self):
+        endpoints = endpoints_if_contains("01", "1")
+        all_ones = sweep_right_dfa_as_qa("01", ["1"])
+        for first, second in [(endpoints, all_ones), (all_ones, endpoints)]:
+            assert string_containment_counterexample(
+                first, second, ["0", "1"], engine="numpy"
+            ) == string_containment_counterexample(first, second, ["0", "1"])
+
+
+class TestEngineValidation:
+    def test_unknown_engine_rejected(self):
+        qa = odd_ones_query_automaton()
+        with pytest.raises(ValueError, match="unknown"):
+            string_query_witness(qa, ["0", "1"], engine="abacus")
+
+    def test_fallback_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(npkernel, "np", None)
+        qa = odd_ones_query_automaton()
+        with obs.collecting() as stats:
+            assert string_query_witness(
+                qa, ["0", "1"], engine="numpy"
+            ) == string_query_witness(qa, ["0", "1"])
+        assert stats.report()["counters"]["npkernel.fallbacks"] >= 1

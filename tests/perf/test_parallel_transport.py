@@ -1,0 +1,207 @@
+"""Shared-memory transport and affinity-aware defaults.
+
+The pickle transport is the differential oracle: every corpus mapped
+through ``transport="shared_memory"`` — spec-in-segment for tree queries,
+dense numpy program for exportable string queries — must return results
+``repr``-identical to the pickle transport and to ``jobs=1``.  Lifecycle
+tests pin the segment contract (parent creates and unlinks once, workers
+only attach) and ``default_jobs`` must follow CPU affinity, not raw core
+count.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro import obs
+from repro.core.patterns import compile_pattern
+from repro.perf import npkernel
+from repro.perf.parallel import (
+    ParallelExecutor,
+    default_jobs,
+    default_transport,
+    parallel_map,
+)
+from repro.strings.examples import odd_ones_gsqa, odd_ones_query_automaton
+from repro.trees.generators import random_tree
+
+JOBS = int(os.environ.get("REPRO_PARALLEL_JOBS", "2"))
+
+TREE_LABELS = ("a", "b", "c")
+
+
+def _word_corpus(seed, count=30):
+    rng = random.Random(0xBEEF + seed)
+    return [
+        "".join(rng.choice("01") for _ in range(rng.randrange(16)))
+        for _ in range(count)
+    ]
+
+
+def _tree_corpus(seed, count=8):
+    rng = random.Random(0xFEED + seed)
+    return [
+        random_tree(rng.randrange(1, 24), list(TREE_LABELS), seed_or_rng=rng)
+        for _ in range(count)
+    ]
+
+
+class TestDefaultJobs:
+    def test_respects_sched_affinity(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 3, 5})
+        assert default_jobs() == 3
+
+    def test_affinity_failure_falls_back_to_cpu_counts(self, monkeypatch):
+        def broken(pid):
+            raise OSError("no affinity on this platform")
+
+        monkeypatch.setattr(os, "sched_getaffinity", broken)
+        if hasattr(os, "process_cpu_count"):
+            monkeypatch.setattr(os, "process_cpu_count", lambda: 7)
+            assert default_jobs() == 7
+        else:
+            monkeypatch.setattr(os, "cpu_count", lambda: 7)
+            assert default_jobs() == 7
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set())
+        assert default_jobs() == 1
+
+    def test_missing_affinity_api(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        assert default_jobs() == 4
+
+
+class TestTransportSelection:
+    def test_default_is_pickle(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_TRANSPORT", raising=False)
+        assert default_transport() == "pickle"
+
+    def test_env_selects_shared_memory(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_TRANSPORT", "shared_memory")
+        assert default_transport() == "shared_memory"
+        monkeypatch.setenv("REPRO_PARALLEL_TRANSPORT", "shm")
+        assert default_transport() == "shared_memory"
+
+    def test_unknown_transport_rejected(self):
+        qa = odd_ones_query_automaton()
+        with pytest.raises(ValueError, match="unknown transport"):
+            ParallelExecutor(qa, jobs=2, transport="carrier-pigeon")
+
+    def test_shm_alias_accepted(self):
+        qa = odd_ones_query_automaton()
+        with ParallelExecutor(qa, jobs=2, transport="shm") as executor:
+            assert executor.transport == "shared_memory"
+
+
+class TestSharedMemoryDifferential:
+    def test_string_query_spec_transport(self):
+        qa = odd_ones_query_automaton()
+        corpus = _word_corpus(1)
+        oracle = parallel_map(qa, corpus, jobs=JOBS, transport="pickle")
+        with obs.collecting() as stats:
+            observed = parallel_map(
+                qa, corpus, jobs=JOBS, transport="shared_memory"
+            )
+        assert repr(observed) == repr(oracle)
+        assert observed == [qa.evaluate(word) for word in corpus]
+        counters = stats.report()["counters"]
+        assert counters["parallel.transport_shm"] == 1
+        assert "parallel.transport_pickle" not in counters
+
+    @pytest.mark.skipif(
+        not npkernel.available(), reason="numpy not installed"
+    )
+    def test_string_query_program_transport(self):
+        """engine="numpy" + shm ships the dense exported program."""
+        qa = odd_ones_query_automaton()
+        corpus = _word_corpus(2)
+        expected = parallel_map(qa, corpus, jobs=JOBS, transport="pickle")
+        with obs.collecting() as stats:
+            observed = parallel_map(
+                qa,
+                corpus,
+                jobs=JOBS,
+                transport="shared_memory",
+                engine="numpy",
+            )
+        assert observed == expected
+        counters = stats.report()["counters"]
+        assert counters["parallel.shm_programs"] == 1
+        gauges = stats.report()["gauges"]
+        assert gauges["parallel.shm_bytes"] > 0
+        assert gauges["parallel.worker_init_ns"] > 0
+
+    @pytest.mark.skipif(
+        not npkernel.available(), reason="numpy not installed"
+    )
+    def test_transducer_program_transport(self):
+        gsqa = odd_ones_gsqa()
+        corpus = _word_corpus(3)
+        expected = [gsqa.transduce(word) for word in corpus]
+        observed = parallel_map(
+            gsqa, corpus, jobs=JOBS, transport="shared_memory", engine="numpy"
+        )
+        assert repr(observed) == repr(expected)
+
+    def test_tree_query_spec_transport(self):
+        """Tree queries have no dense exporter: shm carries the spec."""
+        query = compile_pattern("//a[has(b)]", TREE_LABELS)
+        corpus = _tree_corpus(4)
+        expected = parallel_map(query, corpus, jobs=JOBS, transport="pickle")
+        with obs.collecting() as stats:
+            observed = parallel_map(
+                query, corpus, jobs=JOBS, transport="shared_memory"
+            )
+        assert repr(observed) == repr(expected)
+        counters = stats.report()["counters"]
+        assert counters["parallel.transport_shm"] == 1
+        assert "parallel.shm_programs" not in counters
+
+    def test_reused_executor_many_corpora(self):
+        qa = odd_ones_query_automaton()
+        with ParallelExecutor(
+            qa, jobs=JOBS, transport="shared_memory", engine=(
+                "numpy" if npkernel.available() else None
+            )
+        ) as executor:
+            for seed in range(4):
+                corpus = _word_corpus(10 + seed, count=12)
+                expected = [qa.evaluate(word) for word in corpus]
+                assert executor.map(corpus) == expected
+
+
+class TestSegmentLifecycle:
+    def test_close_unlinks_segment(self):
+        from multiprocessing import shared_memory
+
+        qa = odd_ones_query_automaton()
+        executor = ParallelExecutor(qa, jobs=JOBS, transport="shared_memory")
+        try:
+            executor.map(_word_corpus(5, count=6))
+            assert executor._shm is not None
+            name = executor._shm.name
+        finally:
+            executor.close()
+        assert executor._shm is None
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_close_is_idempotent(self):
+        qa = odd_ones_query_automaton()
+        executor = ParallelExecutor(qa, jobs=JOBS, transport="shared_memory")
+        executor.map(_word_corpus(6, count=4))
+        executor.close()
+        executor.close()
+
+    def test_serial_path_never_creates_segment(self):
+        qa = odd_ones_query_automaton()
+        with ParallelExecutor(
+            qa, jobs=1, transport="shared_memory"
+        ) as executor:
+            corpus = _word_corpus(7, count=5)
+            assert executor.map(corpus) == [qa.evaluate(w) for w in corpus]
+            assert executor._shm is None

@@ -1,0 +1,127 @@
+"""EngineRegistry: LRU/finalizer eviction and the obs snapshot contract.
+
+Every named registry (the dict engines, the numpy kernel's sweeps and
+readout engines) exposes the same snapshot shape through
+``obs.register_cache``; the event counters must *survive* eviction — they
+count lifetime events, not live entries — so long-running processes can
+tell churn from cold caches.
+"""
+
+import gc
+
+import pytest
+
+from repro import obs
+from repro.perf.registry import EngineRegistry
+from repro.strings.examples import odd_ones_query_automaton
+
+
+class Keyed:
+    """A weakrefable stand-in for an automaton."""
+
+
+class TestEviction:
+    def test_capacity_bound_evicts_lru(self):
+        built = []
+        registry = EngineRegistry(lambda obj: built.append(obj) or len(built),
+                                  capacity=2)
+        first, second, third = Keyed(), Keyed(), Keyed()
+        registry.get(first)
+        registry.get(second)
+        assert registry.get(first) == 1  # refresh: first is now MRU
+        registry.get(third)  # evicts second (LRU), not first
+        assert len(registry) == 2
+        assert registry.evictions == 1
+        assert registry.get(first) == 1  # still cached
+        assert registry.get(second) == 4  # rebuilt
+        assert registry.hits == 2
+        assert registry.misses == 4
+
+    def test_finalizer_evicts_collected_keys(self):
+        registry = EngineRegistry(lambda obj: object(), capacity=8)
+        keyed = Keyed()
+        registry.get(keyed)
+        assert len(registry) == 1
+        del keyed
+        gc.collect()
+        assert len(registry) == 0
+        assert registry.evictions == 1
+
+    def test_counters_survive_eviction(self):
+        registry = EngineRegistry(lambda obj: object(), capacity=1)
+        keys = [Keyed() for _ in range(5)]
+        for keyed in keys:
+            registry.get(keyed)
+            registry.get(keyed)
+        assert len(registry) == 1
+        assert registry.snapshot() == {
+            "size": 1,
+            "capacity": 1,
+            "hits": 5,
+            "misses": 5,
+            "evictions": 4,
+        }
+
+    def test_id_reuse_does_not_alias(self):
+        """A dead key's id may be recycled; identity check must rebuild."""
+        registry = EngineRegistry(lambda obj: id(obj), capacity=4)
+        for _ in range(20):
+            keyed = Keyed()
+            assert registry.get(keyed) == id(keyed)
+            del keyed
+        assert registry.hits == 0
+
+
+class TestObsIntegration:
+    def test_named_registry_registers_snapshot_provider(self):
+        registry = EngineRegistry(
+            lambda obj: object(), capacity=3, name="test.temp_registry"
+        )
+        try:
+            keyed = Keyed()
+            registry.get(keyed)
+            registry.get(keyed)
+            with obs.collecting() as stats:
+                registry.get(keyed)
+            report = stats.report()
+            snapshot = report["caches"]["test.temp_registry"]
+            assert snapshot["size"] == 1
+            assert snapshot["capacity"] == 3
+            assert snapshot["hits"] == 2
+            assert snapshot["misses"] == 1
+            assert report["counters"]["engine.registry_hits"] == 1
+        finally:
+            obs.cache_providers().pop("test.temp_registry", None)
+
+    def test_numpy_registries_report_alongside_dict_registries(self):
+        npkernel = pytest.importorskip("repro.perf.npkernel")
+        if not npkernel.available():
+            pytest.skip("numpy not installed")
+        qa = odd_ones_query_automaton()
+        with obs.collecting() as stats:
+            npkernel.query_engine(qa).evaluate("01")
+        caches = stats.report()["caches"]
+        for name in (
+            "perf.query_engines",
+            "perf.transducers",
+            "perf.np_sweeps",
+            "perf.np_query_engines",
+        ):
+            assert name in caches, name
+            assert caches[name]["capacity"] > 0
+        # The numpy engine actually exercised its registries this run.
+        assert caches["perf.np_query_engines"]["misses"] >= 1
+
+    def test_eviction_of_numpy_engine_keeps_counters(self):
+        npkernel = pytest.importorskip("repro.perf.npkernel")
+        if not npkernel.available():
+            pytest.skip("numpy not installed")
+        registry = EngineRegistry(
+            npkernel.NumpyQueryEngine, capacity=1, name=None
+        )
+        queries = [odd_ones_query_automaton() for _ in range(3)]
+        for qa in queries:
+            assert registry.get(qa).evaluate("010") == qa.evaluate("010")
+        assert registry.misses == 3
+        assert registry.evictions >= 2
+        assert len(registry) == 1

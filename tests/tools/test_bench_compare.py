@@ -1,0 +1,143 @@
+"""`tools/bench_compare.py`: regression detection on BENCH_*.json pairs.
+
+The tool is dependency-free and loaded straight from ``tools/`` so the
+no-numpy CI job exercises it too.  Fixtures are synthetic BENCH files in
+the exact shape ``benchmarks/conftest.py`` writes.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    Path(__file__).resolve().parents[2] / "tools" / "bench_compare.py",
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def _bench_file(path, module, rows):
+    payload = {
+        "module": module,
+        "summary": {"benchmarks": len(rows)},
+        "benchmarks": [
+            {"name": name, "stats": {"median": median, "mean": median}}
+            for name, median in rows.items()
+        ],
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestCompare:
+    def test_regression_detected(self, tmp_path):
+        old = _bench_file(
+            tmp_path / "BENCH_old.json", "string_qa", {"fast[100]": 1e-3}
+        )
+        new = _bench_file(
+            tmp_path / "BENCH_new.json", "string_qa", {"fast[100]": 2e-3}
+        )
+        report = bench_compare.compare(
+            bench_compare.collect(old), bench_compare.collect(new)
+        )
+        assert len(report["regressions"]) == 1
+        entry = report["regressions"][0]
+        assert entry["name"] == "fast[100]"
+        assert entry["ratio"] == pytest.approx(2.0)
+        assert not report["improvements"]
+
+    def test_improvement_and_noise_band(self, tmp_path):
+        old = _bench_file(
+            tmp_path / "BENCH_old.json",
+            "string_qa",
+            {"improved": 4e-3, "steady": 1e-3},
+        )
+        new = _bench_file(
+            tmp_path / "BENCH_new.json",
+            "string_qa",
+            {"improved": 1e-3, "steady": 1.1e-3},
+        )
+        report = bench_compare.compare(
+            bench_compare.collect(old), bench_compare.collect(new)
+        )
+        assert not report["regressions"]
+        assert [e["name"] for e in report["improvements"]] == ["improved"]
+        assert [e["name"] for e in report["unchanged"]] == ["steady"]
+
+    def test_threshold_widens_noise_band(self, tmp_path):
+        old = _bench_file(tmp_path / "BENCH_a.json", "m", {"row": 1e-3})
+        new = _bench_file(tmp_path / "BENCH_b.json", "m", {"row": 1.4e-3})
+        loose = bench_compare.compare(
+            bench_compare.collect(old),
+            bench_compare.collect(new),
+            threshold=1.5,
+        )
+        assert not loose["regressions"]
+        strict = bench_compare.compare(
+            bench_compare.collect(old),
+            bench_compare.collect(new),
+            threshold=1.25,
+        )
+        assert len(strict["regressions"]) == 1
+
+    def test_added_and_removed_rows_reported(self, tmp_path):
+        old = _bench_file(
+            tmp_path / "BENCH_old.json", "m", {"kept": 1e-3, "dropped": 1e-3}
+        )
+        new = _bench_file(
+            tmp_path / "BENCH_new.json", "m", {"kept": 1e-3, "fresh": 1e-3}
+        )
+        report = bench_compare.compare(
+            bench_compare.collect(old), bench_compare.collect(new)
+        )
+        assert report["removed"] == [{"module": "m", "name": "dropped"}]
+        assert report["added"] == [{"module": "m", "name": "fresh"}]
+        assert not report["regressions"]
+
+    def test_directory_mode_pairs_by_module(self, tmp_path):
+        before, after = tmp_path / "before", tmp_path / "after"
+        before.mkdir()
+        after.mkdir()
+        _bench_file(before / "BENCH_string_qa.json", "string_qa", {"x": 1e-3})
+        _bench_file(before / "BENCH_nbta.json", "nbta", {"y": 1e-3})
+        _bench_file(after / "BENCH_string_qa.json", "string_qa", {"x": 5e-3})
+        # nbta missing on the new side: its row shows up as removed.
+        report = bench_compare.compare(
+            bench_compare.collect(before), bench_compare.collect(after)
+        )
+        assert [e["module"] for e in report["regressions"]] == ["string_qa"]
+        assert report["removed"] == [{"module": "nbta", "name": "y"}]
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        old = _bench_file(tmp_path / "BENCH_a.json", "m", {"row": 1e-3})
+        same = _bench_file(tmp_path / "BENCH_b.json", "m", {"row": 1e-3})
+        slow = _bench_file(tmp_path / "BENCH_c.json", "m", {"row": 9e-3})
+        assert bench_compare.main([str(old), str(same)]) == 0
+        assert bench_compare.main([str(old), str(slow)]) == 1
+        out = capsys.readouterr().out
+        assert "regressions: 1" in out
+        assert "9.00x slower" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        old = _bench_file(tmp_path / "BENCH_a.json", "m", {"row": 1e-3})
+        new = _bench_file(tmp_path / "BENCH_b.json", "m", {"row": 4e-3})
+        assert bench_compare.main([str(old), str(new), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["regressions"][0]["ratio"] == pytest.approx(4.0)
+
+    def test_bad_inputs(self, tmp_path, capsys):
+        old = _bench_file(tmp_path / "BENCH_a.json", "m", {"row": 1e-3})
+        missing = tmp_path / "nope.json"
+        assert bench_compare.main([str(old), str(missing)]) == 2
+        assert bench_compare.main(
+            [str(old), str(old), "--threshold", "0.5"]
+        ) == 2
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert bench_compare.main([str(old), str(empty)]) == 2
+        capsys.readouterr()

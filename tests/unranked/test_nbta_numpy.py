@@ -1,0 +1,126 @@
+"""Differential suite: ``engine="numpy"`` NBTA paths ≡ the bitset oracle.
+
+Random unranked tree automata (regex horizontal languages over random
+state sets) exercise run/acceptance, the Lemma 5.2 emptiness fixpoint,
+and witness extraction through the packbits successor-mask kernel; every
+result — including witness trees and the ``antichain.*`` counters the
+searches emit — must match the pure-Python bitset path exactly.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.perf import npkernel
+from repro.strings.regex import parse_regex, to_nfa
+from repro.trees.generators import enumerate_trees
+from repro.unranked.nbta import AutomatonError, UnrankedTreeAutomaton
+
+needs_numpy = pytest.mark.skipif(
+    not npkernel.available(), reason="numpy not installed"
+)
+
+ALPHABET = ("a", "b")
+
+
+def _random_nbta(rng, max_states=3):
+    names = [f"s{i}" for i in range(rng.randint(1, max_states))]
+    states = frozenset(names)
+
+    def piece():
+        first, second = rng.choice(names), rng.choice(names)
+        return rng.choice(
+            [first, f"{first}*", f"({first}|{second})", f"({first}|{second})*"]
+        )
+
+    horizontal = {}
+    for state in names:
+        for symbol in ALPHABET:
+            if rng.random() < 0.7:
+                expr = " ".join(piece() for _ in range(rng.randint(1, 3)))
+                if rng.random() < 0.3:
+                    expr += " | " + piece()
+                horizontal[(state, symbol)] = to_nfa(parse_regex(expr), states)
+    accepting = frozenset(
+        state for state in names if rng.random() < 0.5
+    ) or frozenset({names[0]})
+    return UnrankedTreeAutomaton(
+        states, frozenset(ALPHABET), accepting, horizontal
+    )
+
+
+@needs_numpy
+class TestRunDifferential:
+    def test_random_automata_runs_agree(self):
+        """≥200 (NBTA, tree) cases: identical per-node state sets."""
+        rng = random.Random(0xE1)
+        trees = list(enumerate_trees(list(ALPHABET), 3))
+        cases = 0
+        while cases < 210:
+            nbta = _random_nbta(rng)
+            for tree in rng.sample(trees, 10):
+                assert nbta.run(tree, engine="numpy") == nbta.run(tree), str(
+                    tree
+                )
+                assert nbta.accepts(tree, engine="numpy") == nbta.accepts(
+                    tree
+                )
+                cases += 1
+
+
+@needs_numpy
+class TestEmptinessDifferential:
+    def test_random_automata_emptiness_and_witness_agree(self):
+        """Emptiness verdicts match; witnesses are byte-identical trees
+        (both sides run the same antichain-pruned shortest-word BFS)."""
+        rng = random.Random(0xE2)
+        empties = 0
+        for case in range(220):
+            nbta = _random_nbta(rng)
+            expected_empty = nbta.is_empty()
+            assert nbta.is_empty(engine="numpy") == expected_empty, case
+            assert nbta.reachable_states(
+                engine="numpy"
+            ) == nbta.reachable_states()
+            witness = nbta.witness(engine="numpy")
+            assert witness == nbta.witness(), case
+            if expected_empty:
+                empties += 1
+                assert witness is None
+            else:
+                assert witness is not None and nbta.accepts(witness)
+        # The generator must exercise both outcomes for this to mean much.
+        assert 5 <= empties <= 215
+
+    def test_antichain_counters_match(self):
+        rng = random.Random(0xE3)
+        nbta = _random_nbta(rng, max_states=3)
+
+        def counters(engine):
+            with obs.collecting() as stats:
+                nbta.witness(engine=engine)
+            report = stats.report()["counters"]
+            return {
+                key: value
+                for key, value in report.items()
+                if key.startswith("antichain.")
+            }
+
+        expected = counters(None)
+        assert counters("numpy") == expected
+        assert "antichain.searches" in expected
+
+    def test_unknown_engine_rejected(self):
+        nbta = _random_nbta(random.Random(0xE4))
+        with pytest.raises(AutomatonError, match="unknown NBTA engine"):
+            nbta.is_empty(engine="quantum")
+
+
+class TestFallbackWithoutNumpy:
+    def test_emptiness_falls_back_and_counts(self, monkeypatch):
+        monkeypatch.setattr(npkernel, "np", None)
+        nbta = _random_nbta(random.Random(0xE5))
+        with obs.collecting() as stats:
+            assert nbta.is_empty(engine="numpy") == nbta.is_empty()
+        assert stats.report()["counters"]["npkernel.fallbacks"] >= 1

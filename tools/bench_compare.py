@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Compare two benchmark result sets and report threshold regressions.
+
+Inputs are either two ``BENCH_*.json`` files (as written by
+``benchmarks/conftest.py``) or two directories/repository roots, in
+which case every ``BENCH_*.json`` present in *both* is compared.  Rows
+are matched by ``(module, benchmark name)``; for each match the chosen
+timing statistic is compared as a ratio ``new / old``:
+
+* ratio > ``--threshold``   → **regression** (exit code 1),
+* ratio < 1 / ``--threshold`` → improvement,
+* otherwise                 → unchanged (within the noise band).
+
+Rows present on only one side are listed as added/removed but never fail
+the run — engine-parametrized rows come and go as engines are added.
+
+Usage::
+
+    python tools/bench_compare.py BENCH_string_qa.json /tmp/new/BENCH_string_qa.json
+    python tools/bench_compare.py old-checkout/ . --threshold 1.5
+    python tools/bench_compare.py old/ new/ --json   # machine-readable
+
+Dependency-free by design: CI's no-numpy job can run it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Default acceptable slowdown: new may take up to 25% longer than old.
+DEFAULT_THRESHOLD = 1.25
+
+METRICS = ("median", "mean", "min", "max")
+
+
+def load_rows(path: Path) -> dict[tuple[str, str], dict]:
+    """``(module, row name) -> row`` for one BENCH_*.json file."""
+    payload = json.loads(path.read_text())
+    module = payload.get("module", path.stem)
+    rows = {}
+    for row in payload.get("benchmarks", []):
+        name = row.get("name")
+        if name:
+            rows[(module, name)] = row
+    return rows
+
+
+def collect(source: Path) -> dict[tuple[str, str], dict]:
+    """All benchmark rows under a file or directory."""
+    if source.is_dir():
+        rows: dict[tuple[str, str], dict] = {}
+        for path in sorted(source.glob("BENCH_*.json")):
+            rows.update(load_rows(path))
+        return rows
+    return load_rows(source)
+
+
+def compare(
+    old: dict[tuple[str, str], dict],
+    new: dict[tuple[str, str], dict],
+    metric: str = "median",
+    threshold: float = DEFAULT_THRESHOLD,
+) -> dict:
+    """The comparison report: regressions, improvements, unchanged, churn."""
+    regressions = []
+    improvements = []
+    unchanged = []
+    incomparable = []
+    for key in sorted(old.keys() & new.keys()):
+        before = (old[key].get("stats") or {}).get(metric)
+        after = (new[key].get("stats") or {}).get(metric)
+        if not before or not after:
+            incomparable.append({"module": key[0], "name": key[1]})
+            continue
+        ratio = after / before
+        entry = {
+            "module": key[0],
+            "name": key[1],
+            "old": before,
+            "new": after,
+            "ratio": ratio,
+        }
+        if ratio > threshold:
+            regressions.append(entry)
+        elif ratio < 1.0 / threshold:
+            improvements.append(entry)
+        else:
+            unchanged.append(entry)
+    return {
+        "metric": metric,
+        "threshold": threshold,
+        "regressions": sorted(
+            regressions, key=lambda e: e["ratio"], reverse=True
+        ),
+        "improvements": sorted(improvements, key=lambda e: e["ratio"]),
+        "unchanged": unchanged,
+        "removed": [
+            {"module": m, "name": n} for m, n in sorted(old.keys() - new.keys())
+        ],
+        "added": [
+            {"module": m, "name": n} for m, n in sorted(new.keys() - old.keys())
+        ],
+    }
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}µs"
+
+
+def render(report: dict) -> str:
+    """Human-readable regression report."""
+    lines = [
+        f"benchmark comparison ({report['metric']}, "
+        f"threshold {report['threshold']:.2f}x)"
+    ]
+    for title, entries, arrow in (
+        ("regressions", report["regressions"], "slower"),
+        ("improvements", report["improvements"], "faster"),
+    ):
+        lines.append(f"{title}: {len(entries)}")
+        for entry in entries:
+            factor = (
+                entry["ratio"]
+                if arrow == "slower"
+                else 1.0 / entry["ratio"]
+            )
+            lines.append(
+                f"  {entry['module']} :: {entry['name']}  "
+                f"{_format_seconds(entry['old'])} -> "
+                f"{_format_seconds(entry['new'])}  ({factor:.2f}x {arrow})"
+            )
+    lines.append(f"unchanged: {len(report['unchanged'])}")
+    if report["removed"]:
+        lines.append(f"removed rows: {len(report['removed'])}")
+        for entry in report["removed"]:
+            lines.append(f"  {entry['module']} :: {entry['name']}")
+    if report["added"]:
+        lines.append(f"added rows: {len(report['added'])}")
+        for entry in report["added"]:
+            lines.append(f"  {entry['module']} :: {entry['name']}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json files or directories of them"
+    )
+    parser.add_argument("old", type=Path, help="baseline file or directory")
+    parser.add_argument("new", type=Path, help="candidate file or directory")
+    parser.add_argument(
+        "--metric",
+        choices=METRICS,
+        default="median",
+        help="timing statistic to compare (default: median)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"new/old ratio treated as a regression "
+        f"(default: {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.threshold <= 1.0:
+        print("--threshold must be > 1.0", file=sys.stderr)
+        return 2
+    for source in (args.old, args.new):
+        if not source.exists():
+            print(f"no such file or directory: {source}", file=sys.stderr)
+            return 2
+    old, new = collect(args.old), collect(args.new)
+    if not old or not new:
+        print("no BENCH_*.json rows found to compare", file=sys.stderr)
+        return 2
+    report = compare(old, new, metric=args.metric, threshold=args.threshold)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render(report))
+    return 1 if report["regressions"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
