@@ -1,23 +1,33 @@
 """Experiment E5.9: the unranked circuit QA^u.
 
 Workload: AND/OR circuits with unbounded fan-in, growing depth and width.
-Measured: query evaluation by cut simulation and by the Lemma 5.16
-behavior evaluation.
+Measured: query evaluation by cut simulation (``naive``), by the
+uncached Lemma 5.16 behavior evaluation (``uncached``), and by the
+cached engines — the interned-dict ``table`` engine and the vectorized
+``numpy`` tree kernel of :mod:`repro.perf.nptrees` (rows skip when
+numpy is missing).
 """
+
+import os
 
 import pytest
 
+from repro.perf.nptrees import available as numpy_available
+from repro.perf.trees import fast_evaluate_unranked
 from repro.trees.generators import random_unranked_circuit
 from repro.unranked.behavior import evaluate_query_via_behavior
 from repro.unranked.examples import circuit_query_automaton, circuit_reference_query
 
-SHAPES = [(3, 3), (4, 3), (4, 5)]  # (depth, max fan-in)
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SHAPES = [(2, 2), (3, 3)] if SMOKE else [(3, 3), (4, 3), (4, 5)]
+ENGINES = ["table", "numpy"]
 
 
 @pytest.mark.parametrize("depth,arity", SHAPES)
 def test_simulation(benchmark, depth, arity):
     qa = circuit_query_automaton()
     tree = random_unranked_circuit(depth, arity, depth * 10 + arity)
+    benchmark.extra_info["engine"] = "naive"
     selected = benchmark(qa.evaluate, tree)
     assert selected == circuit_reference_query(tree)
 
@@ -26,5 +36,19 @@ def test_simulation(benchmark, depth, arity):
 def test_behavior_evaluation(benchmark, depth, arity):
     qa = circuit_query_automaton()
     tree = random_unranked_circuit(depth, arity, depth * 10 + arity)
+    benchmark.extra_info["engine"] = "uncached"
     selected = benchmark(evaluate_query_via_behavior, qa, tree)
+    assert selected == circuit_reference_query(tree)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("depth,arity", SHAPES)
+def test_fast_evaluation(benchmark, depth, arity, engine):
+    """The cached engines behind ``fast_evaluate_unranked``."""
+    if engine == "numpy" and not numpy_available():
+        pytest.skip("numpy not installed")
+    qa = circuit_query_automaton()
+    tree = random_unranked_circuit(depth, arity, depth * 10 + arity)
+    benchmark.extra_info["engine"] = engine
+    selected = benchmark(fast_evaluate_unranked, qa, tree, engine)
     assert selected == circuit_reference_query(tree)

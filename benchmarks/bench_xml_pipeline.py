@@ -11,6 +11,10 @@ query stage under two regimes:
   per (pattern, alphabet), and per-node sweeps are memoized by hashed
   subtree type, which bibliography trees (many identical ``book``
   subtrees) reward heavily.  ``batch_select`` amortizes across documents.
+
+The cached rows are engine-parametrized: ``table`` is the interned-dict
+default, ``numpy`` the vectorized tree kernel of
+:mod:`repro.perf.nptrees` (rows skip when numpy is missing).
 """
 
 import os
@@ -19,12 +23,19 @@ import pytest
 
 from repro.core.patterns import compile_pattern
 from repro.core.pipeline import Document, batch_select
+from repro.perf.nptrees import available as numpy_available
 from repro.trees.dtd import BIBLIOGRAPHY_DTD, parse_dtd
 from repro.trees.xml import make_bibliography, parse_to_tree
 from repro.unranked.dbta import evaluate_marked_query
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 SIZES = [2, 4] if SMOKE else [10, 40, 160]
+ENGINES = ["table", "numpy"]
+
+
+def _require(engine):
+    if engine == "numpy" and not numpy_available():
+        pytest.skip("numpy not installed")
 
 
 @pytest.fixture(scope="module")
@@ -66,37 +77,46 @@ def test_query_uncached_per_call(benchmark, entries):
 
     benchmark.extra_info["entries"] = entries
     benchmark.extra_info["tree_size"] = document.tree.size
+    benchmark.extra_info["engine"] = "naive"
     selected = benchmark(uncached)
     assert len(selected) == expected
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("entries", SIZES)
-def test_query_cached_fast(benchmark, entries):
+def test_query_cached_fast(benchmark, entries, engine):
     """The cached route ``Document.select`` now takes."""
+    _require(engine)
     document = Document.from_text(make_bibliography(entries, entries))
     benchmark.extra_info["entries"] = entries
     benchmark.extra_info["tree_size"] = document.tree.size
-    selected = benchmark(document.select, "//author")
+    benchmark.extra_info["engine"] = engine
+    selected = benchmark(document.select, "//author", engine)
     query = compile_pattern("//author", document.alphabet)
     assert selected == sorted(query.evaluate(document.tree))
 
 
-def test_full_pipeline_with_query(benchmark, dtd):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_full_pipeline_with_query(benchmark, dtd, engine):
     """Parse, validate, and select all authors (the intro's use case)."""
+    _require(engine)
     entries = 4 if SMOKE else 20
     text = make_bibliography(entries, entries)
 
     def pipeline():
         document = Document.from_text(text, dtd)
-        return document.select("//author")
+        return document.select("//author", engine=engine)
 
     benchmark.extra_info["entries"] = entries
+    benchmark.extra_info["engine"] = engine
     authors = benchmark(pipeline)
     assert len(authors) == entries * 2 + entries
 
 
-def test_batch_select_many_documents(benchmark, dtd):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_batch_select_many_documents(benchmark, dtd, engine):
     """One cached engine over a corpus of similar documents."""
+    _require(engine)
     count = 3 if SMOKE else 25
     entries = 2 if SMOKE else 8
     documents = [
@@ -105,7 +125,8 @@ def test_batch_select_many_documents(benchmark, dtd):
     ]
     benchmark.extra_info["documents"] = count
     benchmark.extra_info["entries_each"] = entries
-    results = benchmark(batch_select, documents, "//author")
+    benchmark.extra_info["engine"] = engine
+    results = benchmark(batch_select, documents, "//author", engine=engine)
     assert len(results) == count
     assert all(result == document.select("//author")
                for result, document in zip(results, documents))

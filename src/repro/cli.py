@@ -16,7 +16,10 @@ automaton, and prints each matched node's path and serialized subtree —
 the paper's "locating subtrees satisfying some pattern" as a shell
 tool.  With several documents, ``--jobs N`` shards them across ``N``
 worker processes (``--jobs 1`` stays entirely in-process); results are
-identical to the serial run.
+identical to the serial run.  ``--engine {naive,table,numpy}`` picks the
+per-tree evaluator — the uncached oracles, the interned-dict default,
+or the vectorized numpy kernel (which silently degrades to the default
+when numpy is not installed).
 
 ``query`` and ``decide`` accept ``--stats``: the run executes under a
 recording :mod:`repro.obs` sink and the report (counters, gauges, spans,
@@ -70,12 +73,20 @@ def _with_stats(args: argparse.Namespace, run) -> int:
     if not getattr(args, "stats", False):
         return run()
     stats = obs.Stats()
+    report_head = {}
+    if getattr(args, "engine", None) is not None:
+        report_head["engine"] = args.engine
     try:
         with obs.collecting(stats):
             with stats.span(f"cli.{args.command}"):
                 return run()
     finally:
-        json.dump(stats.report(), sys.stderr, indent=2, default=repr)
+        json.dump(
+            {**report_head, **stats.report()},
+            sys.stderr,
+            indent=2,
+            default=repr,
+        )
         print(file=sys.stderr)
 
 
@@ -98,11 +109,13 @@ def _run_query(args: argparse.Namespace) -> int:
             return 2
     if len(documents) == 1 and args.jobs in (None, 1):
         # The historical single-document path (pipeline.selects counter).
-        results = [documents[0].select(args.pattern)]
+        results = [documents[0].select(args.pattern, engine=args.engine)]
     else:
         from .core.pipeline import batch_select
 
-        results = batch_select(documents, args.pattern, jobs=args.jobs)
+        results = batch_select(
+            documents, args.pattern, jobs=args.jobs, engine=args.engine
+        )
     total = 0
     for name, document, paths in zip(args.documents, documents, results):
         if len(documents) > 1:
@@ -287,11 +300,14 @@ def _profile_document(stats: "obs.Stats", args: argparse.Namespace) -> None:
 
             corpus = Corpus([document] * args.repeat)
             corpus.select(
-                args.pattern, jobs=args.jobs, alphabet=document.alphabet
+                args.pattern,
+                jobs=args.jobs,
+                alphabet=document.alphabet,
+                engine=args.engine,
             )
         else:
             for _ in range(args.repeat):
-                document.select(args.pattern)
+                document.select(args.pattern, engine=args.engine)
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -335,6 +351,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     )
     if args.jobs is not None:
         workload["jobs"] = args.jobs
+    if args.engine is not None:
+        workload["engine"] = args.engine
     json.dump(
         {"workload": workload, **stats.report()},
         sys.stdout,
@@ -367,6 +385,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shard documents across N worker processes "
         "(1 = serial, bypasses the pool; default: serial)",
+    )
+    query.add_argument(
+        "--engine",
+        choices=["naive", "table", "numpy"],
+        default=None,
+        help="per-tree evaluator: naive (uncached oracles), table "
+        "(interned-dict default), numpy (vectorized kernel; degrades "
+        "to table without numpy)",
     )
     query.add_argument(
         "--stats",
@@ -448,6 +474,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also profile the sharded executor with N worker processes "
         "(1 = serial fast path)",
+    )
+    profile.add_argument(
+        "--engine",
+        choices=["naive", "table", "numpy"],
+        default=None,
+        help="per-tree evaluator for the --document workload "
+        "(naive/table/numpy)",
     )
     profile.add_argument(
         "--compile-cache",

@@ -111,25 +111,35 @@ class Document:
         """The labels occurring in the tree (query compilation alphabet)."""
         return tuple(sorted(self.tree.labels()))
 
-    def select(self, query: Query | str) -> list[Path]:
+    def select(
+        self, query: Query | str, engine: str | None = None
+    ) -> list[Path]:
         """Run a query (object or pattern string); document-ordered paths.
 
         Pattern strings are compiled once per (pattern, alphabet) pair —
         with the formula-level work deduplicated by the content-addressed
         compile cache of :mod:`repro.perf.compile` — and evaluated
         through the cached :mod:`repro.perf` engines, so repeated
-        selections over similar documents stay cheap.
+        selections over similar documents stay cheap.  ``engine="numpy"``
+        selects the vectorized tree kernel of :mod:`repro.perf.nptrees`,
+        ``engine="naive"`` the uncached oracles; the default is the
+        interned-dict engines.
         """
         obs.SINK.incr("pipeline.selects")
         if isinstance(query, str):
             query = _pattern_for(query, self.alphabet)
         from ..perf.batch import evaluate_one
 
-        return sorted(evaluate_one(query, self.tree))
+        return sorted(evaluate_one(query, self.tree, engine=engine))
 
-    def matches(self, query: Query | str) -> list[Tree]:
+    def matches(
+        self, query: Query | str, engine: str | None = None
+    ) -> list[Tree]:
         """The matched subtrees, in document order."""
-        return [self.tree.subtree(path) for path in self.select(query)]
+        return [
+            self.tree.subtree(path)
+            for path in self.select(query, engine=engine)
+        ]
 
     @staticmethod
     def batch_select(
@@ -156,11 +166,14 @@ class Document:
 
 
 def run_pattern(
-    text: str, pattern: str, dtd: DTD | None = None
+    text: str,
+    pattern: str,
+    dtd: DTD | None = None,
+    engine: str | None = None,
 ) -> list[Tree]:
     """One-shot convenience: parse, validate, query, return subtrees."""
     document = Document.from_text(text, dtd)
-    return document.matches(pattern)
+    return document.matches(pattern, engine=engine)
 
 
 def batch_select(
@@ -303,6 +316,7 @@ class Corpus:
         query: Query | str,
         jobs: int | None = None,
         alphabet: Sequence[str] | None = None,
+        engine: str | None = None,
     ) -> list[list[Path]]:
         """One document-ordered path list per document, in corpus order.
 
@@ -310,7 +324,9 @@ class Corpus:
         (submission-order merge; byte-identical to serial).  A pattern
         string compiles against the corpus alphabet — for a streaming
         corpus pass ``alphabet=`` explicitly (or a compiled query), since
-        the stream cannot be scanned twice.
+        the stream cannot be scanned twice.  ``engine`` selects the
+        per-tree evaluator (``"numpy"`` for the vectorized kernel) and
+        rides along to the workers when sharded.
         """
         obs.SINK.incr("pipeline.corpus_selects")
         if isinstance(query, str):
@@ -328,10 +344,10 @@ class Corpus:
         if jobs is not None and jobs != 1:
             from ..perf.parallel import parallel_map
 
-            results = parallel_map(query, trees, jobs=jobs)
+            results = parallel_map(query, trees, jobs=jobs, engine=engine)
         else:
             from ..perf.batch import _engine_call
 
-            call = _engine_call(query)
+            call = _engine_call(query, engine=engine)
             results = [call(tree) for tree in trees]
         return [sorted(paths) for paths in results]

@@ -28,7 +28,14 @@ This package makes query evaluation single-sweep and cached end-to-end:
   NBTA-emptiness and decision searches, and the exported dense programs
   the shared-memory parallel transport maps into workers.  Falls back to
   the table/bitset engines — counted in ``npkernel.fallbacks`` — whenever
-  numpy is missing.
+  numpy is missing;
+* :mod:`~repro.perf.nptrees` — the tree side of the numpy kernel: a
+  struct-of-arrays postorder document encoding with globally interned
+  subtree types, per-distinct-type bottom-up state passes (child-sequence
+  sweeps through the Cayley scan), vectorized level-order Figure 5 /
+  Lemma 5.16 propagation, and :func:`~repro.perf.nptrees
+  .export_tree_program` freezing the dense per-label classifier tables
+  for the shared-memory transport.
 
 The naive simulators in :mod:`repro.strings`, :mod:`repro.ranked` and
 :mod:`repro.unranked` remain the reference oracles; the differential
@@ -52,6 +59,14 @@ from .minimize import (
     hopcroft_minimized,
     minimize_dbta,
     moore_minimized,
+)
+from .nptrees import (
+    AttachedTreeEngine,
+    EncodedDocument,
+    NumpyMarkedEngine,
+    NumpyUnrankedEngine,
+    export_tree_program,
+    tree_kernel,
 )
 from .parallel import (
     ParallelExecutor,
@@ -80,11 +95,15 @@ from .trees import (
 )
 
 __all__ = [
+    "AttachedTreeEngine",
     "BehaviorTable",
     "CompileCache",
+    "EncodedDocument",
     "EngineRegistry",
     "Interner",
     "MarkedQueryEngine",
+    "NumpyMarkedEngine",
+    "NumpyUnrankedEngine",
     "PackedNFA",
     "ParallelExecutor",
     "ShardError",
@@ -92,6 +111,8 @@ __all__ = [
     "TransductionEngine",
     "UnrankedQueryEngine",
     "batch_evaluate",
+    "export_tree_program",
+    "tree_kernel",
     "cached",
     "canonical_key",
     "compile_cache_clear",

@@ -25,32 +25,61 @@ from collections.abc import Iterable, Sequence
 
 from .. import obs
 from ..strings.twoway import GeneralizedStringQA, StringQueryAutomaton
-from ..unranked.dbta import DeterministicUnrankedAutomaton
+from ..unranked.dbta import DeterministicUnrankedAutomaton, evaluate_marked_query
 from ..unranked.twoway import UnrankedQueryAutomaton
+from .nptrees import tree_kernel
 from .strings import _QUERY_ENGINES, _TRANSDUCERS, numpy_kernel
 from .trees import _MARKED_ENGINES, _UNRANKED_ENGINES
+
+
+def _pair_mark(label, bit):
+    """The pair marking every compiled query in this codebase uses."""
+    return (label, bit)
+
+
+def _uncached_marked(automaton):
+    """The uncached Figure 5 two-pass — the ``engine="naive"`` oracle."""
+    return lambda tree: evaluate_marked_query(automaton, tree, _pair_mark)
 
 
 def _engine_call(query, engine: str | None = None):
     """The per-input evaluation callable for a query-like object.
 
-    ``engine="numpy"`` selects the vectorized kernel for the string query
-    types (trees have no numpy engine yet and use their default path);
-    without numpy installed the choice degrades to the table engines.
+    ``engine="numpy"`` selects the vectorized kernels — the string kernel
+    of :mod:`repro.perf.npkernel` and the tree kernel of
+    :mod:`repro.perf.nptrees`; without numpy installed the choice
+    degrades to the table/dict engines behind ``npkernel.fallbacks``.
+    ``engine="naive"`` selects the uncached differential oracles (cut
+    simulation for query automata, the uncached two-pass for compiled
+    queries); ``None`` / ``"table"`` the interned-dict default engines.
     """
     if isinstance(query, StringQueryAutomaton):
+        if engine == "naive":
+            return query.evaluate
         kernel = numpy_kernel(engine)
         if kernel is not None:
             return kernel.query_engine(query).evaluate
         return _QUERY_ENGINES.get(query).evaluate
     if isinstance(query, GeneralizedStringQA):
+        if engine == "naive":
+            return query.transduce
         kernel = numpy_kernel(engine)
         if kernel is not None:
             return kernel.transducer_engine(query).transduce
         return _TRANSDUCERS.get(query).transduce
     if isinstance(query, UnrankedQueryAutomaton):
+        if engine == "naive":
+            return query.evaluate
+        kernel = tree_kernel(engine)
+        if kernel is not None:
+            return kernel.unranked_engine(query).evaluate
         return _UNRANKED_ENGINES.get(query).evaluate
     if isinstance(query, DeterministicUnrankedAutomaton):
+        if engine == "naive":
+            return _uncached_marked(query)
+        kernel = tree_kernel(engine)
+        if kernel is not None:
+            return kernel.marked_engine(query).evaluate
         return _MARKED_ENGINES.get(query).evaluate
 
     # Core Query objects: imported lazily (core.query does not depend on
@@ -60,10 +89,25 @@ def _engine_call(query, engine: str | None = None):
     if isinstance(query, MSOQuery):
         if query.engine == "naive":
             return query.evaluate
+        if engine == "naive":
+            return _uncached_marked(query.compiled())
+        kernel = tree_kernel(engine)
+        if kernel is not None:
+            return kernel.marked_engine(query.compiled()).evaluate
         return _MARKED_ENGINES.get(query.compiled()).evaluate
     if isinstance(query, CompiledQuery):
+        if engine == "naive":
+            return _uncached_marked(query.automaton)
+        kernel = tree_kernel(engine)
+        if kernel is not None:
+            return kernel.marked_engine(query.automaton).evaluate
         return _MARKED_ENGINES.get(query.automaton).evaluate
     if isinstance(query, UnrankedAutomatonQuery):
+        if engine == "naive":
+            return query.automaton.evaluate
+        kernel = tree_kernel(engine)
+        if kernel is not None:
+            return kernel.unranked_engine(query.automaton).evaluate
         return _UNRANKED_ENGINES.get(query.automaton).evaluate
     if isinstance(query, Query):
         return query.evaluate
@@ -80,7 +124,7 @@ def batch_evaluate(query, inputs: Iterable, engine: str | None = None) -> list:
     evaluated in one flat vectorized scan (offset-indexed ragged layout —
     see :mod:`repro.perf.npkernel`) rather than word by word.
     """
-    kernel = numpy_kernel(engine) if engine is not None else None
+    kernel = numpy_kernel(engine) if engine == "numpy" else None
     if kernel is not None:
         if isinstance(query, StringQueryAutomaton):
             return _count_batch(kernel.query_engine(query).evaluate_batch(list(inputs)))

@@ -208,7 +208,11 @@ def _initialize_worker(mode: str, *args) -> None:
       header plus the segment name; the worker builds an
       :class:`~repro.perf.npkernel.AttachedStringEngine` whose arrays are
       views straight into the mapped segment — nothing is unpickled or
-      re-derived per worker.
+      re-derived per worker;
+    * ``"tree_program"`` — the tree counterpart
+      (:func:`repro.perf.nptrees.export_tree_program`): the worker builds
+      an :class:`~repro.perf.nptrees.AttachedTreeEngine` whose dense
+      per-label classifier tables are views into the mapped segment.
 
     Resolving the evaluation callable builds the engine through the
     worker-local :class:`~repro.perf.registry.EngineRegistry`, so the
@@ -231,6 +235,14 @@ def _initialize_worker(mode: str, *args) -> None:
 
         _WORKER_SHM = _attach_shared_memory(name)
         _WORKER_CALL = AttachedStringEngine(
+            header, _WORKER_SHM.buf[:length]
+        )
+    elif mode == "tree_program":
+        header, name, length = args
+        from .nptrees import AttachedTreeEngine
+
+        _WORKER_SHM = _attach_shared_memory(name)
+        _WORKER_CALL = AttachedTreeEngine(
             header, _WORKER_SHM.buf[:length]
         )
     else:  # pragma: no cover - parent/worker version skew only
@@ -389,10 +401,16 @@ class ParallelExecutor:
 
         kind, payload, engine = self._spec
         program = None
+        mode = "program"
         if kind == "query" and engine == "numpy":
             from .npkernel import export_program
 
             program = export_program(payload)
+            if program is None:
+                from .nptrees import export_tree_program
+
+                program = export_tree_program(payload)
+                mode = "tree_program"
         sink.incr("parallel.transport_shm")
         if program is not None:
             header, body = program
@@ -402,7 +420,7 @@ class ParallelExecutor:
             self._shm.buf[: len(body)] = body
             sink.incr("parallel.shm_programs")
             sink.gauge_max("parallel.shm_bytes", len(body))
-            return ("program", header, self._shm.name, len(body))
+            return (mode, header, self._shm.name, len(body))
         self._shm = shared_memory.SharedMemory(
             create=True, size=max(1, len(self._payload))
         )

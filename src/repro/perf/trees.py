@@ -456,9 +456,20 @@ _MARKED_ENGINES: EngineRegistry[MarkedQueryEngine] = EngineRegistry(
 
 
 def fast_evaluate_unranked(
-    qa: UnrankedQueryAutomaton, tree: Tree
+    qa: UnrankedQueryAutomaton, tree: Tree, engine: str | None = None
 ) -> frozenset[Path]:
-    """``A(t)`` via cached behavior composition; ≡ ``qa.evaluate(tree)``."""
+    """``A(t)`` via cached behavior composition; ≡ ``qa.evaluate(tree)``.
+
+    ``engine="numpy"`` routes through the vectorized tree kernel of
+    :mod:`repro.perf.nptrees` (degrading to this dict engine when numpy
+    is missing); ``None`` / ``"table"`` select the dict engine directly.
+    """
+    if engine is not None:
+        from .nptrees import tree_kernel
+
+        kernel = tree_kernel(engine)
+        if kernel is not None:
+            return kernel.unranked_engine(qa).evaluate(tree)
     return _UNRANKED_ENGINES.get(qa).evaluate(tree)
 
 
@@ -470,12 +481,22 @@ def marked_engine(
 
 
 def fast_evaluate_marked(
-    automaton: DeterministicUnrankedAutomaton, tree: Tree
+    automaton: DeterministicUnrankedAutomaton,
+    tree: Tree,
+    engine: str | None = None,
 ) -> frozenset[Path]:
     """Marked-alphabet unary query with cross-call caching.
 
     Equivalent to ``evaluate_marked_query(automaton, tree, lambda label,
     bit: (label, bit))`` — the pair-marking every compiled query in this
-    codebase uses.
+    codebase uses.  ``engine="numpy"`` selects the vectorized tree
+    kernel of :mod:`repro.perf.nptrees` (falling back here when numpy is
+    missing); ``None`` / ``"table"`` select this dict engine.
     """
+    if engine is not None:
+        from .nptrees import tree_kernel
+
+        kernel = tree_kernel(engine)
+        if kernel is not None:
+            return kernel.marked_engine(automaton).evaluate(tree)
     return marked_engine(automaton).evaluate(tree)

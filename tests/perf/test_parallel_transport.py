@@ -148,7 +148,7 @@ class TestSharedMemoryDifferential:
         assert repr(observed) == repr(expected)
 
     def test_tree_query_spec_transport(self):
-        """Tree queries have no dense exporter: shm carries the spec."""
+        """Without ``engine="numpy"`` shm carries the query spec."""
         query = compile_pattern("//a[has(b)]", TREE_LABELS)
         corpus = _tree_corpus(4)
         expected = parallel_map(query, corpus, jobs=JOBS, transport="pickle")
@@ -160,6 +160,37 @@ class TestSharedMemoryDifferential:
         counters = stats.report()["counters"]
         assert counters["parallel.transport_shm"] == 1
         assert "parallel.shm_programs" not in counters
+
+    @pytest.mark.skipif(
+        not npkernel.available(), reason="numpy not installed"
+    )
+    def test_tree_query_program_transport(self):
+        """engine="numpy" + shm ships the frozen dense tree program, so
+        workers attach the classifier tables instead of rebuilding the
+        engine from the spec (satellite 6: no per-chunk re-encoding)."""
+        query = compile_pattern("//a[has(b)]", TREE_LABELS)
+        corpus = _tree_corpus(8)
+        oracle = parallel_map(query, corpus, jobs=JOBS, transport="pickle")
+        expected = parallel_map(
+            query, corpus, jobs=JOBS, transport="pickle", engine="numpy"
+        )
+        with obs.collecting() as stats:
+            observed = parallel_map(
+                query,
+                corpus,
+                jobs=JOBS,
+                transport="shared_memory",
+                engine="numpy",
+            )
+        assert repr(observed) == repr(expected)
+        assert observed == oracle
+        counters = stats.report()["counters"]
+        assert counters["parallel.shm_programs"] == 1
+        gauges = stats.report()["gauges"]
+        assert gauges["parallel.shm_bytes"] > 0
+        # Workers only attach buffer views: init must stay far below the
+        # cost of re-encoding the corpus per chunk.
+        assert 0 < gauges["parallel.worker_init_ns"] < 5_000_000_000
 
     def test_reused_executor_many_corpora(self):
         qa = odd_ones_query_automaton()
