@@ -1,0 +1,105 @@
+"""Experiment: the query-string frontend (`repro.lang`).
+
+Workload: representative XPath and MSO query strings over the Figures
+1–4 bibliography alphabet.  Measured: the pure frontend (tokenize +
+parse + lower, no automaton work), a cold end-to-end compile (pattern
+LRU and compile cache cleared each round), the warm dispatch a repeated
+query string takes (one LRU probe), and the frontend's overhead
+relative to evaluating a hand-built ``logic.syntax`` query — the cost
+of the string syntax once caches are warm.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the document and round counts; each
+row's ``extra_info`` records the syntax and query.
+"""
+
+import os
+
+import pytest
+
+from repro.core.pipeline import Document, pattern_cache_clear
+from repro.core.query import MSOQuery
+from repro.lang import compile_query_string, parse_mso_query, parse_xpath
+from repro.lang.xpath import lower_xpath
+from repro.logic.syntax import Label, Var
+from repro.perf.compile import compile_cache_clear
+from repro.trees.xml import make_bibliography
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+ENTRIES = 4 if SMOKE else 40
+ROUNDS = 2 if SMOKE else 5
+
+XPATH_QUERIES = [
+    "//author",
+    "//book[author and year]/title",
+    "//title/following-sibling::publisher",
+]
+MSO_QUERIES = [
+    "lab_author(x)",
+    "lab_book(x) & exists y. (child(x, y) & lab_year(y))",
+    "leaf(x) & !lab_author(x)",
+]
+
+
+@pytest.fixture(scope="module")
+def document():
+    return Document.from_text(make_bibliography(ENTRIES, ENTRIES))
+
+
+def _clear_caches():
+    pattern_cache_clear()
+    compile_cache_clear()
+
+
+@pytest.mark.parametrize("source", XPATH_QUERIES)
+def test_parse_and_lower_xpath(benchmark, source):
+    """The pure frontend: tokenize, parse, lower — no automaton work."""
+    benchmark.extra_info["syntax"] = "xpath"
+    benchmark.extra_info["query"] = source
+    alphabet = ("bibliography", "book", "author", "title", "year")
+
+    formula, var = benchmark(
+        lambda: lower_xpath(parse_xpath(source), alphabet)
+    )
+    assert formula.free_vars() == frozenset({var})
+
+
+@pytest.mark.parametrize("source", MSO_QUERIES)
+def test_parse_mso(benchmark, source):
+    """The MSO frontend: tokenize, parse, type-check the free variable."""
+    benchmark.extra_info["syntax"] = "mso"
+    benchmark.extra_info["query"] = source
+    formula, var = benchmark(parse_mso_query, source)
+    assert formula.free_vars() == frozenset({var})
+
+
+@pytest.mark.parametrize(
+    "source", ["xpath://author", "mso:lab_author(x)", "//author"]
+)
+def test_compile_cold(benchmark, document, source):
+    """String → formula → automaton with every cache cleared."""
+    benchmark.extra_info["query"] = source
+    query = benchmark.pedantic(
+        lambda: compile_query_string(source, document.alphabet).compiled(),
+        setup=_clear_caches,
+        rounds=ROUNDS,
+    )
+    assert query is not None
+
+
+@pytest.mark.parametrize("source", ["xpath://author", "mso:lab_author(x)"])
+def test_select_warm(benchmark, document, source):
+    """A repeated query string: one pattern-LRU probe, then evaluation."""
+    benchmark.extra_info["query"] = source
+    document.select(source)  # prime the LRU and the compile cache
+    selected = benchmark(document.select, source)
+    assert selected == document.select("//author")
+
+
+def test_select_handbuilt_baseline(benchmark, document):
+    """The same selection from a prebuilt query — the frontend's floor."""
+    x = Var("x")
+    query = MSOQuery(Label(x, "author"), x, document.alphabet)
+    document.select(query)
+    benchmark.extra_info["query"] = "<handbuilt Label(x, 'author')>"
+    selected = benchmark(document.select, query)
+    assert selected == document.select("//author")

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro.cli query DOCUMENT.xml "//author" [--dtd SCHEMA.dtd]
     python -m repro.cli query A.xml B.xml C.xml "//author" --jobs 4
+    python -m repro.cli query DOCUMENT.xml --xpath "//book[author and year]"
+    python -m repro.cli query DOCUMENT.xml --mso "lab_author(x)"
     python -m repro.cli validate DOCUMENT.xml SCHEMA.dtd
     python -m repro.cli tree DOCUMENT.xml            # show the abstraction
     python -m repro.cli decide emptiness SCHEMA.dtd "//author"
@@ -14,9 +16,11 @@ The query subcommand parses the document(s) (optionally validating
 them), compiles the pattern through MSO to a deterministic tree
 automaton, and prints each matched node's path and serialized subtree —
 the paper's "locating subtrees satisfying some pattern" as a shell
-tool.  With several documents, ``--jobs N`` shards them across ``N``
-worker processes (``--jobs 1`` stays entirely in-process); results are
-identical to the serial run.  ``--engine {naive,table,numpy}`` picks the
+tool.  The trailing positional is a legacy pattern; ``--xpath`` and
+``--mso`` take the :mod:`repro.lang` surface syntaxes instead (grammar
+reference: ``docs/QUERY_LANGUAGE.md``).  With several documents,
+``--jobs N`` shards them across ``N`` worker processes (``--jobs 1``
+stays entirely in-process); results are identical to the serial run.  ``--engine {naive,table,numpy}`` picks the
 per-tree evaluator — the uncached oracles, the interned-dict default,
 or the vectorized numpy kernel (which silently degrades to the default
 when numpy is not installed).
@@ -90,6 +94,15 @@ def _with_stats(args: argparse.Namespace, run) -> int:
         print(file=sys.stderr)
 
 
+def _query_flags_pattern(args: argparse.Namespace) -> str | None:
+    """The prefixed query string from ``--xpath``/``--mso``, if either given."""
+    if getattr(args, "xpath", None) is not None:
+        return "xpath:" + args.xpath
+    if getattr(args, "mso", None) is not None:
+        return "mso:" + args.mso
+    return None
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """Run a pattern query and print the matched subdocuments."""
     return _with_stats(args, lambda: _run_query(args))
@@ -100,24 +113,43 @@ def _run_query(args: argparse.Namespace) -> int:
     if args.jobs is not None and args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    pattern = _query_flags_pattern(args)
+    names = list(args.documents)
+    if pattern is None:
+        # Without --xpath/--mso the query is the trailing positional.
+        if len(names) < 2:
+            print(
+                "missing query: add a pattern after the document(s), "
+                "or pass --xpath/--mso",
+                file=sys.stderr,
+            )
+            return 2
+        pattern = names.pop()
     documents = []
-    for name in args.documents:
+    for name in names:
         try:
             documents.append(_load_document(name, args.dtd))
         except ValidationError as error:
             print(f"validation failed: {name}: {error}", file=sys.stderr)
             return 2
-    if len(documents) == 1 and args.jobs in (None, 1):
-        # The historical single-document path (pipeline.selects counter).
-        results = [documents[0].select(args.pattern, engine=args.engine)]
-    else:
-        from .core.pipeline import batch_select
+    from .core.patterns import PatternError
+    from .lang import QuerySyntaxError
 
-        results = batch_select(
-            documents, args.pattern, jobs=args.jobs, engine=args.engine
-        )
+    try:
+        if len(documents) == 1 and args.jobs in (None, 1):
+            # The historical single-document path (pipeline.selects counter).
+            results = [documents[0].select(pattern, engine=args.engine)]
+        else:
+            from .core.pipeline import batch_select
+
+            results = batch_select(
+                documents, pattern, jobs=args.jobs, engine=args.engine
+            )
+    except (PatternError, QuerySyntaxError) as error:
+        print(f"invalid query: {error}", file=sys.stderr)
+        return 2
     total = 0
-    for name, document, paths in zip(args.documents, documents, results):
+    for name, document, paths in zip(names, documents, results):
         if len(documents) > 1:
             print(f"== {name}")
         for path in paths:
@@ -319,10 +351,18 @@ def cmd_profile(args: argparse.Namespace) -> int:
     pipeline, and the packed decision procedures — every counter family
     of the metrics glossary shows up nonzero.
     """
+    from .core.patterns import PatternError
     from .decision.closure import BudgetExceededError
+    from .lang import QuerySyntaxError
 
+    flagged = _query_flags_pattern(args)
+    if flagged is not None:
+        args.pattern = flagged
     if bool(args.document) != bool(args.pattern):
-        print("--document and --pattern go together", file=sys.stderr)
+        print(
+            "--document goes with one of --pattern/--xpath/--mso",
+            file=sys.stderr,
+        )
         return 2
     if args.jobs is not None and args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
@@ -343,6 +383,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
     except BudgetExceededError as error:
         print(f"budget exceeded: {error}", file=sys.stderr)
         code = 2
+    except (PatternError, QuerySyntaxError) as error:
+        print(f"invalid query: {error}", file=sys.stderr)
+        return 2
     workload = (
         {"kind": "document", "document": args.document,
          "pattern": args.pattern, "repeat": args.repeat}
@@ -375,9 +418,22 @@ def build_parser() -> argparse.ArgumentParser:
         "documents",
         nargs="+",
         metavar="document",
-        help="path(s) to the XML document(s)",
+        help="path(s) to the XML document(s), followed by the legacy "
+        'pattern (e.g. "//author") unless --xpath/--mso is given',
     )
-    query.add_argument("pattern", help='pattern, e.g. "//author" or "/book/title"')
+    how = query.add_mutually_exclusive_group()
+    how.add_argument(
+        "--xpath",
+        metavar="QUERY",
+        help="XPath query string (see docs/QUERY_LANGUAGE.md), "
+        "instead of a trailing pattern",
+    )
+    how.add_argument(
+        "--mso",
+        metavar="FORMULA",
+        help="MSO formula with one free node variable (see "
+        "docs/QUERY_LANGUAGE.md), instead of a trailing pattern",
+    )
     query.add_argument("--dtd", help="optional DTD to validate against")
     query.add_argument(
         "--jobs",
@@ -452,8 +508,19 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--document", help="XML document to profile (default: built-in suite)"
     )
-    profile.add_argument(
+    workload = profile.add_mutually_exclusive_group()
+    workload.add_argument(
         "--pattern", help="pattern to select repeatedly (with --document)"
+    )
+    workload.add_argument(
+        "--xpath",
+        metavar="QUERY",
+        help="XPath query to select repeatedly (with --document)",
+    )
+    workload.add_argument(
+        "--mso",
+        metavar="FORMULA",
+        help="MSO query to select repeatedly (with --document)",
     )
     profile.add_argument("--dtd", help="optional DTD for --document")
     profile.add_argument(

@@ -16,7 +16,6 @@ from .. import obs
 from ..trees.dtd import DTD
 from ..trees.tree import Path, Tree
 from ..trees.xml import XMLElement, iter_corpus, parse_document, to_tree
-from .patterns import compile_pattern
 from .query import Query
 
 
@@ -26,7 +25,13 @@ class ValidationError(ValueError):
 
 @lru_cache(maxsize=256)
 def cached_pattern(pattern: str, alphabet: tuple) -> Query:
-    """``compile_pattern`` memoized on (pattern, alphabet).
+    """Query-string compilation memoized on (pattern, alphabet).
+
+    Strings are dispatched by prefix through
+    :func:`repro.lang.compile_query_string`: ``"xpath:..."`` parses the
+    XPath fragment, ``"mso:..."`` the MSO formula syntax (both defined
+    in ``docs/QUERY_LANGUAGE.md``), and anything else is the legacy
+    :func:`repro.core.patterns.compile_pattern` language, unchanged.
 
     The returned query object is shared, so its compiled marked-alphabet
     automaton — and the :mod:`repro.perf` engine keyed on it — survive
@@ -45,7 +50,9 @@ def cached_pattern(pattern: str, alphabet: tuple) -> Query:
     ``caches["pipeline.cached_pattern"]`` in every ``obs`` report
     (alongside ``caches["perf.compile_cache"]``).
     """
-    return compile_pattern(pattern, alphabet)
+    from ..lang import compile_query_string
+
+    return compile_query_string(pattern, alphabet)
 
 
 def pattern_cache_info() -> dict:
@@ -114,9 +121,12 @@ class Document:
     def select(
         self, query: Query | str, engine: str | None = None
     ) -> list[Path]:
-        """Run a query (object or pattern string); document-ordered paths.
+        """Run a query (object or query string); document-ordered paths.
 
-        Pattern strings are compiled once per (pattern, alphabet) pair —
+        Strings starting with ``"xpath:"`` or ``"mso:"`` use the
+        :mod:`repro.lang` frontend (see ``docs/QUERY_LANGUAGE.md``);
+        other strings are legacy :mod:`repro.core.patterns` patterns.
+        Query strings are compiled once per (pattern, alphabet) pair —
         with the formula-level work deduplicated by the content-addressed
         compile cache of :mod:`repro.perf.compile` — and evaluated
         through the cached :mod:`repro.perf` engines, so repeated
@@ -126,6 +136,9 @@ class Document:
         interned-dict engines.
         """
         obs.SINK.incr("pipeline.selects")
+        from ..perf.registry import validate_engine
+
+        validate_engine(engine)
         if isinstance(query, str):
             query = _pattern_for(query, self.alphabet)
         from ..perf.batch import evaluate_one
@@ -197,6 +210,9 @@ def batch_select(
     """
     documents = list(documents)
     obs.SINK.incr("pipeline.batch_selects")
+    from ..perf.registry import validate_engine
+
+    validate_engine(engine)
     if isinstance(query, str):
         labels: set = set()
         for document in documents:
@@ -321,14 +337,18 @@ class Corpus:
         """One document-ordered path list per document, in corpus order.
 
         ``jobs`` > 1 shards the documents across worker processes
-        (submission-order merge; byte-identical to serial).  A pattern
-        string compiles against the corpus alphabet — for a streaming
+        (submission-order merge; byte-identical to serial).  A query
+        string (``"xpath:"`` / ``"mso:"`` prefixed, or a legacy
+        pattern) compiles against the corpus alphabet — for a streaming
         corpus pass ``alphabet=`` explicitly (or a compiled query), since
         the stream cannot be scanned twice.  ``engine`` selects the
         per-tree evaluator (``"numpy"`` for the vectorized kernel) and
         rides along to the workers when sharded.
         """
         obs.SINK.incr("pipeline.corpus_selects")
+        from ..perf.registry import validate_engine
+
+        validate_engine(engine)
         if isinstance(query, str):
             if alphabet is None:
                 if self.streaming:

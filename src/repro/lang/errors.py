@@ -1,0 +1,60 @@
+"""Source-located syntax errors for the query-string frontend.
+
+Every failure in the frontend — an unexpected character while
+tokenizing, a malformed construct while parsing, or an invalid formula
+discovered while lowering (wrong arity, a set variable where a node
+variable is required, the wrong number of free variables) — raises one
+exception type, :class:`QuerySyntaxError`, carrying the offending query
+string and the exact character offset of the problem.  The rendered
+message shows the source line with a caret under the offset::
+
+    unknown axis 'descendent' at offset 2
+      //descendent::a
+        ^
+
+Offsets are 0-based character offsets into the query string as handed
+to the parser (for pure-ASCII queries they coincide with byte offsets);
+``line`` and ``column`` are derived 1-based coordinates for multi-line
+MSO formulas.
+"""
+
+from __future__ import annotations
+
+from .. import obs
+
+
+class QuerySyntaxError(ValueError):
+    """A query string failed to tokenize, parse, or lower.
+
+    Attributes: ``message`` (the bare description), ``source`` (the full
+    query string), ``offset`` (0-based character offset of the problem),
+    and the derived 1-based ``line`` / ``column``.
+    """
+
+    def __init__(self, message: str, source: str = "", offset: int = 0) -> None:
+        self.message = message
+        self.source = source
+        self.offset = max(0, min(offset, len(source)))
+        obs.SINK.incr("lang.syntax_errors")
+        super().__init__(self._render())
+
+    @property
+    def line(self) -> int:
+        """1-based line number of the offset within the source."""
+        return self.source.count("\n", 0, self.offset) + 1
+
+    @property
+    def column(self) -> int:
+        """1-based column number of the offset within its line."""
+        start = self.source.rfind("\n", 0, self.offset) + 1
+        return self.offset - start + 1
+
+    def _render(self) -> str:
+        if not self.source:
+            return self.message
+        head = f"{self.message} at offset {self.offset}"
+        start = self.source.rfind("\n", 0, self.offset) + 1
+        end = self.source.find("\n", start)
+        line = self.source[start:] if end < 0 else self.source[start:end]
+        caret = " " * (self.offset - start) + "^"
+        return f"{head}\n  {line}\n  {caret}"

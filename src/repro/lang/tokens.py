@@ -1,0 +1,135 @@
+"""A table-driven tokenizer shared by the XPath and MSO parsers.
+
+Each surface syntax supplies a *spec* — an ordered list of
+``(kind, compiled regex)`` pairs — and :func:`tokenize` produces the
+token stream, skipping whitespace, raising a located
+:class:`~repro.lang.errors.QuerySyntaxError` on any character no rule
+matches, and appending a final ``EOF`` token so parsers never index past
+the end.  :class:`TokenStream` adds the cursor discipline the
+recursive-descent parsers share: ``peek``/``advance``/``expect`` and a
+bounded nesting counter (:attr:`TokenStream.MAX_DEPTH`) so maliciously
+nested queries raise a clean syntax error instead of blowing the Python
+recursion limit.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .. import obs
+from .errors import QuerySyntaxError
+
+#: Token kind marking the end of the query string.
+EOF = "eof"
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme: its kind, verbatim text, and character offset."""
+
+    kind: str
+    text: str
+    offset: int
+
+    def describe(self) -> str:
+        """Human rendering for error messages: ``'text'`` or end of query."""
+        return "end of query" if self.kind == EOF else f"{self.text!r}"
+
+
+def tokenize(source: str, spec: list[tuple[str, re.Pattern]]) -> list[Token]:
+    """The token list of ``source`` under ``spec`` (ordered, first match wins).
+
+    Whitespace separates tokens and is never emitted; a character no rule
+    matches raises a located :class:`QuerySyntaxError`.  The returned
+    list always ends with an ``EOF`` token at ``len(source)``.
+    """
+    tokens: list[Token] = []
+    position = 0
+    length = len(source)
+    while position < length:
+        space = _WHITESPACE.match(source, position)
+        if space:
+            position = space.end()
+            continue
+        for kind, pattern in spec:
+            match = pattern.match(source, position)
+            if match:
+                tokens.append(Token(kind, match.group(), position))
+                position = match.end()
+                break
+        else:
+            raise QuerySyntaxError(
+                f"unexpected character {source[position]!r}", source, position
+            )
+    tokens.append(Token(EOF, "", length))
+    sink = obs.SINK
+    if sink.enabled:
+        sink.incr("lang.tokens", len(tokens))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list, with the shared parser helpers."""
+
+    #: Nesting levels (brackets, parentheses, quantifier bodies) beyond
+    #: which parsing aborts with a syntax error rather than recursing on.
+    MAX_DEPTH = 100
+
+    def __init__(self, source: str, spec: list[tuple[str, re.Pattern]]) -> None:
+        self.source = source
+        self.tokens = tokenize(source, spec)
+        self.index = 0
+        self.depth = 0
+
+    # -- cursor -----------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        """The token under the cursor (``EOF`` at the end, never past it)."""
+        return self.tokens[self.index]
+
+    def peek(self, kind: str, text: str | None = None) -> bool:
+        """Does the current token have this kind (and text, if given)?"""
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        token = self.current
+        if token.kind != EOF:
+            self.index += 1
+        return token
+
+    def take(self, kind: str, text: str | None = None) -> Token | None:
+        """Consume and return the current token iff it matches, else None."""
+        if self.peek(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, what: str) -> Token:
+        """Consume a token of ``kind`` or fail with ``expected {what}``."""
+        if not self.peek(kind):
+            self.error(f"expected {what}, found {self.current.describe()}")
+        return self.advance()
+
+    def error(self, message: str, offset: int | None = None) -> None:
+        """Raise a located syntax error (default: at the current token)."""
+        at = self.current.offset if offset is None else offset
+        raise QuerySyntaxError(message, self.source, at)
+
+    # -- nesting guard ----------------------------------------------------
+
+    def enter(self) -> None:
+        """Count one nesting level; abort past :attr:`MAX_DEPTH`."""
+        self.depth += 1
+        if self.depth > self.MAX_DEPTH:
+            self.error(
+                f"query nesting exceeds the depth limit ({self.MAX_DEPTH})"
+            )
+
+    def leave(self) -> None:
+        """Close one nesting level."""
+        self.depth -= 1

@@ -28,6 +28,7 @@ from ..strings.twoway import GeneralizedStringQA, StringQueryAutomaton
 from ..unranked.dbta import DeterministicUnrankedAutomaton, evaluate_marked_query
 from ..unranked.twoway import UnrankedQueryAutomaton
 from .nptrees import tree_kernel
+from .registry import validate_engine
 from .strings import _QUERY_ENGINES, _TRANSDUCERS, numpy_kernel
 from .trees import _MARKED_ENGINES, _UNRANKED_ENGINES
 
@@ -52,7 +53,10 @@ def _engine_call(query, engine: str | None = None):
     ``engine="naive"`` selects the uncached differential oracles (cut
     simulation for query automata, the uncached two-pass for compiled
     queries); ``None`` / ``"table"`` the interned-dict default engines.
+    Any other name raises the uniform
+    :func:`repro.perf.registry.unknown_engine` ``ValueError``.
     """
+    validate_engine(engine)
     if isinstance(query, StringQueryAutomaton):
         if engine == "naive":
             return query.evaluate

@@ -44,7 +44,7 @@ from ..trees.tree import Path, Tree
 from ..unranked.dbta import DeterministicUnrankedAutomaton
 from ..unranked.twoway import UnrankedQueryAutomaton
 from .npkernel import KernelOverflowError, _MonoidOverflow, _MonoidScan
-from .registry import EngineRegistry
+from .registry import EngineRegistry, unknown_engine
 from .trees import _MARKED_ENGINES, _UNRANKED_ENGINES
 
 try:  # pragma: no cover - exercised via the availability tests
@@ -85,7 +85,7 @@ def tree_kernel(engine: str | None):
     if engine is None or engine == "table":
         return None
     if engine != "numpy":
-        raise ValueError(f"unknown tree engine {engine!r}")
+        raise unknown_engine(engine, ("table", "numpy"))
     if available():
         return sys.modules[__name__]
     obs.SINK.incr("npkernel.fallbacks")

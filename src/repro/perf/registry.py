@@ -26,6 +26,34 @@ Engine = TypeVar("Engine")
 #: Default number of engines retained per registry.
 DEFAULT_CAPACITY = 128
 
+#: Every ``engine=`` name the evaluation entry points accept
+#: (``None`` always means the ``"table"`` default).
+VALID_ENGINES = ("naive", "table", "numpy")
+
+
+def unknown_engine(engine: object, valid: tuple = VALID_ENGINES) -> ValueError:
+    """The uniform error for an unrecognized ``engine=`` choice.
+
+    Every dispatcher raises this one format — ``unknown engine <name>:
+    valid engines are ...`` — so callers see the same message whether
+    the bad name reaches :func:`repro.perf.batch._engine_call`, the
+    kernel resolvers, or a :mod:`repro.core.pipeline` entry point.
+    """
+    choices = ", ".join(repr(name) for name in valid)
+    return ValueError(f"unknown engine {engine!r}: valid engines are {choices}")
+
+
+def validate_engine(engine: str | None) -> str | None:
+    """Check an ``engine=`` choice up front; returns it unchanged.
+
+    Accepts ``None`` and :data:`VALID_ENGINES`; anything else raises the
+    :func:`unknown_engine` ``ValueError``.  Entry points that shard work
+    to subprocesses call this so a typo fails fast in the parent.
+    """
+    if engine is not None and engine not in VALID_ENGINES:
+        raise unknown_engine(engine)
+    return engine
+
 
 class EngineRegistry(Generic[Engine]):
     """``get(obj)`` returns the engine built for ``obj``, caching by identity."""

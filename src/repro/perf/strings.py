@@ -30,7 +30,7 @@ from ..strings.twoway import (
     as_symbol_sequence,
 )
 from ..strings.dfa import AutomatonError
-from .registry import EngineRegistry
+from .registry import EngineRegistry, unknown_engine
 from .table import BehaviorTable
 
 State = Hashable
@@ -184,7 +184,7 @@ def numpy_kernel(engine: str | None):
     if engine is None or engine == "table":
         return None
     if engine != "numpy":
-        raise ValueError(f"unknown string engine {engine!r}")
+        raise unknown_engine(engine, ("table", "numpy"))
     from . import npkernel
 
     if npkernel.available():

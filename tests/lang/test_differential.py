@@ -1,0 +1,398 @@
+"""Seeded differential suite: parsed queries ≡ hand-built AST twins.
+
+Every query builds a random *spec*, renders it to a query string, and
+independently lowers the spec to a hand-assembled
+:mod:`repro.logic.syntax` formula — the twin.  The twin construction is
+deliberately different in style from the production lowering (forward
+node-chain with ``Equal`` for ``self`` steps, rather than the
+reverse-walk with self-step normalization), so structural bugs in either
+cannot cancel out.  The parsed query and the twin must select identical
+node sets under ``engine="naive"``, ``"table"``, and ``"numpy"``, and
+must agree with the direct logic-semantics oracle
+(:func:`repro.logic.semantics.tree_query`).
+
+A *case* is one (query, tree) pair; each query runs over
+:data:`TREES_PER_QUERY` trees, and over 200 seeded cases run in total
+(see ``test_case_count_meets_the_floor``).  Specs are filtered to
+formula *width* ≤ 2 — the maximum number of simultaneously-free
+variables, which the marked-alphabet construction is exponential in —
+to keep compilation affordable; the width-3+ regions of the grammar are
+covered semantically by the hand-picked selections in the parser tests.
+"""
+
+import random
+
+import pytest
+
+from repro.core.query import MSOQuery
+from repro.lang import compile_query_string
+from repro.logic.semantics import tree_query
+from repro.logic.syntax import (
+    And,
+    Descendant,
+    Edge,
+    Equal,
+    Exists,
+    ExistsSet,
+    Forall,
+    ForallSet,
+    Formula,
+    Label,
+    Less,
+    Member,
+    Not,
+    Or,
+    SetVar,
+    Var,
+    false_formula,
+    fresh_var,
+    root,
+)
+from repro.perf.batch import evaluate_one
+from repro.trees.tree import Tree
+
+SEED = 20260807
+XPATH_QUERIES = 55
+MSO_QUERIES = 50
+TREES_PER_QUERY = 2
+ENGINES = ("naive", "table", "numpy")
+ALPHABET = ("a", "b", "c")
+
+TREES = [
+    Tree.parse(text)
+    for text in (
+        "a(b, c)",
+        "a(b(c), a(b), b)",
+        "b(a(a, b), c)",
+        "c(c(c), b)",
+        "a(a(b, c), c(a), b)",
+        "b",
+    )
+]
+
+X = Var("x")
+
+
+def _width(formula: Formula) -> int:
+    """Max simultaneously-free variables over all subformulas."""
+    widest = len(formula.free_vars()) + len(formula.free_set_vars())
+    for name in ("inner", "left", "right"):
+        child = getattr(formula, name, None)
+        if isinstance(child, Formula):
+            widest = max(widest, _width(child))
+    return widest
+
+
+# ----------------------------------------------------------------------
+# XPath specs: generation, rendering, twin lowering
+# ----------------------------------------------------------------------
+
+# A spec is a list of (axis, test, predicates); a predicate is
+# ("path", [spec steps]) | ("not", pred) | ("and"|"or", pred, pred).
+
+_CHAIN_AXES = ("child", "descendant", "parent", "self", "following-sibling")
+
+
+def _random_pred(rng, depth):
+    kind = rng.random()
+    if depth <= 0 or kind < 0.6:
+        step = (rng.choice(_CHAIN_AXES), rng.choice(ALPHABET + ("*",)), [])
+        return ("path", [step])
+    if kind < 0.75:
+        return ("not", _random_pred(rng, depth - 1))
+    op = rng.choice(["and", "or"])
+    return (op, _random_pred(rng, depth - 1), _random_pred(rng, depth - 1))
+
+
+def random_xpath_spec(rng):
+    """1–2 steps, ≤1 predicate; the width filter keeps compiles cheap."""
+    first_axis = rng.choice(
+        ["child", "descendant", "descendant", "descendant", "parent"]
+    )
+    steps = [(first_axis, rng.choice(ALPHABET + ("*",)), [])]
+    if rng.random() < 0.6:
+        steps.append(
+            (rng.choice(_CHAIN_AXES), rng.choice(ALPHABET + ("*",)), [])
+        )
+    if rng.random() < 0.55:
+        index = rng.randrange(len(steps))
+        axis, test, _ = steps[index]
+        steps[index] = (axis, test, [_random_pred(rng, 1)])
+    return steps
+
+
+def _render_pred(pred):
+    kind = pred[0]
+    if kind == "path":
+        parts = []
+        for index, (axis, test, preds) in enumerate(pred[1]):
+            assert not preds
+            if index == 0:
+                parts.append(test if axis == "child" else f"{axis}::{test}")
+            elif axis == "child":
+                parts.append(f"/{test}")
+            elif axis == "descendant":
+                parts.append(f"//{test}")
+            else:
+                parts.append(f"/{axis}::{test}")
+        return "".join(parts)
+    if kind == "not":
+        return f"not({_render_pred(pred[1])})"
+    return f"({_render_pred(pred[1])} {kind} {_render_pred(pred[2])})"
+
+
+def render_xpath(steps):
+    parts = []
+    for index, (axis, test, preds) in enumerate(steps):
+        if axis == "child":
+            parts.append(f"/{test}")
+        elif axis == "descendant":
+            parts.append(f"//{test}")
+        elif axis == "self" and test == "*" and not preds and index > 0:
+            parts.append("/.")
+        elif axis == "parent" and test == "*" and not preds and index > 0:
+            parts.append("/..")
+        else:
+            parts.append(f"/{axis}::{test}")
+        parts.extend(f"[{_render_pred(pred)}]" for pred in preds)
+    return "".join(parts)
+
+
+def _twin_link(axis, prev, node):
+    if axis == "child":
+        return Edge(prev, node)
+    if axis == "descendant":
+        return Descendant(prev, node)
+    if axis == "self":
+        return Equal(prev, node)
+    if axis == "parent":
+        return Edge(node, prev)
+    if axis == "ancestor":
+        return Descendant(node, prev)
+    if axis == "following-sibling":
+        return Less(prev, node)
+    assert axis == "preceding-sibling"
+    return Less(node, prev)
+
+
+def _twin_constraints(node, test, preds):
+    conjuncts = []
+    if test != "*":
+        conjuncts.append(Label(node, test))
+    conjuncts.extend(_twin_pred(node, pred) for pred in preds)
+    return conjuncts
+
+
+def _twin_pred(node, pred):
+    kind = pred[0]
+    if kind == "not":
+        return Not(_twin_pred(node, pred[1]))
+    if kind == "and":
+        return And(_twin_pred(node, pred[1]), _twin_pred(node, pred[2]))
+    if kind == "or":
+        return Or(_twin_pred(node, pred[1]), _twin_pred(node, pred[2]))
+    steps = pred[1]
+    nodes = [fresh_var("q") for _ in steps]
+    conjuncts = []
+    prev = node
+    for (axis, test, preds), step_node in zip(steps, nodes):
+        conjuncts.append(_twin_link(axis, prev, step_node))
+        conjuncts.extend(_twin_constraints(step_node, test, preds))
+        prev = step_node
+    formula = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        formula = And(formula, conjunct)
+    for step_node in reversed(nodes):
+        formula = Exists(step_node, formula)
+    return formula
+
+
+def twin_xpath(steps):
+    """Forward node-chain lowering of an absolute path spec to φ(x)."""
+    first_axis = steps[0][0]
+    if first_axis not in ("child", "descendant", "self"):
+        return And(false_formula(), Equal(X, X))
+    nodes = [fresh_var("d") for _ in steps[:-1]] + [X]
+    conjuncts = []
+    prev = None
+    for index, ((axis, test, preds), node) in enumerate(zip(steps, nodes)):
+        if index == 0:
+            # The virtual document root: child/self pin the node to the
+            # root element, descendant reaches every node.
+            if axis in ("child", "self"):
+                conjuncts.append(root(node))
+        else:
+            conjuncts.append(_twin_link(axis, prev, node))
+        conjuncts.extend(_twin_constraints(node, test, preds))
+        prev = node
+    formula = Equal(X, X)
+    for conjunct in conjuncts:
+        formula = And(formula, conjunct)
+    for node in reversed(nodes[:-1]):
+        formula = Exists(node, formula)
+    return formula
+
+
+# ----------------------------------------------------------------------
+# MSO specs: generation and rendering
+# ----------------------------------------------------------------------
+
+
+def _random_mso(rng, scope, sets, depth, counter):
+    """A random core formula over the variables in scope."""
+    if depth <= 0 or rng.random() < 0.35:
+        choice = rng.random()
+        var = rng.choice(scope)
+        if sets and choice < 0.2:
+            return Member(var, rng.choice(sets))
+        if choice < 0.45:
+            return Label(var, rng.choice(ALPHABET))
+        other = rng.choice(scope)
+        ctor = rng.choice([Edge, Descendant, Less, Equal])
+        return ctor(var, other)
+    choice = rng.random()
+    if choice < 0.2:
+        return Not(_random_mso(rng, scope, sets, depth - 1, counter))
+    if choice < 0.65:
+        ctor = rng.choice([And, Or])
+        return ctor(
+            _random_mso(rng, scope, sets, depth - 1, counter),
+            _random_mso(rng, scope, sets, depth - 1, counter),
+        )
+    counter[0] += 1
+    if rng.random() < 0.25:
+        set_var = SetVar(f"S{counter[0]}")
+        ctor = rng.choice([ExistsSet, ForallSet])
+        return ctor(
+            set_var,
+            _random_mso(rng, scope, sets + [set_var], depth - 1, counter),
+        )
+    var = Var(f"y{counter[0]}")
+    ctor = rng.choice([Exists, Forall])
+    return ctor(var, _random_mso(rng, scope + [var], sets, depth - 1, counter))
+
+
+def random_mso_spec(rng):
+    """φ(x) = Label(x, σ) ∧ body — guarantees x is the one free variable."""
+    body = _random_mso(rng, [X], [], 3, [0])
+    return And(Label(X, rng.choice(ALPHABET)), body)
+
+
+def render_mso(formula):
+    """Fully parenthesized surface rendering of a core formula."""
+    if isinstance(formula, Label):
+        return f"lab_{formula.label}({formula.var.name})"
+    if isinstance(formula, Edge):
+        return f"child({formula.parent.name}, {formula.child.name})"
+    if isinstance(formula, Descendant):
+        return f"desc({formula.ancestor.name}, {formula.descendant.name})"
+    if isinstance(formula, Less):
+        return f"({formula.left.name} < {formula.right.name})"
+    if isinstance(formula, Equal):
+        return f"({formula.left.name} = {formula.right.name})"
+    if isinstance(formula, Member):
+        return f"({formula.var.name} in {formula.set_var.name})"
+    if isinstance(formula, Not):
+        return f"!({render_mso(formula.inner)})"
+    if isinstance(formula, And):
+        return f"({render_mso(formula.left)} & {render_mso(formula.right)})"
+    if isinstance(formula, Or):
+        return f"({render_mso(formula.left)} | {render_mso(formula.right)})"
+    if isinstance(formula, (Exists, Forall)):
+        word = "exists" if isinstance(formula, Exists) else "forall"
+        # The outer parens bound the quantifier's maximal-right scope.
+        return f"({word} {formula.var.name}. {render_mso(formula.inner)})"
+    word = "exists" if isinstance(formula, ExistsSet) else "forall"
+    return f"({word} {formula.set_var.name}. {render_mso(formula.inner)})"
+
+
+# ----------------------------------------------------------------------
+# The differential driver
+# ----------------------------------------------------------------------
+
+
+def _tree_picks(rng):
+    return tuple(
+        rng.randrange(len(TREES)) for _ in range(TREES_PER_QUERY)
+    )
+
+
+def _xpath_queries():
+    rng = random.Random(SEED)
+    queries = []
+    while len(queries) < XPATH_QUERIES:
+        spec = random_xpath_spec(rng)
+        twin = twin_xpath(spec)
+        if _width(twin) > 2 or twin.quantifier_depth() > 4:
+            continue  # wide formulas make the automaton compile explode
+        queries.append((render_xpath(spec), twin, _tree_picks(rng)))
+    return queries
+
+
+def _mso_queries():
+    rng = random.Random(SEED + 1)
+    queries = []
+    while len(queries) < MSO_QUERIES:
+        twin = random_mso_spec(rng)
+        if _width(twin) > 2 or twin.quantifier_depth() > 4:
+            continue
+        queries.append((render_mso(twin), twin, _tree_picks(rng)))
+    return queries
+
+
+_XPATH = _xpath_queries()
+_MSO = _mso_queries()
+
+
+def _assert_differential(source, twin, tree_indices):
+    parsed = compile_query_string(source, ALPHABET)
+    twin_query = MSOQuery(twin, X, ALPHABET)
+    for index in tree_indices:
+        tree = TREES[index]
+        oracle = tree_query(tree, twin, X)
+        for engine in ENGINES:
+            got = evaluate_one(parsed, tree, engine=engine)
+            want = evaluate_one(twin_query, tree, engine=engine)
+            assert got == want, (
+                f"{source!r} diverges from its twin under engine={engine!r} "
+                f"on tree {index}"
+            )
+            assert got == oracle, (
+                f"{source!r} diverges from the logic oracle under "
+                f"engine={engine!r} on tree {index}"
+            )
+
+
+class TestXPathDifferential:
+    @pytest.mark.parametrize(
+        "source, twin, tree_indices",
+        _XPATH,
+        ids=[f"x{index:03d}" for index in range(len(_XPATH))],
+    )
+    def test_parsed_equals_twin(self, source, twin, tree_indices):
+        _assert_differential("xpath:" + source, twin, tree_indices)
+
+
+class TestMSODifferential:
+    @pytest.mark.parametrize(
+        "source, twin, tree_indices",
+        _MSO,
+        ids=[f"m{index:03d}" for index in range(len(_MSO))],
+    )
+    def test_parsed_equals_twin(self, source, twin, tree_indices):
+        _assert_differential("mso:" + source, twin, tree_indices)
+
+    @pytest.mark.parametrize(
+        "source, twin, tree_indices",
+        _MSO[:25],
+        ids=[f"s{index:03d}" for index in range(25)],
+    )
+    def test_parsed_is_structurally_the_twin(self, source, twin, tree_indices):
+        from repro.lang import parse_mso
+
+        assert parse_mso(source) == twin
+
+
+def test_case_count_meets_the_floor():
+    cases = (len(_XPATH) + len(_MSO)) * TREES_PER_QUERY
+    assert cases >= 200

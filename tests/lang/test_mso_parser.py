@@ -1,0 +1,177 @@
+"""The MSO surface syntax: parsing, typing rules, and error locations."""
+
+import pytest
+
+from repro.lang import QuerySyntaxError, mso_query, parse_mso, parse_mso_query
+from repro.logic.syntax import (
+    And,
+    Descendant,
+    Edge,
+    Equal,
+    Exists,
+    ExistsSet,
+    Forall,
+    Implies,
+    Label,
+    Less,
+    Member,
+    Not,
+    Or,
+    SetVar,
+    Var,
+)
+from repro.trees.tree import Tree
+
+TREE = Tree.parse("a(b(c), a(b), b)")
+ALPHABET = ("a", "b", "c")
+
+x, y = Var("x"), Var("y")
+X = SetVar("X")
+
+
+def run(source):
+    return sorted(mso_query(source, ALPHABET).evaluate(TREE))
+
+
+class TestParsing:
+    def test_atoms(self):
+        assert parse_mso("lab_a(x)") == Label(x, "a")
+        assert parse_mso("child(x, y)") == Edge(x, y)
+        assert parse_mso("desc(x, y)") == Descendant(x, y)
+        assert parse_mso("x < y") == Less(x, y)
+        assert parse_mso("x = y") == Equal(x, y)
+        assert parse_mso("x != y") == Not(Equal(x, y))
+        assert parse_mso("x in X") == Member(x, X)
+
+    def test_precedence(self):
+        formula = parse_mso("lab_a(x) | lab_b(x) & !lab_c(x) -> lab_a(x)")
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.left, Or)
+        assert isinstance(formula.left.right, And)
+        assert isinstance(formula.left.right.right, Not)
+
+    def test_implies_is_right_associative(self):
+        formula = parse_mso("lab_a(x) -> lab_b(x) -> lab_c(x)")
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.right, Implies)
+
+    def test_quantifier_case_picks_the_kind(self):
+        fo = parse_mso("exists y. child(y, x)")
+        assert fo == Exists(y, Edge(y, x))
+        so = parse_mso("exists X. x in X")
+        assert so == ExistsSet(X, Member(x, X))
+
+    def test_quantifier_scope_extends_maximally_right(self):
+        formula = parse_mso("lab_a(x) & forall y. child(x, y) -> lab_b(y)")
+        assert isinstance(formula, And)
+        assert formula.right == Forall(y, Implies(Edge(x, y), Label(y, "b")))
+
+    def test_parentheses_bound_quantifier_scope(self):
+        formula = parse_mso("(exists y. child(x, y)) & lab_a(x)")
+        assert formula == And(Exists(y, Edge(x, y)), Label(x, "a"))
+
+    def test_derived_predicates_expand(self):
+        for source in ("root(x)", "leaf(x)", "first(x)", "last(x)"):
+            formula = parse_mso(source)
+            assert formula.free_vars() == frozenset({x})
+        formula = parse_mso("next_sibling(x, y)")
+        assert formula.free_vars() == frozenset({x, y})
+
+    def test_multiline_formulas_parse(self):
+        formula = parse_mso("lab_a(x) &\n  exists y.\n    child(x, y)")
+        assert formula == And(Label(x, "a"), Exists(y, Edge(x, y)))
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", ["", "  ", " \n "])
+    def test_empty_query(self, source):
+        with pytest.raises(QuerySyntaxError, match="empty query"):
+            parse_mso(source)
+
+    @pytest.mark.parametrize(
+        "source, offset, fragment",
+        [
+            ("lab_a(x) &", 10, "expected an atom"),
+            ("child(x)", 7, "expected ','"),
+            ("frob(x)", 0, "unknown predicate 'frob'"),
+            ("lab_(x)", 0, "'lab_' needs a label"),
+            ("exists x lab_a(x)", 9, "expected '\\.'"),
+            ("exists in. lab_a(x)", 7, "keyword"),
+            ("lab_a(X)", 6, "set variable"),
+            ("x in y", 5, "not a set variable"),
+            ("x lab_a", 2, "expected a relation"),
+            ("(lab_a(x)", 0, "unbalanced '\\('"),
+            ("(lab_a(x) | lab_b(x)]", 20, "unexpected character '\\]'"),
+            ("lab_a(x) @", 9, "unexpected character '@'"),
+        ],
+    )
+    def test_offsets_are_exact(self, source, offset, fragment):
+        with pytest.raises(QuerySyntaxError, match=fragment) as excinfo:
+            parse_mso(source)
+        assert excinfo.value.offset == offset
+
+    def test_line_and_column_on_multiline_sources(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_mso("lab_a(x) &\n  frob(y)")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 3
+
+    def test_deep_negation_is_bounded(self):
+        with pytest.raises(QuerySyntaxError, match="depth limit"):
+            parse_mso("!" * 300 + "lab_a(x)")
+
+    def test_deep_parens_are_bounded(self):
+        with pytest.raises(QuerySyntaxError, match="depth limit"):
+            parse_mso("(" * 300 + "lab_a(x)" + ")" * 300)
+
+    def test_deep_quantifiers_are_bounded(self):
+        source = " ".join(f"exists y{i}." for i in range(300)) + " lab_a(x)"
+        with pytest.raises(QuerySyntaxError, match="depth limit"):
+            parse_mso(source)
+
+
+class TestQueryTyping:
+    def test_one_free_variable_is_the_selected_node(self):
+        formula, var = parse_mso_query("lab_b(x) & exists y. child(y, x)")
+        assert var == x
+        assert formula.free_vars() == frozenset({x})
+
+    def test_sentences_are_rejected(self):
+        with pytest.raises(QuerySyntaxError, match="sentence"):
+            parse_mso_query("forall x. lab_a(x)")
+
+    def test_two_free_variables_are_rejected_at_the_second(self):
+        source = "lab_a(x) & lab_b(y)"
+        with pytest.raises(QuerySyntaxError, match="found 2: x, y") as excinfo:
+            parse_mso_query(source)
+        assert excinfo.value.offset == source.index("y")
+
+    def test_free_set_variables_are_rejected_where_first_used(self):
+        source = "x in X"
+        with pytest.raises(QuerySyntaxError, match="free set variable 'X'") as excinfo:
+            parse_mso_query(source)
+        assert excinfo.value.offset == source.index("X")
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("lab_c(x)", [(0, 0)]),
+            ("lab_b(x) & !exists y. child(x, y)", [(1, 0), (2,)]),
+            ("root(x)", [()]),
+            ("leaf(x)", [(0, 0), (1, 0), (2,)]),
+            ("exists y. child(x, y) & lab_c(y)", [(0,)]),
+            ("exists y. desc(y, x) & lab_b(y)", [(0, 0)]),
+            ("first(x) & !root(x)", [(0,), (0, 0), (1, 0)]),
+            ("exists y. next_sibling(x, y) & lab_b(y)", [(1,)]),
+            ("forall y. child(x, y) -> lab_b(y)", [(0, 0), (1,), (1, 0), (2,)]),
+            ("exists X. x in X & lab_a(x)", [(), (1,)]),
+            ("true & lab_c(x)", [(0, 0)]),
+            ("false & lab_c(x)", []),
+            ("x = x & last(x)", [(), (0, 0), (1, 0), (2,)]),
+            ("exists y. y < x", [(1,), (2,)]),
+        ],
+    )
+    def test_selections(self, source, expected):
+        assert run(source) == expected

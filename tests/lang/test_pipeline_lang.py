@@ -1,0 +1,227 @@
+"""Query strings through the pipeline, the CLI, and the SQA path."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.core.pipeline import (
+    Corpus,
+    Document,
+    batch_select,
+    cached_pattern,
+    pattern_cache_clear,
+)
+from repro.lang import compile_query_sqa, compile_query_string, split_prefix
+from repro.trees.tree import Tree
+from repro.trees.xml import BIBLIOGRAPHY_EXAMPLE
+
+AUTHORS = [(0, 0), (0, 1), (0, 2), (1, 0)]
+
+
+@pytest.fixture()
+def document():
+    return Document.from_text(BIBLIOGRAPHY_EXAMPLE)
+
+
+@pytest.fixture()
+def document_file(tmp_path):
+    path = tmp_path / "bib.xml"
+    path.write_text(BIBLIOGRAPHY_EXAMPLE)
+    return str(path)
+
+
+class TestPrefixDispatch:
+    def test_split_prefix(self):
+        assert split_prefix("xpath://a") == ("xpath", "//a")
+        assert split_prefix("mso:lab_a(x)") == ("mso", "lab_a(x)")
+        assert split_prefix("//a") == (None, "//a")
+
+    def test_document_select_xpath(self, document):
+        assert document.select("xpath://author") == AUTHORS
+
+    def test_document_select_mso(self, document):
+        assert document.select("mso:lab_author(x)") == AUTHORS
+
+    def test_legacy_patterns_still_dispatch(self, document):
+        # No prefix → the legacy core.patterns compiler, unchanged.
+        assert document.select("//author") == AUTHORS
+
+    def test_all_three_syntaxes_agree(self, document):
+        queries = ("//author", "xpath://author", "mso:lab_author(x)")
+        results = {q: document.select(q) for q in queries}
+        assert len(set(map(tuple, results.values()))) == 1
+
+    def test_select_accepts_every_engine(self, document):
+        for engine in ("naive", "table", "numpy"):
+            assert document.select("xpath://author", engine=engine) == AUTHORS
+            got = document.select("mso:lab_author(x)", engine=engine)
+            assert got == AUTHORS
+
+    def test_corpus_select(self, document):
+        corpus = Corpus([document, document])
+        assert corpus.select("xpath://author") == [AUTHORS, AUTHORS]
+
+    def test_batch_select(self, document):
+        got = batch_select([document, document], "mso:lab_author(x)")
+        assert got == [AUTHORS, AUTHORS]
+
+    def test_syntax_errors_surface_from_select(self, document):
+        from repro.lang import QuerySyntaxError
+
+        with pytest.raises(QuerySyntaxError, match="unbalanced"):
+            document.select("xpath://author[year")
+
+    def test_prefix_requires_its_syntax(self, document):
+        # An MSO formula under the xpath prefix is a syntax error, not a
+        # silent fallback to another parser.
+        from repro.lang import QuerySyntaxError
+
+        with pytest.raises(QuerySyntaxError):
+            document.select("xpath:lab_author(x)")
+
+
+class TestPatternCache:
+    def test_prefixed_strings_are_cached(self, document):
+        pattern_cache_clear()
+        document.select("xpath://author")
+        document.select("xpath://author")
+        info = cached_pattern.cache_info()
+        assert info.misses == 1
+        assert info.hits >= 1
+
+    def test_prefixed_and_legacy_entries_are_distinct(self, document):
+        pattern_cache_clear()
+        document.select("//author")
+        document.select("xpath://author")
+        assert cached_pattern.cache_info().misses == 2
+
+
+class TestObsCounters:
+    def test_xpath_parse_counters(self, document):
+        pattern_cache_clear()
+        with obs.collecting() as stats:
+            document.select("xpath://author[year]")
+        counters = stats.snapshot()["counters"]
+        assert counters["lang.xpath_parses"] == 1
+        assert counters["lang.tokens"] > 0
+        assert counters["lang.lowered_nodes"] > 0
+        assert "lang.mso_parses" not in counters
+
+    def test_mso_parse_counters(self, document):
+        pattern_cache_clear()
+        with obs.collecting() as stats:
+            document.select("mso:lab_author(x)")
+        counters = stats.snapshot()["counters"]
+        assert counters["lang.mso_parses"] == 1
+        assert "lang.xpath_parses" not in counters
+
+    def test_syntax_errors_are_counted(self):
+        with obs.collecting() as stats:
+            with pytest.raises(Exception):
+                compile_query_string("xpath://a[", ("a",))
+        assert stats.snapshot()["counters"]["lang.syntax_errors"] == 1
+
+    def test_cache_hits_skip_the_parser(self, document):
+        pattern_cache_clear()
+        document.select("xpath://author")
+        with obs.collecting() as stats:
+            document.select("xpath://author")
+        assert "lang.xpath_parses" not in stats.snapshot()["counters"]
+
+
+class TestSQAPath:
+    # The Theorem 5.17 automaton assumes inner nodes have >= 2 children,
+    # so the trees here keep every inner node at least binary.
+    TREE = Tree.parse("a(b(c, c), b)")
+
+    def test_xpath_compiles_to_a_query_automaton(self):
+        sqa = compile_query_sqa("xpath://b", ("a", "b", "c"))
+        assert type(sqa).__name__ == "UnrankedQueryAutomaton"
+        assert sorted(sqa.evaluate(self.TREE)) == [(0,), (1,)]
+
+    def test_mso_compiles_to_a_query_automaton(self):
+        sqa = compile_query_sqa("mso:lab_b(x) & leaf(x)", ("a", "b", "c"))
+        assert sorted(sqa.evaluate(self.TREE)) == [(1,)]
+
+    def test_legacy_patterns_route_through_too(self):
+        sqa = compile_query_sqa("//b", ("a", "b", "c"))
+        assert sorted(sqa.evaluate(self.TREE)) == [(0,), (1,)]
+
+
+class TestCLI:
+    def test_query_xpath_flag(self, document_file, capsys):
+        assert main(["query", document_file, "--xpath", "//author"]) == 0
+        out = capsys.readouterr().out
+        assert "/0/0:" in out
+
+    def test_query_mso_flag(self, document_file, capsys):
+        assert main(["query", document_file, "--mso", "lab_author(x)"]) == 0
+        out = capsys.readouterr().out
+        assert "/0/0:" in out
+
+    def test_flags_and_positional_agree(self, document_file, capsys):
+        main(["query", document_file, "//author"])
+        legacy = capsys.readouterr().out
+        main(["query", document_file, "--xpath", "//author"])
+        xpath = capsys.readouterr().out
+        main(["query", document_file, "--mso", "lab_author(x)"])
+        mso = capsys.readouterr().out
+        assert legacy == xpath == mso
+
+    def test_query_xpath_flag_with_stats(self, document_file, capsys):
+        pattern_cache_clear()  # so the parse (and its counters) happen
+        code = main(
+            ["query", document_file, "--xpath", "//author", "--stats"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "/0/0:" in captured.out
+        payload = captured.err[captured.err.index("{") :]
+        counters = json.loads(payload)["counters"]
+        assert counters["lang.xpath_parses"] == 1
+
+    def test_query_with_engine(self, document_file, capsys):
+        code = main(
+            [
+                "query",
+                document_file,
+                "--xpath",
+                "//author",
+                "--engine",
+                "numpy",
+            ]
+        )
+        assert code == 0
+        assert "/0/0:" in capsys.readouterr().out
+
+    def test_syntax_error_exits_2_with_a_caret(self, document_file, capsys):
+        assert main(["query", document_file, "--xpath", "//author["]) == 2
+        err = capsys.readouterr().err
+        assert "invalid query" in err
+        assert "^" in err
+
+    def test_missing_query_exits_2(self, document_file, capsys):
+        assert main(["query", document_file]) == 2
+        assert "missing query" in capsys.readouterr().err
+
+    def test_xpath_and_mso_are_mutually_exclusive(self, document_file, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    document_file,
+                    "--xpath",
+                    "//a",
+                    "--mso",
+                    "lab_a(x)",
+                ]
+            )
+
+    def test_profile_xpath_flag(self, document_file, capsys):
+        code = main(
+            ["profile", "--document", document_file, "--xpath", "//author"]
+        )
+        assert code == 0
+        assert "xpath://author" in capsys.readouterr().out

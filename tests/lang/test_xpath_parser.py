@@ -1,0 +1,187 @@
+"""The XPath fragment: parsing, error locations, and lowering shape."""
+
+import pytest
+
+from repro.lang import QuerySyntaxError, lower_xpath, parse_xpath, xpath_query
+from repro.lang.xpath import LocationPath, PredAnd, PredNot, PredOr, PredPath, Step
+from repro.trees.tree import Tree
+
+TREE = Tree.parse("a(b(c), a(b), b)")
+ALPHABET = ("a", "b", "c")
+
+
+def run(source):
+    return sorted(xpath_query(source, ALPHABET).evaluate(TREE))
+
+
+class TestParsing:
+    def test_single_step(self):
+        path = parse_xpath("/book")
+        assert path == LocationPath(steps=(Step("child", "book", (), 1),))
+
+    def test_abbreviations(self):
+        steps = parse_xpath("//a/../.").steps
+        assert [(s.axis, s.test) for s in steps] == [
+            ("descendant", "a"),
+            ("parent", "*"),
+            ("self", "*"),
+        ]
+
+    def test_explicit_axes(self):
+        steps = parse_xpath(
+            "/a/following-sibling::b/preceding-sibling::*/ancestor::c"
+        ).steps
+        assert [s.axis for s in steps] == [
+            "child",
+            "following-sibling",
+            "preceding-sibling",
+            "ancestor",
+        ]
+
+    def test_root_only(self):
+        assert parse_xpath("/") == LocationPath(steps=())
+        assert parse_xpath(" / ") == LocationPath(steps=())
+
+    def test_predicates_nest(self):
+        (step,) = parse_xpath("//a[b[c] and not(d) or e]").steps
+        (predicate,) = step.predicates
+        assert isinstance(predicate, PredOr)
+        assert isinstance(predicate.left, PredAnd)
+        assert isinstance(predicate.left.right, PredNot)
+        assert isinstance(predicate.right, PredPath)
+
+    def test_whitespace_is_free(self):
+        def strip(node):
+            if isinstance(node, LocationPath):
+                return tuple(strip(step) for step in node.steps)
+            if isinstance(node, Step):
+                return (node.axis, node.test, tuple(strip(p) for p in node.predicates))
+            if isinstance(node, PredPath):
+                return ("path", strip(node.path))
+            if isinstance(node, PredNot):
+                return ("not", strip(node.inner))
+            return (type(node).__name__, strip(node.left), strip(node.right))
+
+        assert strip(parse_xpath(" //a [ b and c ] ")) == strip(
+            parse_xpath("//a[b and c]")
+        )
+
+    def test_keyword_labels_are_plain_labels(self):
+        # "and"/"or"/"not" are only operators in operator position.
+        (step,) = parse_xpath("//and[or and not]").steps
+        assert step.test == "and"
+        (predicate,) = step.predicates
+        assert isinstance(predicate, PredAnd)
+        assert predicate.left == PredPath(
+            LocationPath((Step("child", "or", (), 6),), absolute=False)
+        )
+        assert predicate.right.path.steps[0].test == "not"
+
+    def test_not_requires_parenthesis_to_be_a_function(self):
+        (step,) = parse_xpath("//a[not(b)]").steps
+        assert isinstance(step.predicates[0], PredNot)
+        (step,) = parse_xpath("//a[not]").steps
+        assert isinstance(step.predicates[0], PredPath)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", ["", "   ", "\t\n"])
+    def test_empty_query(self, source):
+        with pytest.raises(QuerySyntaxError, match="empty query"):
+            parse_xpath(source)
+
+    @pytest.mark.parametrize(
+        "source, offset, fragment",
+        [
+            ("book", 0, "must start with"),
+            ("//b[", 4, "expected a step"),
+            ("//b[a", 3, "unbalanced '\\['"),  # points at the opener at EOF
+            ("//b]", 3, "unexpected"),
+            ("//b[not(a]", 9, "unbalanced '\\('"),
+            ("//b[not(a", 7, "unbalanced '\\('"),  # points at the opener at EOF
+            ("//b[(a or b]", 11, "unbalanced '\\('"),
+            ("//b[]", 4, "empty predicate"),
+            ("/a/child::", 10, "expected a label"),
+            ("/a/following::b", 3, "unknown axis 'following'"),
+            ("//b[a $ b]", 6, "unexpected character '\\$'"),
+            ("//self::a", 2, "explicit axis after '//'"),
+            ("/a//b[", 6, "expected a step"),
+        ],
+    )
+    def test_offsets_are_exact(self, source, offset, fragment):
+        with pytest.raises(QuerySyntaxError, match=fragment) as excinfo:
+            parse_xpath(source)
+        assert excinfo.value.offset == offset
+        assert excinfo.value.source == source
+
+    def test_unknown_axis_lists_the_axes(self):
+        with pytest.raises(QuerySyntaxError, match="following-sibling"):
+            parse_xpath("/a/descendent::b")
+
+    def test_absolute_path_in_predicate(self):
+        with pytest.raises(QuerySyntaxError, match="absolute paths"):
+            parse_xpath("//a[/b]")
+
+    def test_rendered_error_shows_a_caret(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_xpath("//b[not(a]")
+        message = str(excinfo.value)
+        assert "//b[not(a]" in message
+        assert message.splitlines()[-1].strip() == "^"
+
+    def test_deep_nesting_is_a_syntax_error_not_a_crash(self):
+        source = "//a" + "[b" * 300 + "]" * 300
+        with pytest.raises(QuerySyntaxError, match="depth limit"):
+            parse_xpath(source)
+
+    def test_deep_parens_are_bounded_too(self):
+        source = "//a[" + "(" * 300 + "b" + ")" * 300 + "]"
+        with pytest.raises(QuerySyntaxError, match="depth limit"):
+            parse_xpath(source)
+
+    def test_nesting_within_the_limit_parses(self):
+        depth = 60
+        source = "//a" + "[b" * depth + "]" * depth
+        assert len(parse_xpath(source).steps) == 1
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("/", [()]),
+            ("/a", [()]),
+            ("/b", []),
+            ("/a/b", [(0,), (2,)]),
+            ("/a/a/b", [(1, 0)]),
+            ("//b", [(0,), (1, 0), (2,)]),
+            ("//a", [(), (1,)]),  # descendant-or-self includes the root
+            ("//*", [(), (0,), (0, 0), (1,), (1, 0), (2,)]),
+            ("/.", [()]),
+            ("/./b", [(0,), (2,)]),
+            ("//b/..", [(), (1,)]),
+            ("//b[not(c)]", [(1, 0), (2,)]),
+            ("//a/following-sibling::b", [(2,)]),
+            ("//b/preceding-sibling::*", [(0,), (1,)]),
+            ("//b/ancestor::a", [(), (1,)]),
+            ("/parent::a", []),  # the document root has no parent
+            ("//c/../..", [()]),
+            ("//*[b and c]", []),
+            ("//*[b or c]", [(), (0,), (1,)]),
+            ("//and", []),
+            ("//a/self::*[b]", [(), (1,)]),
+            ("//b//c", [(0, 0)]),
+            ("//b/c", [(0, 0)]),
+        ],
+    )
+    def test_selections(self, source, expected):
+        assert run(source) == expected
+
+    def test_lowered_formula_has_one_free_variable(self):
+        formula, var = lower_xpath(parse_xpath("//a[b]/c"), ALPHABET)
+        assert formula.free_vars() == frozenset({var})
+        assert not formula.free_set_vars()
+
+    def test_star_works_over_an_empty_alphabet(self):
+        formula, var = lower_xpath(parse_xpath("//*"), ())
+        assert formula.free_vars() == frozenset({var})

@@ -299,7 +299,9 @@ class TestImportOptionalFallback:
 
     def test_unknown_engine_rejected(self):
         qa = odd_ones_query_automaton()
-        with pytest.raises(ValueError, match="unknown string engine"):
+        with pytest.raises(
+            ValueError, match="unknown engine 'warp-drive': valid engines are"
+        ):
             fast_evaluate(qa, "01", engine="warp-drive")
         with pytest.raises(ValueError):
             numpy_kernel("warp-drive")

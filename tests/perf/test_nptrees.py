@@ -241,7 +241,9 @@ class TestFallbacks:
         assert stats.report()["counters"]["npkernel.fallbacks"] == 1
 
     def test_unknown_engine_rejected(self):
-        with pytest.raises(ValueError, match="unknown tree engine"):
+        with pytest.raises(
+            ValueError, match="unknown engine 'bogus': valid engines are"
+        ):
             nptrees.tree_kernel("bogus")
 
     @requires_numpy

@@ -11,8 +11,13 @@ Two checks, both dependency-free:
    README's fenced code blocks must parse against the real
    :func:`repro.cli.build_parser`, so the documented flags can never
    drift from the implementation.
+3. **Query-string sync** over every Markdown file in the repo: each
+   line of an ```` ```xpath ```` / ```` ```mso ```` fence, every quoted
+   ``"xpath:…"`` / ``"mso:…"`` literal, and every ``--xpath "…"`` /
+   ``--mso "…"`` flag inside any fence must parse through the real
+   :mod:`repro.lang` parsers — documented queries can never go stale.
 
-Exit code 0 when both pass; 1 with a report otherwise.
+Exit code 0 when all pass; 1 with a report otherwise.
 """
 
 from __future__ import annotations
@@ -28,8 +33,15 @@ sys.path.insert(0, str(REPO / "src"))
 
 COVERAGE_FLOOR = 0.97
 
+#: A fenced code block; group 1 is the info string, group 2 the body.
+_LANG_FENCE = re.compile(r"```([a-zA-Z-]*)\n(.*?)```", re.DOTALL)
+
 #: A fenced code block; group 1 is the body.
 _FENCE = re.compile(r"```[a-z]*\n(.*?)```", re.DOTALL)
+
+#: Prefixed query-string literals and CLI query flags inside fences.
+_PREFIXED = re.compile(r"""["'](xpath|mso):(.*?)["']""")
+_FLAGGED = re.compile(r"""--(xpath|mso)\s+"([^"]*)"|--(xpath|mso)\s+'([^']*)'""")
 
 
 def _is_public(name: str) -> bool:
@@ -111,6 +123,53 @@ def check_cli_sync(readme: Path) -> list[str]:
     return problems
 
 
+def doc_query_strings(path: Path) -> list[tuple[str, str, str]]:
+    """``(syntax, query, where)`` for every query string in one doc.
+
+    Collected from three places: dedicated ```` ```xpath ```` /
+    ```` ```mso ```` fences (one query per line, ``#`` lines skipped),
+    quoted ``"xpath:…"`` / ``"mso:…"`` literals in any fence, and
+    ``--xpath`` / ``--mso`` flag arguments in any fence.
+    """
+    found: list[tuple[str, str, str]] = []
+    where = str(path.relative_to(REPO))
+    for language, body in _LANG_FENCE.findall(path.read_text()):
+        if language in ("xpath", "mso"):
+            for line in body.splitlines():
+                stripped = line.strip()
+                if stripped and not stripped.startswith("#"):
+                    found.append((language, stripped, where))
+            continue
+        if language in ("text", "ebnf"):
+            continue  # transcripts may show deliberately malformed queries
+        for syntax, query in _PREFIXED.findall(body):
+            found.append((syntax, query, where))
+        for match in _FLAGGED.finditer(body):
+            syntax = match.group(1) or match.group(3)
+            query = match.group(2) or match.group(4)
+            found.append((syntax, query, where))
+    return found
+
+
+def check_query_strings(root: Path) -> tuple[int, list[str]]:
+    """(checked, problems) over every Markdown file in the repo."""
+    from repro.lang import QuerySyntaxError, parse_mso, parse_xpath
+
+    parsers = {"xpath": parse_xpath, "mso": parse_mso}
+    checked = 0
+    problems: list[str] = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part.startswith(".") for part in path.parts):
+            continue
+        for syntax, query, where in doc_query_strings(path):
+            checked += 1
+            try:
+                parsers[syntax](query)
+            except QuerySyntaxError as error:
+                problems.append(f"{where}: {syntax}:{query!r} — {error}")
+    return checked, problems
+
+
 def main() -> int:
     """Run both checks and print a report."""
     failures = 0
@@ -133,6 +192,17 @@ def main() -> int:
         failures += 1
         for line in problems:
             print(f"  rejected by the parser: {line}")
+
+    checked, query_problems = check_query_strings(REPO)
+    print(f"doc query-string sync: {checked - len(query_problems)}/{checked} "
+          "queries parse")
+    if not checked:
+        failures += 1
+        print("  no query strings found in any Markdown file")
+    if query_problems:
+        failures += 1
+        for line in query_problems:
+            print(f"  {line}")
 
     return 1 if failures else 0
 
