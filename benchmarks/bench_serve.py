@@ -1,0 +1,286 @@
+"""Experiment S1: the always-on server vs the one-shot CLI.
+
+Four rows over the 3201-node ``make_bibliography(160, 160)`` workload:
+
+* ``cold_cli`` — one full ``python -m repro.cli query`` subprocess per
+  round: interpreter start, parse, compile, evaluate. What every
+  request pays without a resident server.
+* ``warm_server`` — sequential requests over one TCP connection to an
+  in-process :class:`~repro.serve.server.QueryServer`; compile caches,
+  engine registries and the document stay warm, so a round is one
+  NDJSON round-trip plus an incremental (memo-hot) selection.
+  ``extra_info`` records client-observed p50/p99 and sustained qps.
+* ``edit_reselect`` — one single-subtree ``replace_subtree`` edit plus
+  the incremental reselect through the :class:`DocumentStore` memos
+  (Theorem 3.9: types below the edit are reused verbatim).
+* ``full_reencode`` — the same edit answered the one-shot way: a full
+  two-sweep ``Document.select`` with no incremental state.
+
+Unlike its pytest-benchmark siblings this module is a standalone script
+(CI runs ``python benchmarks/bench_serve.py --quick``): the server
+rows need an event loop and a subprocess, which fit awkwardly in a
+fixture. It emits the same ``BENCH_serve.json`` shape — ``module``,
+``summary`` (with ``counters`` from a recording :mod:`repro.obs` sink
+and a ``serve`` block holding the acceptance numbers), and one
+``benchmarks`` row per scenario with min/max/mean/stddev/median/rounds
+stats in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.core.pipeline import Document  # noqa: E402
+from repro.serve import DocumentStore, QueryServer  # noqa: E402
+from repro.serve.protocol import encode_frame  # noqa: E402
+from repro.trees.xml import make_bibliography, parse_document  # noqa: E402
+
+QUERY = "//author"
+FRAGMENT = (
+    "<book><author>Fresh</author><title>Edit</title>"
+    "<publisher>P</publisher><year>1999</year></book>"
+)
+
+
+def _row(name: str, samples: list[float], extra: dict) -> dict:
+    """One benchmark row in the shape the other ``BENCH_*.json`` use."""
+    return {
+        "group": None,
+        "name": name,
+        "params": None,
+        "extra_info": extra,
+        "stats": {
+            "min": min(samples),
+            "max": max(samples),
+            "mean": statistics.fmean(samples),
+            "stddev": statistics.stdev(samples) if len(samples) > 1 else 0.0,
+            "median": statistics.median(samples),
+            "rounds": len(samples),
+        },
+    }
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    return obs.percentile(samples, q)
+
+
+def bench_cold_cli(text: str, rounds: int) -> list[float]:
+    """Wall time of one-shot CLI queries, one subprocess per round."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    samples = []
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".xml", delete=False
+    ) as handle:
+        handle.write(text)
+        path = handle.name
+    try:
+        for _ in range(rounds):
+            start = time.perf_counter()
+            subprocess.run(
+                [sys.executable, "-m", "repro.cli", "query", path, QUERY],
+                env=env,
+                check=True,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            samples.append(time.perf_counter() - start)
+    finally:
+        os.unlink(path)
+    return samples
+
+
+async def _warm_requests(
+    server: QueryServer, host: str, port: int, rounds: int
+) -> list[float]:
+    reader, writer = await asyncio.open_connection(host, port)
+    samples = []
+    try:
+        for index in range(rounds):
+            frame = {"id": index, "op": "query", "doc": "bib", "query": QUERY}
+            start = time.perf_counter()
+            writer.write(encode_frame(frame))
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            samples.append(time.perf_counter() - start)
+            assert response["ok"], response
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    return samples
+
+
+def bench_warm_server(
+    text: str, rounds: int
+) -> tuple[list[float], float, QueryServer]:
+    """Client-observed latencies over one warm TCP connection, plus qps."""
+    server = QueryServer(DocumentStore())
+    server.store.load("bib", text)
+
+    async def main() -> tuple[list[float], float]:
+        host, port = await server.start_tcp()
+        await _warm_requests(server, host, port, 3)  # warm off the clock
+        start = time.perf_counter()
+        samples = await _warm_requests(server, host, port, rounds)
+        elapsed = time.perf_counter() - start
+        await server.handle_frame({"op": "shutdown"})
+        await server.wait_closed()
+        return samples, rounds / elapsed
+
+    samples, qps = asyncio.run(main())
+    return samples, qps, server
+
+
+def bench_edit_reselect(text: str, rounds: int) -> list[float]:
+    """A single-subtree edit plus the incremental (memo-hot) reselect."""
+    store = DocumentStore()
+    store.load("bib", text)
+    store.select("bib", QUERY)  # the initial full derivation, off the clock
+    fragment = parse_document(FRAGMENT)
+    samples = []
+    for index in range(rounds):
+        path = (index % len(store.document("bib").element.content),)
+        start = time.perf_counter()
+        store.replace_subtree("bib", path, fragment)
+        result = store.select("bib", QUERY)
+        samples.append(time.perf_counter() - start)
+        assert result
+    return samples
+
+
+def bench_full_reencode(text: str, rounds: int) -> list[float]:
+    """The same edit answered with a from-scratch two-sweep select."""
+    document = Document.from_text(text)
+    fragment = parse_document(FRAGMENT)
+    document.select(QUERY)  # warm the pattern/engine caches, not the types
+    samples = []
+    for index in range(rounds):
+        path = (index % len(document.element.content),)
+        start = time.perf_counter()
+        document = document.with_replaced(path, fragment)
+        result = Document.from_element(document.element).select(QUERY)
+        samples.append(time.perf_counter() - start)
+        assert result
+    return samples
+
+
+def run(quick: bool, out: Path) -> dict:
+    text = make_bibliography(160, 160)
+    nodes = Document.from_text(text).tree.size
+    cli_rounds = 2 if quick else 5
+    warm_rounds = 30 if quick else 300
+    edit_rounds = 10 if quick else 60
+
+    stats = obs.Stats()
+    with obs.collecting(stats):
+        warm, qps, server = bench_warm_server(text, warm_rounds)
+        edit = bench_edit_reselect(text, edit_rounds)
+        full = bench_full_reencode(text, edit_rounds)
+    # The subprocess rows can't record into an in-process sink; keep
+    # them outside so ``summary.counters`` describes in-process work.
+    cold = bench_cold_cli(text, cli_rounds)
+
+    warm_p99 = _percentile(warm, 99)
+    cold_p99 = _percentile(cold, 99)
+    rows = [
+        _row(
+            "cold_cli",
+            cold,
+            {"nodes": nodes, "p99_ms": cold_p99 * 1e3, "subprocess": True},
+        ),
+        _row(
+            "warm_server",
+            warm,
+            {
+                "nodes": nodes,
+                "p50_ms": _percentile(warm, 50) * 1e3,
+                "p99_ms": warm_p99 * 1e3,
+                "qps": qps,
+                "server_requests": server.lifetime.counters.get(
+                    "serve.requests", 0
+                ),
+            },
+        ),
+        _row(
+            "edit_reselect",
+            edit,
+            {"nodes": nodes, "engine": "table", "incremental": True},
+        ),
+        _row(
+            "full_reencode",
+            full,
+            {"nodes": nodes, "engine": "table", "incremental": False},
+        ),
+    ]
+    report = {
+        "module": "bench_serve",
+        "summary": {
+            "benchmarks": len(rows),
+            "engine": "table",
+            "mean": statistics.fmean(r["stats"]["mean"] for r in rows),
+            "median": statistics.median(
+                r["stats"]["median"] for r in rows
+            ),
+            "counters": dict(sorted(stats.counters.items())),
+            "serve": {
+                "nodes": nodes,
+                "sustained_qps": qps,
+                "warm_p99_ms": warm_p99 * 1e3,
+                "cold_cli_p99_ms": cold_p99 * 1e3,
+                "cold_over_warm_p99": cold_p99 / warm_p99,
+                "edit_reselect_ms": statistics.median(edit) * 1e3,
+                "full_reencode_ms": statistics.median(full) * 1e3,
+                "full_over_incremental": (
+                    statistics.median(full) / statistics.median(edit)
+                ),
+            },
+        },
+        "benchmarks": rows,
+    }
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke sizes: fewer rounds, same rows and JSON shape",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=ROOT / "BENCH_serve.json",
+        help="output path (default: BENCH_serve.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    report = run(args.quick, args.out)
+    serve = report["summary"]["serve"]
+    print(
+        f"warm p99 {serve['warm_p99_ms']:.3f} ms · "
+        f"cold CLI p99 {serve['cold_cli_p99_ms']:.1f} ms "
+        f"({serve['cold_over_warm_p99']:.0f}x) · "
+        f"edit+reselect {serve['edit_reselect_ms']:.3f} ms vs "
+        f"full {serve['full_reencode_ms']:.3f} ms "
+        f"({serve['full_over_incremental']:.1f}x) · "
+        f"{serve['sustained_qps']:.0f} qps → {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -406,6 +406,65 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return code
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on query server (stdio by default, or TCP/HTTP).
+
+    The server keeps every compile/engine cache warm across requests and
+    serves the newline-delimited JSON protocol of ``docs/SERVE.md``:
+    load/replace/delete mutate named documents (selections after an edit
+    are incremental), ``query`` admits ``xpath:``/``mso:``/legacy
+    strings with per-request step/time budgets, and ``stats`` exports
+    the lifetime :mod:`repro.obs` report with p50/p99 latency gauges.
+    """
+    import asyncio
+
+    _apply_compile_cache(args)
+    if args.jobs is not None and args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    from .serve import DocumentStore, QueryServer
+
+    store = DocumentStore()
+    for spec in args.preload or ():
+        name, _, path = spec.partition("=")
+        if not path:
+            print(
+                f"--preload takes NAME=FILE.xml, got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
+        dtd = parse_dtd(Path(args.dtd).read_text()) if args.dtd else None
+        store.load(name, Path(path).read_text(), dtd)
+    server = QueryServer(
+        store,
+        engine=args.engine,
+        verify=args.verify,
+        budget_steps=args.budget_steps,
+        budget_ms=args.budget_ms,
+        batch_window=args.batch_window / 1000.0,
+        jobs=args.jobs,
+    )
+
+    async def run() -> None:
+        if args.tcp is not None:
+            host, port = await server.start_tcp(args.host, args.tcp)
+            print(f"serving on {host}:{port}", file=sys.stderr, flush=True)
+            await server.wait_closed()
+        else:
+            await server.run_stdio()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    if args.stats:
+        json.dump(
+            server.stats_report(), sys.stderr, indent=2, default=repr
+        )
+        print(file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for the ``repro`` command-line tool."""
     parser = argparse.ArgumentParser(
@@ -556,6 +615,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist compiled automata in DIR (content-addressed)",
     )
     profile.set_defaults(func=cmd_profile)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the always-on NDJSON query server (see docs/SERVE.md)",
+    )
+    serve.add_argument(
+        "--tcp",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="listen on TCP (also speaks plain HTTP); default: stdio",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --tcp (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--preload",
+        action="append",
+        metavar="NAME=FILE.xml",
+        help="load a document into the store at startup (repeatable)",
+    )
+    serve.add_argument(
+        "--dtd", help="optional DTD to validate --preload documents against"
+    )
+    serve.add_argument(
+        "--engine",
+        choices=["naive", "table", "numpy"],
+        default=None,
+        help="default per-tree evaluator (requests may override)",
+    )
+    serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-check every incremental select against the one-shot path",
+    )
+    serve.add_argument(
+        "--budget-steps",
+        type=int,
+        default=None,
+        help="default per-request node budget (requests may override)",
+    )
+    serve.add_argument(
+        "--budget-ms",
+        type=float,
+        default=None,
+        help="default per-request time budget in ms (requests may override)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="how long to hold a query for same-query batching "
+        "(default: 0 = next event-loop tick)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="shard batched inline-document queries across N workers",
+    )
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the lifetime obs report (JSON) on stderr at exit",
+    )
+    serve.add_argument(
+        "--compile-cache",
+        metavar="DIR",
+        default=None,
+        help="persist compiled automata in DIR (content-addressed)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -177,6 +177,80 @@ class Document:
             node = node.content[index]
         return node
 
+    # -- functional edits ------------------------------------------------
+    #
+    # Both editors rebuild only the spine from the edit site to the root;
+    # every sibling element and subtree object is shared with the source
+    # document, which is what keeps the serve-layer incremental engines'
+    # per-node type memos hot (repro.perf.trees.incremental_type).
+
+    def _rebuild(
+        self, path: Path, replacement: tuple | None
+    ) -> "Document":
+        """A new document with the node at ``path`` replaced or deleted.
+
+        ``replacement`` is ``(content_item, subtree)`` or ``None`` to
+        delete.  Raises :class:`KeyError` for paths through text chunks
+        or out-of-range indices, and :class:`ValueError` for the root.
+        """
+        if not path:
+            raise ValueError("cannot edit the document root; load a new one")
+        # Collect the element/tree spine down to the edit site's parent.
+        elements: list[XMLElement] = [self.element]
+        trees: list[Tree] = [self.tree]
+        for index in path[:-1]:
+            node = elements[-1].content[index]
+            if isinstance(node, str):
+                raise KeyError(f"no element at {path!r}")
+            elements.append(node)
+            trees.append(trees[-1].children[index])
+        last = path[-1]
+        if not 0 <= last < len(elements[-1].content):
+            raise KeyError(f"no node at {path!r}")
+        # Rebuild bottom-up, sharing every untouched sibling.
+        new_content = list(elements[-1].content)
+        new_children = list(trees[-1].children)
+        if replacement is None:
+            del new_content[last]
+            del new_children[last]
+        else:
+            new_content[last], new_children[last] = replacement
+        child_element = XMLElement(
+            elements[-1].tag, elements[-1].attributes, new_content
+        )
+        child_tree = Tree(trees[-1].label, new_children)
+        for depth in range(len(path) - 2, -1, -1):
+            parent_element, parent_tree = elements[depth], trees[depth]
+            content = list(parent_element.content)
+            content[path[depth]] = child_element
+            children = list(parent_tree.children)
+            children[path[depth]] = child_tree
+            child_element = XMLElement(
+                parent_element.tag, parent_element.attributes, content
+            )
+            child_tree = Tree(parent_tree.label, children)
+        return Document(child_element, child_tree)
+
+    def with_replaced(
+        self, path: Path, fragment: "XMLElement | str"
+    ) -> "Document":
+        """A new document with the subtree at ``path`` replaced.
+
+        ``fragment`` is a parsed :class:`XMLElement` (or a raw text
+        chunk).  Siblings and all untouched subtrees are shared with
+        this document — only the spine to the root is rebuilt.
+        """
+        subtree = (
+            to_tree(fragment)
+            if isinstance(fragment, XMLElement)
+            else Tree("#text")
+        )
+        return self._rebuild(path, (fragment, subtree))
+
+    def with_deleted(self, path: Path) -> "Document":
+        """A new document with the subtree at ``path`` removed."""
+        return self._rebuild(path, None)
+
 
 def run_pattern(
     text: str,

@@ -38,6 +38,7 @@ from .stats import (
     Stats,
     StatsSink,
     cache_providers,
+    percentile,
     register_cache,
 )
 
@@ -50,6 +51,7 @@ __all__ = [
     "cache_providers",
     "collecting",
     "enabled",
+    "percentile",
     "register_cache",
     "set_sink",
     "sink",

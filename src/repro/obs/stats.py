@@ -72,6 +72,25 @@ def _percentile_free_median(samples: list[float]) -> float:
     return (ordered[middle - 1] + ordered[middle]) / 2
 
 
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) by linear interpolation.
+
+    Matches numpy's default (``linear``) method so serve-layer latency
+    gauges agree with offline analysis of the same samples.  Raises
+    :class:`ValueError` on an empty stream.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample stream")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q!r}")
+    ordered = sorted(samples)
+    rank = (len(ordered) - 1) * (q / 100.0)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
 class Stats(StatsSink):
     """A recording sink: dictionaries of counters, gauges, and samples.
 
@@ -196,6 +215,17 @@ class Stats(StatsSink):
             "min": min(samples),
             "max": max(samples),
         }
+
+    def percentile(self, name: str, q: float) -> float | None:
+        """The ``q``-th percentile of one sample stream (``None`` if empty).
+
+        The serve layer's latency contract (p50/p99 gauges) rides on
+        this; see :func:`percentile` for the interpolation rule.
+        """
+        samples = self.samples.get(name)
+        if not samples:
+            return None
+        return percentile(samples, q)
 
     def report(self) -> dict:
         """The machine-readable snapshot: counters, gauges, spans, caches.

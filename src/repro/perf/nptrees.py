@@ -166,8 +166,9 @@ class EncodedDocument:
         "distinct",
     )
 
-    def __init__(self, tree: Tree) -> None:
+    def __init__(self, tree: Tree, type_memo: dict | None = None) -> None:
         universe = UNIVERSE
+        reused = 0
         n = tree.size
         types = np.empty(n, dtype=np.int32)
         labels = np.empty(n, dtype=np.int32)
@@ -191,8 +192,21 @@ class EncodedDocument:
                     stack.append((children[i], path + (i,), depth + 1, kids))
             else:
                 node, path, depth, parent_kids, kids = entry
-                lid = universe.label_id(node.label)
-                tid = universe.intern(lid, tuple(type_of[k] for k in kids))
+                hit = (
+                    type_memo.get(id(node))
+                    if type_memo is not None
+                    else None
+                )
+                if hit is not None and hit[0] is node:
+                    _node, tid, lid = hit
+                    reused += 1
+                else:
+                    lid = universe.label_id(node.label)
+                    tid = universe.intern(
+                        lid, tuple(type_of[k] for k in kids)
+                    )
+                    if type_memo is not None:
+                        type_memo[id(node)] = (node, tid, lid)
                 type_of[index] = tid
                 types[index] = tid
                 labels[index] = lid
@@ -219,6 +233,8 @@ class EncodedDocument:
         self.paths = paths
         self.distinct = np.unique(types)
         obs.SINK.incr("npkernel.tree_encodings")
+        if reused:
+            obs.SINK.incr("npkernel.type_memo_hits", reused)
 
 
 #: Encoded documents, keyed on the tree object.  ``Tree`` has no
@@ -232,6 +248,22 @@ _DOCUMENTS: EngineRegistry[EncodedDocument] = EngineRegistry(
 def encode(tree: Tree) -> EncodedDocument:
     """The cached struct-of-arrays encoding of ``tree``."""
     return _DOCUMENTS.get(tree)
+
+
+def encode_with_memo(tree: Tree, type_memo: dict) -> EncodedDocument:
+    """An encoding that reuses per-node type ids from earlier encodings.
+
+    ``type_memo`` maps ``id(node) -> (node, type id, label id)`` and is
+    updated in place.  After a structural-sharing edit every untouched
+    subtree object still hits the memo, so its cached global type id is
+    reused verbatim (no interning-dict probes) and only the fresh spine
+    and edited fragment are typed anew — the :mod:`repro.serve`
+    incremental-maintenance path.  The arrays produced are identical to
+    a fresh :class:`EncodedDocument` (verified by the serve differential
+    suite).  Bypasses the :func:`encode` registry: the caller owns the
+    encoding's lifetime (one per document revision).
+    """
+    return EncodedDocument(tree, type_memo)
 
 
 # ----------------------------------------------------------------------
@@ -687,12 +719,21 @@ class NumpyMarkedEngine(_TreePropagator):
         obs.SINK.incr("npkernel.tree_fallbacks")
         return _MARKED_ENGINES.get(self.automaton).evaluate(tree)
 
-    def evaluate(self, tree: Tree) -> frozenset[Path]:
-        """Selected paths; ≡ the dict engine and the uncached two-pass."""
+    def evaluate(
+        self, tree: Tree, enc: EncodedDocument | None = None
+    ) -> frozenset[Path]:
+        """Selected paths; ≡ the dict engine and the uncached two-pass.
+
+        ``enc`` supplies a pre-built encoding (the incremental serving
+        path builds one per document revision via
+        :func:`encode_with_memo`); by default the :func:`encode`
+        registry caches one per tree object.
+        """
         if self.dead or np is None:
             return self._fallback(tree)
         try:
-            enc = encode(tree)
+            if enc is None:
+                enc = encode(tree)
             self._ensure_types(enc)
             if (self._tstate.data[enc.distinct] < 0).any():
                 return self._fallback(tree)

@@ -1,0 +1,33 @@
+"""The always-on query service: warm engines, mutable documents.
+
+``repro serve`` (see :mod:`repro.cli`) wraps :class:`QueryServer` — a
+long-lived asyncio daemon speaking newline-delimited JSON over stdio,
+TCP and plain HTTP, keeping every compile/engine cache warm across
+requests.  Documents live in a :class:`DocumentStore` and are mutable
+via subtree replace/delete; re-selection after an edit is *incremental*,
+re-deriving only the dirty subtree types (the Theorem 3.9 two-sweep
+structure makes untouched subtree work reusable verbatim).  Protocol and
+API reference: ``docs/SERVE.md``.
+"""
+
+from .protocol import (
+    ERROR_KINDS,
+    OPS,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from .server import QueryServer
+from .store import DocumentStore, IncrementalMismatchError, StoredDocument
+
+__all__ = [
+    "ERROR_KINDS",
+    "OPS",
+    "DocumentStore",
+    "IncrementalMismatchError",
+    "ProtocolError",
+    "QueryServer",
+    "StoredDocument",
+    "decode_frame",
+    "encode_frame",
+]

@@ -1,0 +1,180 @@
+"""The newline-delimited JSON protocol of the query server.
+
+One request per line, one response per line, in request order per
+connection.  Every frame is a JSON object; requests carry an ``op`` (and
+an optional ``id``, echoed verbatim), responses carry ``ok`` plus either
+``result`` or a structured ``error`` — malformed input never tears the
+connection down.  The full op/field reference lives in ``docs/SERVE.md``;
+this module owns frame encoding, request validation, and the error
+taxonomy, so the asyncio server never raises past a request.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Error kinds, in rough admission order.  ``malformed-frame`` means the
+#: line never became a request object; ``bad-request`` a structural field
+#: problem; the rest are per-op failures.  ``internal`` is the catch-all
+#: that keeps unexpected exceptions inside a structured response.
+ERROR_KINDS = (
+    "malformed-frame",
+    "bad-request",
+    "not-found",
+    "query-syntax",
+    "validation",
+    "budget-exceeded",
+    "engine",
+    "internal",
+)
+
+#: The ops a request may name (``docs/SERVE.md`` documents each).
+OPS = (
+    "ping",
+    "load",
+    "unload",
+    "replace",
+    "delete",
+    "query",
+    "docs",
+    "stats",
+    "shutdown",
+)
+
+
+class ProtocolError(Exception):
+    """A structured request failure: kind + message + JSON-ready extras."""
+
+    def __init__(self, kind: str, message: str, **extras) -> None:
+        assert kind in ERROR_KINDS, kind
+        super().__init__(message)
+        self.kind = kind
+        self.extras = extras
+
+    def payload(self) -> dict:
+        """The ``error`` object of the response frame."""
+        payload = {"kind": self.kind, "message": str(self)}
+        payload.update(self.extras)
+        return payload
+
+
+def decode_frame(line: str | bytes) -> dict:
+    """One request line → a request object, or ``malformed-frame``."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(
+                "malformed-frame", f"frame is not UTF-8: {error}"
+            ) from error
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(
+            "malformed-frame",
+            f"frame is not JSON: {error.msg}",
+            offset=error.pos,
+        ) from error
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            "malformed-frame",
+            f"frame must be a JSON object, got {type(frame).__name__}",
+        )
+    return frame
+
+
+def encode_frame(obj: dict) -> bytes:
+    """One response object → a compact NDJSON line."""
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def ok_response(request_id, result: dict, stats: dict | None = None) -> dict:
+    """A success frame; ``stats`` attaches the per-request counters."""
+    response: dict = {"id": request_id, "ok": True, "result": result}
+    if stats is not None:
+        response["stats"] = stats
+    return response
+
+
+def error_response(request_id, error: ProtocolError) -> dict:
+    """A failure frame with the structured error payload."""
+    return {"id": request_id, "ok": False, "error": error.payload()}
+
+
+def request_id(frame: dict):
+    """The echoable ``id`` (any JSON scalar; objects/arrays are rejected)."""
+    value = frame.get("id")
+    if value is not None and not isinstance(value, (str, int, float, bool)):
+        raise ProtocolError("bad-request", "id must be a JSON scalar")
+    return value
+
+
+def op_field(frame: dict) -> str:
+    """The validated ``op`` name."""
+    op = frame.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("bad-request", "missing or non-string op")
+    if op not in OPS:
+        raise ProtocolError(
+            "bad-request", f"unknown op {op!r}", known=list(OPS)
+        )
+    return op
+
+
+def string_field(
+    frame: dict, name: str, default: str | None = None, required: bool = False
+) -> str | None:
+    """A string field, defaulted or required."""
+    value = frame.get(name, default)
+    if value is None and not required:
+        return None
+    if not isinstance(value, str):
+        raise ProtocolError(
+            "bad-request", f"field {name!r} must be a string"
+        )
+    return value
+
+
+def bool_field(frame: dict, name: str, default: bool = False) -> bool:
+    """A boolean field with a default."""
+    value = frame.get(name, default)
+    if not isinstance(value, bool):
+        raise ProtocolError(
+            "bad-request", f"field {name!r} must be a boolean"
+        )
+    return value
+
+
+def path_field(frame: dict, name: str = "path") -> tuple[int, ...]:
+    """A required Dewey path: a JSON array of non-negative integers."""
+    value = frame.get(name)
+    if not isinstance(value, list) or not all(
+        isinstance(i, int) and not isinstance(i, bool) and i >= 0
+        for i in value
+    ):
+        raise ProtocolError(
+            "bad-request",
+            f"field {name!r} must be an array of non-negative integers",
+        )
+    return tuple(value)
+
+
+def budget_field(frame: dict, name: str, default=None):
+    """An optional non-negative numeric budget (steps or milliseconds)."""
+    value = frame.get(name, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(
+            "bad-request", f"field {name!r} must be a number"
+        )
+    if value < 0:
+        raise ProtocolError(
+            "bad-request", f"field {name!r} must be non-negative"
+        )
+    return value
+
+
+def paths_payload(paths) -> list[list[int]]:
+    """Selected tree paths as JSON arrays, document order preserved."""
+    return [list(path) for path in paths]

@@ -1,0 +1,532 @@
+"""The always-on asyncio query server (``repro serve``).
+
+One process, one event loop, warm state: the pattern LRU, the
+content-addressed compile cache, the :mod:`repro.perf` engine registries
+and the numpy :data:`~repro.perf.nptrees.UNIVERSE` all live for the
+server's lifetime, so every request after the first skips process start,
+compilation and table construction — the cold-vs-warm gap
+``benchmarks/bench_serve.py`` measures.
+
+Transports: newline-delimited JSON over stdio (:meth:`QueryServer.run_stdio`)
+and TCP (:meth:`QueryServer.start_tcp`); the TCP listener also answers
+plain HTTP (``POST /`` with an NDJSON body, ``GET /stats``) by sniffing
+the first request line.  The frame grammar lives in
+:mod:`repro.serve.protocol` and ``docs/SERVE.md``.
+
+Concurrency model: requests on one connection are handled strictly in
+order (responses never reorder); concurrent connections interleave at
+request granularity.  Query requests are micro-batched — concurrent
+requests naming the same ``(query, engine, verify)`` drain as one group
+on the next loop tick (or after ``batch_window`` seconds), sharing one
+compiled automaton pass; groups of inline documents route through
+:func:`repro.core.pipeline.batch_select` (and its
+:class:`~repro.perf.parallel.ParallelExecutor` sharding when the server
+runs with ``jobs > 1``).  Execution itself is synchronous inside the
+event loop — selections never await — which is what makes the per-group
+:func:`repro.obs.collecting` scope race-free without a sink per task.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+
+from .. import obs
+from ..core.pipeline import Document, batch_select
+from ..lang.errors import QuerySyntaxError
+from ..trees.dtd import DTDError, parse_dtd
+from ..trees.xml import XMLError
+from .protocol import (
+    ProtocolError,
+    bool_field,
+    budget_field,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    op_field,
+    path_field,
+    paths_payload,
+    request_id,
+    string_field,
+)
+from .store import DocumentStore, IncrementalMismatchError, parse_fragment
+
+_UNSET = object()
+
+
+def _translate(error: Exception) -> ProtocolError:
+    """Map a per-request exception onto the structured error taxonomy."""
+    if isinstance(error, ProtocolError):
+        return error
+    if isinstance(error, QuerySyntaxError):
+        return ProtocolError(
+            "query-syntax",
+            str(error),
+            offset=error.offset,
+            line=error.line,
+            column=error.column,
+        )
+    if isinstance(error, KeyError):
+        return ProtocolError("not-found", error.args[0] if error.args else "")
+    if isinstance(error, (DTDError, XMLError)):
+        return ProtocolError("validation", str(error))
+    if isinstance(error, IncrementalMismatchError):
+        return ProtocolError("engine", str(error))
+    if isinstance(error, ValueError):
+        # ValidationError, unknown engines, root edits: caller mistakes.
+        kind = "engine" if "engine" in str(error) else "bad-request"
+        if type(error).__name__ == "ValidationError":
+            kind = "validation"
+        return ProtocolError(kind, str(error))
+    return ProtocolError("internal", f"{type(error).__name__}: {error}")
+
+
+class _QueryJob:
+    """One admitted query request, waiting in (or past) a batch group."""
+
+    __slots__ = (
+        "rid",
+        "name",
+        "document",
+        "budget_steps",
+        "budget_ms",
+        "start",
+        "future",
+        "result",
+        "error",
+        "response",
+    )
+
+    def __init__(self, rid, name, document, budget_steps, budget_ms) -> None:
+        self.rid = rid
+        self.name = name
+        self.document = document
+        self.budget_steps = budget_steps
+        self.budget_ms = budget_ms
+        self.start = time.perf_counter()
+        self.future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self.result = _UNSET
+        self.error: ProtocolError | None = None
+        self.response: dict | None = None
+
+
+class QueryServer:
+    """The long-lived query service over one :class:`DocumentStore`."""
+
+    def __init__(
+        self,
+        store: DocumentStore | None = None,
+        engine: str | None = None,
+        verify: bool = False,
+        budget_steps: int | None = None,
+        budget_ms: float | None = None,
+        batch_window: float = 0.0,
+        jobs: int | None = None,
+    ) -> None:
+        self.store = store if store is not None else DocumentStore()
+        self.engine = engine
+        self.verify = verify
+        self.budget_steps = budget_steps
+        self.budget_ms = budget_ms
+        self.batch_window = batch_window
+        self.jobs = jobs
+        #: Server-lifetime stats: every request group's counters merge
+        #: here, plus ``serve.request_ms`` samples for the p50/p99 gauges.
+        self.lifetime = obs.Stats()
+        self._pending: dict[tuple, list[_QueryJob]] = {}
+        self._servers: list[asyncio.AbstractServer] = []
+        self._connections: set[asyncio.Task] = set()
+        self._shutdown: asyncio.Event | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _shutdown_event(self) -> asyncio.Event:
+        if self._shutdown is None:
+            self._shutdown = asyncio.Event()
+        return self._shutdown
+
+    @property
+    def shutting_down(self) -> bool:
+        """Has a ``shutdown`` request been admitted?"""
+        return self._shutdown is not None and self._shutdown.is_set()
+
+    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0):
+        """Start the TCP/HTTP listener; returns ``(host, port)`` bound."""
+        self._shutdown_event()
+        server = await asyncio.start_server(self._on_connection, host, port)
+        self._servers.append(server)
+        return server.sockets[0].getsockname()[:2]
+
+    async def wait_closed(self) -> None:
+        """Block until shutdown, then drain in-flight work and close.
+
+        In-flight requests (already read off a connection) complete and
+        their responses are written; idle connections are closed.  This
+        is the ``shutdown`` op's contract the soak test exercises.
+        """
+        await self._shutdown_event().wait()
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        if self._connections:
+            await asyncio.gather(
+                *list(self._connections), return_exceptions=True
+            )
+        self._servers.clear()
+
+    async def run_stdio(self) -> None:
+        """Serve NDJSON frames over stdin/stdout until EOF or shutdown."""
+        self._shutdown_event()
+        loop = asyncio.get_running_loop()
+        stdin = sys.stdin.buffer
+        stdout = sys.stdout.buffer
+        while not self.shutting_down:
+            line = await loop.run_in_executor(None, stdin.readline)
+            if not line:
+                break
+            if not line.strip():
+                continue
+            response = await self.handle_line(line)
+            stdout.write(response)
+            stdout.flush()
+
+    # -- connection handling --------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        self.lifetime.incr("serve.connections")
+        try:
+            first = await self._read_or_shutdown(reader)
+            if first.split(b" ")[0] in (b"GET", b"POST") and b"HTTP/" in first:
+                await self._handle_http(first, reader, writer)
+                return
+            line = first
+            while line:
+                if line.strip():
+                    response = await self.handle_line(line)
+                    writer.write(response)
+                    await writer.drain()
+                if self.shutting_down:
+                    break
+                line = await self._read_or_shutdown(reader)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_or_shutdown(self, reader) -> bytes:
+        """The next request line, or ``b""`` once shutdown wins the race."""
+        read = asyncio.ensure_future(reader.readline())
+        stop = asyncio.ensure_future(self._shutdown_event().wait())
+        done, _pending = await asyncio.wait(
+            {read, stop}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if read in done:
+            stop.cancel()
+            return read.result()
+        read.cancel()
+        return b""
+
+    async def _handle_http(self, first: bytes, reader, writer) -> None:
+        """One-shot HTTP: ``POST /`` (NDJSON body) or ``GET /stats``."""
+        self.lifetime.incr("serve.http_requests")
+        parts = first.split(b" ")
+        method, target = parts[0], parts[1] if len(parts) > 1 else b"/"
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        status = "200 OK"
+        if method == b"GET":
+            if target.split(b"?")[0] == b"/stats":
+                body = encode_frame(await self.handle_frame({"op": "stats"}))
+            else:
+                status = "404 Not Found"
+                body = encode_frame(
+                    error_response(
+                        None,
+                        ProtocolError(
+                            "bad-request", f"no route {target.decode()!r}"
+                        ),
+                    )
+                )
+        else:
+            length = int(headers.get("content-length", "0") or "0")
+            payload = await reader.readexactly(length) if length else b""
+            chunks = [
+                await self.handle_line(line)
+                for line in payload.splitlines()
+                if line.strip()
+            ]
+            body = b"".join(chunks)
+        head = (
+            f"HTTP/1.1 {status}\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- request handling -----------------------------------------------
+
+    async def handle_line(self, line: str | bytes) -> bytes:
+        """One request line → one encoded response line (never raises)."""
+        try:
+            frame = decode_frame(line)
+        except ProtocolError as error:
+            self.lifetime.incr("serve.protocol_errors")
+            return encode_frame(error_response(None, error))
+        return encode_frame(await self.handle_frame(frame))
+
+    async def handle_frame(self, frame: dict) -> dict:
+        """One request object → one response object (never raises)."""
+        rid = None
+        start = time.perf_counter()
+        try:
+            rid = request_id(frame)
+            op = op_field(frame)
+            if op == "query":
+                response = await self._handle_query(rid, frame)
+            else:
+                response = self._handle_simple(op, rid, frame)
+        except ProtocolError as error:
+            self.lifetime.incr("serve.request_errors")
+            response = error_response(rid, error)
+        except Exception as error:  # noqa: BLE001 — structured catch-all
+            self.lifetime.incr("serve.request_errors")
+            response = error_response(rid, _translate(error))
+        self.lifetime.incr("serve.requests")
+        self.lifetime.observe(
+            "serve.request_ms", (time.perf_counter() - start) * 1000.0
+        )
+        return response
+
+    def _handle_simple(self, op: str, rid, frame: dict) -> dict:
+        """Every op except ``query``: synchronous, executed immediately."""
+        if op == "ping":
+            return ok_response(
+                rid, {"pong": True, "documents": len(self.store)}
+            )
+        if op == "docs":
+            return ok_response(rid, self.store.info())
+        if op == "stats":
+            return ok_response(rid, self.stats_report())
+        if op == "shutdown":
+            self._shutdown_event().set()
+            return ok_response(rid, {"shutting_down": True})
+        stats = obs.Stats()
+        try:
+            with obs.collecting(stats):
+                if op == "load":
+                    name = string_field(frame, "doc", required=True)
+                    text = string_field(frame, "text", required=True)
+                    dtd_text = string_field(frame, "dtd")
+                    dtd = parse_dtd(dtd_text) if dtd_text else None
+                    result = self.store.load(name, text, dtd).info()
+                elif op == "unload":
+                    name = string_field(frame, "doc", required=True)
+                    self.store.unload(name)
+                    result = {"unloaded": name}
+                elif op == "replace":
+                    name = string_field(frame, "doc", required=True)
+                    path = path_field(frame)
+                    fragment_text = string_field(frame, "fragment")
+                    text = string_field(frame, "text")
+                    if (fragment_text is None) == (text is None):
+                        raise ProtocolError(
+                            "bad-request",
+                            "replace needs exactly one of fragment or text",
+                        )
+                    fragment = (
+                        parse_fragment(fragment_text)
+                        if fragment_text is not None
+                        else text
+                    )
+                    result = self.store.replace_subtree(
+                        name, path, fragment
+                    ).info()
+                else:
+                    assert op == "delete", op
+                    name = string_field(frame, "doc", required=True)
+                    path = path_field(frame)
+                    result = self.store.delete_subtree(name, path).info()
+        finally:
+            self.lifetime.merge(stats)
+        return ok_response(
+            rid, result, stats={"counters": dict(stats.counters)}
+        )
+
+    # -- the query path (micro-batched) ----------------------------------
+
+    async def _handle_query(self, rid, frame: dict) -> dict:
+        query = string_field(frame, "query", required=True)
+        engine = string_field(frame, "engine", default=self.engine)
+        verify = bool_field(frame, "verify", self.verify)
+        budget_steps = budget_field(frame, "budget_steps", self.budget_steps)
+        budget_ms = budget_field(frame, "budget_ms", self.budget_ms)
+        name = string_field(frame, "doc")
+        text = string_field(frame, "text")
+        if (name is None) == (text is None):
+            raise ProtocolError(
+                "bad-request", "query needs exactly one of doc or text"
+            )
+        from ..perf.registry import validate_engine
+
+        validate_engine(engine)
+        document = None
+        if text is not None:
+            document = Document.from_text(text)
+        else:
+            self.store.get(name)  # fail fast with not-found
+        job = _QueryJob(rid, name, document, budget_steps, budget_ms)
+        key = (query, engine, verify)
+        group = self._pending.get(key)
+        if group is None:
+            self._pending[key] = [job]
+            asyncio.get_running_loop().create_task(self._drain(key))
+        else:
+            group.append(job)
+        await job.future
+        assert job.response is not None
+        return job.response
+
+    async def _drain(self, key: tuple) -> None:
+        if self.batch_window > 0:
+            await asyncio.sleep(self.batch_window)
+        else:
+            await asyncio.sleep(0)
+        jobs = self._pending.pop(key, [])
+        if jobs:
+            self._execute_group(key, jobs)
+
+    def _admit(self, job: _QueryJob) -> int:
+        """The node count the request will pay; trips the step budget."""
+        tree = (
+            job.document.tree
+            if job.document is not None
+            else self.store.get(job.name).tree
+        )
+        if job.budget_steps is not None and tree.size > job.budget_steps:
+            self.lifetime.incr("serve.budget_steps_trips")
+            raise ProtocolError(
+                "budget-exceeded",
+                f"document has {tree.size} nodes, over the "
+                f"{job.budget_steps}-step budget",
+                budget_steps=job.budget_steps,
+                nodes=tree.size,
+            )
+        return tree.size
+
+    def _execute_group(self, key: tuple, jobs: list[_QueryJob]) -> None:
+        """Run one batch group synchronously and resolve every future."""
+        query, engine, verify = key
+        if len(jobs) > 1:
+            self.lifetime.incr("serve.batches")
+            self.lifetime.incr("serve.batch_members", len(jobs))
+        stats = obs.Stats()
+        with obs.collecting(stats):
+            for job in jobs:
+                try:
+                    self._admit(job)
+                except Exception as error:  # noqa: BLE001
+                    job.error = _translate(error)
+            inline = [
+                j for j in jobs if j.document is not None and j.error is None
+            ]
+            if len(inline) > 1:
+                # The same compiled query over many one-shot documents:
+                # one batch_select pass (sharded when jobs > 1).
+                try:
+                    results = batch_select(
+                        [j.document for j in inline],
+                        query,
+                        jobs=self.jobs,
+                        engine=engine,
+                    )
+                except Exception:
+                    pass  # re-run per job below for precise attribution
+                else:
+                    for job, result in zip(inline, results):
+                        job.result = result
+                        obs.SINK.incr("serve.selects")
+            for job in jobs:
+                if job.error is not None or job.result is not _UNSET:
+                    continue
+                try:
+                    if job.document is not None:
+                        job.result = job.document.select(query, engine=engine)
+                    else:
+                        job.result = self.store.select(
+                            job.name, query, engine=engine, verify=verify
+                        )
+                    obs.SINK.incr("serve.selects")
+                except Exception as error:  # noqa: BLE001
+                    job.error = _translate(error)
+        self.lifetime.merge(stats)
+        counters = dict(stats.counters)
+        now = time.perf_counter()
+        for job in jobs:
+            elapsed_ms = (now - job.start) * 1000.0
+            if (
+                job.error is None
+                and job.budget_ms is not None
+                and elapsed_ms > job.budget_ms
+            ):
+                self.lifetime.incr("serve.budget_ms_trips")
+                job.error = ProtocolError(
+                    "budget-exceeded",
+                    f"request took {elapsed_ms:.3f} ms, over the "
+                    f"{job.budget_ms} ms budget",
+                    budget_ms=job.budget_ms,
+                )
+            job_stats = {
+                "batch": len(jobs),
+                "engine": engine,
+                "elapsed_ms": round(elapsed_ms, 3),
+                "counters": counters,
+            }
+            if job.error is not None:
+                if job.error.kind == "budget-exceeded":
+                    job.error.extras.setdefault("counters", counters)
+                job.response = error_response(job.rid, job.error)
+            else:
+                result: dict = {
+                    "count": len(job.result),
+                    "paths": paths_payload(job.result),
+                }
+                if job.name is not None:
+                    stored = self.store.get(job.name)
+                    result["doc"] = job.name
+                    result["revision"] = stored.revision
+                job.response = ok_response(job.rid, result, stats=job_stats)
+            if not job.future.done():
+                job.future.set_result(None)
+
+    # -- introspection ---------------------------------------------------
+
+    def stats_report(self) -> dict:
+        """The ``stats`` op payload: lifetime report + latency gauges."""
+        report = self.lifetime.report()
+        latency = self.lifetime.sample_stats("serve.request_ms")
+        latency["p50"] = self.lifetime.percentile("serve.request_ms", 50)
+        latency["p99"] = self.lifetime.percentile("serve.request_ms", 99)
+        return {
+            "requests": self.lifetime.counters.get("serve.requests", 0),
+            "latency_ms": latency,
+            "documents": self.store.info()["documents"],
+            "report": report,
+        }

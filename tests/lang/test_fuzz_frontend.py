@@ -1,0 +1,186 @@
+"""Fuzzing the query-string frontend: mutations never escape the error type.
+
+Seeded byte- and token-level mutations of *valid* XPath and MSO query
+strings are thrown at the parsers, the lowerers and the prefix
+dispatcher.  A mutant may still be a valid query (fine), or it must
+raise :class:`~repro.lang.errors.QuerySyntaxError` — never a
+``RecursionError``, ``IndexError`` or any other leaked internal error,
+and never a hang.  Every syntax error must locate itself inside the
+input it was given.
+
+The default budget (``REPRO_FUZZ_COUNT=300`` mutants per corpus) is the
+quick deterministic slice CI runs; crank the env var for a longer soak.
+The generator is seeded per mutant index, so any failure reproduces by
+index alone.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+
+import pytest
+
+from repro.lang import compile_query_string
+from repro.lang.errors import QuerySyntaxError
+from repro.lang.mso import parse_mso_query
+from repro.lang.xpath import lower_xpath, parse_xpath
+
+COUNT = int(os.environ.get("REPRO_FUZZ_COUNT", "300"))
+ALPHABET = ("a", "b", "c", "d")
+MAX_LEN = 100
+
+XPATH_SEEDS = (
+    "//a[b and not(c)]/d",
+    "/a/b[c][d]/../.",
+    "//a[b[c] and not(d) or e]",
+    "//a/following-sibling::b[not(c)]",
+    "//*[a or b]/child::c",
+    "//a[preceding-sibling::b]",
+)
+
+MSO_SEEDS = (
+    "lab_a(x)",
+    "leaf(x) & !lab_d(x)",
+    "lab_b(x) & exists y. child(y, x)",
+    "forall y. lab_b(y) -> exists z. lab_a(z) & desc(z, x)",
+    "exists Y. x in Y & forall z. z in Y -> !lab_c(z)",
+    "root(x) | (first(x) & last(x))",
+)
+
+#: Characters the byte-level mutator splices in: everything the two
+#: grammars use, plus chars neither should ever accept silently.
+CHARS = tuple("abcdexyzXY_0189()[]{}/:.,&|!<>=-*@ \t\n") + ('"', "λ", "\x00")
+
+#: Grammar fragments the token-level mutator splices in.
+SPLICE = ("(", ")", "[", "]", "and", "or", "not", "::", "..", "//",
+          "exists", "forall", "->", "&", "!", "in", "lab_", "x", ".")
+
+_TOKENS = re.compile(r"\w+|\s+|.")
+
+
+def _mutate_bytes(rng: random.Random, source: str) -> str:
+    out = source
+    for _ in range(rng.randrange(1, 4)):
+        position = rng.randrange(len(out) + 1)
+        op = rng.randrange(3)
+        if op == 0:
+            out = out[:position] + rng.choice(CHARS) + out[position:]
+        elif out:
+            position = rng.randrange(len(out))
+            tail = out[position + 1 :]
+            if op == 1:
+                out = out[:position] + tail
+            else:
+                out = out[:position] + rng.choice(CHARS) + tail
+    return out[:MAX_LEN]
+
+
+def _mutate_tokens(rng: random.Random, source: str) -> str:
+    tokens = _TOKENS.findall(source)
+    for _ in range(rng.randrange(1, 3)):
+        if not tokens:
+            break
+        op = rng.randrange(4)
+        i = rng.randrange(len(tokens))
+        if op == 0:
+            del tokens[i]
+        elif op == 1:
+            tokens.insert(i, tokens[rng.randrange(len(tokens))])
+        elif op == 2:
+            j = rng.randrange(len(tokens))
+            tokens[i], tokens[j] = tokens[j], tokens[i]
+        else:
+            tokens[i] = rng.choice(SPLICE)
+    return "".join(tokens)[:MAX_LEN]
+
+
+def _mutant(rng: random.Random, seeds: tuple[str, ...]) -> str:
+    source = rng.choice(seeds)
+    return (
+        _mutate_bytes(rng, source)
+        if rng.random() < 0.5
+        else _mutate_tokens(rng, source)
+    )
+
+
+def _check_error(error: QuerySyntaxError, source: str) -> None:
+    """The locating invariants every frontend error must satisfy."""
+    assert 0 <= error.offset <= len(error.source), vars(error)
+    assert error.source == "" or error.source in source, (
+        error.source,
+        source,
+    )
+    assert error.line >= 1 and error.column >= 1
+
+
+def test_seed_corpora_are_valid():
+    """The mutation baselines really are accepted queries."""
+    for source in XPATH_SEEDS:
+        lower_xpath(parse_xpath(source), ALPHABET)
+    for source in MSO_SEEDS:
+        parse_mso_query(source)
+
+
+def test_fuzz_xpath_parser_and_lowerer():
+    for index in range(COUNT):
+        rng = random.Random(index)
+        source = _mutant(rng, XPATH_SEEDS)
+        try:
+            lower_xpath(parse_xpath(source), ALPHABET)
+        except QuerySyntaxError as error:
+            _check_error(error, source)
+
+
+def test_fuzz_mso_parser():
+    for index in range(COUNT):
+        rng = random.Random(10_000 + index)
+        source = _mutant(rng, MSO_SEEDS)
+        try:
+            parse_mso_query(source)
+        except QuerySyntaxError as error:
+            _check_error(error, source)
+
+
+@pytest.mark.parametrize("prefix,seeds", [
+    ("xpath:", XPATH_SEEDS),
+    ("mso:", MSO_SEEDS),
+])
+def test_fuzz_prefixed_compile(prefix, seeds):
+    """The full dispatcher path, prefix preserved: parse, lower, compile.
+
+    A smaller slice than the parser fuzzers — valid mutants pay for a
+    whole automaton construction here.
+    """
+    for index in range(max(COUNT // 6, 25)):
+        rng = random.Random(20_000 + index)
+        source = prefix + _mutant(rng, seeds)
+        try:
+            compile_query_string(source, ALPHABET)
+        except QuerySyntaxError as error:
+            _check_error(error, source)
+
+
+def test_pathological_inputs_fail_cleanly():
+    """Depth and garbage extremes: flat errors, no recursion blowups."""
+    cases = [
+        "(" * 2000,
+        "//a" + "[b" * 500,
+        "[" * 300 + "]" * 300,
+        "//a/" * 400,
+        "!" * 1000 + "lab_a(x)",
+        "exists y. " * 200 + "lab_a(y)",
+        "\x00\xff λλλ ::[",
+        "",
+        " ",
+    ]
+    for body in cases:
+        for driver in (
+            lambda s: lower_xpath(parse_xpath(s), ALPHABET),
+            parse_mso_query,
+        ):
+            try:
+                driver(body)
+            except QuerySyntaxError as error:
+                _check_error(error, body)

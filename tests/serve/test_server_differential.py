@@ -1,0 +1,173 @@
+"""Seeded differential suite: server responses ≡ ``Document.select``.
+
+For random documents and queries across all three engines, the paths a
+:class:`QueryServer` returns — stored-document (incremental) path,
+inline-document path, and concurrent batched path — must be
+byte-identical (as JSON payloads) to the one-shot serial
+``Document.select`` on an equivalent fresh parse.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+
+import pytest
+
+from repro.core.pipeline import Document
+from repro.serve import DocumentStore, QueryServer
+from repro.serve.protocol import paths_payload
+from repro.trees.xml import make_bibliography, serialize
+
+from .util import QUERIES, random_document
+
+ENGINES = ("naive", None, "numpy")
+
+BIB_QUERIES = (
+    "//author",
+    "xpath://book[author and year]/title",
+    "mso:lab_author(x)",
+)
+
+
+def _payload(document: Document, query: str, engine: str | None) -> str:
+    """The JSON the server should produce for this select."""
+    return json.dumps(paths_payload(document.select(query, engine=engine)))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_stored_documents_match_oracle(engine):
+    async def main():
+        server = QueryServer(DocumentStore())
+        texts = {
+            "bib3": make_bibliography(3, 2),
+            "bib5": make_bibliography(5, 5),
+        }
+        for name, text in texts.items():
+            response = await server.handle_frame(
+                {"op": "load", "doc": name, "text": text}
+            )
+            assert response["ok"], response
+        for name, text in texts.items():
+            oracle = Document.from_text(text)
+            for query in BIB_QUERIES:
+                frame = {"op": "query", "doc": name, "query": query}
+                if engine is not None:
+                    frame["engine"] = engine
+                response = await server.handle_frame(frame)
+                assert response["ok"], response
+                assert json.dumps(response["result"]["paths"]) == _payload(
+                    oracle, query, engine
+                )
+
+    asyncio.run(main())
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_random_documents_and_edits_match_oracle(engine):
+    async def main():
+        server = QueryServer(DocumentStore())
+        rng = random.Random(20260807)
+        for seed in range(8):
+            doc_rng = random.Random(seed)
+            document = random_document(doc_rng)
+            name = f"doc{seed}"
+            response = await server.handle_frame(
+                {"op": "load", "doc": name, "text": serialize(document.element)}
+            )
+            assert response["ok"], response
+            for _ in range(3):
+                for query in rng.sample(QUERIES, 3):
+                    frame = {
+                        "op": "query",
+                        "doc": name,
+                        "query": query,
+                        "verify": True,
+                    }
+                    if engine is not None:
+                        frame["engine"] = engine
+                    response = await server.handle_frame(frame)
+                    assert response["ok"], (query, response)
+                    # The oracle: a completely fresh parse + one-shot select.
+                    stored = server.store.get(name)
+                    oracle = Document.from_text(serialize(stored.document.element))
+                    assert json.dumps(
+                        response["result"]["paths"]
+                    ) == _payload(oracle, query, engine), (seed, query)
+                # A random subtree edit between query rounds.
+                stored = server.store.get(name)
+                paths = [
+                    (i,)
+                    for i in range(5, len(stored.document.element.content))
+                ]
+                if paths:
+                    path = list(rng.choice(paths))
+                    if rng.random() < 0.5:
+                        response = await server.handle_frame(
+                            {"op": "delete", "doc": name, "path": path}
+                        )
+                    else:
+                        response = await server.handle_frame(
+                            {
+                                "op": "replace",
+                                "doc": name,
+                                "path": path,
+                                "fragment": "<b><a>leaf</a></b>",
+                            }
+                        )
+                    assert response["ok"], response
+
+    asyncio.run(main())
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_inline_documents_match_oracle(engine):
+    async def main():
+        server = QueryServer()
+        for seed in range(5):
+            document = random_document(random.Random(100 + seed))
+            text = serialize(document.element)
+            for query in QUERIES[:4]:
+                frame = {"op": "query", "text": text, "query": query}
+                if engine is not None:
+                    frame["engine"] = engine
+                response = await server.handle_frame(frame)
+                assert response["ok"], response
+                assert json.dumps(response["result"]["paths"]) == _payload(
+                    Document.from_text(text), query, engine
+                )
+
+    asyncio.run(main())
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_concurrent_batched_queries_match_oracle(engine):
+    """Same-query concurrency: the batched path stays byte-identical."""
+
+    async def main():
+        server = QueryServer()
+        texts = [
+            serialize(random_document(random.Random(200 + i)).element)
+            for i in range(6)
+        ]
+        query = "xpath://a[b]"
+        frames = [
+            {"id": i, "op": "query", "text": text, "query": query}
+            for i, text in enumerate(texts)
+        ]
+        if engine is not None:
+            for frame in frames:
+                frame["engine"] = engine
+        responses = await asyncio.gather(
+            *(server.handle_frame(frame) for frame in frames)
+        )
+        assert any(r["stats"]["batch"] > 1 for r in responses)
+        for i, (response, text) in enumerate(zip(responses, texts)):
+            assert response["ok"], response
+            assert response["id"] == i
+            assert json.dumps(response["result"]["paths"]) == _payload(
+                Document.from_text(text), query, engine
+            )
+
+    asyncio.run(main())

@@ -1,0 +1,215 @@
+"""Concurrency soak: N TCP clients, mixed queries and edits, clean exit.
+
+Every client owns one mutable document on the server and a local replica
+it edits in lockstep — so each query response can be checked against
+``replica.select`` immediately.  A shared read-only document is queried
+by everyone to prove cross-client interleaving cannot bleed state: the
+per-response counter snapshot must describe exactly that response's
+batch group (``serve.selects == batch``), responses on one connection
+must come back in request order even when pipelined, and a ``shutdown``
+racing an in-flight query must still answer both before the listener
+drains.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+
+from repro.core.pipeline import Document
+from repro.serve import DocumentStore, QueryServer
+from repro.serve.protocol import encode_frame
+from repro.trees.xml import parse_document, serialize
+
+from .util import QUERIES, editable_paths, random_document, random_element
+
+CLIENTS = 6
+ROUNDS = 6
+ENGINES = ("naive", None, "numpy")
+SHARED_QUERY = "xpath://a[b]"
+
+
+async def _rpc(reader, writer, frame: dict) -> dict:
+    """One lockstep request/response exchange on an NDJSON connection."""
+    writer.write(encode_frame(frame))
+    await writer.drain()
+    line = await reader.readline()
+    assert line.endswith(b"\n"), line
+    return json.loads(line)
+
+
+def _paths(document: Document, query: str, engine: str | None) -> list:
+    return [list(path) for path in document.select(query, engine=engine)]
+
+
+async def _client(
+    cid: int, host: str, port: int, shared_oracle: Document
+) -> dict:
+    """One soak client; returns its view of the run for the final audit."""
+    rng = random.Random(1000 + cid)
+    engine = ENGINES[cid % len(ENGINES)]
+    name = f"client{cid}"
+    reader, writer = await asyncio.open_connection(host, port)
+    sent = 0
+
+    async def call(frame: dict) -> dict:
+        nonlocal sent
+        frame["id"] = f"{name}:{sent}"
+        sent += 1
+        response = await _rpc(reader, writer, frame)
+        # Lockstep ordering: the response is for the request just sent.
+        assert response["id"] == frame["id"], (frame, response)
+        return response
+
+    # The replica is round-tripped through text once so that the local
+    # object and the server's parse are structurally identical; all
+    # subsequent edits are applied to both sides from the same inputs.
+    text = serialize(random_document(rng).element)
+    replica = Document.from_text(text)
+    response = await call({"op": "load", "doc": name, "text": text})
+    assert response["ok"], response
+    assert response["stats"]["counters"]["serve.store_loads"] == 1
+
+    edits = 0
+    for _ in range(ROUNDS):
+        # One edit, mirrored on the replica.
+        paths = editable_paths(replica)
+        if paths and rng.random() < 0.3:
+            path = rng.choice(paths)
+            replica = replica.with_deleted(path)
+            response = await call(
+                {"op": "delete", "doc": name, "path": list(path)}
+            )
+        else:
+            path = rng.choice(paths) if paths else (5,)
+            fragment_text = serialize(random_element(rng, 1))
+            replica = replica.with_replaced(
+                path, parse_document(fragment_text)
+            )
+            response = await call(
+                {
+                    "op": "replace",
+                    "doc": name,
+                    "path": list(path),
+                    "fragment": fragment_text,
+                }
+            )
+        assert response["ok"], response
+        edits += 1
+        assert response["result"]["revision"] == edits
+        counters = response["stats"]["counters"]
+        # Edit responses carry edit work only — no select bleed.
+        assert counters["serve.store_edits"] == 1
+        assert "serve.selects" not in counters
+
+        # Two queries against the owned document, verified both ways.
+        for query in rng.sample(QUERIES, 2):
+            response = await call(
+                {
+                    "op": "query",
+                    "doc": name,
+                    "query": query,
+                    "engine": engine,
+                    "verify": True,
+                }
+            )
+            assert response["ok"], (name, query, response)
+            assert response["result"]["paths"] == _paths(
+                replica, query, engine
+            ), (name, query)
+            assert response["result"]["revision"] == edits
+            stats = response["stats"]
+            assert stats["counters"]["serve.selects"] == stats["batch"]
+
+        # One query against the shared read-only document.
+        response = await call(
+            {"op": "query", "doc": "shared", "query": SHARED_QUERY}
+        )
+        assert response["ok"], response
+        assert response["result"]["paths"] == _paths(
+            shared_oracle, SHARED_QUERY, None
+        )
+        stats = response["stats"]
+        assert stats["counters"]["serve.selects"] == stats["batch"]
+
+    # Pipelined burst: five requests written before any response is
+    # read; the responses must come back in request order.
+    burst = []
+    for _ in range(5):
+        frame = {
+            "id": f"{name}:{sent}",
+            "op": "query",
+            "doc": name,
+            "query": "//b",
+            "engine": engine,
+        }
+        sent += 1
+        burst.append(frame)
+        writer.write(encode_frame(frame))
+    await writer.drain()
+    expected = _paths(replica, "//b", engine)
+    for frame in burst:
+        line = await reader.readline()
+        response = json.loads(line)
+        assert response["id"] == frame["id"], (frame, response)
+        assert response["result"]["paths"] == expected
+
+    writer.close()
+    await writer.wait_closed()
+    return {"name": name, "sent": sent, "edits": edits}
+
+
+async def _soak() -> None:
+    server = QueryServer(DocumentStore(), batch_window=0.002)
+    host, port = await server.start_tcp()
+    shared_text = serialize(random_document(random.Random(42)).element)
+    shared_oracle = Document.from_text(shared_text)
+    response = await server.handle_frame(
+        {"op": "load", "doc": "shared", "text": shared_text}
+    )
+    assert response["ok"], response
+
+    reports = await asyncio.gather(
+        *(_client(cid, host, port, shared_oracle) for cid in range(CLIENTS))
+    )
+    assert len(reports) == CLIENTS
+    total_sent = sum(r["sent"] for r in reports)
+
+    # The shared document was never edited by anyone.
+    assert server.store.get("shared").revision == 0
+
+    # Shutdown with an in-flight request: both frames are written before
+    # any response is read, and both must be answered before the
+    # connection closes and the listener drains.
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        encode_frame(
+            {"id": "last", "op": "query", "doc": "shared", "query": "//a"}
+        )
+        + encode_frame({"id": "bye", "op": "shutdown"})
+    )
+    await writer.drain()
+    last = json.loads(await reader.readline())
+    bye = json.loads(await reader.readline())
+    assert last["id"] == "last" and last["ok"], last
+    assert bye["id"] == "bye" and bye["result"]["shutting_down"], bye
+    assert await reader.read() == b""  # server closed the connection
+    writer.close()
+    await writer.wait_closed()
+    await asyncio.wait_for(server.wait_closed(), timeout=10)
+
+    # Lifetime accounting: every frame of every client plus the two
+    # final ones and the direct shared load landed exactly once.
+    counters = server.lifetime.counters
+    assert counters["serve.requests"] == total_sent + 3
+    assert counters["serve.connections"] == CLIENTS + 1
+    assert counters.get("serve.request_errors", 0) == 0
+    assert counters.get("serve.verify_failures", 0) == 0
+    report = server.stats_report()
+    assert report["latency_ms"]["count"] == counters["serve.requests"]
+    assert report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
+
+
+def test_soak_tcp_clients_and_clean_shutdown():
+    asyncio.run(asyncio.wait_for(_soak(), timeout=120))

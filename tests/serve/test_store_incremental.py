@@ -1,0 +1,177 @@
+"""The incremental-maintenance oracle: reselect ≡ fresh parse + select.
+
+Random edit sequences against a :class:`DocumentStore`, with every
+selection checked two ways: ``verify=True`` re-runs the store's own
+one-shot path, and the test rebuilds the document from scratch (every
+tree node fresh) and selects on that object — so a bug in structural
+sharing, memo identity, or the relative-selection cache cannot hide.
+Engines rotate per seed across naive/table/numpy.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.core.pipeline import Document
+from repro.perf.trees import MAX_REL_SELECTED, marked_engine
+from repro.core.pipeline import _pattern_for
+from repro.serve.store import DocumentStore
+
+from .util import QUERIES, random_document, random_edit
+
+SEEDS = int(os.environ.get("REPRO_SERVE_SEEDS", "200"))
+ENGINES = ("naive", None, "numpy")
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+
+def test_incremental_reselect_oracle():
+    store = DocumentStore()
+    for seed in range(SEEDS):
+        rng = random.Random(seed)
+        engine = ENGINES[seed % len(ENGINES)]
+        document = random_document(rng)
+        store.load_document("doc", document)
+        queries = rng.sample(QUERIES, 2)
+        for _ in range(4):
+            current = store.document("doc")
+            kind, path, edited = random_edit(rng, current)
+            if kind == "delete":
+                store.delete_subtree("doc", path)
+            elif path[0] >= len(current.element.content):
+                # The grow fallback appends a child; reinstall wholesale.
+                store.load_document("doc", edited)
+            else:
+                # Re-apply through the store to exercise its spine rebuild.
+                fragment = edited.element_at(path)
+                store.replace_subtree("doc", path, fragment)
+            for query in queries:
+                incremental = store.select(
+                    "doc", query, engine=engine, verify=True
+                )
+                # Fresh-tree oracle: rebuilds every Tree node, so no
+                # memo entry of the store can leak into it.  (A
+                # serialize→reparse oracle would be unfaithful here:
+                # random subtrees may hold *adjacent* text chunks,
+                # which XML round-tripping merges into one ``#text``.)
+                fresh = Document.from_element(
+                    store.document("doc").element
+                ).select(query, engine=engine)
+                assert incremental == fresh, (seed, kind, path, query)
+
+
+def test_incremental_skips_untouched_subtrees():
+    """The dirty-set contract: only the spine is re-walked after an edit."""
+    from repro import obs
+
+    rng = random.Random(7)
+    document = random_document(rng, body=8)
+    store = DocumentStore()
+    store.load_document("doc", document)
+    store.select("doc", "//a")  # warm: full walk, memo populated
+    size = store.get("doc").tree.size
+    store.replace_subtree("doc", (5,), document.element_at((6,)))
+    with obs.collecting() as stats:
+        store.select("doc", "//a")
+    walked = stats.counters["trees.incremental_walked"]
+    assert 0 < walked < size, (walked, size)
+
+
+def test_memo_pruned_after_many_edits():
+    from repro import obs
+
+    rng = random.Random(11)
+    store = DocumentStore()
+    store.load_document("doc", random_document(rng, body=3))
+    with obs.collecting() as stats:
+        for i in range(200):
+            _kind, path, _ = random_edit(rng, store.document("doc"))
+            store.replace_subtree("doc", path, random_document(rng).element_at((0,)))
+            store.select("doc", "//a")
+    stored = store.get("doc")
+    limit = 4 * stored.tree.size + 256
+    for _engine, memo in stored._memos.values():
+        assert len(memo) <= limit
+    assert stats.counters.get("serve.memo_pruned", 0) > 0
+
+
+def test_rel_selected_cache_is_capped():
+    document = random_document(random.Random(3))
+    query = _pattern_for("//a", document.alphabet)
+    engine = marked_engine(query.compiled())
+    engine._rel_selected = dict.fromkeys(
+        ((-i, frozenset({i})) for i in range(1, MAX_REL_SELECTED + 1)),
+        frozenset(),
+    )
+    # A full-cache engine still evaluates correctly via the overlay.
+    memo: dict = {}
+    assert engine.incremental_evaluate(document.tree, memo) == engine.evaluate(
+        document.tree
+    )
+    assert len(engine._rel_selected) == MAX_REL_SELECTED
+    engine._rel_selected.clear()
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+def test_encode_with_memo_matches_full_reencoding():
+    """The numpy dirty-set path: memoized encodings ≡ full re-encoding."""
+    import numpy as np
+
+    from repro.perf import nptrees
+
+    rng = random.Random(23)
+    document = random_document(rng, body=6)
+    memo: dict = {}
+    for step in range(10):
+        enc = nptrees.encode_with_memo(document.tree, memo)
+        fresh = nptrees.EncodedDocument(document.tree)
+        for name in ("types", "labels", "arity", "child_start", "child_index"):
+            assert np.array_equal(
+                getattr(enc, name), getattr(fresh, name)
+            ), (step, name)
+        assert enc.paths == fresh.paths
+        assert [lv.tolist() for lv in enc.levels] == [
+            lv.tolist() for lv in fresh.levels
+        ]
+        _kind, _path, document = random_edit(rng, document)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+def test_numpy_type_memo_hits_after_edit():
+    from repro import obs
+    from repro.perf import nptrees
+
+    rng = random.Random(29)
+    store = DocumentStore()
+    store.load_document("doc", random_document(rng, body=8))
+    store.select("doc", "//a", engine="numpy")
+    store.replace_subtree("doc", (5,), store.document("doc").element_at((6,)))
+    with obs.collecting() as stats:
+        store.select("doc", "//a", engine="numpy")
+    size = store.get("doc").tree.size
+    hits = stats.counters.get("npkernel.type_memo_hits", 0)
+    assert hits > size // 2, (hits, size)
+
+
+def test_verify_mode_raises_on_divergence(monkeypatch):
+    from repro.serve.store import IncrementalMismatchError
+
+    store = DocumentStore()
+    store.load_document("doc", random_document(random.Random(1)))
+    query = _pattern_for("//b", store.document("doc").alphabet)
+    engine = marked_engine(query.compiled())
+    monkeypatch.setattr(
+        engine,
+        "incremental_evaluate",
+        lambda tree, memo: frozenset({(0, 0, 0, 0, 0)}),
+    )
+    with pytest.raises(IncrementalMismatchError):
+        store.select("doc", "//b", verify=True)

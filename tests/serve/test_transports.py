@@ -1,0 +1,232 @@
+"""Transport coverage: HTTP sniffing, stdio framing, fallback paths.
+
+The NDJSON suites drive ``handle_frame`` directly; these tests drive
+the byte-level front doors — the HTTP sniff on the TCP listener, the
+stdin/stdout loop, the shutdown race against an idle connection — and
+the degraded paths (``batch_select`` group failure, internal errors,
+verify divergence surfacing through the protocol).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.serve import DocumentStore, QueryServer
+from repro.serve.protocol import bool_field, encode_frame, string_field
+from repro.serve.server import _translate
+from repro.serve.store import IncrementalMismatchError
+from repro.trees.xml import make_bibliography
+
+from .test_protocol import ProtocolError, rpc, run
+
+
+async def _http(host: str, port: int, request: bytes) -> tuple[str, bytes]:
+    """One raw HTTP exchange; returns (status line, body bytes)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(request)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return head.split(b"\r\n")[0].decode(), body
+
+
+def _server() -> QueryServer:
+    store = DocumentStore()
+    store.load("bib", make_bibliography(3, 3))
+    return QueryServer(store)
+
+
+def test_http_get_stats():
+    async def main():
+        server = _server()
+        host, port = await server.start_tcp()
+        status, body = await _http(
+            host, port, b"GET /stats HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        assert status == "HTTP/1.1 200 OK"
+        report = json.loads(body)["result"]
+        assert report["documents"][0]["doc"] == "bib"
+        assert server.lifetime.counters["serve.http_requests"] == 1
+
+    run(main())
+
+
+def test_http_post_ndjson_body():
+    async def main():
+        server = _server()
+        host, port = await server.start_tcp()
+        payload = (
+            encode_frame({"id": 1, "op": "ping"})
+            + encode_frame(
+                {"id": 2, "op": "query", "doc": "bib", "query": "//author"}
+            )
+            + b"{malformed\n"
+        )
+        request = (
+            b"POST / HTTP/1.1\r\nHost: x\r\n"
+            + f"Content-Length: {len(payload)}\r\n\r\n".encode()
+            + payload
+        )
+        status, body = await _http(host, port, request)
+        assert status == "HTTP/1.1 200 OK"
+        lines = [json.loads(line) for line in body.splitlines()]
+        assert [r["id"] for r in lines] == [1, 2, None]
+        assert lines[0]["result"]["pong"]
+        assert lines[1]["result"]["count"] > 0
+        assert lines[2]["error"]["kind"] == "malformed-frame"
+
+    run(main())
+
+
+def test_http_unknown_route_is_404():
+    async def main():
+        server = _server()
+        host, port = await server.start_tcp()
+        status, body = await _http(
+            host, port, b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        assert status == "HTTP/1.1 404 Not Found"
+        assert json.loads(body)["error"]["kind"] == "bad-request"
+
+    run(main())
+
+
+def test_stdio_loop(monkeypatch):
+    """The stdin/stdout transport, in-process: frames in, lines out."""
+    frames = (
+        encode_frame({"id": 1, "op": "ping"})
+        + b"\n"  # blank lines are skipped, not answered
+        + encode_frame({"id": 2, "op": "docs"})
+        + encode_frame({"id": 3, "op": "shutdown"})
+        + encode_frame({"id": 4, "op": "ping"})  # after shutdown: unread
+    )
+
+    class _Stream:
+        def __init__(self, buffer):
+            self.buffer = buffer
+
+    out = io.BytesIO()
+    monkeypatch.setattr("sys.stdin", _Stream(io.BytesIO(frames)))
+    monkeypatch.setattr("sys.stdout", _Stream(out))
+    server = QueryServer()
+    run(server.run_stdio())
+    responses = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert [r["id"] for r in responses] == [1, 2, 3]
+    assert responses[2]["result"]["shutting_down"]
+    assert server.shutting_down
+
+
+def test_shutdown_closes_idle_connection():
+    """An idle reader loses the shutdown race and gets a clean EOF."""
+
+    async def main():
+        server = _server()
+        host, port = await server.start_tcp()
+        idle_reader, idle_writer = await asyncio.open_connection(host, port)
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(encode_frame({"id": "bye", "op": "shutdown"}))
+        await writer.drain()
+        assert json.loads(await reader.readline())["ok"]
+        await asyncio.wait_for(server.wait_closed(), timeout=10)
+        assert await asyncio.wait_for(idle_reader.read(), timeout=5) == b""
+        for w in (idle_writer, writer):
+            w.close()
+            await w.wait_closed()
+
+    run(main())
+
+
+def test_batch_select_failure_falls_back_per_job(monkeypatch):
+    """A group-level batch failure degrades to per-job selects."""
+    import repro.serve.server as server_module
+
+    def explode(*args, **kwargs):
+        raise RuntimeError("batch path down")
+
+    monkeypatch.setattr(server_module, "batch_select", explode)
+
+    async def main():
+        server = QueryServer()
+        texts = ["<a><b/></a>", "<a><a><b/></a></a>"]
+        frames = [
+            {"id": i, "op": "query", "text": text, "query": "//b"}
+            for i, text in enumerate(texts)
+        ]
+        responses = await asyncio.gather(
+            *(server.handle_frame(frame) for frame in frames)
+        )
+        assert all(r["ok"] for r in responses), responses
+        assert responses[0]["result"]["paths"] == [[0]]
+        assert responses[1]["result"]["paths"] == [[0, 0]]
+        assert any(r["stats"]["batch"] == 2 for r in responses)
+
+    run(main())
+
+
+def test_internal_errors_are_structured(monkeypatch):
+    server = _server()
+    monkeypatch.setattr(
+        server.store,
+        "select",
+        lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom")),
+    )
+    response = rpc(
+        server, {"op": "query", "doc": "bib", "query": "//author"}
+    )
+    assert response["error"]["kind"] == "internal"
+    assert "RuntimeError" in response["error"]["message"]
+
+
+def test_verify_divergence_surfaces_as_engine_error(monkeypatch):
+    server = _server()
+    monkeypatch.setattr(
+        server.store,
+        "select",
+        lambda *a, **k: (_ for _ in ()).throw(
+            IncrementalMismatchError("diverged")
+        ),
+    )
+    response = rpc(
+        server,
+        {"op": "query", "doc": "bib", "query": "//author", "verify": True},
+    )
+    assert response["error"]["kind"] == "engine"
+    assert "diverged" in response["error"]["message"]
+
+
+def test_translate_passes_protocol_errors_through():
+    error = ProtocolError("bad-request", "as-is")
+    assert _translate(error) is error
+
+
+def test_replace_needs_exactly_one_payload():
+    server = _server()
+    both = rpc(
+        server,
+        {
+            "op": "replace",
+            "doc": "bib",
+            "path": [0],
+            "fragment": "<a/>",
+            "text": "chunk",
+        },
+    )
+    neither = rpc(server, {"op": "replace", "doc": "bib", "path": [0]})
+    for response in (both, neither):
+        assert response["error"]["kind"] == "bad-request"
+        assert "exactly one" in response["error"]["message"]
+
+
+def test_field_type_validation():
+    with pytest.raises(ProtocolError) as info:
+        string_field({"doc": 7}, "doc")
+    assert "string" in str(info.value)
+    with pytest.raises(ProtocolError) as info:
+        bool_field({"verify": "yes"}, "verify")
+    assert "boolean" in str(info.value)

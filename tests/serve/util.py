@@ -1,0 +1,97 @@
+"""Shared generators for the serve suites: random documents and edits.
+
+Documents are random small XML trees over a fixed five-symbol alphabet.
+The first five root children are a *forced block* — one element per
+label plus one text chunk — and edits never touch it, so the document
+alphabet stays constant across any edit sequence: every query in
+:data:`QUERIES` compiles once per suite instead of once per revision,
+and no edit can make a query's labels vanish from the alphabet.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.pipeline import Document
+from repro.trees.xml import XMLElement
+
+LABELS = ("a", "b", "c", "d")
+
+#: Query strings spanning all three syntaxes over the fixed alphabet.
+QUERIES = (
+    "//a",
+    "//b",
+    "//c/d",
+    "xpath://a[b]",
+    "xpath://b[not(c)]",
+    "xpath://a/following-sibling::b",
+    "mso:lab_a(x)",
+    "mso:leaf(x) & !lab_d(x)",
+)
+
+#: The forced block: root children 0–4, never edited.
+_FORCED = 5
+
+
+def random_element(rng: random.Random, depth: int = 0) -> XMLElement:
+    """One random element; bounded depth and arity."""
+    content: list[XMLElement | str] = []
+    if depth < 3:
+        for _ in range(rng.randrange(0, 4)):
+            if rng.random() < 0.25:
+                content.append(f"t{rng.randrange(10)}")
+            else:
+                content.append(random_element(rng, depth + 1))
+    return XMLElement(rng.choice(LABELS), {}, content)
+
+
+def random_document(rng: random.Random, body: int | None = None) -> Document:
+    """A random document whose alphabet is exactly LABELS + ``#text``."""
+    forced: list[XMLElement | str] = [
+        XMLElement(label, {}, []) for label in LABELS
+    ]
+    forced.append("forced text")
+    count = body if body is not None else rng.randrange(2, 6)
+    children = forced + [random_element(rng, 1) for _ in range(count)]
+    return Document.from_element(XMLElement("a", {}, children))
+
+
+def editable_paths(document: Document) -> list[tuple[int, ...]]:
+    """Element paths an edit may target (outside the forced block)."""
+    found: list[tuple[int, ...]] = []
+    stack: list[tuple[tuple[int, ...], XMLElement]] = [((), document.element)]
+    while stack:
+        path, element = stack.pop()
+        for i, item in enumerate(element.content):
+            if not path and i < _FORCED:
+                continue
+            child = path + (i,)
+            if isinstance(item, XMLElement):
+                found.append(child)
+                stack.append((child, item))
+    return sorted(found)
+
+
+def random_edit(
+    rng: random.Random, document: Document
+) -> tuple[str, tuple[int, ...], Document]:
+    """One random replace/delete; returns (kind, path, new document)."""
+    paths = editable_paths(document)
+    if not paths:
+        path = (len(document.element.content),)
+        # Nothing editable left: grow a fresh body child instead.
+        grown = list(document.element.content) + [random_element(rng, 1)]
+        return (
+            "replace",
+            path,
+            Document.from_element(
+                XMLElement(
+                    document.element.tag, document.element.attributes, grown
+                )
+            ),
+        )
+    path = rng.choice(paths)
+    if rng.random() < 0.3:
+        return "delete", path, document.with_deleted(path)
+    fragment = random_element(rng, 1)
+    return "replace", path, document.with_replaced(path, fragment)

@@ -1,14 +1,14 @@
 #!/usr/bin/env python3
 """Documentation lints, run by the CI ``docs`` job.
 
-Two checks, both dependency-free:
+Four checks, all dependency-free:
 
 1. **Docstring coverage** over ``src/repro``: every module, public
    class, and public function/method should carry a docstring.  The
    floor is a ratchet — raise ``COVERAGE_FLOOR`` as coverage improves,
    never lower it.
-2. **README/CLI sync**: every ``repro ...`` invocation inside the
-   README's fenced code blocks must parse against the real
+2. **CLI sync**: every ``repro ...`` invocation inside the fenced code
+   blocks of README.md and docs/SERVE.md must parse against the real
    :func:`repro.cli.build_parser`, so the documented flags can never
    drift from the implementation.
 3. **Query-string sync** over every Markdown file in the repo: each
@@ -16,6 +16,11 @@ Two checks, both dependency-free:
    ``"xpath:…"`` / ``"mso:…"`` literal, and every ``--xpath "…"`` /
    ``--mso "…"`` flag inside any fence must parse through the real
    :mod:`repro.lang` parsers — documented queries can never go stale.
+4. **Serve-protocol sync**: docs/SERVE.md must document every ``op``
+   and error ``kind`` the server defines
+   (:data:`repro.serve.protocol.OPS` / ``ERROR_KINDS``), and every
+   frame line in its ```` ```json ```` fences must be well-formed —
+   a JSON object whose ``op`` / ``error.kind`` the server knows.
 
 Exit code 0 when all pass; 1 with a report otherwise.
 """
@@ -23,6 +28,7 @@ Exit code 0 when all pass; 1 with a report otherwise.
 from __future__ import annotations
 
 import ast
+import json
 import re
 import shlex
 import sys
@@ -151,6 +157,51 @@ def doc_query_strings(path: Path) -> list[tuple[str, str, str]]:
     return found
 
 
+def check_serve_doc(path: Path) -> tuple[int, list[str]]:
+    """(checked, problems): SERVE.md vs the real protocol module.
+
+    Every op and error kind the server defines must be named (in
+    backticks) somewhere in the document, and every frame line inside
+    a ```` ```json ```` fence must be a JSON object the protocol could
+    accept — known ``op`` on requests, known ``error.kind`` on error
+    responses.
+    """
+    from repro.serve.protocol import ERROR_KINDS, OPS
+
+    checked = 0
+    problems: list[str] = []
+    if not path.exists():
+        return 0, [f"{path.name} is missing"]
+    text = path.read_text()
+    for name in (*OPS, *ERROR_KINDS):
+        checked += 1
+        if f"`{name}`" not in text:
+            problems.append(f"{path.name}: op/kind `{name}` undocumented")
+    for language, body in _LANG_FENCE.findall(text):
+        if language != "json":
+            continue
+        for line in body.splitlines():
+            stripped = line.strip()
+            if not stripped.startswith("{"):
+                continue
+            checked += 1
+            where = f"{path.name}: {stripped[:60]}…"
+            try:
+                frame = json.loads(stripped)
+            except ValueError as error:
+                problems.append(f"{where} — not JSON: {error}")
+                continue
+            if not isinstance(frame, dict):
+                problems.append(f"{where} — frame is not an object")
+            elif "error" in frame:
+                kind = frame["error"].get("kind")
+                if kind not in ERROR_KINDS:
+                    problems.append(f"{where} — unknown error kind {kind!r}")
+            elif "ok" not in frame and frame.get("op") not in OPS:
+                problems.append(f"{where} — unknown op {frame.get('op')!r}")
+    return checked, problems
+
+
 def check_query_strings(root: Path) -> tuple[int, list[str]]:
     """(checked, problems) over every Markdown file in the repo."""
     from repro.lang import QuerySyntaxError, parse_mso, parse_xpath
@@ -184,14 +235,15 @@ def main() -> int:
         for where in missing:
             print(f"  {where}")
 
-    problems = check_cli_sync(REPO / "README.md")
-    checked = len(readme_cli_lines(REPO / "README.md"))
-    print(f"README CLI sync: {checked - len(problems)}/{checked} "
-          "invocations parse")
-    if problems:
-        failures += 1
-        for line in problems:
-            print(f"  rejected by the parser: {line}")
+    for doc in (REPO / "README.md", REPO / "docs" / "SERVE.md"):
+        problems = check_cli_sync(doc)
+        checked = len(readme_cli_lines(doc))
+        print(f"{doc.name} CLI sync: {checked - len(problems)}/{checked} "
+              "invocations parse")
+        if problems:
+            failures += 1
+            for line in problems:
+                print(f"  rejected by the parser: {line}")
 
     checked, query_problems = check_query_strings(REPO)
     print(f"doc query-string sync: {checked - len(query_problems)}/{checked} "
@@ -202,6 +254,14 @@ def main() -> int:
     if query_problems:
         failures += 1
         for line in query_problems:
+            print(f"  {line}")
+
+    checked, serve_problems = check_serve_doc(REPO / "docs" / "SERVE.md")
+    print(f"serve protocol sync: {checked - len(serve_problems)}/{checked} "
+          "names and frames check out")
+    if serve_problems:
+        failures += 1
+        for line in serve_problems:
             print(f"  {line}")
 
     return 1 if failures else 0
