@@ -108,10 +108,32 @@ def cmd_query(args: argparse.Namespace) -> int:
     return _with_stats(args, lambda: _run_query(args))
 
 
+def _stream_query(args, names, documents, pattern) -> int:
+    """``--stream``: one NDJSON line per match, as it is enumerated.
+
+    Each document streams through ``Document.select_iter`` (the
+    constant-delay enumeration path), so the first line appears before
+    the full answer set is known and ``--limit`` stops the traversal —
+    never materializing the rest.
+    """
+    total = 0
+    for name, document in zip(names, documents):
+        for path in document.select_iter(
+            pattern, engine=args.engine, limit=args.limit
+        ):
+            print(json.dumps({"doc": name, "path": list(path)}))
+            total += 1
+    print(f"-- {total} match(es)", file=sys.stderr)
+    return 0
+
+
 def _run_query(args: argparse.Namespace) -> int:
     _apply_compile_cache(args)
     if args.jobs is not None and args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.limit is not None and args.limit < 0:
+        print(f"--limit must be >= 0, got {args.limit}", file=sys.stderr)
         return 2
     pattern = _query_flags_pattern(args)
     names = list(args.documents)
@@ -136,14 +158,24 @@ def _run_query(args: argparse.Namespace) -> int:
     from .lang import QuerySyntaxError
 
     try:
+        if args.stream:
+            return _stream_query(args, names, documents, pattern)
         if len(documents) == 1 and args.jobs in (None, 1):
             # The historical single-document path (pipeline.selects counter).
-            results = [documents[0].select(pattern, engine=args.engine)]
+            results = [
+                documents[0].select(
+                    pattern, engine=args.engine, limit=args.limit
+                )
+            ]
         else:
             from .core.pipeline import batch_select
 
             results = batch_select(
-                documents, pattern, jobs=args.jobs, engine=args.engine
+                documents,
+                pattern,
+                jobs=args.jobs,
+                engine=args.engine,
+                limit=args.limit,
             )
     except (PatternError, QuerySyntaxError) as error:
         print(f"invalid query: {error}", file=sys.stderr)
@@ -508,6 +540,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-tree evaluator: naive (uncached oracles), table "
         "(interned-dict default), numpy (vectorized kernel; degrades "
         "to table without numpy)",
+    )
+    query.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after the first N matches per document (streams via "
+        "constant-delay enumeration on the single-document path)",
+    )
+    query.add_argument(
+        "--stream",
+        action="store_true",
+        help="emit one NDJSON object per match as it is enumerated "
+        '({"doc": ..., "path": [...]}), instead of serialized subtrees',
     )
     query.add_argument(
         "--stats",

@@ -74,6 +74,44 @@ def pattern_cache_clear() -> None:
 obs.register_cache("pipeline.cached_pattern", pattern_cache_info)
 
 
+def _slice_bounds(
+    limit: int | None, offset: int | None
+) -> tuple[int, int | None]:
+    """Validated ``(start, stop)`` for a ``limit``/``offset`` pair.
+
+    ``limit`` caps how many answers are returned, ``offset`` skips that
+    many leading answers first; both default to "everything".  Negative
+    or non-integer values raise :class:`ValueError` eagerly (before any
+    evaluation or streaming starts).
+    """
+    for name, value in (("limit", limit), ("offset", offset)):
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"{name} must be an integer, got {value!r}")
+        if value < 0:
+            raise ValueError(f"{name} must be non-negative, got {value}")
+    start = offset or 0
+    return start, (None if limit is None else start + limit)
+
+
+def _limited(stream: Iterator[Path], start: int, stop: int | None):
+    """``islice`` that closes the underlying cursor when it is dropped.
+
+    Closing the returned generator (or exhausting it) closes ``stream``
+    too, so an early-closed ``select_iter`` never leaves a half-walked
+    cursor computing in the background.
+    """
+    from itertools import islice
+
+    try:
+        yield from islice(stream, start, stop)
+    finally:
+        close = getattr(stream, "close", None)
+        if close is not None:
+            close()
+
+
 def _pattern_for(pattern: str, alphabet: tuple) -> Query:
     """``cached_pattern`` with per-call hit/miss counters when enabled."""
     sink = obs.SINK
@@ -85,6 +123,28 @@ def _pattern_for(pattern: str, alphabet: tuple) -> Query:
     sink.incr("pipeline.pattern_cache_hits", after.hits - before.hits)
     sink.incr("pipeline.pattern_cache_misses", after.misses - before.misses)
     return query
+
+
+def _coalesce_text(content: list, children: list, index: int) -> None:
+    """Merge two adjacent text chunks at ``index``/``index + 1``, if any.
+
+    An XML parser can never produce two adjacent text chunks, but an
+    edit can: deleting the element between two chunks, or replacing an
+    element *with* a chunk next to another chunk.  Left unmerged, the
+    edited document serializes to text that reparses into a *different*
+    tree (the serializer concatenates the chunks; the parser reads them
+    back as one node) — the serialize/reparse hazard the serve edit
+    oracle surfaced.  The merged chunk keeps the left position; one
+    ``#text`` leaf is dropped and later sibling indices shift left by
+    one, exactly as a reparse would see them.
+    """
+    if not (0 <= index and index + 1 < len(content)):
+        return
+    if isinstance(content[index], str) and isinstance(content[index + 1], str):
+        content[index] = content[index] + content[index + 1]
+        del content[index + 1]
+        del children[index + 1]
+        obs.SINK.incr("pipeline.text_merges")
 
 
 @dataclass
@@ -115,11 +175,24 @@ class Document:
 
     @property
     def alphabet(self) -> tuple:
-        """The labels occurring in the tree (query compilation alphabet)."""
-        return tuple(sorted(self.tree.labels()))
+        """The labels occurring in the tree (query compilation alphabet).
+
+        Cached per tree: repeated selects (and every ``select_iter``
+        cursor open) would otherwise pay a full O(n) label walk just to
+        key the pattern LRU.
+        """
+        cached = self.__dict__.get("_alphabet")
+        if cached is None or cached[0] is not self.tree:
+            cached = (self.tree, tuple(sorted(self.tree.labels())))
+            self.__dict__["_alphabet"] = cached
+        return cached[1]
 
     def select(
-        self, query: Query | str, engine: str | None = None
+        self,
+        query: Query | str,
+        engine: str | None = None,
+        limit: int | None = None,
+        offset: int | None = None,
     ) -> list[Path]:
         """Run a query (object or query string); document-ordered paths.
 
@@ -134,8 +207,13 @@ class Document:
         selects the vectorized tree kernel of :mod:`repro.perf.nptrees`,
         ``engine="naive"`` the uncached oracles; the default is the
         interned-dict engines.
+
+        ``limit``/``offset`` slice the materialized answer list — the
+        full selection is still evaluated; use :meth:`select_iter` to
+        stop *computing* after the first answers.
         """
         obs.SINK.incr("pipeline.selects")
+        start, stop = _slice_bounds(limit, offset)
         from ..perf.registry import validate_engine
 
         validate_engine(engine)
@@ -143,7 +221,42 @@ class Document:
             query = _pattern_for(query, self.alphabet)
         from ..perf.batch import evaluate_one
 
-        return sorted(evaluate_one(query, self.tree, engine=engine))
+        return sorted(evaluate_one(query, self.tree, engine=engine))[start:stop]
+
+    def select_iter(
+        self,
+        query: Query | str,
+        engine: str | None = None,
+        limit: int | None = None,
+        offset: int | None = None,
+    ) -> Iterator[Path]:
+        """Stream selected paths in document order; ≡ :meth:`select`.
+
+        The constant-delay enumeration path
+        (:func:`repro.perf.enumerate.stream_select`): one linear
+        preprocessing pass (the bottom-up typing sweep), then answers
+        are yielded one at a time, walking only subtrees that contain
+        answers — the full answer list is never built, so
+        time-to-first-answer and peak memory are independent of how
+        many answers follow.  Query strings go through exactly the same
+        pattern LRU and compile cache as :meth:`select`; ``engine``
+        means the same thing (``"naive"`` degrades to a materialized
+        select behind ``enumerate.fallbacks``).
+
+        ``limit`` stops the walk after that many answers; ``offset``
+        skips leading answers first.  Closing the returned generator
+        stops the walk immediately.
+        """
+        obs.SINK.incr("pipeline.select_iters")
+        start, stop = _slice_bounds(limit, offset)
+        from ..perf.registry import validate_engine
+
+        validate_engine(engine)
+        if isinstance(query, str):
+            query = _pattern_for(query, self.alphabet)
+        from ..perf.enumerate import stream_select
+
+        return _limited(stream_select(query, self.tree, engine=engine), start, stop)
 
     def matches(
         self, query: Query | str, engine: str | None = None
@@ -160,13 +273,18 @@ class Document:
         query: Query | str,
         jobs: int | None = None,
         engine: str | None = None,
+        limit: int | None = None,
+        offset: int | None = None,
     ) -> list[list[Path]]:
         """One query over many documents (module :func:`batch_select`).
 
         ``jobs`` > 1 shards the documents across worker processes; see
         :class:`repro.perf.parallel.ParallelExecutor`.
         """
-        return batch_select(documents, query, jobs=jobs, engine=engine)
+        return batch_select(
+            documents, query, jobs=jobs, engine=engine,
+            limit=limit, offset=offset,
+        )
 
     def element_at(self, path: Path) -> XMLElement | str:
         """The XML element (or text chunk) at a tree path."""
@@ -192,6 +310,13 @@ class Document:
         ``replacement`` is ``(content_item, subtree)`` or ``None`` to
         delete.  Raises :class:`KeyError` for paths through text chunks
         or out-of-range indices, and :class:`ValueError` for the root.
+
+        Text chunks left adjacent *by the edit itself* are merged into
+        one chunk (:func:`_coalesce_text`), so an edited document always
+        serializes to XML that reparses into the same tree — adjacency
+        a parser can never produce never survives an edit.  Siblings the
+        edit did not make adjacent are left alone (their indices never
+        shift), so untouched subtrees stay shared with this document.
         """
         if not path:
             raise ValueError("cannot edit the document root; load a new one")
@@ -213,8 +338,12 @@ class Document:
         if replacement is None:
             del new_content[last]
             del new_children[last]
+            _coalesce_text(new_content, new_children, last - 1)
         else:
             new_content[last], new_children[last] = replacement
+            if isinstance(new_content[last], str):
+                _coalesce_text(new_content, new_children, last)
+                _coalesce_text(new_content, new_children, last - 1)
         child_element = XMLElement(
             elements[-1].tag, elements[-1].attributes, new_content
         )
@@ -238,7 +367,10 @@ class Document:
 
         ``fragment`` is a parsed :class:`XMLElement` (or a raw text
         chunk).  Siblings and all untouched subtrees are shared with
-        this document — only the spine to the root is rebuilt.
+        this document — only the spine to the root is rebuilt.  A text
+        chunk placed next to an existing chunk is merged with it
+        (:func:`_coalesce_text`), so the result always serializes and
+        reparses to the same tree.
         """
         subtree = (
             to_tree(fragment)
@@ -248,7 +380,12 @@ class Document:
         return self._rebuild(path, (fragment, subtree))
 
     def with_deleted(self, path: Path) -> "Document":
-        """A new document with the subtree at ``path`` removed."""
+        """A new document with the subtree at ``path`` removed.
+
+        Text chunks the deletion makes adjacent are merged into one
+        chunk (:func:`_coalesce_text`) so the result round-trips
+        through serialize/reparse unchanged.
+        """
         return self._rebuild(path, None)
 
 
@@ -268,6 +405,8 @@ def batch_select(
     query: Query | str,
     jobs: int | None = None,
     engine: str | None = None,
+    limit: int | None = None,
+    offset: int | None = None,
 ) -> list[list[Path]]:
     """Run one query over many documents; optionally sharded across workers.
 
@@ -281,9 +420,15 @@ def batch_select(
     submission order and are byte-identical to the serial path; worker
     counters land in the installed :mod:`repro.obs` sink.  ``jobs`` of
     ``None`` or 1 stays entirely in-process.
+
+    ``limit``/``offset`` slice each document's answer list after its
+    full evaluation (every tree is still evaluated whole — sharded
+    workers return complete results); for per-answer streaming use
+    :meth:`Document.select_iter` per document.
     """
     documents = list(documents)
     obs.SINK.incr("pipeline.batch_selects")
+    start, stop = _slice_bounds(limit, offset)
     from ..perf.registry import validate_engine
 
     validate_engine(engine)
@@ -301,7 +446,7 @@ def batch_select(
         from ..perf.batch import batch_evaluate
 
         results = batch_evaluate(query, trees, engine=engine)
-    return [sorted(paths) for paths in results]
+    return [sorted(paths)[start:stop] for paths in results]
 
 
 class Corpus:
@@ -407,6 +552,8 @@ class Corpus:
         jobs: int | None = None,
         alphabet: Sequence[str] | None = None,
         engine: str | None = None,
+        limit: int | None = None,
+        offset: int | None = None,
     ) -> list[list[Path]]:
         """One document-ordered path list per document, in corpus order.
 
@@ -417,9 +564,12 @@ class Corpus:
         corpus pass ``alphabet=`` explicitly (or a compiled query), since
         the stream cannot be scanned twice.  ``engine`` selects the
         per-tree evaluator (``"numpy"`` for the vectorized kernel) and
-        rides along to the workers when sharded.
+        rides along to the workers when sharded.  ``limit``/``offset``
+        slice each document's answers after full evaluation, exactly as
+        in :func:`batch_select`.
         """
         obs.SINK.incr("pipeline.corpus_selects")
+        start, stop = _slice_bounds(limit, offset)
         from ..perf.registry import validate_engine
 
         validate_engine(engine)
@@ -444,4 +594,4 @@ class Corpus:
 
             call = _engine_call(query, engine=engine)
             results = [call(tree) for tree in trees]
-        return [sorted(paths) for paths in results]
+        return [sorted(paths)[start:stop] for paths in results]

@@ -24,6 +24,7 @@ ERROR_KINDS = (
     "query-syntax",
     "validation",
     "budget-exceeded",
+    "cursor-invalid",
     "engine",
     "internal",
 )
@@ -36,6 +37,9 @@ OPS = (
     "replace",
     "delete",
     "query",
+    "open_cursor",
+    "next_page",
+    "close_cursor",
     "docs",
     "stats",
     "shutdown",
@@ -171,6 +175,24 @@ def budget_field(frame: dict, name: str, default=None):
     if value < 0:
         raise ProtocolError(
             "bad-request", f"field {name!r} must be non-negative"
+        )
+    return value
+
+
+def count_field(
+    frame: dict, name: str, default: int | None = None
+) -> int | None:
+    """An optional positive integer field (page sizes and limits)."""
+    value = frame.get(name, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(
+            "bad-request", f"field {name!r} must be an integer"
+        )
+    if value < 1:
+        raise ProtocolError(
+            "bad-request", f"field {name!r} must be positive"
         )
     return value
 

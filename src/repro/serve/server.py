@@ -41,6 +41,7 @@ from .protocol import (
     ProtocolError,
     bool_field,
     budget_field,
+    count_field,
     decode_frame,
     encode_frame,
     error_response,
@@ -112,6 +113,77 @@ class _QueryJob:
         self.response: dict | None = None
 
 
+#: Default answers per ``next_page`` when neither the cursor nor the
+#: request names a page size.
+DEFAULT_PAGE_SIZE = 100
+
+_CURSOR_OPS = ("open_cursor", "next_page", "close_cursor")
+
+
+class _Cursor:
+    """One open constant-delay enumeration cursor.
+
+    Wraps a :func:`repro.perf.enumerate.stream_select` iterator (via
+    ``DocumentStore.select_iter`` for stored documents, so the warm
+    incremental state is threaded in) pinned to the revision it was
+    opened on.  ``pending`` buffers answers pulled off the iterator by a
+    page that tripped its time budget — they are returned first by the
+    retry, so a budget trip never loses answers.  ``stats`` accumulates
+    the per-cursor ``obs`` counters reported under ``stats.cursors``.
+    """
+
+    __slots__ = (
+        "cid",
+        "name",
+        "revision",
+        "engine",
+        "query",
+        "page_size",
+        "budget_ms",
+        "iterator",
+        "pending",
+        "emitted",
+        "pages",
+        "done",
+        "stats",
+    )
+
+    def __init__(
+        self, cid, name, revision, engine, query, page_size, budget_ms, iterator
+    ) -> None:
+        self.cid = cid
+        self.name = name
+        self.revision = revision
+        self.engine = engine
+        self.query = query
+        self.page_size = page_size
+        self.budget_ms = budget_ms
+        self.iterator = iterator
+        self.pending: list = []
+        self.emitted = 0
+        self.pages = 0
+        self.done = False
+        self.stats = obs.Stats()
+
+    def close(self) -> None:
+        """Release the underlying generator (idempotent)."""
+        close = getattr(self.iterator, "close", None)
+        if close is not None:
+            close()
+
+    def describe(self) -> dict:
+        """The JSON-ready per-cursor block of the stats report."""
+        return {
+            "doc": self.name,
+            "revision": self.revision,
+            "engine": self.engine,
+            "query": self.query,
+            "answers": self.emitted,
+            "pages": self.pages,
+            "counters": dict(self.stats.counters),
+        }
+
+
 class QueryServer:
     """The long-lived query service over one :class:`DocumentStore`."""
 
@@ -139,6 +211,8 @@ class QueryServer:
         self._servers: list[asyncio.AbstractServer] = []
         self._connections: set[asyncio.Task] = set()
         self._shutdown: asyncio.Event | None = None
+        self._cursors: dict[str, _Cursor] = {}
+        self._cursor_seq = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -175,6 +249,7 @@ class QueryServer:
             await asyncio.gather(
                 *list(self._connections), return_exceptions=True
             )
+        self._expire_cursors()
         self._servers.clear()
 
     async def run_stdio(self) -> None:
@@ -301,6 +376,8 @@ class QueryServer:
             op = op_field(frame)
             if op == "query":
                 response = await self._handle_query(rid, frame)
+            elif op in _CURSOR_OPS:
+                response = self._handle_cursor(op, rid, frame)
             else:
                 response = self._handle_simple(op, rid, frame)
         except ProtocolError as error:
@@ -326,8 +403,11 @@ class QueryServer:
         if op == "stats":
             return ok_response(rid, self.stats_report())
         if op == "shutdown":
+            expired = self._expire_cursors()
             self._shutdown_event().set()
-            return ok_response(rid, {"shutting_down": True})
+            return ok_response(
+                rid, {"shutting_down": True, "cursors_expired": expired}
+            )
         stats = obs.Stats()
         try:
             with obs.collecting(stats):
@@ -369,6 +449,190 @@ class QueryServer:
         return ok_response(
             rid, result, stats={"counters": dict(stats.counters)}
         )
+
+    # -- cursor ops (constant-delay enumeration) --------------------------
+
+    def _handle_cursor(self, op: str, rid, frame: dict) -> dict:
+        """Dispatch ``open_cursor`` / ``next_page`` / ``close_cursor``.
+
+        Per-request counters are collected exactly like ``_handle_simple``
+        and additionally merged into the cursor's own ``stats``, which is
+        what the ``stats`` op reports per open cursor.
+        """
+        cursor: _Cursor | None = None
+        if op != "open_cursor":
+            cid = string_field(frame, "cursor", required=True)
+            cursor = self._cursors.get(cid)
+            if cursor is None:
+                raise ProtocolError(
+                    "not-found", f"unknown cursor {cid!r}", cursor=cid
+                )
+        stats = obs.Stats()
+        try:
+            with obs.collecting(stats):
+                if op == "open_cursor":
+                    cursor, result = self._open_cursor(frame)
+                elif op == "next_page":
+                    result = self._next_page(cursor, frame)
+                else:
+                    assert op == "close_cursor", op
+                    result = self._close_cursor(cursor)
+        except ProtocolError as error:
+            if error.kind == "budget-exceeded":
+                error.extras.setdefault("counters", dict(stats.counters))
+            raise
+        finally:
+            self.lifetime.merge(stats)
+            if cursor is not None:
+                cursor.stats.merge(stats)
+        return ok_response(
+            rid, result, stats={"counters": dict(stats.counters)}
+        )
+
+    def _open_cursor(self, frame: dict) -> tuple[_Cursor, dict]:
+        """Admit and open one enumeration cursor; first page comes later."""
+        query = string_field(frame, "query", required=True)
+        engine = string_field(frame, "engine", default=self.engine)
+        page_size = count_field(frame, "page_size", DEFAULT_PAGE_SIZE)
+        budget_steps = budget_field(frame, "budget_steps", self.budget_steps)
+        budget_ms = budget_field(frame, "budget_ms", self.budget_ms)
+        name = string_field(frame, "doc")
+        text = string_field(frame, "text")
+        if (name is None) == (text is None):
+            raise ProtocolError(
+                "bad-request", "open_cursor needs exactly one of doc or text"
+            )
+        from ..perf.registry import validate_engine
+
+        validate_engine(engine)
+        revision = None
+        if text is not None:
+            document = Document.from_text(text)
+            tree = document.tree
+        else:
+            stored = self.store.get(name)
+            revision = stored.revision
+            tree = stored.tree
+        if budget_steps is not None and tree.size > budget_steps:
+            self.lifetime.incr("serve.budget_steps_trips")
+            raise ProtocolError(
+                "budget-exceeded",
+                f"document has {tree.size} nodes, over the "
+                f"{budget_steps}-step budget",
+                budget_steps=budget_steps,
+                nodes=tree.size,
+            )
+        if text is not None:
+            iterator = document.select_iter(query, engine=engine)
+        else:
+            iterator = self.store.select_iter(name, query, engine=engine)
+        cid = f"c{self._cursor_seq}"
+        self._cursor_seq += 1
+        cursor = _Cursor(
+            cid, name, revision, engine, query, page_size, budget_ms, iterator
+        )
+        self._cursors[cid] = cursor
+        obs.SINK.incr("serve.cursor_opens")
+        result = {"cursor": cid, "page_size": page_size}
+        if name is not None:
+            result["doc"] = name
+            result["revision"] = revision
+        return cursor, result
+
+    def _next_page(self, cursor: _Cursor, frame: dict) -> dict:
+        """Pull one page off the cursor, under a per-call time budget.
+
+        Answers pulled before a budget trip are parked on
+        ``cursor.pending`` and lead the next page, so trips lose nothing.
+        A stored-document edit (or unload) since ``open_cursor``
+        invalidates the cursor with a structured ``cursor-invalid`` error
+        — the stream was enumerating the old revision's tree.
+        """
+        if cursor.name is not None:
+            stored = (
+                self.store.get(cursor.name)
+                if cursor.name in self.store
+                else None
+            )
+            if stored is None or stored.revision != cursor.revision:
+                self._cursors.pop(cursor.cid, None)
+                cursor.close()
+                obs.SINK.incr("serve.cursor_invalidations")
+                raise ProtocolError(
+                    "cursor-invalid",
+                    f"document {cursor.name!r} changed under cursor "
+                    f"{cursor.cid!r}; re-open to enumerate the new revision",
+                    cursor=cursor.cid,
+                    doc=cursor.name,
+                    opened_revision=cursor.revision,
+                    current_revision=None if stored is None else stored.revision,
+                )
+        page_size = count_field(frame, "page_size", cursor.page_size)
+        budget_ms = budget_field(frame, "budget_ms", cursor.budget_ms)
+        deadline = (
+            None
+            if budget_ms is None
+            else time.perf_counter() + budget_ms / 1000.0
+        )
+        page: list = cursor.pending[:page_size]
+        cursor.pending = cursor.pending[page_size:]
+        while len(page) < page_size and not cursor.done and not cursor.pending:
+            if deadline is not None and time.perf_counter() >= deadline:
+                cursor.pending = page + cursor.pending
+                self.lifetime.incr("serve.budget_ms_trips")
+                raise ProtocolError(
+                    "budget-exceeded",
+                    f"next_page exceeded its {budget_ms} ms budget; "
+                    f"{len(page)} answers buffered for retry",
+                    budget_ms=budget_ms,
+                    buffered=len(page),
+                    cursor=cursor.cid,
+                )
+            try:
+                page.append(next(cursor.iterator))
+            except StopIteration:
+                cursor.done = True
+        offset = cursor.emitted
+        cursor.emitted += len(page)
+        cursor.pages += 1
+        obs.SINK.incr("serve.cursor_pages")
+        obs.SINK.incr("serve.cursor_answers", len(page))
+        done = cursor.done and not cursor.pending
+        if done:
+            self._cursors.pop(cursor.cid, None)
+            cursor.close()
+        result = {
+            "cursor": cursor.cid,
+            "paths": paths_payload(page),
+            "count": len(page),
+            "offset": offset,
+            "done": done,
+        }
+        if cursor.name is not None:
+            result["doc"] = cursor.name
+            result["revision"] = cursor.revision
+        return result
+
+    def _close_cursor(self, cursor: _Cursor) -> dict:
+        """Release the cursor and its generator explicitly."""
+        self._cursors.pop(cursor.cid, None)
+        cursor.close()
+        obs.SINK.incr("serve.cursor_closes")
+        return {
+            "closed": cursor.cid,
+            "answers": cursor.emitted,
+            "pages": cursor.pages,
+        }
+
+    def _expire_cursors(self) -> int:
+        """Drop every open cursor (shutdown drain); idempotent."""
+        expired = 0
+        while self._cursors:
+            _cid, cursor = self._cursors.popitem()
+            cursor.close()
+            self.lifetime.incr("serve.cursor_expired")
+            expired += 1
+        return expired
 
     # -- the query path (micro-batched) ----------------------------------
 
@@ -528,5 +792,12 @@ class QueryServer:
             "requests": self.lifetime.counters.get("serve.requests", 0),
             "latency_ms": latency,
             "documents": self.store.info()["documents"],
+            "cursors": {
+                "open": len(self._cursors),
+                "cursors": {
+                    cid: cursor.describe()
+                    for cid, cursor in self._cursors.items()
+                },
+            },
             "report": report,
         }

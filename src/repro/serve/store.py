@@ -257,6 +257,51 @@ class DocumentStore:
                 )
         return result
 
+    def select_iter(
+        self, name: str, query: Query | str, engine: str | None = None
+    ):
+        """Stream selected paths in document order; ≡ :meth:`select`.
+
+        The constant-delay enumeration path over the stored document's
+        *warm* incremental state: the default (table) engine threads
+        this document's per-engine type memo into
+        :func:`repro.perf.enumerate.stream_select`, so with a hot memo
+        the preprocessing pass is an O(1) root identity hit and the
+        first answer costs only its jump chain; ``engine="numpy"``
+        streams over the per-revision :meth:`StoredDocument.np_encoding`
+        combo tables; ``engine="naive"`` degrades to iterating a fresh
+        materialized select.  The iterator is bound to the revision it
+        was opened on — the server's cursor ops invalidate it on edits.
+        """
+        obs.SINK.incr("serve.store_select_iters")
+        from ..perf.registry import validate_engine
+
+        validate_engine(engine)
+        stored = self.get(name)
+        document = stored.document
+        query_obj = query
+        if isinstance(query, str):
+            query_obj = _pattern_for(query, document.alphabet)
+        compiled = getattr(query_obj, "compiled", None)
+        if compiled is None or engine == "naive":
+            return document.select_iter(query_obj, engine=engine)
+        from ..perf.enumerate import stream_select
+
+        kwargs: dict = {}
+        if engine == "numpy":
+            from ..perf.nptrees import tree_kernel
+
+            if tree_kernel("numpy") is not None:
+                kwargs["encoding"] = stored.np_encoding()
+        if "encoding" not in kwargs:
+            from ..perf.trees import marked_engine
+
+            eng = marked_engine(compiled())
+            kwargs["type_memo"] = stored.memo_for(eng)
+        return stream_select(
+            query_obj, stored.tree, engine=engine, **kwargs
+        )
+
     def _select_numpy(self, stored: StoredDocument, query_obj) -> list[Path]:
         from ..perf.nptrees import tree_kernel
 

@@ -96,3 +96,62 @@ class TestPipeline:
     def test_run_pattern_one_shot(self):
         years = run_pattern(BIBLIOGRAPHY_EXAMPLE, "//year")
         assert len(years) == 2
+
+
+class TestEditTextCoalescing:
+    """Edits never leave adjacent text chunks a parser can't produce.
+
+    Deleting (or replacing with text) an element between two text chunks
+    used to leave ``["x", "y"]`` adjacent in content — the edited tree
+    had two ``#text`` leaves, but serializing and reparsing merged them
+    into one, so the edited document and its round-trip disagreed on
+    paths.  ``with_deleted``/``with_replaced`` now coalesce.
+    """
+
+    def _roundtrips(self, document):
+        from repro.trees.xml import serialize
+
+        reparsed = Document.from_text(serialize(document.element))
+        assert str(reparsed.tree) == str(document.tree)
+        assert reparsed.select("//#text") == document.select("//#text")
+
+    def test_delete_between_text_chunks(self):
+        from repro import obs
+
+        document = Document.from_text("<a>x<b/>y</a>")
+        stats = obs.Stats()
+        with obs.collecting(stats):
+            edited = document.with_deleted((1,))
+        assert edited.element.content == ["xy"]
+        assert edited.tree.size == 2  # a + one merged #text leaf
+        assert stats.counters["pipeline.text_merges"] == 1
+        self._roundtrips(edited)
+
+    def test_replace_with_text_between_text_chunks(self):
+        document = Document.from_text("<a>x<b/>y</a>")
+        edited = document.with_replaced((1,), "-mid-")
+        assert edited.element.content == ["x-mid-y"]
+        self._roundtrips(edited)
+
+    def test_replace_with_element_keeps_chunks_apart(self):
+        document = Document.from_text("<a>x<b/>y</a>")
+        edited = document.with_replaced((1,), document.element_at((1,)))
+        assert edited.element.content[0] == "x"
+        assert edited.element.content[2] == "y"
+        self._roundtrips(edited)
+
+    def test_delete_with_one_sided_text(self):
+        document = Document.from_text("<a>x<b/><c/></a>")
+        edited = document.with_deleted((1,))
+        assert edited.element.content[0] == "x"
+        assert len(edited.element.content) == 2
+        self._roundtrips(edited)
+
+    def test_select_agrees_after_edit(self):
+        document = Document.from_text("<a>x<b/>y<b/>z</a>")
+        edited = document.with_deleted((3,))
+        from repro.trees.xml import serialize
+
+        fresh = Document.from_text(serialize(edited.element))
+        for query in ("//#text", "//b", "//*"):
+            assert edited.select(query) == fresh.select(query), query

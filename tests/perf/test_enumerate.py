@@ -1,0 +1,245 @@
+"""Seeded differential suite: streamed enumeration ≡ materialized select.
+
+``Document.select_iter`` / :func:`repro.perf.enumerate.stream_select`
+must yield exactly the paths ``Document.select`` returns, in document
+order, on every engine — including the degenerate shapes that stress the
+jump pointers (deep chains, wide fans, empty answer sets) — while never
+materializing the full answer list and while sharing the same compile
+path (pattern LRU + compile cache) as ``select``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.core.pipeline import Document, pattern_cache_clear
+from repro.perf.enumerate import stream_select
+from repro.trees.xml import XMLElement, make_bibliography
+
+from ..serve.util import QUERIES, random_document
+
+ENGINES = ("naive", None, "table", "numpy")
+
+BIB_QUERIES = (
+    "//author",
+    "//nothing",
+    "xpath://book[author and year]/title",
+    "xpath://book[not(year)]",
+    "mso:lab_author(x)",
+)
+
+
+def chain_document(depth: int) -> Document:
+    """A unary chain ``a/a/.../a/b`` of the given depth."""
+    node = XMLElement("b", {}, [])
+    for _ in range(depth):
+        node = XMLElement("a", {}, [node])
+    return Document.from_element(node)
+
+
+def fan_document(leaves: int) -> Document:
+    """A root with ``leaves`` children cycling through four labels."""
+    labels = ("a", "b", "c", "d")
+    children = [XMLElement(labels[i % 4], {}, []) for i in range(leaves)]
+    return Document.from_element(XMLElement("r", {}, children))
+
+
+class TestStreamEqualsSelect:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_random_documents(self, engine):
+        """Seeded random documents × all query syntaxes × every engine."""
+        for seed in range(6):
+            document = random_document(random.Random(seed))
+            for query in QUERIES:
+                expected = document.select(query, engine=engine)
+                streamed = list(document.select_iter(query, engine=engine))
+                assert streamed == expected, (seed, query, engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_bibliography(self, engine):
+        document = Document.from_text(make_bibliography(6, 5))
+        for query in BIB_QUERIES:
+            expected = document.select(query, engine=engine)
+            assert (
+                list(document.select_iter(query, engine=engine)) == expected
+            ), (query, engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_deep_chain(self, engine):
+        """300-deep unary chain: the cursor walk must stay iterative."""
+        document = chain_document(300)
+        for query in ("//b", "//a", "//c"):
+            expected = document.select(query, engine=engine)
+            assert (
+                list(document.select_iter(query, engine=engine)) == expected
+            ), (query, engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_wide_fan(self, engine):
+        """900-leaf fan: jump pointers must skip unproductive leaves."""
+        document = fan_document(900)
+        for query in ("//b", "//d", "//missing"):
+            expected = document.select(query, engine=engine)
+            assert (
+                list(document.select_iter(query, engine=engine)) == expected
+            ), (query, engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_query_objects(self, engine):
+        """Compiled Query objects stream identically to their strings."""
+        from repro.core.pipeline import _pattern_for
+
+        document = Document.from_text(make_bibliography(4, 3))
+        for query in BIB_QUERIES:
+            query_obj = _pattern_for(query, document.alphabet)
+            expected = document.select(query_obj, engine=engine)
+            streamed = list(
+                stream_select(query_obj, document.tree, engine=engine)
+            )
+            assert streamed == expected, (query, engine)
+
+
+class TestCursorSemantics:
+    def test_exhaustion(self):
+        document = fan_document(8)
+        cursor = document.select_iter("//b")
+        answers = list(cursor)
+        assert answers == document.select("//b")
+        assert list(cursor) == []  # exhausted, stays exhausted
+
+    def test_empty_answer_set(self):
+        document = fan_document(8)
+        assert list(document.select_iter("//zzz")) == []
+
+    def test_early_close(self):
+        document = fan_document(100)
+        cursor = document.select_iter("//b")
+        first = next(cursor)
+        assert first == document.select("//b")[0]
+        cursor.close()
+        with pytest.raises(StopIteration):
+            next(cursor)
+
+    @pytest.mark.parametrize("engine", (None, "numpy", "naive"))
+    def test_limit_offset(self, engine):
+        document = Document.from_text(make_bibliography(5, 4))
+        full = document.select("//author", engine=engine)
+        assert len(full) >= 5
+        for limit, offset in [
+            (0, None),
+            (1, None),
+            (3, 2),
+            (None, 3),
+            (100, None),
+            (2, 100),
+        ]:
+            start = offset or 0
+            stop = None if limit is None else start + limit
+            assert (
+                list(
+                    document.select_iter(
+                        "//author", engine=engine, limit=limit, offset=offset
+                    )
+                )
+                == full[start:stop]
+            ), (limit, offset, engine)
+            assert (
+                document.select(
+                    "//author", engine=engine, limit=limit, offset=offset
+                )
+                == full[start:stop]
+            ), (limit, offset, engine)
+
+    def test_limit_validation(self):
+        document = fan_document(4)
+        for bad in (-1, 1.5, True):
+            with pytest.raises(ValueError):
+                document.select_iter("//b", limit=bad)
+            with pytest.raises(ValueError):
+                document.select_iter("//b", offset=bad)
+            with pytest.raises(ValueError):
+                document.select("//b", limit=bad)
+
+    def test_limit_stops_traversal(self):
+        """``limit=1`` on a wide fan must not walk the whole tree."""
+        document = fan_document(900)
+        stats = obs.Stats()
+        with obs.collecting(stats):
+            assert list(document.select_iter("//a", limit=1)) == [(0,)]
+        assert 0 < stats.counters["enumerate.nodes"] < 50
+        assert stats.counters["enumerate.answers"] == 1
+
+    def test_unproductive_subtrees_skipped(self):
+        """A lone hit among 900 leaves costs a bounded walk, not O(n)."""
+        children = [XMLElement("a", {}, []) for _ in range(900)]
+        children[450] = XMLElement("hit", {}, [])
+        document = Document.from_element(XMLElement("r", {}, children))
+        stats = obs.Stats()
+        with obs.collecting(stats):
+            assert list(document.select_iter("//hit")) == [(450,)]
+        # Root + the one productive child: the 899 unproductive leaves
+        # are never visited by the cursor walk.
+        assert stats.counters["enumerate.nodes"] <= 4
+
+
+class TestSharedCompilePath:
+    def test_select_iter_uses_pattern_lru(self):
+        """select then select_iter on one string: one miss, then hits."""
+        pattern_cache_clear()
+        document = Document.from_text(make_bibliography(3, 2))
+        stats = obs.Stats()
+        with obs.collecting(stats):
+            document.select("xpath://book/title")
+        assert stats.counters["pipeline.pattern_cache_misses"] == 1
+        stats = obs.Stats()
+        with obs.collecting(stats):
+            list(document.select_iter("xpath://book/title"))
+        assert stats.counters["pipeline.pattern_cache_misses"] == 0
+        assert stats.counters["pipeline.pattern_cache_hits"] == 1
+
+    def test_compile_counters_agree(self):
+        """Fresh equal-shaped queries compile identically on both paths."""
+        pattern_cache_clear()
+        document = Document.from_text(make_bibliography(3, 2))
+
+        def compile_counters(run):
+            stats = obs.Stats()
+            with obs.collecting(stats):
+                run()
+            return {
+                key: value
+                for key, value in sorted(stats.counters.items())
+                if key.startswith(("lang.", "compile.", "pipeline.pattern"))
+            }
+
+        via_select = compile_counters(
+            lambda: document.select("xpath://book[author]/title")
+        )
+        via_iter = compile_counters(
+            lambda: list(document.select_iter("xpath://book[year]/title"))
+        )
+        assert via_select == via_iter
+        assert via_select["pipeline.pattern_cache_misses"] == 1
+
+
+class TestFallbacks:
+    def test_naive_engine_counts_fallback(self):
+        document = fan_document(8)
+        stats = obs.Stats()
+        with obs.collecting(stats):
+            assert list(
+                document.select_iter("//b", engine="naive")
+            ) == document.select("//b")
+        assert stats.counters["enumerate.fallbacks"] == 1
+
+    def test_cursor_counter(self):
+        document = fan_document(8)
+        stats = obs.Stats()
+        with obs.collecting(stats):
+            list(document.select_iter("//b"))
+            list(document.select_iter("//c", engine="numpy"))
+        assert stats.counters["enumerate.cursors"] == 2
+        assert stats.counters["pipeline.select_iters"] == 2

@@ -1,0 +1,420 @@
+"""Server cursor ops: pagination ≡ one-shot query, budgets, invalidation.
+
+``open_cursor`` / ``next_page`` / ``close_cursor`` page a constant-delay
+enumeration stream over stored or inline documents.  The differential
+property: concatenating every page equals the ``query`` op's paths on
+the same revision — and an edit under an open cursor surfaces a
+structured ``cursor-invalid`` error rather than stale (or torn) answers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.serve import DocumentStore, QueryServer
+from repro.trees.xml import make_bibliography, serialize
+
+from .util import QUERIES, random_document
+
+ENGINES = ("naive", None, "numpy")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def rpc(server: QueryServer, frame: dict) -> dict:
+    return await server.handle_frame(frame)
+
+
+async def load(server: QueryServer, name: str, text: str) -> dict:
+    response = await rpc(server, {"op": "load", "doc": name, "text": text})
+    assert response["ok"], response
+    return response
+
+
+async def drain_cursor(server, cid: str, **overrides) -> list[list[int]]:
+    """Page a cursor to exhaustion; returns the concatenated paths."""
+    paths: list[list[int]] = []
+    while True:
+        response = await rpc(
+            server, {"op": "next_page", "cursor": cid, **overrides}
+        )
+        assert response["ok"], response
+        result = response["result"]
+        assert result["offset"] == len(paths)
+        assert result["count"] == len(result["paths"])
+        paths.extend(result["paths"])
+        if result["done"]:
+            return paths
+
+
+class TestPaginationDifferential:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_pages_equal_query(self, engine):
+        async def main():
+            server = QueryServer(DocumentStore())
+            await load(server, "bib", make_bibliography(6, 5))
+            for query in ("//author", "xpath://book[year]/title", "//none"):
+                frame = {"op": "query", "doc": "bib", "query": query}
+                opener = {
+                    "op": "open_cursor",
+                    "doc": "bib",
+                    "query": query,
+                    "page_size": 3,
+                }
+                if engine is not None:
+                    frame["engine"] = opener["engine"] = engine
+                expected = (await rpc(server, frame))["result"]["paths"]
+                opened = await rpc(server, opener)
+                assert opened["ok"], opened
+                assert opened["result"]["revision"] == 0
+                cid = opened["result"]["cursor"]
+                assert await drain_cursor(server, cid) == expected, (
+                    query,
+                    engine,
+                )
+
+        run(main())
+
+    def test_random_documents(self):
+        async def main():
+            server = QueryServer(DocumentStore())
+            for seed in range(4):
+                document = random_document(random.Random(seed))
+                name = f"doc{seed}"
+                await load(server, name, serialize(document.element))
+                for query in QUERIES[:4]:
+                    expected = (
+                        await rpc(
+                            server,
+                            {"op": "query", "doc": name, "query": query},
+                        )
+                    )["result"]["paths"]
+                    opened = await rpc(
+                        server,
+                        {
+                            "op": "open_cursor",
+                            "doc": name,
+                            "query": query,
+                            "page_size": 2,
+                        },
+                    )
+                    cid = opened["result"]["cursor"]
+                    assert await drain_cursor(server, cid) == expected
+
+        run(main())
+
+    def test_inline_text_cursor(self):
+        async def main():
+            server = QueryServer()
+            opened = await rpc(
+                server,
+                {
+                    "op": "open_cursor",
+                    "text": "<a><b/><c/><b/></a>",
+                    "query": "//b",
+                    "page_size": 1,
+                },
+            )
+            assert opened["ok"], opened
+            assert "doc" not in opened["result"]
+            cid = opened["result"]["cursor"]
+            assert await drain_cursor(server, cid) == [[0], [2]]
+
+        run(main())
+
+    def test_page_size_override(self):
+        async def main():
+            server = QueryServer(DocumentStore())
+            await load(server, "bib", make_bibliography(6, 5))
+            opened = await rpc(
+                server,
+                {
+                    "op": "open_cursor",
+                    "doc": "bib",
+                    "query": "//author",
+                    "page_size": 2,
+                },
+            )
+            cid = opened["result"]["cursor"]
+            page = await rpc(
+                server, {"op": "next_page", "cursor": cid, "page_size": 5}
+            )
+            assert page["result"]["count"] == 5
+            page = await rpc(server, {"op": "next_page", "cursor": cid})
+            assert page["result"]["count"] == 2  # back to the opener's size
+
+        run(main())
+
+
+class TestBudgets:
+    def test_time_budget_trips_and_buffers(self):
+        async def main():
+            server = QueryServer(DocumentStore())
+            await load(server, "bib", make_bibliography(6, 5))
+            expected = (
+                await rpc(
+                    server, {"op": "query", "doc": "bib", "query": "//author"}
+                )
+            )["result"]["paths"]
+            opened = await rpc(
+                server,
+                {"op": "open_cursor", "doc": "bib", "query": "//author"},
+            )
+            cid = opened["result"]["cursor"]
+            tripped = await rpc(
+                server, {"op": "next_page", "cursor": cid, "budget_ms": 0}
+            )
+            assert not tripped["ok"]
+            error = tripped["error"]
+            assert error["kind"] == "budget-exceeded"
+            assert error["cursor"] == cid
+            assert "buffered" in error and "counters" in error
+            # The trip lost nothing: a retry without the budget drains all.
+            assert await drain_cursor(server, cid) == expected
+
+        run(main())
+
+    def test_step_budget_gates_open(self):
+        async def main():
+            server = QueryServer(DocumentStore())
+            await load(server, "bib", make_bibliography(6, 5))
+            response = await rpc(
+                server,
+                {
+                    "op": "open_cursor",
+                    "doc": "bib",
+                    "query": "//author",
+                    "budget_steps": 3,
+                },
+            )
+            assert not response["ok"]
+            assert response["error"]["kind"] == "budget-exceeded"
+            assert response["error"]["nodes"] > 3
+            stats = await rpc(server, {"op": "stats"})
+            assert stats["result"]["cursors"]["open"] == 0
+
+        run(main())
+
+    def test_server_default_budget_ms_applies(self):
+        async def main():
+            server = QueryServer(DocumentStore(), budget_ms=0)
+            await load(server, "bib", make_bibliography(3, 2))
+            opened = await rpc(
+                server,
+                {"op": "open_cursor", "doc": "bib", "query": "//author"},
+            )
+            cid = opened["result"]["cursor"]
+            tripped = await rpc(server, {"op": "next_page", "cursor": cid})
+            assert not tripped["ok"]
+            assert tripped["error"]["kind"] == "budget-exceeded"
+            # A per-call override lifts the server default.
+            page = await rpc(
+                server,
+                {"op": "next_page", "cursor": cid, "budget_ms": 60000},
+            )
+            assert page["ok"], page
+
+        run(main())
+
+
+class TestInvalidation:
+    def test_edit_invalidates_cursor(self):
+        async def main():
+            server = QueryServer(DocumentStore())
+            await load(server, "bib", make_bibliography(4, 3))
+            opened = await rpc(
+                server,
+                {"op": "open_cursor", "doc": "bib", "query": "//author"},
+            )
+            cid = opened["result"]["cursor"]
+            await rpc(server, {"op": "delete", "doc": "bib", "path": [0]})
+            response = await rpc(server, {"op": "next_page", "cursor": cid})
+            assert not response["ok"]
+            error = response["error"]
+            assert error["kind"] == "cursor-invalid"
+            assert error["opened_revision"] == 0
+            assert error["current_revision"] == 1
+            # Invalid cursors are dropped; a second pull is not-found.
+            again = await rpc(server, {"op": "next_page", "cursor": cid})
+            assert again["error"]["kind"] == "not-found"
+            # Re-opening enumerates the new revision.
+            reopened = await rpc(
+                server,
+                {"op": "open_cursor", "doc": "bib", "query": "//author"},
+            )
+            assert reopened["result"]["revision"] == 1
+
+        run(main())
+
+    def test_unload_invalidates_cursor(self):
+        async def main():
+            server = QueryServer(DocumentStore())
+            await load(server, "bib", make_bibliography(3, 2))
+            opened = await rpc(
+                server,
+                {"op": "open_cursor", "doc": "bib", "query": "//author"},
+            )
+            cid = opened["result"]["cursor"]
+            await rpc(server, {"op": "unload", "doc": "bib"})
+            response = await rpc(server, {"op": "next_page", "cursor": cid})
+            assert response["error"]["kind"] == "cursor-invalid"
+            assert response["error"]["current_revision"] is None
+
+        run(main())
+
+
+class TestLifecycle:
+    def test_close_and_done_removal(self):
+        async def main():
+            server = QueryServer(DocumentStore())
+            await load(server, "bib", make_bibliography(3, 2))
+            opened = await rpc(
+                server,
+                {"op": "open_cursor", "doc": "bib", "query": "//author"},
+            )
+            cid = opened["result"]["cursor"]
+            page = await rpc(server, {"op": "next_page", "cursor": cid})
+            assert page["result"]["done"]
+            gone = await rpc(server, {"op": "next_page", "cursor": cid})
+            assert gone["error"]["kind"] == "not-found"
+            # Explicit close reports totals and is then not-found too.
+            opened = await rpc(
+                server,
+                {
+                    "op": "open_cursor",
+                    "doc": "bib",
+                    "query": "//author",
+                    "page_size": 1,
+                },
+            )
+            cid = opened["result"]["cursor"]
+            await rpc(server, {"op": "next_page", "cursor": cid})
+            closed = await rpc(server, {"op": "close_cursor", "cursor": cid})
+            assert closed["result"] == {
+                "closed": cid,
+                "answers": 1,
+                "pages": 1,
+            }
+            gone = await rpc(server, {"op": "close_cursor", "cursor": cid})
+            assert gone["error"]["kind"] == "not-found"
+
+        run(main())
+
+    def test_stats_report_per_cursor(self):
+        async def main():
+            server = QueryServer(DocumentStore())
+            await load(server, "bib", make_bibliography(3, 2))
+            opened = await rpc(
+                server,
+                {
+                    "op": "open_cursor",
+                    "doc": "bib",
+                    "query": "//author",
+                    "page_size": 1,
+                },
+            )
+            cid = opened["result"]["cursor"]
+            await rpc(server, {"op": "next_page", "cursor": cid})
+            stats = (await rpc(server, {"op": "stats"}))["result"]
+            block = stats["cursors"]
+            assert block["open"] == 1
+            described = block["cursors"][cid]
+            assert described["doc"] == "bib"
+            assert described["answers"] == 1
+            assert described["pages"] == 1
+            assert described["counters"]["serve.cursor_opens"] == 1
+            report = stats["report"]["counters"]
+            assert report["serve.cursor_opens"] == 1
+            assert report["serve.cursor_pages"] == 1
+
+        run(main())
+
+    def test_shutdown_expires_open_cursors(self):
+        async def main():
+            server = QueryServer(DocumentStore())
+            await load(server, "bib", make_bibliography(3, 2))
+            for _ in range(3):
+                await rpc(
+                    server,
+                    {"op": "open_cursor", "doc": "bib", "query": "//author"},
+                )
+            response = await rpc(server, {"op": "shutdown"})
+            assert response["result"]["cursors_expired"] == 3
+            stats = (await rpc(server, {"op": "stats"}))["result"]
+            assert stats["cursors"]["open"] == 0
+            assert stats["report"]["counters"]["serve.cursor_expired"] == 3
+
+        run(main())
+
+
+class TestValidation:
+    def test_open_cursor_field_errors(self):
+        async def main():
+            server = QueryServer(DocumentStore())
+            await load(server, "bib", make_bibliography(2, 1))
+            cases = [
+                ({"op": "open_cursor", "query": "//a"}, "bad-request"),
+                (
+                    {
+                        "op": "open_cursor",
+                        "doc": "bib",
+                        "text": "<a/>",
+                        "query": "//a",
+                    },
+                    "bad-request",
+                ),
+                (
+                    {"op": "open_cursor", "doc": "nope", "query": "//a"},
+                    "not-found",
+                ),
+                (
+                    {
+                        "op": "open_cursor",
+                        "doc": "bib",
+                        "query": "//a",
+                        "page_size": 0,
+                    },
+                    "bad-request",
+                ),
+                (
+                    {
+                        "op": "open_cursor",
+                        "doc": "bib",
+                        "query": "//a",
+                        "page_size": True,
+                    },
+                    "bad-request",
+                ),
+                (
+                    {
+                        "op": "open_cursor",
+                        "doc": "bib",
+                        "query": "//a",
+                        "engine": "warp",
+                    },
+                    "engine",
+                ),
+                (
+                    {
+                        "op": "open_cursor",
+                        "doc": "bib",
+                        "query": "xpath://a[",
+                    },
+                    "query-syntax",
+                ),
+            ]
+            for frame, kind in cases:
+                response = await rpc(server, frame)
+                assert not response["ok"], frame
+                assert response["error"]["kind"] == kind, (frame, response)
+            response = await rpc(server, {"op": "next_page", "cursor": "zz"})
+            assert response["error"]["kind"] == "not-found"
+            response = await rpc(server, {"op": "next_page"})
+            assert response["error"]["kind"] == "bad-request"
+
+        run(main())
